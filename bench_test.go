@@ -1,0 +1,189 @@
+package pombm_test
+
+// One benchmark per table/figure of the paper (deliverable d): each runs
+// the corresponding experiment end-to-end at reduced scale through the same
+// harness as cmd/pombm-bench and reports the headline series value as a
+// custom metric, so `go test -bench=.` regenerates every panel's pipeline.
+// Full-scale series for EXPERIMENTS.md come from cmd/pombm-bench.
+//
+// Micro-benchmarks for the performance-critical primitives (HST build,
+// mechanism samplers, matcher implementations, Hungarian) follow at the
+// bottom; the scan-vs-trie and walk-vs-enumerate ablations live next to
+// their packages (internal/match, experiment abl-walk).
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm"
+	"github.com/pombm/pombm/internal/experiments"
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/match"
+	"github.com/pombm/pombm/internal/privacy"
+	"github.com/pombm/pombm/internal/rng"
+	"github.com/pombm/pombm/internal/workload"
+)
+
+// benchFigure runs one experiment per iteration at smoke scale and reports
+// the last series' final value (TBF for paper figures) as "series".
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Seed: 2020, Reps: 1, Scale: 0.02, GridCols: 16}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.NewRunner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig, err := r.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := fig.Series[len(fig.Series)-1]
+		last = s.Values[len(s.Values)-1]
+	}
+	b.ReportMetric(last, "series")
+}
+
+func BenchmarkTable1(b *testing.B) { benchFigure(b, "table1") }
+
+func BenchmarkFig6a(b *testing.B) { benchFigure(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B) { benchFigure(b, "fig6b") }
+func BenchmarkFig6c(b *testing.B) { benchFigure(b, "fig6c") }
+func BenchmarkFig6d(b *testing.B) { benchFigure(b, "fig6d") }
+func BenchmarkFig6e(b *testing.B) { benchFigure(b, "fig6e") }
+func BenchmarkFig6f(b *testing.B) { benchFigure(b, "fig6f") }
+func BenchmarkFig6g(b *testing.B) { benchFigure(b, "fig6g") }
+func BenchmarkFig6h(b *testing.B) { benchFigure(b, "fig6h") }
+func BenchmarkFig6i(b *testing.B) { benchFigure(b, "fig6i") }
+func BenchmarkFig6j(b *testing.B) { benchFigure(b, "fig6j") }
+func BenchmarkFig6k(b *testing.B) { benchFigure(b, "fig6k") }
+func BenchmarkFig6l(b *testing.B) { benchFigure(b, "fig6l") }
+
+func BenchmarkFig7a(b *testing.B) { benchFigure(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B) { benchFigure(b, "fig7b") }
+func BenchmarkFig7c(b *testing.B) { benchFigure(b, "fig7c") }
+func BenchmarkFig7d(b *testing.B) { benchFigure(b, "fig7d") }
+func BenchmarkFig7e(b *testing.B) { benchFigure(b, "fig7e") }
+func BenchmarkFig7f(b *testing.B) { benchFigure(b, "fig7f") }
+func BenchmarkFig7g(b *testing.B) { benchFigure(b, "fig7g") }
+func BenchmarkFig7h(b *testing.B) { benchFigure(b, "fig7h") }
+func BenchmarkFig7i(b *testing.B) { benchFigure(b, "fig7i") }
+func BenchmarkFig7j(b *testing.B) { benchFigure(b, "fig7j") }
+func BenchmarkFig7k(b *testing.B) { benchFigure(b, "fig7k") }
+func BenchmarkFig7l(b *testing.B) { benchFigure(b, "fig7l") }
+
+func BenchmarkFig8a(b *testing.B) { benchFigure(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B) { benchFigure(b, "fig8b") }
+func BenchmarkFig8c(b *testing.B) { benchFigure(b, "fig8c") }
+func BenchmarkFig8d(b *testing.B) { benchFigure(b, "fig8d") }
+func BenchmarkFig8e(b *testing.B) { benchFigure(b, "fig8e") }
+func BenchmarkFig8f(b *testing.B) { benchFigure(b, "fig8f") }
+func BenchmarkFig8g(b *testing.B) { benchFigure(b, "fig8g") }
+func BenchmarkFig8h(b *testing.B) { benchFigure(b, "fig8h") }
+
+// Micro-benchmarks.
+
+func benchGridTree(b *testing.B, cols int) (*geo.Grid, *hst.Tree) {
+	b.Helper()
+	g, err := geo.NewGrid(workload.SyntheticRegion, cols, cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := hst.Build(g.Points(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, tr
+}
+
+func BenchmarkHSTBuild32(b *testing.B) {
+	g, err := geo.NewGrid(workload.SyntheticRegion, 32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hst.Build(g.Points(), rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMechanismWalk(b *testing.B) {
+	_, tr := benchGridTree(b, 32)
+	m, err := privacy.NewHSTMechanism(tr, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(2)
+	x := tr.CodeOf(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ObfuscateWalk(x, src)
+	}
+}
+
+func BenchmarkMechanismDirect(b *testing.B) {
+	_, tr := benchGridTree(b, 32)
+	m, err := privacy.NewHSTMechanism(tr, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(2)
+	x := tr.CodeOf(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ObfuscateDirect(x, src)
+	}
+}
+
+func BenchmarkPlanarLaplaceSample(b *testing.B) {
+	lap, err := privacy.NewPlanarLaplace(0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(3)
+	p := geo.Pt(100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lap.ObfuscatePoint(p, src)
+	}
+}
+
+func BenchmarkHungarian64(b *testing.B) {
+	src := rng.New(4)
+	const n, m = 64, 96
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, m)
+		for j := range cost[i] {
+			cost[i][j] = src.Uniform(0, 100)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := match.Hungarian(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTBFPipeline(b *testing.B) {
+	env, err := pombm.NewEnv(workload.SyntheticRegion, 32, 32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := pombm.SyntheticInstance(pombm.SyntheticParams{
+		NumTasks: 300, NumWorkers: 500, Mu: 100, Sigma: 20,
+	}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pombm.Run(pombm.AlgTBF, env, inst, pombm.Options{Epsilon: 0.6}, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

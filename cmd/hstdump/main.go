@@ -1,0 +1,107 @@
+// hstdump builds a Hierarchically Well-Separated Tree over a predefined
+// point grid and reports its structure: depth, branching factor, node
+// counts, a distortion sample, and optionally Graphviz DOT output.
+//
+// Usage:
+//
+//	hstdump -grid 16 -side 200 -seed 7
+//	hstdump -grid 8 -dot tree.dot
+//	hstdump -example          # the paper's Example 1 tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func main() {
+	var (
+		grid    = flag.Int("grid", 16, "grid columns/rows (N = grid²)")
+		side    = flag.Float64("side", 200, "side length of the square region")
+		seed    = flag.Uint64("seed", 2020, "random seed for permutation and β")
+		dotPath = flag.String("dot", "", "write the cluster tree in DOT format to this file")
+		example = flag.Bool("example", false, "build the paper's Example 1 tree instead of a grid")
+		sample  = flag.Int("sample", 2000, "random pairs for the distortion report")
+	)
+	flag.Parse()
+
+	var tree *hst.Tree
+	var err error
+	if *example {
+		pts := []geo.Point{geo.Pt(1, 1), geo.Pt(2, 3), geo.Pt(5, 3), geo.Pt(4, 4)}
+		tree, err = hst.BuildWithParams(pts, 0.5, []int{0, 1, 2, 3})
+	} else {
+		g, gerr := geo.NewGrid(geo.NewRect(geo.Pt(0, 0), geo.Pt(*side, *side)), *grid, *grid)
+		if gerr != nil {
+			fatal(gerr)
+		}
+		tree, err = hst.Build(g.Points(), rng.New(*seed))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	st := tree.Stats()
+	fmt.Printf("points (N):          %d\n", st.NumPoints)
+	fmt.Printf("depth (D):           %d\n", st.Depth)
+	fmt.Printf("degree (c):          %d\n", st.Degree)
+	fmt.Printf("real cluster nodes:  %d\n", st.RealNodes)
+	fmt.Printf("complete-tree leaves (c^D): %.4g\n", st.TotalLeaves)
+	fmt.Printf("beta:                %.4f\n", st.Beta)
+	fmt.Printf("metric scale:        %.4g\n", st.Scale)
+
+	// Distortion sample: dT/d over random point pairs.
+	src := rng.New(*seed).Derive("distortion")
+	n := tree.NumPoints()
+	if n >= 2 && *sample > 0 {
+		var min, max, sum float64
+		min = 1e300
+		count := 0
+		for i := 0; i < *sample; i++ {
+			a, b := src.Intn(n), src.Intn(n)
+			if a == b {
+				continue
+			}
+			d := tree.Point(a).Dist(tree.Point(b)) * tree.Scale()
+			dt := tree.Dist(tree.CodeOf(a), tree.CodeOf(b))
+			r := dt / d
+			if r < min {
+				min = r
+			}
+			if r > max {
+				max = r
+			}
+			sum += r
+			count++
+		}
+		if count > 0 {
+			fmt.Printf("distortion dT/d over %d pairs: min %.2f  mean %.2f  max %.2f\n",
+				count, min, sum/float64(count), max)
+			if min < 1 {
+				fmt.Println("WARNING: contraction detected — this violates the FRT guarantee")
+			}
+		}
+	}
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tree.WriteDOT(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote DOT to %s\n", *dotPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hstdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,163 @@
+// pombm-bench reproduces the paper's tables and figures from the command
+// line. Each experiment id names one panel (fig6a..fig6l, fig7a..fig7l,
+// fig8a..fig8h, table1) or an ablation (abl-walk, abl-index, abl-grid,
+// abl-cr, abl-em); see EXPERIMENTS.md for the index.
+//
+// Usage:
+//
+//	pombm-bench -list
+//	pombm-bench -exp fig7a
+//	pombm-bench -exp all -scale 0.2 -reps 3 -out results/
+//	pombm-bench -exp fig7b -scale 0.05        # scalability sweep, reduced
+//	pombm-bench -instance day.csv -eps 0.6    # your own workload file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/pombm/pombm/internal/core"
+	"github.com/pombm/pombm/internal/experiments"
+	"github.com/pombm/pombm/internal/rng"
+	"github.com/pombm/pombm/internal/workload"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id to run, or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		seed   = flag.Uint64("seed", 2020, "root random seed")
+		reps   = flag.Int("reps", 5, "repetitions per sweep point (paper: 10)")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
+		grid   = flag.Int("grid", 64, "predefined grid columns (N = grid²)")
+		trie   = flag.Bool("trie", false, "use the O(D) trie matcher instead of the paper's scan")
+		quick  = flag.Bool("quick", false, "shorthand for -scale 0.1 -reps 2 -grid 16")
+		out    = flag.String("out", "", "directory for CSV output (optional)")
+		format = flag.String("format", "text", "stdout format: text, csv, or markdown")
+		file   = flag.String("instance", "", "run the distance pipelines on a workload CSV file instead of a registered experiment")
+		eps    = flag.Float64("eps", 0.6, "privacy budget for -instance runs")
+		svg    = flag.Bool("svg", false, "also write an SVG chart per experiment into -out")
+	)
+	flag.Parse()
+
+	if *file != "" {
+		if err := runOnFile(*file, *eps, *grid, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-10s %s\n", id, title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "pombm-bench: -exp is required (use -list to see ids)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Seed: *seed, Reps: *reps, Scale: *scale, GridCols: *grid, UseTrie: *trie}
+	if *quick {
+		cfg.Scale, cfg.Reps, cfg.GridCols = 0.1, 2, 16
+	}
+	runner, err := experiments.NewRunner(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := runner.Run(id)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(fig.CSV())
+		case "markdown":
+			fmt.Printf("### %s — %s\n\n%s\n", fig.ID, fig.Title, fig.Markdown())
+		default:
+			fmt.Println(fig.Render())
+		}
+		fmt.Fprintf(os.Stderr, "# %s finished in %v\n", id, time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			if err := writeCSV(*out, fig); err != nil {
+				fatal(err)
+			}
+			if *svg {
+				path := filepath.Join(*out, fig.ID+".svg")
+				if err := os.WriteFile(path, []byte(fig.SVG()), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "# wrote %s\n", path)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, fig interface {
+	CSV() string
+}) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, ok := fig.(*experiments.Figure)
+	if !ok {
+		return fmt.Errorf("pombm-bench: unexpected figure type")
+	}
+	path := filepath.Join(dir, f.ID+".csv")
+	if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# wrote %s\n", path)
+	return nil
+}
+
+// runOnFile runs TBF and the baselines once on a user-supplied workload.
+func runOnFile(path string, eps float64, gridCols int, seed uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	inst, err := workload.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance: %d workers, %d tasks, region %v\n",
+		len(inst.Workers), len(inst.Tasks), inst.Region)
+	env, err := core.NewEnv(inst.Region, gridCols, gridCols, rng.New(seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published HST: N=%d, D=%d, c=%d; ε=%g\n\n",
+		env.Tree.NumPoints(), env.Tree.Depth(), env.Tree.Degree(), eps)
+	fmt.Printf("%-8s %16s %10s %14s %12s\n", "alg", "total distance", "matched", "assign time", "memory (MB)")
+	for _, alg := range []core.Algorithm{core.AlgLapGR, core.AlgLapHG, core.AlgTBF} {
+		res, err := core.Run(alg, env, inst, core.Options{Epsilon: eps}, rng.New(seed).Derive(string(alg)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %16.1f %10d %14s %12.2f\n",
+			res.Algorithm, res.TotalDistance, res.Matched,
+			res.AssignTime.Round(time.Microsecond), float64(res.MemoryBytes)/1e6)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pombm-bench:", strings.TrimSpace(err.Error()))
+	os.Exit(1)
+}

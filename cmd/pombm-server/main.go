@@ -1,0 +1,103 @@
+// pombm-server runs the privacy-preserving crowdsourcing platform over
+// HTTP: it publishes the predefined grid and HST, accepts obfuscated worker
+// registrations, and assigns arriving tasks with HST-Greedy. With -demo it
+// also drives a fleet of simulated workers and tasks against itself.
+//
+// Usage:
+//
+//	pombm-server -addr :8080 -grid 32 -eps 0.6
+//	pombm-server -addr :8080 -demo 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/platform"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		grid = flag.Int("grid", 64, "predefined grid columns/rows")
+		side = flag.Float64("side", 200, "side of the square service region")
+		eps  = flag.Float64("eps", 0.6, "privacy budget ε")
+		seed = flag.Uint64("seed", 2020, "server random seed")
+		demo = flag.Int("demo", 0, "run a self-demo with this many workers (0 = serve only)")
+	)
+	flag.Parse()
+
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(*side, *side))
+	srv, err := platform.NewServer(region, *grid, *grid, *eps, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pombm-server:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pombm-server:", err)
+		os.Exit(1)
+	}
+	log.Printf("serving on %s (grid %dx%d, ε=%g, tree depth %d)",
+		ln.Addr(), *grid, *grid, *eps, srv.Publication().Tree.Depth())
+
+	if *demo > 0 {
+		go runDemo(ln.Addr().String(), *demo, *seed)
+	}
+	log.Fatal(http.Serve(ln, platform.Handler(srv)))
+}
+
+// runDemo exercises the server with simulated agents over real HTTP.
+func runDemo(addr string, workers int, seed uint64) {
+	time.Sleep(200 * time.Millisecond) // let the listener start serving
+	base := "http://" + addr
+	client, err := platform.NewClient(base)
+	if err != nil {
+		log.Printf("demo: %v", err)
+		return
+	}
+	obf, err := platform.NewObfuscator(client.Publication(), seed+1)
+	if err != nil {
+		log.Printf("demo: %v", err)
+		return
+	}
+	src := rng.New(seed + 2)
+	region := client.Publication().Region
+	for i := 0; i < workers; i++ {
+		w := platform.Worker{
+			ID:  fmt.Sprintf("demo-worker-%d", i),
+			Loc: geo.Pt(src.Uniform(region.MinX, region.MaxX), src.Uniform(region.MinY, region.MaxY)),
+		}
+		if err := w.Register(client, obf); err != nil {
+			log.Printf("demo: %v", err)
+			return
+		}
+	}
+	log.Printf("demo: registered %d workers", workers)
+	assigned := 0
+	for i := 0; i < workers/2; i++ {
+		t := platform.Task{
+			ID:  fmt.Sprintf("demo-task-%d", i),
+			Loc: geo.Pt(src.Uniform(region.MinX, region.MaxX), src.Uniform(region.MinY, region.MaxY)),
+		}
+		if _, ok, err := t.Submit(client, obf); err != nil {
+			log.Printf("demo: %v", err)
+			return
+		} else if ok {
+			assigned++
+		}
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		log.Printf("demo: %v", err)
+		return
+	}
+	log.Printf("demo: %d/%d tasks assigned; server stats %+v", assigned, workers/2, stats)
+}

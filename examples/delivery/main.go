@@ -1,0 +1,56 @@
+// Delivery: the matching-size case study (Sec. IV-C) as a food-delivery
+// scenario. Couriers have limited reachable radii — the bipartite graph is
+// incomplete — and the platform maximises the number of orders that a
+// courier can actually serve. We compare the paper's tree-based matcher
+// against the Prob baseline (To et al., ICDE'18) across privacy budgets,
+// reproducing the shape of Fig. 8b.
+//
+// Run with: go run ./examples/delivery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pombm/pombm"
+)
+
+func main() {
+	region := pombm.NewRect(pombm.Pt(0, 0), pombm.Pt(200, 200))
+	env, err := pombm.NewEnv(region, 64, 64, 2020)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3000 orders, 5000 couriers with reach 10–20 units (Table II defaults).
+	inst, err := pombm.SyntheticInstance(pombm.SyntheticParams{
+		NumTasks: 3000, NumWorkers: 5000, Mu: 100, Sigma: 20,
+	}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pombm.ShuffleTasks(inst, 12)
+	reaches := pombm.UniformReaches(len(inst.Workers), 10, 20, 13)
+
+	fmt.Printf("%d orders, %d couriers, reach ∈ [10,20)\n\n", len(inst.Tasks), len(inst.Workers))
+	fmt.Printf("%-6s %18s %18s %12s\n", "ε", "Prob size (valid)", "TBF size (valid)", "TBF gain")
+	for _, eps := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		opt := pombm.Options{Epsilon: eps}
+		prob, err := pombm.RunSize(pombm.AlgProb, env, inst, reaches, opt, 21)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbf, err := pombm.RunSize(pombm.AlgTBF, env, inst, reaches, opt, 22)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gain := 0.0
+		if prob.MatchingSize > 0 {
+			gain = 100 * float64(tbf.MatchingSize-prob.MatchingSize) / float64(prob.MatchingSize)
+		}
+		fmt.Printf("%-6g %10d (%5d) %10d (%5d) %+11.1f%%\n",
+			eps, prob.Assigned, prob.MatchingSize, tbf.Assigned, tbf.MatchingSize, gain)
+	}
+	fmt.Println("\n\"size\" counts server assignments; \"valid\" counts pairs within true reach —")
+	fmt.Println("the matching size the paper reports corresponds to the valid column.")
+}

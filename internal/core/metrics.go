@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/match"
+)
+
+// Memory accounting mirrors the paper's metric: the server-side footprint
+// of running one assignment workload. It has two parts:
+//
+//   - the published infrastructure (grid + HST + leaf index), measured once
+//     with GC-settled heap readings when the Env is built and charged to
+//     the algorithms that match on the tree (the paper: "TBF and Lap-HG
+//     consume more space of no more than 1.2 MB to construct the HST");
+//   - the per-run state — the obfuscated reports received from workers and
+//     tasks plus the matcher bookkeeping — sized *analytically* from the
+//     structure layouts. Run state is 0.1–1 MB, below forced-GC noise, so
+//     deterministic byte accounting is both more precise and reproducible.
+
+// heapMark is a GC-settled heap reading.
+type heapMark uint64
+
+// markHeap returns the live-heap size after a forced collection.
+func markHeap() heapMark {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return heapMark(ms.HeapAlloc)
+}
+
+// retainedSince returns the heap growth since the mark, keeping the given
+// values alive across the closing measurement so their memory is counted.
+// Used for the one-off Env measurement where the delta is large.
+func retainedSince(before heapMark, keep ...any) uint64 {
+	after := markHeap()
+	runtime.KeepAlive(keep)
+	if uint64(after) > uint64(before) {
+		return uint64(after) - uint64(before)
+	}
+	return 0
+}
+
+// Structure-size constants (amd64 layouts; close enough on any 64-bit
+// platform for a reporting metric).
+const (
+	bytesPerPoint      = 16 // geo.Point: two float64
+	bytesPerString     = 16 // string header
+	bytesPerSliceHdr   = 24
+	bytesPerSizeWorker = 16 + 16 + 8 // Reported + Code header + Reach
+)
+
+// pointsBytes sizes a []geo.Point.
+func pointsBytes(pts []geo.Point) uint64 {
+	return uint64(len(pts))*bytesPerPoint + bytesPerSliceHdr
+}
+
+// codesBytes sizes a []hst.Code (headers plus digit payloads).
+func codesBytes(codes []hst.Code) uint64 {
+	total := uint64(bytesPerSliceHdr)
+	for _, c := range codes {
+		total += bytesPerString + uint64(len(c))
+	}
+	return total
+}
+
+// boolsBytes sizes the matcher's assignment bitmap.
+func boolsBytes(n int) uint64 { return uint64(n) + bytesPerSliceHdr }
+
+// sizeWorkersBytes sizes a []match.SizeWorker including code payloads.
+func sizeWorkersBytes(ws []match.SizeWorker) uint64 {
+	total := uint64(bytesPerSliceHdr)
+	for _, w := range ws {
+		total += bytesPerSizeWorker + uint64(len(w.Code))
+	}
+	return total
+}

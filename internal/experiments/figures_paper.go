@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/pombm/pombm/internal/core"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/privacy"
+	"github.com/pombm/pombm/internal/workload"
+)
+
+// distAlgs are the compared algorithms of Fig. 6/7, in the paper's order.
+var distAlgs = []core.Algorithm{core.AlgLapGR, core.AlgLapHG, core.AlgTBF}
+
+// sizeAlgs are the compared algorithms of Fig. 8.
+var sizeAlgs = []core.Algorithm{core.AlgProb, core.AlgTBF}
+
+// distSweep is one x axis of the distance-objective evaluation.
+type distSweep struct {
+	xlabel string
+	xs     []string
+	specs  []instanceSpec
+	eps    []float64
+}
+
+// the four Table II sweeps plus the ε, scalability and real-data sweeps.
+func sweepTasks(c Config) distSweep {
+	s := distSweep{xlabel: "|T|"}
+	for _, nt := range workload.SyntheticTaskCounts {
+		s.xs = append(s.xs, fmt.Sprint(nt))
+		s.specs = append(s.specs, instanceSpec{
+			numTasks: c.scaled(nt), numWorkers: c.scaled(workload.DefaultNumWorkers),
+			mu: workload.DefaultMu, sigma: workload.DefaultSigma,
+		})
+		s.eps = append(s.eps, workload.DefaultEpsilon)
+	}
+	return s
+}
+
+func sweepWorkers(c Config) distSweep {
+	s := distSweep{xlabel: "|W|"}
+	for _, nw := range workload.SyntheticWorkerCounts {
+		s.xs = append(s.xs, fmt.Sprint(nw))
+		s.specs = append(s.specs, instanceSpec{
+			numTasks: c.scaled(workload.DefaultNumTasks), numWorkers: c.scaled(nw),
+			mu: workload.DefaultMu, sigma: workload.DefaultSigma,
+		})
+		s.eps = append(s.eps, workload.DefaultEpsilon)
+	}
+	return s
+}
+
+func sweepMu(c Config) distSweep {
+	s := distSweep{xlabel: "µ"}
+	for _, mu := range workload.SyntheticMus {
+		s.xs = append(s.xs, fmt.Sprint(mu))
+		s.specs = append(s.specs, instanceSpec{
+			numTasks: c.scaled(workload.DefaultNumTasks), numWorkers: c.scaled(workload.DefaultNumWorkers),
+			mu: mu, sigma: workload.DefaultSigma,
+		})
+		s.eps = append(s.eps, workload.DefaultEpsilon)
+	}
+	return s
+}
+
+func sweepSigma(c Config) distSweep {
+	s := distSweep{xlabel: "σ"}
+	for _, sigma := range workload.SyntheticSigmas {
+		s.xs = append(s.xs, fmt.Sprint(sigma))
+		s.specs = append(s.specs, instanceSpec{
+			numTasks: c.scaled(workload.DefaultNumTasks), numWorkers: c.scaled(workload.DefaultNumWorkers),
+			mu: workload.DefaultMu, sigma: sigma,
+		})
+		s.eps = append(s.eps, workload.DefaultEpsilon)
+	}
+	return s
+}
+
+func sweepEps(c Config) distSweep {
+	s := distSweep{xlabel: "ε"}
+	for _, eps := range workload.Epsilons {
+		s.xs = append(s.xs, fmt.Sprint(eps))
+		s.specs = append(s.specs, instanceSpec{
+			numTasks: c.scaled(workload.DefaultNumTasks), numWorkers: c.scaled(workload.DefaultNumWorkers),
+			mu: workload.DefaultMu, sigma: workload.DefaultSigma,
+		})
+		s.eps = append(s.eps, eps)
+	}
+	return s
+}
+
+func sweepScalability(c Config) distSweep {
+	s := distSweep{xlabel: "|T|=|W|"}
+	for _, n := range workload.ScalabilitySizes {
+		s.xs = append(s.xs, fmt.Sprint(n))
+		s.specs = append(s.specs, instanceSpec{
+			numTasks: c.scaled(n), numWorkers: c.scaled(n),
+			mu: workload.DefaultMu, sigma: workload.DefaultSigma,
+		})
+		s.eps = append(s.eps, workload.DefaultEpsilon)
+	}
+	return s
+}
+
+func sweepRealWorkers(c Config) distSweep {
+	s := distSweep{xlabel: "|W|"}
+	for _, nw := range workload.RealWorkerCounts {
+		s.xs = append(s.xs, fmt.Sprint(nw))
+		s.specs = append(s.specs, instanceSpec{numWorkers: c.scaled(nw), real: true})
+		s.eps = append(s.eps, workload.DefaultEpsilon)
+	}
+	return s
+}
+
+func sweepRealEps(c Config) distSweep {
+	s := distSweep{xlabel: "ε"}
+	for _, eps := range workload.Epsilons {
+		s.xs = append(s.xs, fmt.Sprint(eps))
+		s.specs = append(s.specs, instanceSpec{numWorkers: c.scaled(workload.DefaultRealNumWorkers), real: true})
+		s.eps = append(s.eps, eps)
+	}
+	return s
+}
+
+// runDistFigure materialises one Fig. 6/7 panel.
+func runDistFigure(r *Runner, id, title string, metric metricKind, mkSweep func(Config) distSweep) (*Figure, error) {
+	sweep := mkSweep(r.cfg)
+	fig := &Figure{ID: id, Title: title, XLabel: sweep.xlabel, YLabel: metric.label(), X: sweep.xs}
+	for _, alg := range distAlgs {
+		series := Series{Label: string(alg)}
+		for i := range sweep.specs {
+			agg, err := r.distancePoint(alg, sweep.specs[i], sweep.eps[i])
+			if err != nil {
+				return nil, err
+			}
+			series.Values = append(series.Values, agg.metric(metric))
+			if metric == metricDistance {
+				series.Spread = append(series.Spread, agg.distanceStd)
+			}
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// runSizeFigure materialises one Fig. 8 panel.
+func runSizeFigure(r *Runner, id, title string, metric metricKind, mkSweep func(Config) distSweep, reach [2]float64) (*Figure, error) {
+	sweep := mkSweep(r.cfg)
+	fig := &Figure{ID: id, Title: title, XLabel: sweep.xlabel, YLabel: metric.label(), X: sweep.xs}
+	for _, alg := range sizeAlgs {
+		series := Series{Label: string(alg)}
+		for i := range sweep.specs {
+			agg, err := r.sizePoint(alg, sweep.specs[i], sweep.eps[i], reach)
+			if err != nil {
+				return nil, err
+			}
+			switch metric {
+			case metricSize:
+				series.Values = append(series.Values, agg.size)
+				series.Spread = append(series.Spread, agg.sizeStd)
+			case metricTime:
+				series.Values = append(series.Values, agg.seconds)
+			default:
+				return nil, fmt.Errorf("experiments: size figures support size/time, not %v", metric)
+			}
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+func init() {
+	type panel struct {
+		id, title string
+		metric    metricKind
+		sweep     func(Config) distSweep
+	}
+	panels := []panel{
+		// Fig. 6: Table II sweeps × {distance, time, memory}.
+		{"fig6a", "Total Distance of Varying |T| (synthetic)", metricDistance, sweepTasks},
+		{"fig6b", "Total Distance of Varying |W| (synthetic)", metricDistance, sweepWorkers},
+		{"fig6c", "Total Distance of Varying µ (synthetic)", metricDistance, sweepMu},
+		{"fig6d", "Total Distance of Varying σ (synthetic)", metricDistance, sweepSigma},
+		{"fig6e", "Running Time of Varying |T| (synthetic)", metricTime, sweepTasks},
+		{"fig6f", "Running Time of Varying |W| (synthetic)", metricTime, sweepWorkers},
+		{"fig6g", "Running Time of Varying µ (synthetic)", metricTime, sweepMu},
+		{"fig6h", "Running Time of Varying σ (synthetic)", metricTime, sweepSigma},
+		{"fig6i", "Memory of Varying |T| (synthetic)", metricMemory, sweepTasks},
+		{"fig6j", "Memory of Varying |W| (synthetic)", metricMemory, sweepWorkers},
+		{"fig6k", "Memory of Varying µ (synthetic)", metricMemory, sweepMu},
+		{"fig6l", "Memory of Varying σ (synthetic)", metricMemory, sweepSigma},
+		// Fig. 7: ε + scalability (synthetic), |W| + ε (real).
+		{"fig7a", "Total Distance of Varying ε (synthetic)", metricDistance, sweepEps},
+		{"fig7b", "Total Distance of Scalability (synthetic)", metricDistance, sweepScalability},
+		{"fig7c", "Total Distance of Varying |W| (real)", metricDistance, sweepRealWorkers},
+		{"fig7d", "Total Distance of Varying ε (real)", metricDistance, sweepRealEps},
+		{"fig7e", "Running Time of Varying ε (synthetic)", metricTime, sweepEps},
+		{"fig7f", "Running Time of Scalability (synthetic)", metricTime, sweepScalability},
+		{"fig7g", "Running Time of Varying |W| (real)", metricTime, sweepRealWorkers},
+		{"fig7h", "Running Time of Varying ε (real)", metricTime, sweepRealEps},
+		{"fig7i", "Memory of Varying ε (synthetic)", metricMemory, sweepEps},
+		{"fig7j", "Memory of Scalability (synthetic)", metricMemory, sweepScalability},
+		{"fig7k", "Memory of Varying |W| (real)", metricMemory, sweepRealWorkers},
+		{"fig7l", "Memory of Varying ε (real)", metricMemory, sweepRealEps},
+	}
+	for _, p := range panels {
+		p := p
+		register(p.id, p.title, func(r *Runner) (*Figure, error) {
+			return runDistFigure(r, p.id, p.title, p.metric, p.sweep)
+		})
+	}
+
+	sizePanels := []struct {
+		id, title string
+		metric    metricKind
+		sweep     func(Config) distSweep
+		reach     [2]float64
+	}{
+		{"fig8a", "Matching Size of Varying |W| (synthetic)", metricSize, sweepWorkers, workload.SyntheticReach},
+		{"fig8b", "Matching Size of Varying ε (synthetic)", metricSize, sweepEps, workload.SyntheticReach},
+		{"fig8c", "Matching Size of Varying |W| (real)", metricSize, sweepRealWorkers, workload.RealReach},
+		{"fig8d", "Matching Size of Varying ε (real)", metricSize, sweepRealEps, workload.RealReach},
+		{"fig8e", "Running Time of Varying |W| (synthetic, size)", metricTime, sweepWorkers, workload.SyntheticReach},
+		{"fig8f", "Running Time of Varying ε (synthetic, size)", metricTime, sweepEps, workload.SyntheticReach},
+		{"fig8g", "Running Time of Varying |W| (real, size)", metricTime, sweepRealWorkers, workload.RealReach},
+		{"fig8h", "Running Time of Varying ε (real, size)", metricTime, sweepRealEps, workload.RealReach},
+	}
+	for _, p := range sizePanels {
+		p := p
+		register(p.id, p.title, func(r *Runner) (*Figure, error) {
+			return runSizeFigure(r, p.id, p.title, p.metric, p.sweep, p.reach)
+		})
+	}
+
+	register("table1", "Probability of leaf nodes being the obfuscated nodes (ε=0.1, Example 1 tree)", runTable1)
+}
+
+// runTable1 reproduces Table I: per-level weights and per-leaf obfuscation
+// probabilities on the Example 1 tree at ε = 0.1.
+func runTable1(r *Runner) (*Figure, error) {
+	tree, err := paperExampleTree()
+	if err != nil {
+		return nil, err
+	}
+	mech, err := privacy.NewHSTMechanism(tree, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "table1",
+		Title:  "Probability of leaf nodes being the obfuscated nodes (ε=0.1)",
+		XLabel: "LCA level i",
+		YLabel: "value",
+	}
+	var wt, prob, count Series
+	wt.Label, prob.Label, count.Label = "wt_i", "per-leaf probability", "|L_i|"
+	for i := 0; i <= tree.Depth(); i++ {
+		fig.X = append(fig.X, fmt.Sprint(i))
+		wt.Values = append(wt.Values, mech.Weight(i))
+		prob.Values = append(prob.Values, mech.Weight(i)/mech.TotalWeight())
+		count.Values = append(count.Values, tree.SiblingSetSize(i))
+	}
+	fig.Series = []Series{wt, prob, count}
+	return fig, nil
+}
+
+// paperExampleTree rebuilds the worked example of Sec. III (Fig. 2/3).
+func paperExampleTree() (*hst.Tree, error) {
+	pts := paperExamplePoints()
+	return hst.BuildWithParams(pts, 0.5, []int{0, 1, 2, 3})
+}

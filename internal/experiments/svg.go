@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG renders the figure as a standalone SVG line chart (pure stdlib; no
+// plotting dependencies). X positions are categorical in sweep order, the
+// y axis is linear from zero (distances, times, sizes are all
+// non-negative), and each series gets a line with point markers plus a
+// legend entry. Series spreads, when present, draw as vertical error bars.
+func (f *Figure) SVG() string {
+	const (
+		width   = 640
+		height  = 420
+		left    = 70
+		right   = 160 // room for the legend
+		top     = 48
+		bottom  = 52
+		tickLen = 4
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+
+	// Y range.
+	maxY := 0.0
+	for _, s := range f.Series {
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			hi := v
+			if i < len(s.Spread) {
+				hi += s.Spread[i]
+			}
+			if hi > maxY {
+				maxY = hi
+			}
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.05 // headroom
+
+	xPos := func(i int) float64 {
+		if len(f.X) == 1 {
+			return float64(left) + plotW/2
+		}
+		return float64(left) + plotW*float64(i)/float64(len(f.X)-1)
+	}
+	yPos := func(v float64) float64 {
+		return float64(top) + plotH*(1-v/maxY)
+	}
+
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	marker := []string{"circle", "square", "diamond", "triangle", "circle", "square"}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="14" font-weight="bold">%s — %s</text>`+"\n",
+		left, xmlEscape(f.ID), xmlEscape(f.Title))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		left+int(plotW/2), height-12, xmlEscape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		top+int(plotH/2), top+int(plotH/2), xmlEscape(f.YLabel))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, top, left, height-bottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, height-bottom, width-right, height-bottom)
+
+	// Y ticks: 5 divisions.
+	for t := 0; t <= 5; t++ {
+		v := maxY * float64(t) / 5
+		y := yPos(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			left-tickLen, y, left, y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			left, y, width-right, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			left-tickLen-3, y, tickLabel(v))
+	}
+	// X ticks.
+	for i, x := range f.X {
+		px := xPos(i)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px, height-bottom, px, height-bottom+tickLen)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px, height-bottom+16, xmlEscape(x))
+	}
+
+	// Series.
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPos(i), yPos(v)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+				color, strings.Join(pts, " "))
+		}
+		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			if i < len(s.Spread) && s.Spread[i] > 0 {
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+					xPos(i), yPos(v-s.Spread[i]), xPos(i), yPos(v+s.Spread[i]), color)
+			}
+			writeMarker(&b, marker[si%len(marker)], xPos(i), yPos(v), color)
+		}
+		// Legend.
+		ly := top + 10 + si*18
+		lx := width - right + 12
+		writeMarker(&b, marker[si%len(marker)], float64(lx), float64(ly), color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" dominant-baseline="middle">%s</text>`+"\n",
+			lx+10, ly, xmlEscape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func writeMarker(b *strings.Builder, kind string, x, y float64, color string) {
+	const r = 3.5
+	switch kind {
+	case "square":
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x-r, y-r, 2*r, 2*r, color)
+	case "diamond":
+		fmt.Fprintf(b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y, x, y+r+1, x-r-1, y, color)
+	case "triangle":
+		fmt.Fprintf(b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s"/>`+"\n",
+			x, y-r-1, x+r+1, y+r, x-r-1, y+r, color)
+	default:
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, color)
+	}
+}
+
+func tickLabel(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e4 || math.Abs(v) < 1e-2:
+		return fmt.Sprintf("%.1e", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testFigure() *Figure {
+	return &Figure{
+		ID: "figX", Title: "Demo & test", XLabel: "|T|", YLabel: "distance",
+		X: []string{"10", "20", "30"},
+		Series: []Series{
+			{Label: "alpha", Values: []float64{1, 2, 3}, Spread: []float64{0.1, 0.2, 0.3}},
+			{Label: "beta <b>", Values: []float64{3, 2, 1}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := testFigure().SVG()
+	// Must be parseable XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "alpha", "figX", "&amp;", "&lt;b&gt;"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGHandlesNaNAndEmpty(t *testing.T) {
+	fig := &Figure{
+		ID: "nan", Title: "t", XLabel: "x", YLabel: "y",
+		X: []string{"a", "b"},
+		Series: []Series{
+			{Label: "s", Values: []float64{math.NaN(), math.NaN()}},
+		},
+	}
+	svg := fig.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("degenerate figure did not render")
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into SVG coordinates")
+	}
+	// Single-point x axis must not divide by zero.
+	fig2 := &Figure{
+		ID: "one", Title: "t", XLabel: "x", YLabel: "y",
+		X:      []string{"only"},
+		Series: []Series{{Label: "s", Values: []float64{5}}},
+	}
+	svg2 := fig2.SVG()
+	if strings.Contains(svg2, "NaN") || strings.Contains(svg2, "Inf") {
+		t.Error("single-point figure produced invalid coordinates")
+	}
+}
+
+func TestSVGErrorBars(t *testing.T) {
+	svg := testFigure().SVG()
+	// The alpha series carries spreads; count vertical error-bar lines by
+	// its stroke colour appearing in line elements beyond the grid.
+	if c := strings.Count(svg, `stroke="#1f77b4" stroke-width="1"`); c != 3 {
+		t.Errorf("error bars = %d, want 3", c)
+	}
+}
+
+func TestSVGFromRealExperiment(t *testing.T) {
+	r := quickRunner(t)
+	fig, err := r.Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := fig.SVG()
+	if !strings.Contains(svg, "table1") {
+		t.Error("real figure did not render")
+	}
+}

@@ -1,0 +1,156 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// DynamicNN is a deletion-capable nearest-neighbour index over a bounded
+// region, backed by uniform grid buckets searched in expanding rings. It
+// serves the Euclidean greedy matcher, which repeatedly extracts the
+// nearest remaining worker — a workload kd-trees handle poorly without
+// rebalancing.
+//
+// Query cost is O(ring cells + candidates) and degrades gracefully as the
+// index empties; insertion and removal are O(1).
+type DynamicNN struct {
+	region Rect
+	cols   int
+	rows   int
+	cellW  float64
+	cellH  float64
+	cells  [][]nnItem
+	size   int
+}
+
+type nnItem struct {
+	id int
+	p  Point
+}
+
+// NewDynamicNN builds an empty index with roughly cellTarget items per
+// bucket assuming n items uniform in region. n is only a sizing hint.
+func NewDynamicNN(region Rect, n int) (*DynamicNN, error) {
+	if region.Width() <= 0 || region.Height() <= 0 {
+		return nil, fmt.Errorf("geo: DynamicNN region %v must have positive area", region)
+	}
+	if n < 1 {
+		n = 1
+	}
+	side := int(math.Sqrt(float64(n)/2)) + 1
+	if side > 512 {
+		side = 512
+	}
+	d := &DynamicNN{
+		region: region,
+		cols:   side,
+		rows:   side,
+		cellW:  region.Width() / float64(side),
+		cellH:  region.Height() / float64(side),
+	}
+	d.cells = make([][]nnItem, side*side)
+	return d, nil
+}
+
+// Len returns the number of indexed items.
+func (d *DynamicNN) Len() int { return d.size }
+
+func (d *DynamicNN) cellOf(p Point) (int, int) {
+	p = d.region.Clamp(p)
+	c := int((p.X - d.region.MinX) / d.cellW)
+	r := int((p.Y - d.region.MinY) / d.cellH)
+	if c >= d.cols {
+		c = d.cols - 1
+	}
+	if r >= d.rows {
+		r = d.rows - 1
+	}
+	return c, r
+}
+
+// Insert adds an item. Points outside the region are clamped for bucketing
+// but retain their true coordinates for distance computation.
+func (d *DynamicNN) Insert(id int, p Point) {
+	c, r := d.cellOf(p)
+	idx := r*d.cols + c
+	d.cells[idx] = append(d.cells[idx], nnItem{id: id, p: p})
+	d.size++
+}
+
+// Remove deletes one item with the given id near p (the same point used at
+// insertion). It reports whether the item was found.
+func (d *DynamicNN) Remove(id int, p Point) bool {
+	c, r := d.cellOf(p)
+	idx := r*d.cols + c
+	cell := d.cells[idx]
+	for i, it := range cell {
+		if it.id == id {
+			last := len(cell) - 1
+			cell[i] = cell[last]
+			d.cells[idx] = cell[:last]
+			d.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Nearest returns the indexed item closest to q, or ok=false when empty.
+// Ties break towards the lower id so results are deterministic.
+func (d *DynamicNN) Nearest(q Point) (id int, p Point, ok bool) {
+	if d.size == 0 {
+		return 0, Point{}, false
+	}
+	qc, qr := d.cellOf(q)
+	best := nnItem{id: -1}
+	bestD := math.Inf(1)
+	maxRing := d.cols
+	if d.rows > maxRing {
+		maxRing = d.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a candidate exists, stop after the first ring whose cells
+		// cannot contain anything closer: ring distance lower bound.
+		if best.id >= 0 {
+			lb := (float64(ring-1) * math.Min(d.cellW, d.cellH))
+			if lb*lb > bestD {
+				break
+			}
+		}
+		found := d.scanRing(qc, qr, ring, q, &best, &bestD)
+		_ = found
+	}
+	return best.id, best.p, best.id >= 0
+}
+
+// scanRing visits the cells at Chebyshev distance exactly `ring` from
+// (qc, qr) and updates the best candidate.
+func (d *DynamicNN) scanRing(qc, qr, ring int, q Point, best *nnItem, bestD *float64) bool {
+	any := false
+	visit := func(c, r int) {
+		if c < 0 || c >= d.cols || r < 0 || r >= d.rows {
+			return
+		}
+		for _, it := range d.cells[r*d.cols+c] {
+			any = true
+			dd := q.Dist2(it.p)
+			if dd < *bestD || (dd == *bestD && it.id < best.id) {
+				*best = it
+				*bestD = dd
+			}
+		}
+	}
+	if ring == 0 {
+		visit(qc, qr)
+		return any
+	}
+	for c := qc - ring; c <= qc+ring; c++ {
+		visit(c, qr-ring)
+		visit(c, qr+ring)
+	}
+	for r := qr - ring + 1; r <= qr+ring-1; r++ {
+		visit(qc-ring, r)
+		visit(qc+ring, r)
+	}
+	return any
+}

@@ -1,0 +1,148 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDynamicNNBasics(t *testing.T) {
+	region := NewRect(Pt(0, 0), Pt(100, 100))
+	d, err := NewDynamicNN(region, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := d.Nearest(Pt(50, 50)); ok {
+		t.Error("empty index returned a neighbour")
+	}
+	d.Insert(1, Pt(10, 10))
+	d.Insert(2, Pt(90, 90))
+	id, p, ok := d.Nearest(Pt(20, 20))
+	if !ok || id != 1 || p != Pt(10, 10) {
+		t.Errorf("Nearest = (%d, %v, %v)", id, p, ok)
+	}
+	if !d.Remove(1, Pt(10, 10)) {
+		t.Error("Remove failed")
+	}
+	if d.Remove(1, Pt(10, 10)) {
+		t.Error("double Remove succeeded")
+	}
+	id, _, ok = d.Nearest(Pt(20, 20))
+	if !ok || id != 2 {
+		t.Errorf("after removal Nearest = (%d, %v)", id, ok)
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestDynamicNNValidation(t *testing.T) {
+	if _, err := NewDynamicNN(Rect{}, 10); err == nil {
+		t.Error("degenerate region accepted")
+	}
+}
+
+func TestDynamicNNMatchesBruteForceWithDeletions(t *testing.T) {
+	region := NewRect(Pt(0, 0), Pt(200, 200))
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(400)
+		d, err := NewDynamicNN(region, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type item struct {
+			p    Point
+			live bool
+		}
+		items := make([]item, n)
+		for i := range items {
+			p := Pt(rng.Float64()*200, rng.Float64()*200)
+			items[i] = item{p: p, live: true}
+			d.Insert(i, p)
+		}
+		live := n
+		for step := 0; step < n+20; step++ {
+			q := Pt(rng.Float64()*200, rng.Float64()*200)
+			id, _, ok := d.Nearest(q)
+			if ok != (live > 0) {
+				t.Fatalf("trial %d: ok=%v live=%d", trial, ok, live)
+			}
+			if !ok {
+				continue
+			}
+			// Brute force: minimal distance, ties to lower id.
+			bi, bd := -1, math.Inf(1)
+			for i, it := range items {
+				if !it.live {
+					continue
+				}
+				dd := q.Dist2(it.p)
+				if dd < bd || (dd == bd && i < bi) {
+					bi, bd = i, dd
+				}
+			}
+			if q.Dist2(items[id].p) != bd {
+				t.Fatalf("trial %d: Nearest dist %v, brute %v", trial,
+					q.Dist2(items[id].p), bd)
+			}
+			_ = bi
+			// Extract-min behaviour: remove what we found, like the
+			// greedy matcher does.
+			if !d.Remove(id, items[id].p) {
+				t.Fatalf("failed to remove found item %d", id)
+			}
+			items[id].live = false
+			live--
+		}
+	}
+}
+
+func TestDynamicNNOutOfRegionPoints(t *testing.T) {
+	region := NewRect(Pt(0, 0), Pt(10, 10))
+	d, err := NewDynamicNN(region, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Laplace noise can push reported points outside the region; they must
+	// remain findable with true coordinates respected.
+	d.Insert(1, Pt(-5, -5))
+	d.Insert(2, Pt(15, 15))
+	id, p, ok := d.Nearest(Pt(0, 0))
+	if !ok || id != 1 {
+		t.Errorf("Nearest = (%d, %v, %v)", id, p, ok)
+	}
+	if p != Pt(-5, -5) {
+		t.Errorf("coordinates clamped: %v", p)
+	}
+	if !d.Remove(1, Pt(-5, -5)) {
+		t.Error("out-of-region Remove failed")
+	}
+}
+
+func BenchmarkDynamicNNExtract(b *testing.B) {
+	region := NewRect(Pt(0, 0), Pt(200, 200))
+	rng := rand.New(rand.NewSource(5))
+	const n = 8192
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*200, rng.Float64()*200)
+	}
+	b.ResetTimer()
+	var d *DynamicNN
+	for i := 0; i < b.N; i++ {
+		if i%n == 0 {
+			b.StopTimer()
+			d, _ = NewDynamicNN(region, n)
+			for j, p := range pts {
+				d.Insert(j, p)
+			}
+			b.StartTimer()
+		}
+		q := pts[(i*7919)%n]
+		id, p, ok := d.Nearest(q)
+		if ok {
+			d.Remove(id, p)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKDTreeEmpty(t *testing.T) {
+	tr := NewKDTree(nil)
+	if i, d := tr.Nearest(Pt(1, 1)); i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty Nearest = (%d, %v)", i, d)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestKDTreeSingle(t *testing.T) {
+	tr := NewKDTree([]Point{Pt(3, 4)})
+	i, d := tr.Nearest(Pt(0, 0))
+	if i != 0 || math.Abs(d-5) > 1e-12 {
+		t.Errorf("Nearest = (%d, %v), want (0, 5)", i, d)
+	}
+}
+
+func TestKDTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.NormFloat64()*50, rng.NormFloat64()*50)
+		}
+		tr := NewKDTree(pts)
+		for q := 0; q < 50; q++ {
+			query := Pt(rng.NormFloat64()*60, rng.NormFloat64()*60)
+			gi, gd := tr.Nearest(query)
+			bi, bd := 0, math.Inf(1)
+			for i, p := range pts {
+				if d := query.Dist(p); d < bd {
+					bi, bd = i, d
+				}
+			}
+			if math.Abs(gd-bd) > 1e-9 {
+				t.Fatalf("trial %d: kd nearest dist %v (idx %d), brute %v (idx %d)",
+					trial, gd, gi, bd, bi)
+			}
+		}
+	}
+}
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	pts := []Point{Pt(1, 1), Pt(1, 1), Pt(1, 1), Pt(5, 5)}
+	tr := NewKDTree(pts)
+	i, d := tr.Nearest(Pt(1.1, 1))
+	if d > 0.11 {
+		t.Errorf("Nearest dist = %v", d)
+	}
+	if i == 3 {
+		t.Errorf("picked far duplicate")
+	}
+}
+
+func BenchmarkKDTreeNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 4096)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*200, rng.Float64()*200)
+	}
+	tr := NewKDTree(pts)
+	queries := make([]Point, 1024)
+	for i := range queries {
+		queries[i] = Pt(rng.Float64()*200, rng.Float64()*200)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(queries[i%len(queries)])
+	}
+}

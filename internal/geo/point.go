@@ -1,0 +1,81 @@
+// Package geo provides the planar geometry substrate for pombm: points,
+// rectangles, uniform grids of predefined points, and spatial indexes
+// (kd-tree, quadtree) for nearest-neighbour snapping.
+//
+// All coordinates are float64 in an arbitrary Euclidean plane; the paper's
+// synthetic space is [0,200]² and its real space is a 10 km × 10 km region.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root for comparison-only uses such as nearest-neighbour search.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// IsFinite reports whether both coordinates are finite numbers.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y) }
+
+// MaxPairwiseDist returns the diameter of the point set: the maximum
+// pairwise Euclidean distance. It returns 0 for sets of size < 2.
+// The HST construction (Alg. 1) needs this to size the top level.
+func MaxPairwiseDist(pts []Point) float64 {
+	// O(n²) is acceptable for predefined point sets (N ≤ a few thousand);
+	// Alg. 1 itself is O(N²·D) so this does not dominate.
+	var max float64
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := pts[i].Dist(pts[j]); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Centroid returns the arithmetic mean of the points, or the origin for an
+// empty slice.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var c Point
+	for _, p := range pts {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	return Point{c.X / float64(len(pts)), c.Y / float64(len(pts))}
+}

@@ -1,0 +1,164 @@
+package geo
+
+import "math"
+
+// Quadtree is a point-region quadtree over a bounded region. It supports
+// insertion, counting, and range counting, and is the substrate for the
+// private-spatial-decomposition style analyses in the related-work baselines
+// as well as density inspection of workloads.
+//
+// The zero value is not usable; construct with NewQuadtree.
+type Quadtree struct {
+	root     *quadNode
+	maxDepth int
+	capacity int
+}
+
+type quadNode struct {
+	bounds   Rect
+	pts      []Point // leaf payload; nil after split
+	children *[4]*quadNode
+	count    int
+	depth    int
+}
+
+// NewQuadtree returns an empty quadtree over region. capacity is the number
+// of points a leaf holds before splitting; maxDepth bounds the recursion so
+// coincident points cannot split forever.
+func NewQuadtree(region Rect, capacity, maxDepth int) *Quadtree {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	return &Quadtree{
+		root:     &quadNode{bounds: region},
+		maxDepth: maxDepth,
+		capacity: capacity,
+	}
+}
+
+// Insert adds p to the tree. Points outside the region are clamped to it,
+// so Insert is total (workload generators can produce boundary values).
+func (q *Quadtree) Insert(p Point) {
+	p = q.root.bounds.Clamp(p)
+	q.insert(q.root, p)
+}
+
+func (q *Quadtree) insert(n *quadNode, p Point) {
+	n.count++
+	if n.children == nil {
+		if len(n.pts) < q.capacity || n.depth >= q.maxDepth {
+			n.pts = append(n.pts, p)
+			return
+		}
+		q.split(n)
+	}
+	q.insert(n.children[childIndex(n.bounds, p)], p)
+}
+
+func (q *Quadtree) split(n *quadNode) {
+	quads := n.bounds.Quadrants()
+	var ch [4]*quadNode
+	for i := range ch {
+		ch[i] = &quadNode{bounds: quads[i], depth: n.depth + 1}
+	}
+	n.children = &ch
+	pts := n.pts
+	n.pts = nil
+	for _, p := range pts {
+		c := ch[childIndex(n.bounds, p)]
+		c.pts = append(c.pts, p)
+		c.count++
+	}
+}
+
+func childIndex(b Rect, p Point) int {
+	c := b.Center()
+	if p.Y >= c.Y {
+		if p.X < c.X {
+			return 0 // NW
+		}
+		return 1 // NE
+	}
+	if p.X < c.X {
+		return 2 // SW
+	}
+	return 3 // SE
+}
+
+// Len returns the number of inserted points.
+func (q *Quadtree) Len() int { return q.root.count }
+
+// CountIn returns the number of points inside r. Points exactly on shared
+// quadrant boundaries are counted once (they live in exactly one leaf).
+func (q *Quadtree) CountIn(r Rect) int {
+	return countIn(q.root, r)
+}
+
+func countIn(n *quadNode, r Rect) int {
+	if n == nil || n.count == 0 || !n.bounds.Intersects(r) {
+		return 0
+	}
+	if r.Contains(Point{n.bounds.MinX, n.bounds.MinY}) &&
+		r.Contains(Point{n.bounds.MaxX, n.bounds.MaxY}) {
+		return n.count
+	}
+	if n.children == nil {
+		c := 0
+		for _, p := range n.pts {
+			if r.Contains(p) {
+				c++
+			}
+		}
+		return c
+	}
+	c := 0
+	for _, ch := range n.children {
+		c += countIn(ch, r)
+	}
+	return c
+}
+
+// Depth returns the maximum depth of any populated node; 0 for a tree that
+// has never split.
+func (q *Quadtree) Depth() int { return depthOf(q.root) }
+
+func depthOf(n *quadNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.children == nil {
+		return n.depth
+	}
+	d := n.depth
+	for _, ch := range n.children {
+		if cd := depthOf(ch); cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// Leaves calls fn for every leaf node with its bounds and point count.
+// Used by density reports and the noisy-count decomposition baseline.
+func (q *Quadtree) Leaves(fn func(bounds Rect, count int)) {
+	var walk func(*quadNode)
+	walk = func(n *quadNode) {
+		if n.children == nil {
+			fn(n.bounds, n.count)
+			return
+		}
+		for _, ch := range n.children {
+			walk(ch)
+		}
+	}
+	walk(q.root)
+}
+
+// helpers shared inside package geo
+
+func inf() float64 { return math.Inf(1) }
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

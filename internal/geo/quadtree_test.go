@@ -1,0 +1,94 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuadtreeInsertAndCount(t *testing.T) {
+	q := NewQuadtree(Rect{0, 0, 100, 100}, 4, 10)
+	if q.Len() != 0 {
+		t.Fatalf("new tree Len = %d", q.Len())
+	}
+	pts := []Point{Pt(10, 10), Pt(90, 90), Pt(90, 10), Pt(10, 90), Pt(50, 50)}
+	for _, p := range pts {
+		q.Insert(p)
+	}
+	if q.Len() != len(pts) {
+		t.Errorf("Len = %d, want %d", q.Len(), len(pts))
+	}
+	if c := q.CountIn(Rect{0, 0, 100, 100}); c != len(pts) {
+		t.Errorf("CountIn(all) = %d", c)
+	}
+	if c := q.CountIn(Rect{0, 0, 20, 20}); c != 1 {
+		t.Errorf("CountIn(SW corner) = %d, want 1", c)
+	}
+}
+
+func TestQuadtreeSplitsAndMatchesBrute(t *testing.T) {
+	region := Rect{0, 0, 200, 200}
+	q := NewQuadtree(region, 8, 12)
+	rng := rand.New(rand.NewSource(99))
+	var pts []Point
+	for i := 0; i < 3000; i++ {
+		p := Pt(rng.Float64()*200, rng.Float64()*200)
+		pts = append(pts, p)
+		q.Insert(p)
+	}
+	if q.Depth() == 0 {
+		t.Error("tree never split with 3000 points and capacity 8")
+	}
+	for trial := 0; trial < 100; trial++ {
+		r := NewRect(
+			Pt(rng.Float64()*200, rng.Float64()*200),
+			Pt(rng.Float64()*200, rng.Float64()*200),
+		)
+		want := 0
+		for _, p := range pts {
+			if r.Contains(p) {
+				want++
+			}
+		}
+		if got := q.CountIn(r); got != want {
+			t.Fatalf("CountIn(%v) = %d, brute = %d", r, got, want)
+		}
+	}
+}
+
+func TestQuadtreeClampsOutside(t *testing.T) {
+	q := NewQuadtree(Rect{0, 0, 10, 10}, 2, 5)
+	q.Insert(Pt(-5, -5))
+	q.Insert(Pt(100, 100))
+	if q.Len() != 2 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	if c := q.CountIn(Rect{0, 0, 10, 10}); c != 2 {
+		t.Errorf("clamped points not counted, CountIn = %d", c)
+	}
+}
+
+func TestQuadtreeCoincidentPointsRespectMaxDepth(t *testing.T) {
+	q := NewQuadtree(Rect{0, 0, 10, 10}, 1, 4)
+	for i := 0; i < 100; i++ {
+		q.Insert(Pt(5, 5)) // would split forever without maxDepth
+	}
+	if q.Len() != 100 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	if d := q.Depth(); d > 4 {
+		t.Errorf("Depth = %d exceeds maxDepth", d)
+	}
+}
+
+func TestQuadtreeLeavesTileCounts(t *testing.T) {
+	q := NewQuadtree(Rect{0, 0, 64, 64}, 3, 8)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		q.Insert(Pt(rng.Float64()*64, rng.Float64()*64))
+	}
+	total := 0
+	q.Leaves(func(_ Rect, count int) { total += count })
+	if total != 500 {
+		t.Errorf("leaf counts sum to %d, want 500", total)
+	}
+}

@@ -1,0 +1,248 @@
+package hst
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// Build constructs an HST over the predefined points (Alg. 1) using a
+// random permutation and β drawn uniformly from [1/2, 1].
+//
+// The construction carves each level-(i+1) cluster into level-i children by
+// intersecting it with balls of radius β·2^i around the points in
+// permutation priority order; this is the classic FRT decomposition, which
+// guarantees non-contraction (tree distance ≥ metric distance) and
+// O(log N) expected distortion.
+//
+// When the minimum pairwise distance is ≤ 1 the metric is scaled up so
+// that level-0 balls isolate single points (the paper implicitly assumes
+// unit minimum distance); the scale is recorded in Tree.Scale.
+func Build(points []geo.Point, src *rng.Source) (*Tree, error) {
+	perm := make([]int, len(points))
+	for i := range perm {
+		perm[i] = i
+	}
+	rng.PermInPlace(src.Derive("hst-perm"), perm)
+	beta := src.Derive("hst-beta").Uniform(0.5, 1.0)
+	return BuildWithParams(points, beta, perm)
+}
+
+// BuildWithParams constructs an HST with an explicit radius factor and
+// pivot permutation. It is used by tests that reproduce the paper's
+// worked examples and by deterministic deployments.
+func BuildWithParams(points []geo.Point, beta float64, perm []int) (*Tree, error) {
+	for i, p := range points {
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("hst: point %d is not finite", i)
+		}
+	}
+	return BuildMetricWithParams(points, func(a, b int) float64 {
+		return points[a].Dist(points[b])
+	}, beta, perm)
+}
+
+// BuildMetric constructs an HST over an arbitrary finite metric: n points
+// whose pairwise distances come from dist (which must be a metric —
+// symmetric, zero exactly on the diagonal, triangle inequality). Alg. 1
+// never uses coordinates, only distances, so it embeds road networks or any
+// other metric just as well as the plane; the planar Build is a wrapper
+// over this entry point. Leaf positions (Tree.Point) are synthesised on a
+// line and only used for reporting.
+func BuildMetric(n int, dist func(a, b int) float64, src *rng.Source) (*Tree, error) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng.PermInPlace(src.Derive("hst-perm"), perm)
+	beta := src.Derive("hst-beta").Uniform(0.5, 1.0)
+	points := make([]geo.Point, n)
+	for i := range points {
+		points[i] = geo.Pt(float64(i), 0)
+	}
+	return BuildMetricWithParams(points, dist, beta, perm)
+}
+
+// BuildMetricWithParams is BuildMetric with explicit β and permutation.
+// points is retained for Tree.Point reporting; all geometry comes from
+// rawDist.
+func BuildMetricWithParams(points []geo.Point, rawDist func(a, b int) float64, beta float64, perm []int) (*Tree, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if beta < 0.5 || beta > 1 {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadBeta, beta)
+	}
+	if err := checkPerm(perm, len(points)); err != nil {
+		return nil, err
+	}
+
+	scale, maxDist, err := metricScaleFor(len(points), rawDist)
+	if err != nil {
+		return nil, err
+	}
+	dist := func(a, b int) float64 { return rawDist(a, b) * scale }
+
+	depth := 1
+	if maxDist*scale > 0 {
+		depth = int(math.Ceil(math.Log2(2 * maxDist * scale)))
+		if depth < 1 {
+			depth = 1
+		}
+	}
+
+	all := make([]int, len(points))
+	for i := range all {
+		all[i] = i
+	}
+	root := &Node{Level: depth, Pivot: -1, Points: all}
+
+	// Carve top-down. member marks which points remain unassigned within
+	// the cluster currently being carved.
+	member := make([]bool, len(points))
+	current := []*Node{root}
+	for level := depth - 1; level >= 0; level-- {
+		radius := beta * math.Ldexp(1, level)
+		var next []*Node
+		for _, cluster := range current {
+			for _, p := range cluster.Points {
+				member[p] = true
+			}
+			remaining := len(cluster.Points)
+			for _, pivot := range perm {
+				if remaining == 0 {
+					break
+				}
+				var carved []int
+				for _, p := range cluster.Points {
+					if member[p] && dist(p, pivot) <= radius {
+						carved = append(carved, p)
+					}
+				}
+				if len(carved) == 0 {
+					continue
+				}
+				child := &Node{Level: level, Pivot: pivot, Points: carved}
+				cluster.Children = append(cluster.Children, child)
+				next = append(next, child)
+				for _, p := range carved {
+					member[p] = false
+				}
+				remaining -= len(carved)
+			}
+		}
+		current = next
+	}
+
+	t := &Tree{
+		pts:   points,
+		beta:  beta,
+		scale: scale,
+		perm:  perm,
+		root:  root,
+		depth: depth,
+	}
+	if err := t.finish(current); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// finish validates the leaves, computes the branching factor, and assigns
+// leaf codes by walking root-to-leaf paths.
+func (t *Tree) finish(leaves []*Node) error {
+	for _, leaf := range leaves {
+		if len(leaf.Points) != 1 {
+			return fmt.Errorf("hst: level-0 cluster holds %d points; metric scaling failed", len(leaf.Points))
+		}
+	}
+	degree := 1
+	var maxDegree func(*Node)
+	maxDegree = func(n *Node) {
+		if len(n.Children) > degree {
+			degree = len(n.Children)
+		}
+		for _, ch := range n.Children {
+			maxDegree(ch)
+		}
+	}
+	maxDegree(t.root)
+	if degree > 255 {
+		return fmt.Errorf("%w (got %d)", ErrDegreeOverflow, degree)
+	}
+	t.degree = degree
+
+	t.codes = make([]Code, len(t.pts))
+	t.byCode = make(map[Code]int, len(t.pts))
+	path := make([]byte, 0, t.depth)
+	var assign func(*Node) error
+	assign = func(n *Node) error {
+		if n.Level == 0 {
+			code := Code(path)
+			p := n.Points[0]
+			t.codes[p] = code
+			if prev, dup := t.byCode[code]; dup {
+				return fmt.Errorf("hst: points %d and %d share leaf code", prev, p)
+			}
+			t.byCode[code] = p
+			return nil
+		}
+		for j, ch := range n.Children {
+			path = append(path, byte(j))
+			if err := assign(ch); err != nil {
+				return err
+			}
+			path = path[:len(path)-1]
+		}
+		return nil
+	}
+	return assign(t.root)
+}
+
+// metricScaleFor returns the factor by which distances must be multiplied
+// so that the minimum pairwise distance exceeds 1 (so level-0 balls of
+// radius β ≤ 1 isolate single points), along with the metric's diameter.
+// It errors on coincident points and on non-finite or asymmetric inputs.
+func metricScaleFor(n int, dist func(a, b int) float64) (scale, maxDist float64, err error) {
+	minDist := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := dist(i, j)
+			if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+				return 0, 0, fmt.Errorf("hst: dist(%d,%d) = %v is not a valid metric value", i, j, d)
+			}
+			if d == 0 {
+				return 0, 0, fmt.Errorf("%w: points %d and %d coincide", ErrDuplicatePoints, i, j)
+			}
+			if d < minDist {
+				minDist = d
+			}
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	if math.IsInf(minDist, 1) { // single point
+		return 1, 0, nil
+	}
+	if minDist > 1.0000001 {
+		return 1, maxDist, nil
+	}
+	return 2 / minDist, maxDist, nil
+}
+
+func checkPerm(perm []int, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("%w: length %d for %d points", ErrBadPerm, len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return fmt.Errorf("%w: bad entry %d", ErrBadPerm, p)
+		}
+		seen[p] = true
+	}
+	return nil
+}

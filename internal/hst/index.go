@@ -1,0 +1,172 @@
+package hst
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeafIndex is a trie over leaf codes supporting O(D) insertion, removal,
+// and nearest-leaf queries in tree distance. The HST-Greedy matcher uses it
+// to find, for an arriving task, an unassigned worker with the deepest
+// common code prefix — i.e. minimal LCA level, i.e. minimal tree distance.
+//
+// Among equidistant items the index deterministically returns the smallest
+// id, which makes it assignment-for-assignment identical to the O(n)
+// scanning implementation of Alg. 4 (which also resolves ties towards the
+// lowest index). Multiple items may share a leaf code (several workers can
+// be obfuscated to the same leaf).
+type LeafIndex struct {
+	depth int
+	size  int
+	root  *trieNode
+}
+
+type trieNode struct {
+	children map[byte]*trieNode
+	count    int   // live items in this subtree
+	minID    int   // smallest live item id in this subtree (maxInt when none)
+	items    []int // ids, leaf nodes only
+}
+
+const noItem = math.MaxInt
+
+// NewLeafIndex returns an empty index for codes of the given depth.
+func NewLeafIndex(depth int) *LeafIndex {
+	return &LeafIndex{depth: depth, root: &trieNode{minID: noItem}}
+}
+
+// Len returns the number of items currently indexed.
+func (x *LeafIndex) Len() int { return x.size }
+
+// Insert adds an item id at the given leaf code. Ids must be non-negative.
+func (x *LeafIndex) Insert(code Code, id int) error {
+	if len(code) != x.depth {
+		return fmt.Errorf("hst: code length %d, index depth %d", len(code), x.depth)
+	}
+	if id < 0 {
+		return fmt.Errorf("hst: item id must be non-negative, got %d", id)
+	}
+	n := x.root
+	n.count++
+	if id < n.minID {
+		n.minID = id
+	}
+	for j := 0; j < x.depth; j++ {
+		if n.children == nil {
+			n.children = make(map[byte]*trieNode)
+		}
+		ch := n.children[code[j]]
+		if ch == nil {
+			ch = &trieNode{minID: noItem}
+			n.children[code[j]] = ch
+		}
+		ch.count++
+		if id < ch.minID {
+			ch.minID = id
+		}
+		n = ch
+	}
+	n.items = append(n.items, id)
+	x.size++
+	return nil
+}
+
+// Remove deletes one occurrence of id at the given leaf code. It reports
+// whether the item was present.
+func (x *LeafIndex) Remove(code Code, id int) bool {
+	if len(code) != x.depth {
+		return false
+	}
+	// Locate the leaf first so failed removals do not corrupt counts.
+	path := make([]*trieNode, 0, x.depth+1)
+	n := x.root
+	path = append(path, n)
+	for j := 0; j < x.depth; j++ {
+		if n.children == nil {
+			return false
+		}
+		n = n.children[code[j]]
+		if n == nil {
+			return false
+		}
+		path = append(path, n)
+	}
+	found := -1
+	for i, item := range n.items {
+		if item == id {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return false
+	}
+	last := len(n.items) - 1
+	n.items[found] = n.items[last]
+	n.items = n.items[:last]
+	// Decrement counts and rebuild minID bottom-up along the path.
+	for i := len(path) - 1; i >= 0; i-- {
+		p := path[i]
+		p.count--
+		p.minID = p.recomputeMin()
+	}
+	x.size--
+	return true
+}
+
+func (n *trieNode) recomputeMin() int {
+	min := noItem
+	for _, id := range n.items {
+		if id < min {
+			min = id
+		}
+	}
+	for _, ch := range n.children {
+		if ch.count > 0 && ch.minID < min {
+			min = ch.minID
+		}
+	}
+	return min
+}
+
+// Nearest returns the smallest-id item whose code has the deepest common
+// prefix with the query code, along with the resulting LCA level (0 when
+// the item sits on the query leaf itself). ok is false when the index is
+// empty or the code is malformed.
+func (x *LeafIndex) Nearest(code Code) (id, lcaLevel int, ok bool) {
+	if x.size == 0 || len(code) != x.depth {
+		return 0, 0, false
+	}
+	n := x.root
+	j := 0
+	for j < x.depth {
+		ch := n.children[code[j]]
+		if ch == nil || ch.count == 0 {
+			break
+		}
+		n = ch
+		j++
+	}
+	// Every live item under n shares exactly the first j digits with the
+	// query (the exact branch below n is exhausted), so all of them are at
+	// LCA level depth−j — the minimum possible — and minID picks the
+	// deterministic representative.
+	return n.minID, x.depth - j, true
+}
+
+// Walk visits every indexed item (code, id). Order is unspecified.
+func (x *LeafIndex) Walk(fn func(code Code, id int)) {
+	var rec func(n *trieNode, prefix []byte)
+	rec = func(n *trieNode, prefix []byte) {
+		if n.count == 0 {
+			return
+		}
+		for _, id := range n.items {
+			fn(Code(prefix), id)
+		}
+		for digit, ch := range n.children {
+			rec(ch, append(prefix, digit))
+		}
+	}
+	rec(x.root, make([]byte, 0, x.depth))
+}

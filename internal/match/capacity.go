@@ -1,0 +1,121 @@
+package match
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// Capacity-constrained matching: each worker may serve up to capacity[i]
+// tasks before being exhausted. This models multi-task workers (couriers
+// batching orders — the "multi-worker-aware planning" setting the paper's
+// introduction cites) and generalises the one-shot matchers, which are the
+// capacity-1 special case.
+
+// HSTGreedyCapacitated assigns each arriving task to a tree-nearest worker
+// with remaining capacity, through the leaf-code trie (O(D) per task).
+type HSTGreedyCapacitated struct {
+	tree      *hst.Tree
+	codes     []hst.Code
+	left      []int
+	index     *hst.LeafIndex
+	remaining int // total remaining capacity
+}
+
+// NewHSTGreedyCapacitated builds the matcher; capacity[i] is worker i's
+// task budget (must be non-negative).
+func NewHSTGreedyCapacitated(tree *hst.Tree, workers []hst.Code, capacity []int) (*HSTGreedyCapacitated, error) {
+	if len(capacity) != len(workers) {
+		return nil, fmt.Errorf("match: %d capacities for %d workers", len(capacity), len(workers))
+	}
+	idx := hst.NewLeafIndex(tree.Depth())
+	total := 0
+	for i, c := range workers {
+		if capacity[i] < 0 {
+			return nil, errors.New("match: negative capacity")
+		}
+		if capacity[i] > 0 {
+			if err := idx.Insert(c, i); err != nil {
+				return nil, err
+			}
+			total += capacity[i]
+		}
+	}
+	return &HSTGreedyCapacitated{
+		tree:      tree,
+		codes:     workers,
+		left:      append([]int(nil), capacity...),
+		index:     idx,
+		remaining: total,
+	}, nil
+}
+
+// Remaining returns the total remaining capacity across workers.
+func (g *HSTGreedyCapacitated) Remaining() int { return g.remaining }
+
+// Assign matches the task to a tree-nearest worker with spare capacity,
+// consuming one unit. Returns NoWorker when all capacity is spent.
+func (g *HSTGreedyCapacitated) Assign(t hst.Code) int {
+	id, _, ok := g.index.Nearest(t)
+	if !ok {
+		return NoWorker
+	}
+	g.left[id]--
+	g.remaining--
+	if g.left[id] == 0 {
+		g.index.Remove(g.codes[id], id)
+	}
+	return id
+}
+
+// OptimalCapacitated computes the offline minimum-cost assignment of all
+// tasks to workers subject to capacities, via min-cost max-flow. It errors
+// when total capacity cannot cover the tasks.
+func OptimalCapacitated(nTasks int, capacity []int, dist func(task, worker int) float64) ([]int, float64, error) {
+	nWorkers := len(capacity)
+	total := 0
+	for _, c := range capacity {
+		if c < 0 {
+			return nil, 0, errors.New("match: negative capacity")
+		}
+		total += c
+	}
+	if total < nTasks {
+		return nil, 0, fmt.Errorf("match: capacity %d cannot cover %d tasks", total, nTasks)
+	}
+	if nTasks == 0 {
+		return nil, 0, nil
+	}
+	// Nodes: 0 source, 1..nTasks tasks, nTasks+1..nTasks+nWorkers workers, sink.
+	src, sink := 0, nTasks+nWorkers+1
+	f := NewMinCostFlow(nTasks + nWorkers + 2)
+	for i := 0; i < nTasks; i++ {
+		f.AddEdge(src, 1+i, 1, 0)
+	}
+	base := len(f.to)
+	for i := 0; i < nTasks; i++ {
+		for j := 0; j < nWorkers; j++ {
+			f.AddEdge(1+i, 1+nTasks+j, 1, dist(i, j))
+		}
+	}
+	for j := 0; j < nWorkers; j++ {
+		f.AddEdge(1+nTasks+j, sink, capacity[j], 0)
+	}
+	flow, cost := f.Run(src, sink, nTasks)
+	if flow < nTasks {
+		return nil, 0, errors.New("match: flow could not cover all tasks")
+	}
+	assign := make([]int, nTasks)
+	for i := 0; i < nTasks; i++ {
+		assign[i] = NoWorker
+		for j := 0; j < nWorkers; j++ {
+			e := base + 2*(i*nWorkers+j)
+			if f.capa[e] == 0 {
+				assign[i] = j
+				break
+			}
+		}
+	}
+	return assign, cost, nil
+}

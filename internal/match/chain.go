@@ -1,0 +1,97 @@
+package match
+
+import (
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// HSTChain is the randomized tree-matching rule of Bansal, Buchbinder,
+// Gupta and Naor (Algorithmica 2014) — reference [19] of the paper and,
+// together with Meyerson et al., the source of the O(log N · log² k)
+// bound TBF's analysis builds on. A task is first routed to its
+// tree-nearest worker *including already-matched ones*; if that worker is
+// matched, the search continues from the matched worker's leaf (excluding
+// workers already visited by this chain) until an unmatched worker is
+// found, which receives the task.
+//
+// Compared with HST-Greedy, the chain rule spreads assignments along the
+// path occupied workers "point" to, which is what yields the improved
+// worst-case guarantee on trees. It is provided as an extension matcher:
+// the paper evaluates greedy only.
+type HSTChain struct {
+	tree      *hst.Tree
+	codes     []hst.Code
+	all       *hst.LeafIndex // every worker, matched or not
+	free      *hst.LeafIndex // unmatched workers only
+	remaining int
+}
+
+// NewHSTChain returns the chain matcher over the reported worker leaves.
+func NewHSTChain(tree *hst.Tree, workers []hst.Code) (*HSTChain, error) {
+	all := hst.NewLeafIndex(tree.Depth())
+	free := hst.NewLeafIndex(tree.Depth())
+	for i, c := range workers {
+		if err := all.Insert(c, i); err != nil {
+			return nil, err
+		}
+		if err := free.Insert(c, i); err != nil {
+			return nil, err
+		}
+	}
+	return &HSTChain{
+		tree:      tree,
+		codes:     workers,
+		all:       all,
+		free:      free,
+		remaining: len(workers),
+	}, nil
+}
+
+// Remaining returns the number of unmatched workers.
+func (g *HSTChain) Remaining() int { return g.remaining }
+
+// Assign routes the task through the chain rule and returns the unmatched
+// worker that terminates the chain, or NoWorker when none remains. The
+// chain visits each worker at most once, so it terminates in at most n
+// steps; each step costs O(D).
+func (g *HSTChain) Assign(t hst.Code) int {
+	if g.remaining == 0 {
+		return NoWorker
+	}
+	// Workers temporarily removed from the "all" index during this chain;
+	// restored before returning.
+	var visited []int
+	cur := t
+	result := NoWorker
+	for {
+		id, _, ok := g.all.Nearest(cur)
+		if !ok {
+			// All workers visited and matched: fall back to the nearest
+			// unmatched one from the chain's current position.
+			id, _, ok = g.free.Nearest(cur)
+			if !ok {
+				break
+			}
+			result = id
+			break
+		}
+		if g.free.Remove(g.codes[id], id) {
+			// id was unmatched: the chain terminates here.
+			result = id
+			break
+		}
+		// id is matched: continue the chain from its leaf.
+		g.all.Remove(g.codes[id], id)
+		visited = append(visited, id)
+		cur = g.codes[id]
+	}
+	for _, id := range visited {
+		g.all.Insert(g.codes[id], id)
+	}
+	if result == NoWorker {
+		return NoWorker
+	}
+	// The chosen worker becomes matched: it stays in "all" (chains may
+	// route through it) but leaves "free" (already removed above).
+	g.remaining--
+	return result
+}

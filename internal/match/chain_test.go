@@ -1,0 +1,120 @@
+package match
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func TestHSTChainBasics(t *testing.T) {
+	src := rng.New(77)
+	tr := buildTree(t, src, 40, 150)
+	workers := []hst.Code{tr.CodeOf(0), tr.CodeOf(1), tr.CodeOf(2)}
+	g, err := NewHSTChain(tr, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Remaining() != 3 {
+		t.Fatalf("Remaining = %d", g.Remaining())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		w := g.Assign(tr.CodeOf(i))
+		if w == NoWorker {
+			t.Fatalf("assignment %d failed with workers remaining", i)
+		}
+		if seen[w] {
+			t.Fatalf("worker %d assigned twice", w)
+		}
+		seen[w] = true
+	}
+	if g.Remaining() != 0 {
+		t.Errorf("Remaining = %d after exhaustion", g.Remaining())
+	}
+	if w := g.Assign(tr.CodeOf(0)); w != NoWorker {
+		t.Errorf("assigned %d from empty pool", w)
+	}
+}
+
+func TestHSTChainFirstAssignmentMatchesGreedy(t *testing.T) {
+	// With no matched workers yet, the chain terminates at its first hop:
+	// identical to HST-Greedy on the first task.
+	src := rng.New(31)
+	for trial := 0; trial < 10; trial++ {
+		s := src.DeriveN("t", trial)
+		tr := buildTree(t, s, 50, 200)
+		nw := 30
+		workers := make([]hst.Code, nw)
+		for i := range workers {
+			workers[i] = tr.CodeOf(s.Intn(tr.NumPoints()))
+		}
+		chain, err := NewHSTChain(tr, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy := NewHSTGreedyScan(tr, workers)
+		task := tr.CodeOf(s.Intn(tr.NumPoints()))
+		if cw, gw := chain.Assign(task), greedy.Assign(task); cw != gw {
+			t.Fatalf("trial %d: chain %d ≠ greedy %d on first task", trial, cw, gw)
+		}
+	}
+}
+
+func TestHSTChainInjectiveOverFullStream(t *testing.T) {
+	src := rng.New(55)
+	tr := buildTree(t, src, 60, 200)
+	const nw = 80
+	workers := make([]hst.Code, nw)
+	for i := range workers {
+		workers[i] = tr.CodeOf(src.Intn(tr.NumPoints()))
+	}
+	g, err := NewHSTChain(tr, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := map[int]bool{}
+	count := 0
+	for k := 0; k < nw+20; k++ {
+		task := tr.CodeOf(src.Intn(tr.NumPoints()))
+		w := g.Assign(task)
+		if w == NoWorker {
+			if count != nw {
+				t.Fatalf("NoWorker with %d of %d assigned", count, nw)
+			}
+			continue
+		}
+		if assigned[w] {
+			t.Fatalf("worker %d assigned twice", w)
+		}
+		assigned[w] = true
+		count++
+	}
+	if count != nw {
+		t.Errorf("assigned %d of %d workers", count, nw)
+	}
+}
+
+func TestHSTChainRoutesThroughMatchedWorkers(t *testing.T) {
+	// Construct a line of three co-located groups on the Example 1 tree:
+	// worker A on the task's leaf (will be matched first), worker B far
+	// away. After A is matched, a second task at the same leaf must chain
+	// through A and still find B.
+	pts := []geo.Point{geo.Pt(1, 1), geo.Pt(2, 3), geo.Pt(5, 3), geo.Pt(4, 4)}
+	tr, err := hst.BuildWithParams(pts, 0.5, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := []hst.Code{tr.CodeOf(0), tr.CodeOf(2)} // A at o1, B at o3
+	g, err := NewHSTChain(tr, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := g.Assign(tr.CodeOf(0)); w != 0 {
+		t.Fatalf("first task → %d, want 0 (A)", w)
+	}
+	if w := g.Assign(tr.CodeOf(0)); w != 1 {
+		t.Fatalf("second task → %d, want 1 (B, via chain through A)", w)
+	}
+}

@@ -1,0 +1,74 @@
+package match
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHungarian decodes small cost matrices from fuzz bytes and checks the
+// Hungarian result against the flow solver and against validity bounds.
+func FuzzHungarian(f *testing.F) {
+	f.Add([]byte{2, 3, 10, 20, 30, 40, 50, 60})
+	f.Add([]byte{1, 1, 7})
+	f.Add([]byte{3, 3, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := int(data[0]%4) + 1
+		m := n + int(data[1]%3)
+		need := n * m
+		if len(data)-2 < need {
+			return
+		}
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = float64(data[2+i*m+j]) / 4
+			}
+		}
+		assign, total, err := Hungarian(cost)
+		if err != nil {
+			t.Fatalf("Hungarian: %v", err)
+		}
+		// Valid injective assignment consistent with the total.
+		seen := map[int]bool{}
+		var check float64
+		for i, j := range assign {
+			if j < 0 || j >= m || seen[j] {
+				t.Fatalf("invalid assignment %v", assign)
+			}
+			seen[j] = true
+			check += cost[i][j]
+		}
+		if math.Abs(check-total) > 1e-9 {
+			t.Fatalf("total %v vs recomputed %v", total, check)
+		}
+		// Agreement with the independent flow solver.
+		_, flowTotal, err := AssignViaFlow(cost)
+		if err != nil {
+			t.Fatalf("flow: %v", err)
+		}
+		if math.Abs(total-flowTotal) > 1e-6 {
+			t.Fatalf("Hungarian %v ≠ flow %v", total, flowTotal)
+		}
+		// No better greedy row-by-row assignment (optimality lower bound
+		// check: optimal ≤ greedy).
+		used := make([]bool, m)
+		var greedy float64
+		for i := 0; i < n; i++ {
+			best, bestC := -1, math.Inf(1)
+			for j := 0; j < m; j++ {
+				if !used[j] && cost[i][j] < bestC {
+					best, bestC = j, cost[i][j]
+				}
+			}
+			used[best] = true
+			greedy += bestC
+		}
+		if total > greedy+1e-9 {
+			t.Fatalf("optimal %v exceeds greedy %v", total, greedy)
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package match
+
+import (
+	"github.com/pombm/pombm/internal/geo"
+)
+
+// EuclideanGreedyIndexed matches exactly like EuclideanGreedy — nearest
+// unassigned worker by reported Euclidean distance, ties to the lowest
+// worker index — but answers each task through a bucketed dynamic
+// nearest-neighbour index instead of an O(n) scan. It is the Euclidean
+// counterpart of the HST trie matcher and exists for the same ablation:
+// the paper's complexity story uses the scans, the indexes show the
+// achievable speedups.
+type EuclideanGreedyIndexed struct {
+	workers   []geo.Point
+	index     *geo.DynamicNN
+	remaining int
+}
+
+// NewEuclideanGreedyIndexed builds the matcher over reported worker
+// locations inside the given region (reports may fall outside; they are
+// bucketed at the boundary but keep their true coordinates).
+func NewEuclideanGreedyIndexed(region geo.Rect, workers []geo.Point) (*EuclideanGreedyIndexed, error) {
+	idx, err := geo.NewDynamicNN(region, len(workers))
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range workers {
+		idx.Insert(i, w)
+	}
+	return &EuclideanGreedyIndexed{
+		workers:   workers,
+		index:     idx,
+		remaining: len(workers),
+	}, nil
+}
+
+// Remaining returns the number of unassigned workers.
+func (g *EuclideanGreedyIndexed) Remaining() int { return g.remaining }
+
+// Assign matches the task to the nearest unassigned worker and consumes it.
+func (g *EuclideanGreedyIndexed) Assign(t geo.Point) int {
+	id, p, ok := g.index.Nearest(t)
+	if !ok {
+		return NoWorker
+	}
+	g.index.Remove(id, p)
+	g.remaining--
+	return id
+}

@@ -1,0 +1,92 @@
+package match
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func TestEuclideanGreedyIndexedMatchesScan(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(200, 200))
+	src := rng.New(2024)
+	for trial := 0; trial < 10; trial++ {
+		s := src.DeriveN("t", trial)
+		nw := 30 + s.Intn(300)
+		workers := make([]geo.Point, nw)
+		for i := range workers {
+			// Include out-of-region reports, as Laplace noise produces.
+			workers[i] = geo.Pt(s.Uniform(-20, 220), s.Uniform(-20, 220))
+		}
+		scan := NewEuclideanGreedy(workers)
+		indexed, err := NewEuclideanGreedyIndexed(region, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < nw+10; k++ {
+			task := geo.Pt(s.Uniform(0, 200), s.Uniform(0, 200))
+			ws := scan.Assign(task)
+			wi := indexed.Assign(task)
+			if ws != wi {
+				t.Fatalf("trial %d task %d: scan %d, indexed %d", trial, k, ws, wi)
+			}
+		}
+		if scan.Remaining() != indexed.Remaining() {
+			t.Fatalf("trial %d: remaining differ", trial)
+		}
+	}
+}
+
+func TestEuclideanGreedyIndexedEmpty(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10))
+	g, err := NewEuclideanGreedyIndexed(region, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Assign(geo.Pt(1, 1)); got != NoWorker {
+		t.Errorf("empty index assigned %d", got)
+	}
+}
+
+func BenchmarkEuclideanGreedyScan(b *testing.B) {
+	benchEuclideanGreedy(b, false)
+}
+
+func BenchmarkEuclideanGreedyIndexed(b *testing.B) {
+	benchEuclideanGreedy(b, true)
+}
+
+func benchEuclideanGreedy(b *testing.B, indexed bool) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(200, 200))
+	src := rng.New(9)
+	const nw = 4000
+	workers := make([]geo.Point, nw)
+	for i := range workers {
+		workers[i] = geo.Pt(src.Uniform(0, 200), src.Uniform(0, 200))
+	}
+	tasks := make([]geo.Point, 1024)
+	for i := range tasks {
+		tasks[i] = geo.Pt(src.Uniform(0, 200), src.Uniform(0, 200))
+	}
+	var assign func(geo.Point) int
+	reset := func() {
+		if indexed {
+			g, err := NewEuclideanGreedyIndexed(region, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			assign = g.Assign
+		} else {
+			assign = NewEuclideanGreedy(workers).Assign
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%nw == 0 {
+			b.StopTimer()
+			reset()
+			b.StartTimer()
+		}
+		assign(tasks[i%len(tasks)])
+	}
+}

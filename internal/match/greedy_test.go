@@ -1,0 +1,67 @@
+package match
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func TestEuclideanGreedyBasics(t *testing.T) {
+	workers := []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(20, 0)}
+	g := NewEuclideanGreedy(workers)
+	if g.Remaining() != 3 {
+		t.Fatalf("Remaining = %d", g.Remaining())
+	}
+	if got := g.Assign(geo.Pt(9, 0)); got != 1 {
+		t.Errorf("first task → worker %d, want 1", got)
+	}
+	// Worker 1 consumed; nearest remaining to (9,0) is worker 0 (d=9 vs 11).
+	if got := g.Assign(geo.Pt(9, 0)); got != 0 {
+		t.Errorf("second task → worker %d, want 0", got)
+	}
+	if got := g.Assign(geo.Pt(0, 0)); got != 2 {
+		t.Errorf("third task → worker %d, want 2", got)
+	}
+	if got := g.Assign(geo.Pt(0, 0)); got != NoWorker {
+		t.Errorf("exhausted matcher returned %d", got)
+	}
+	if g.Remaining() != 0 {
+		t.Errorf("Remaining = %d after exhaustion", g.Remaining())
+	}
+}
+
+func TestEuclideanGreedyPicksNearestEveryTime(t *testing.T) {
+	src := rng.New(40)
+	workers := make([]geo.Point, 200)
+	for i := range workers {
+		workers[i] = geo.Pt(src.Uniform(0, 100), src.Uniform(0, 100))
+	}
+	g := NewEuclideanGreedy(workers)
+	used := make([]bool, len(workers))
+	for step := 0; step < 150; step++ {
+		task := geo.Pt(src.Uniform(0, 100), src.Uniform(0, 100))
+		got := g.Assign(task)
+		// Brute-force: nearest unassigned worker.
+		best, bestD := -1, 1e18
+		for i, w := range workers {
+			if used[i] {
+				continue
+			}
+			if d := task.Dist2(w); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if got != best {
+			t.Fatalf("step %d: Assign = %d, brute = %d", step, got, best)
+		}
+		used[got] = true
+	}
+}
+
+func TestEuclideanGreedyEmptyWorkerSet(t *testing.T) {
+	g := NewEuclideanGreedy(nil)
+	if got := g.Assign(geo.Pt(1, 1)); got != NoWorker {
+		t.Errorf("empty set returned %d", got)
+	}
+}

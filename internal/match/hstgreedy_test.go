@@ -1,0 +1,148 @@
+package match
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func buildTree(t testing.TB, src *rng.Source, n int, side float64) *hst.Tree {
+	t.Helper()
+	pts := make([]geo.Point, 0, n)
+	seen := map[geo.Point]bool{}
+	for len(pts) < n {
+		p := geo.Pt(src.Uniform(0, side), src.Uniform(0, side))
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	tr, err := hst.Build(pts, src.Derive("tree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestHSTGreedyScanPrefersCloserWorkers(t *testing.T) {
+	// Build the paper's Example 1 tree and check tree-nearest selection.
+	pts := []geo.Point{geo.Pt(1, 1), geo.Pt(2, 3), geo.Pt(5, 3), geo.Pt(4, 4)}
+	tr, err := hst.BuildWithParams(pts, 0.5, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers at o2 and o3; task at o4: o3 is tree-closer (LCA level 2)
+	// than o2 (level 4).
+	g := NewHSTGreedyScan(tr, []hst.Code{tr.CodeOf(1), tr.CodeOf(2)})
+	if got := g.Assign(tr.CodeOf(3)); got != 1 {
+		t.Errorf("task at o4 → worker %d, want 1 (o3)", got)
+	}
+	// Next task at o4 must take the remaining worker.
+	if got := g.Assign(tr.CodeOf(3)); got != 0 {
+		t.Errorf("second task → worker %d, want 0", got)
+	}
+	if got := g.Assign(tr.CodeOf(3)); got != NoWorker {
+		t.Errorf("exhausted scan returned %d", got)
+	}
+}
+
+// TestScanAndTrieEquivalent feeds identical task streams to both HST-Greedy
+// implementations. Both resolve distance ties towards the lowest worker id,
+// so they must agree assignment-for-assignment, not just in total distance.
+func TestScanAndTrieEquivalent(t *testing.T) {
+	src := rng.New(123)
+	for trial := 0; trial < 10; trial++ {
+		s := src.DeriveN("trial", trial)
+		tr := buildTree(t, s, 30+s.Intn(60), 200)
+		nw := 20 + s.Intn(80)
+		workers := make([]hst.Code, nw)
+		for i := range workers {
+			workers[i] = tr.CodeOf(s.Intn(tr.NumPoints()))
+		}
+		scan := NewHSTGreedyScan(tr, workers)
+		trie, err := NewHSTGreedyTrie(tr, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nt := nw + 10 // run past exhaustion
+		for k := 0; k < nt; k++ {
+			task := tr.CodeOf(s.Intn(tr.NumPoints()))
+			ws := scan.Assign(task)
+			wt := trie.Assign(task)
+			if ws != wt {
+				t.Fatalf("trial %d task %d: scan=%d trie=%d", trial, k, ws, wt)
+			}
+		}
+		if scan.Remaining() != trie.Remaining() {
+			t.Fatalf("trial %d: remaining differ", trial)
+		}
+	}
+}
+
+func TestHSTGreedyTrieRejectsBadCodes(t *testing.T) {
+	src := rng.New(5)
+	tr := buildTree(t, src, 10, 50)
+	if _, err := NewHSTGreedyTrie(tr, []hst.Code{"x"}); err == nil {
+		t.Error("bad worker code accepted")
+	}
+}
+
+func TestHSTGreedyEmpty(t *testing.T) {
+	src := rng.New(6)
+	tr := buildTree(t, src, 10, 50)
+	scan := NewHSTGreedyScan(tr, nil)
+	if got := scan.Assign(tr.CodeOf(0)); got != NoWorker {
+		t.Errorf("empty scan returned %d", got)
+	}
+	trie, err := NewHSTGreedyTrie(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trie.Assign(tr.CodeOf(0)); got != NoWorker {
+		t.Errorf("empty trie returned %d", got)
+	}
+}
+
+func BenchmarkHSTGreedyScan(b *testing.B) {
+	benchHSTGreedy(b, func(tr *hst.Tree, ws []hst.Code) interface{ Assign(hst.Code) int } {
+		return NewHSTGreedyScan(tr, ws)
+	})
+}
+
+func BenchmarkHSTGreedyTrie(b *testing.B) {
+	benchHSTGreedy(b, func(tr *hst.Tree, ws []hst.Code) interface{ Assign(hst.Code) int } {
+		g, err := NewHSTGreedyTrie(tr, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	})
+}
+
+func benchHSTGreedy(b *testing.B, mk func(*hst.Tree, []hst.Code) interface{ Assign(hst.Code) int }) {
+	src := rng.New(777)
+	tr := buildTree(b, src, 500, 200)
+	const nw = 4000
+	workers := make([]hst.Code, nw)
+	for i := range workers {
+		workers[i] = tr.CodeOf(src.Intn(tr.NumPoints()))
+	}
+	tasks := make([]hst.Code, 1024)
+	for i := range tasks {
+		tasks[i] = tr.CodeOf(src.Intn(tr.NumPoints()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%nw == 0 { // refill workers when exhausted
+			b.StopTimer()
+			g := mk(tr, workers)
+			b.StartTimer()
+			benchSink = g
+		}
+		benchSink.(interface{ Assign(hst.Code) int }).Assign(tasks[i%len(tasks)])
+	}
+}
+
+var benchSink any

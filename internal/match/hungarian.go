@@ -1,0 +1,142 @@
+package match
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrShape is returned when a cost matrix has more rows than columns.
+var ErrShape = errors.New("match: cost matrix needs rows ≤ columns")
+
+// Hungarian solves the rectangular assignment problem: given cost[i][j] for
+// assigning row i (task) to column j (worker), with rows ≤ columns, it
+// returns the column assigned to each row and the minimum total cost. It
+// runs the O(n²·m) potential-based Kuhn–Munkres algorithm.
+//
+// The experiments use it to compute MOPT, the offline optimal matching on
+// true locations, against which empirical competitive ratios are measured.
+func Hungarian(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	if m < n {
+		return nil, 0, ErrShape
+	}
+	for i := range cost {
+		if len(cost[i]) != m {
+			return nil, 0, errors.New("match: ragged cost matrix")
+		}
+	}
+
+	inf := math.Inf(1)
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)   // p[j]: row matched to column j (1-based, 0 = free)
+	way := make([]int, m+1) // alternating-path parents
+	minv := make([]float64, m+1)
+	used := make([]bool, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, n)
+	var total float64
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return assign, total, nil
+}
+
+// Optimal computes the minimum total cost of a matching that saturates the
+// smaller of the two sides, with dist(t, w) supplying pairwise costs. It
+// returns the worker assigned to each task (NoWorker for tasks left
+// unmatched when tasks outnumber workers) and the total cost. This is MOPT
+// in the competitive-ratio experiments; pass true Euclidean distances for
+// the paper's d(MOPT) or tree distances for tree-space optima.
+func Optimal(nTasks, nWorkers int, dist func(task, worker int) float64) ([]int, float64, error) {
+	if nTasks == 0 || nWorkers == 0 {
+		out := make([]int, nTasks)
+		for i := range out {
+			out[i] = NoWorker
+		}
+		return out, 0, nil
+	}
+	if nTasks <= nWorkers {
+		cost := make([][]float64, nTasks)
+		for i := range cost {
+			cost[i] = make([]float64, nWorkers)
+			for j := range cost[i] {
+				cost[i][j] = dist(i, j)
+			}
+		}
+		return Hungarian(cost)
+	}
+	// More tasks than workers: match every worker, transpose.
+	cost := make([][]float64, nWorkers)
+	for j := range cost {
+		cost[j] = make([]float64, nTasks)
+		for i := range cost[j] {
+			cost[j][i] = dist(i, j)
+		}
+	}
+	byWorker, total, err := Hungarian(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]int, nTasks)
+	for i := range out {
+		out[i] = NoWorker
+	}
+	for w, t := range byWorker {
+		out[t] = w
+	}
+	return out, total, nil
+}

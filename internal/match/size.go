@@ -1,0 +1,170 @@
+package match
+
+import (
+	"math"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/privacy"
+)
+
+// SizeWorker is a worker in the matching-size case study (Sec. IV-C): the
+// bipartite graph is incomplete — a worker can only serve tasks within its
+// reachable distance.
+type SizeWorker struct {
+	Reported geo.Point // obfuscated location as seen by the server
+	Code     hst.Code  // obfuscated leaf (TBF only; empty for Prob)
+	Reach    float64   // reachable radius, known to the server
+}
+
+// TBFSize is the paper's tree-based matcher for the size objective: each
+// arriving task is assigned to the nearest worker *on the HST* among the
+// unassigned workers that look reachable on the reported data.
+type TBFSize struct {
+	tree      *hst.Tree
+	workers   []SizeWorker
+	used      []bool
+	remaining int
+}
+
+// NewTBFSize returns the matcher over the reported worker data.
+func NewTBFSize(tree *hst.Tree, workers []SizeWorker) *TBFSize {
+	return &TBFSize{
+		tree:      tree,
+		workers:   workers,
+		used:      make([]bool, len(workers)),
+		remaining: len(workers),
+	}
+}
+
+// Remaining returns the number of unassigned workers.
+func (m *TBFSize) Remaining() int { return m.remaining }
+
+// Assign matches a task (reported point and obfuscated leaf) to the
+// tree-nearest unassigned worker whose reported distance is within its
+// reach. It returns NoWorker when no reachable worker remains.
+func (m *TBFSize) Assign(taskPt geo.Point, taskCode hst.Code) int {
+	if m.remaining == 0 {
+		return NoWorker
+	}
+	best, bestLvl := NoWorker, m.tree.Depth()+1
+	for i := range m.workers {
+		if m.used[i] {
+			continue
+		}
+		w := &m.workers[i]
+		if taskPt.Dist(w.Reported) > w.Reach {
+			continue
+		}
+		if lvl := m.tree.LCALevel(taskCode, w.Code); lvl < bestLvl {
+			best, bestLvl = i, lvl
+		}
+	}
+	if best == NoWorker {
+		return NoWorker
+	}
+	m.used[best] = true
+	m.remaining--
+	return best
+}
+
+// ProbSize is the Prob baseline (To et al., ICDE'18): workers and tasks are
+// obfuscated with planar Laplace, and each arriving task is assigned to the
+// unassigned worker with the greatest posterior probability of actually
+// being reachable, computed by integrating the Laplace radial kernel
+// against the reachable disc (privacy.CaptureProb). Workers whose
+// acceptance probability falls below MinProb are not considered.
+type ProbSize struct {
+	workers   []SizeWorker
+	used      []bool
+	remaining int
+
+	// NoiseEps is the effective budget describing the *relative* noise
+	// between a reported worker and a reported task. With both sides
+	// obfuscated at ε, the combined displacement has twice the variance of
+	// a single planar Laplace, matching a single mechanism at ε/√2.
+	NoiseEps float64
+	// MinProb is the acceptance-probability threshold below which a task
+	// is left unassigned rather than sent to a hopeless worker.
+	MinProb float64
+
+	// cache memoises CaptureProb on a quantised (distance, reach) lattice;
+	// the integral is smooth, so quantisation error is far below the noise
+	// the posterior already carries.
+	cache  map[probKey]float64
+	cutoff float64 // distances beyond reach+cutoff have negligible posterior
+}
+
+type probKey struct{ d, r int32 }
+
+// probQuantum is the lattice pitch for memoised capture probabilities.
+const probQuantum = 0.25
+
+// DefaultMinProb is the default acceptance threshold of ProbSize.
+const DefaultMinProb = 0.05
+
+// NewProbSize returns the Prob matcher. eps is the per-party budget used by
+// the Laplace obfuscation.
+func NewProbSize(workers []SizeWorker, eps float64) *ProbSize {
+	noiseEps := eps / math.Sqrt2
+	return &ProbSize{
+		workers:   workers,
+		used:      make([]bool, len(workers)),
+		remaining: len(workers),
+		NoiseEps:  noiseEps,
+		MinProb:   DefaultMinProb,
+		cache:     make(map[probKey]float64),
+		cutoff:    12 / noiseEps,
+	}
+}
+
+// Remaining returns the number of unassigned workers.
+func (m *ProbSize) Remaining() int { return m.remaining }
+
+// CacheBytes reports the approximate size of the memoised posterior table,
+// for memory accounting.
+func (m *ProbSize) CacheBytes() uint64 {
+	// probKey (8) + float64 (8) + map overhead (~32 per bucket entry).
+	return uint64(len(m.cache)) * 48
+}
+
+// captureProb returns the memoised reachability posterior.
+func (m *ProbSize) captureProb(d, reach float64) float64 {
+	if d > reach+m.cutoff {
+		return 0 // tail mass below e^{-12}; never competitive
+	}
+	key := probKey{int32(d / probQuantum), int32(reach / probQuantum)}
+	if p, ok := m.cache[key]; ok {
+		return p
+	}
+	p := privacy.CaptureProb(m.NoiseEps,
+		(float64(key.d)+0.5)*probQuantum, (float64(key.r)+0.5)*probQuantum)
+	m.cache[key] = p
+	return p
+}
+
+// Assign matches a task (reported point) to the unassigned worker with the
+// highest reachability posterior, or returns NoWorker when every posterior
+// is below MinProb.
+func (m *ProbSize) Assign(taskPt geo.Point) int {
+	if m.remaining == 0 {
+		return NoWorker
+	}
+	best, bestP := NoWorker, m.MinProb
+	for i := range m.workers {
+		if m.used[i] {
+			continue
+		}
+		w := &m.workers[i]
+		p := m.captureProb(taskPt.Dist(w.Reported), w.Reach)
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	if best == NoWorker {
+		return NoWorker
+	}
+	m.used[best] = true
+	m.remaining--
+	return best
+}

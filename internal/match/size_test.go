@@ -1,0 +1,147 @@
+package match
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/privacy"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func TestTBFSizeRespectsReach(t *testing.T) {
+	pts := []geo.Point{geo.Pt(1, 1), geo.Pt(2, 3), geo.Pt(5, 3), geo.Pt(4, 4)}
+	tr, err := hst.BuildWithParams(pts, 0.5, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := []SizeWorker{
+		{Reported: pts[1], Code: tr.CodeOf(1), Reach: 0.5}, // unreachable from o4
+		{Reported: pts[2], Code: tr.CodeOf(2), Reach: 5},   // reachable
+	}
+	m := NewTBFSize(tr, workers)
+	// Task at o4: only worker 1 is reachable.
+	if got := m.Assign(pts[3], tr.CodeOf(3)); got != 1 {
+		t.Errorf("assign = %d, want 1", got)
+	}
+	// Same task again: worker 0 unreachable → NoWorker.
+	if got := m.Assign(pts[3], tr.CodeOf(3)); got != NoWorker {
+		t.Errorf("unreachable worker assigned: %d", got)
+	}
+	if m.Remaining() != 1 {
+		t.Errorf("Remaining = %d", m.Remaining())
+	}
+}
+
+func TestTBFSizePrefersTreeNearestAmongReachable(t *testing.T) {
+	pts := []geo.Point{geo.Pt(1, 1), geo.Pt(2, 3), geo.Pt(5, 3), geo.Pt(4, 4)}
+	tr, err := hst.BuildWithParams(pts, 0.5, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both reachable; o3 (idx 1 here) is tree-closer to o4 than o2.
+	workers := []SizeWorker{
+		{Reported: pts[1], Code: tr.CodeOf(1), Reach: 100},
+		{Reported: pts[2], Code: tr.CodeOf(2), Reach: 100},
+	}
+	m := NewTBFSize(tr, workers)
+	if got := m.Assign(pts[3], tr.CodeOf(3)); got != 1 {
+		t.Errorf("assign = %d, want tree-nearest 1", got)
+	}
+}
+
+func TestProbSizeRanksByPosterior(t *testing.T) {
+	// Two workers at distances 2 and 15 with equal reach: the nearer one
+	// has the strictly larger capture probability and must win.
+	workers := []SizeWorker{
+		{Reported: geo.Pt(15, 0), Reach: 5},
+		{Reported: geo.Pt(2, 0), Reach: 5},
+	}
+	m := NewProbSize(workers, 0.5)
+	if got := m.Assign(geo.Pt(0, 0)); got != 1 {
+		t.Errorf("assign = %d, want 1", got)
+	}
+	if m.Remaining() != 1 {
+		t.Errorf("Remaining = %d", m.Remaining())
+	}
+}
+
+func TestProbSizeThreshold(t *testing.T) {
+	// A hopeless worker (far beyond reach) must not be assigned.
+	workers := []SizeWorker{{Reported: geo.Pt(500, 0), Reach: 2}}
+	m := NewProbSize(workers, 1.0)
+	if got := m.Assign(geo.Pt(0, 0)); got != NoWorker {
+		t.Errorf("hopeless worker assigned: %d", got)
+	}
+	if m.Remaining() != 1 {
+		t.Error("worker consumed despite no assignment")
+	}
+}
+
+func TestProbSizeCacheMatchesDirect(t *testing.T) {
+	workers := []SizeWorker{{Reported: geo.Pt(3, 0), Reach: 6}}
+	m := NewProbSize(workers, 0.8)
+	for _, d := range []float64{0, 1, 3.3, 6.8, 12} {
+		got := m.captureProb(d, 6)
+		// Quantisation: the cached value is the integral at the bucket
+		// centre; it must be within the Lipschitz slack of the exact one.
+		want := privacy.CaptureProb(m.NoiseEps, d, 6)
+		if diff := got - want; diff > 0.12 || diff < -0.12 {
+			t.Errorf("captureProb(%v) = %v, exact %v", d, got, want)
+		}
+	}
+	if len(m.cache) == 0 {
+		t.Error("cache unused")
+	}
+}
+
+func TestProbSizeExhaustion(t *testing.T) {
+	workers := []SizeWorker{{Reported: geo.Pt(0, 0), Reach: 10}}
+	m := NewProbSize(workers, 0.5)
+	if got := m.Assign(geo.Pt(1, 0)); got != 0 {
+		t.Fatalf("assign = %d", got)
+	}
+	if got := m.Assign(geo.Pt(1, 0)); got != NoWorker {
+		t.Errorf("assigned from empty pool: %d", got)
+	}
+}
+
+func TestSizeMatchersConsistencyOnRandomStreams(t *testing.T) {
+	// Smoke test at moderate scale: both matchers produce injective
+	// assignments and respect their eligibility rules.
+	src := rng.New(31)
+	tr := buildTree(t, src, 80, 200)
+	nw := 120
+	workers := make([]SizeWorker, nw)
+	for i := range workers {
+		p := tr.Point(src.Intn(tr.NumPoints()))
+		workers[i] = SizeWorker{
+			Reported: p,
+			Code:     tr.CodeOf(src.Intn(tr.NumPoints())),
+			Reach:    src.Uniform(10, 20),
+		}
+	}
+	tbf := NewTBFSize(tr, workers)
+	prob := NewProbSize(workers, 0.6)
+	seenT := map[int]bool{}
+	seenP := map[int]bool{}
+	for k := 0; k < 200; k++ {
+		pt := geo.Pt(src.Uniform(0, 200), src.Uniform(0, 200))
+		code := tr.CodeOf(src.Intn(tr.NumPoints()))
+		if w := tbf.Assign(pt, code); w != NoWorker {
+			if seenT[w] {
+				t.Fatalf("TBF reused worker %d", w)
+			}
+			seenT[w] = true
+			if pt.Dist(workers[w].Reported) > workers[w].Reach {
+				t.Fatalf("TBF ignored reach")
+			}
+		}
+		if w := prob.Assign(pt); w != NoWorker {
+			if seenP[w] {
+				t.Fatalf("Prob reused worker %d", w)
+			}
+			seenP[w] = true
+		}
+	}
+}

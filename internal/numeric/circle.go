@@ -1,0 +1,67 @@
+package numeric
+
+import "math"
+
+// ArcFraction returns the fraction (in [0,1]) of the circle of radius rho
+// centred at the origin that lies within distance r of a point at distance
+// d from the origin.
+//
+// This is the angular kernel in the Prob baseline's reachability integral:
+// integrating it against the planar-Laplace radial density gives the
+// probability that an obfuscated location's true position lies within a
+// worker's reachable disc.
+func ArcFraction(rho, d, r float64) float64 {
+	switch {
+	case rho < 0 || d < 0 || r < 0:
+		return 0
+	case rho == 0:
+		if d <= r {
+			return 1
+		}
+		return 0
+	case d+rho <= r:
+		return 1 // circle entirely inside the disc
+	case math.Abs(d-rho) >= r:
+		return 0 // circle entirely outside (or disc inside annulus gap)
+	}
+	// Law of cosines for the half-angle subtended by the intersection.
+	cos := (rho*rho + d*d - r*r) / (2 * rho * d)
+	if cos > 1 {
+		cos = 1
+	} else if cos < -1 {
+		cos = -1
+	}
+	return math.Acos(cos) / math.Pi
+}
+
+// DiscOverlapArea returns the area of intersection of two discs with radii
+// r1, r2 whose centres are distance d apart (the standard lens formula).
+// Used to sanity-check ArcFraction by differentiation in tests and offered
+// for density analyses.
+func DiscOverlapArea(r1, r2, d float64) float64 {
+	if r1 < 0 || r2 < 0 || d < 0 {
+		return 0
+	}
+	if d >= r1+r2 {
+		return 0
+	}
+	small, big := r1, r2
+	if small > big {
+		small, big = big, small
+	}
+	if d+small <= big {
+		return math.Pi * small * small // smaller disc fully contained
+	}
+	d1 := (d*d + r1*r1 - r2*r2) / (2 * d)
+	d2 := d - d1
+	seg := func(r, x float64) float64 {
+		c := x / r
+		if c > 1 {
+			c = 1
+		} else if c < -1 {
+			c = -1
+		}
+		return r*r*math.Acos(c) - x*math.Sqrt(math.Max(0, r*r-x*x))
+	}
+	return seg(r1, d1) + seg(r2, d2)
+}

@@ -1,0 +1,202 @@
+package platform
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// HTTP endpoint paths.
+const (
+	PathPublication = "/v1/publication"
+	PathRegister    = "/v1/register"
+	PathReregister  = "/v1/reregister"
+	PathTask        = "/v1/task"
+	PathStats       = "/v1/stats"
+)
+
+// Handler exposes a Server over JSON/HTTP.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathPublication, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, wirePublication{
+			Tree:    s.pub.Tree,
+			MinX:    s.pub.Region.MinX,
+			MinY:    s.pub.Region.MinY,
+			MaxX:    s.pub.Region.MaxX,
+			MaxY:    s.pub.Region.MaxY,
+			Cols:    s.pub.Cols,
+			Rows:    s.pub.Rows,
+			Epsilon: s.pub.Epsilon,
+		})
+	})
+	mux.HandleFunc(PathRegister, func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.Register(req))
+	})
+	mux.HandleFunc(PathReregister, func(w http.ResponseWriter, r *http.Request) {
+		var req ReregisterRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.Reregister(req))
+	})
+	mux.HandleFunc(PathTask, func(w http.ResponseWriter, r *http.Request) {
+		var req TaskRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.Submit(req))
+	})
+	mux.HandleFunc(PathStats, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+// wirePublication flattens Publication for JSON (geo.Rect has no tags and
+// the tree marshals through its Published form).
+type wirePublication struct {
+	Tree    *hst.Tree `json:"tree"`
+	MinX    float64   `json:"min_x"`
+	MinY    float64   `json:"min_y"`
+	MaxX    float64   `json:"max_x"`
+	MaxY    float64   `json:"max_y"`
+	Cols    int       `json:"cols"`
+	Rows    int       `json:"rows"`
+	Epsilon float64   `json:"epsilon"`
+}
+
+// Client is an HTTP Backend: agents on other machines talk to the server
+// through it.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+
+	pub *Publication
+}
+
+// NewClient returns a client for a server base URL (e.g.
+// "http://localhost:8080"). It fetches and caches the publication eagerly
+// so construction fails fast on connectivity problems.
+func NewClient(baseURL string) (*Client, error) {
+	c := &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+	var wire wirePublication
+	if err := c.get(PathPublication, &wire); err != nil {
+		return nil, err
+	}
+	if wire.Tree == nil {
+		return nil, fmt.Errorf("platform: server published no tree")
+	}
+	c.pub = &Publication{
+		Tree:    wire.Tree,
+		Region:  geo.NewRect(geo.Pt(wire.MinX, wire.MinY), geo.Pt(wire.MaxX, wire.MaxY)),
+		Cols:    wire.Cols,
+		Rows:    wire.Rows,
+		Epsilon: wire.Epsilon,
+	}
+	return c, nil
+}
+
+// Publication returns the cached publication.
+func (c *Client) Publication() Publication { return *c.pub }
+
+// Register implements Backend over HTTP.
+func (c *Client) Register(req RegisterRequest) RegisterResponse {
+	var resp RegisterResponse
+	if err := c.post(PathRegister, req, &resp); err != nil {
+		return RegisterResponse{OK: false, Reason: err.Error()}
+	}
+	return resp
+}
+
+// Reregister updates a worker's reported leaf over HTTP.
+func (c *Client) Reregister(req ReregisterRequest) RegisterResponse {
+	var resp RegisterResponse
+	if err := c.post(PathReregister, req, &resp); err != nil {
+		return RegisterResponse{OK: false, Reason: err.Error()}
+	}
+	return resp
+}
+
+// Submit implements Backend over HTTP.
+func (c *Client) Submit(req TaskRequest) TaskResponse {
+	var resp TaskResponse
+	if err := c.post(PathTask, req, &resp); err != nil {
+		return TaskResponse{Assigned: false, Reason: err.Error()}
+	}
+	return resp
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (StatsResponse, error) {
+	var resp StatsResponse
+	err := c.get(PathStats, &resp)
+	return resp, err
+}
+
+var _ Backend = (*Client)(nil)
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("platform: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(path, resp, out)
+}
+
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("platform: encode %s: %w", path, err)
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("platform: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeResponse(path, resp, out)
+}
+
+func decodeResponse(path string, resp *http.Response, out any) error {
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("platform: %s returned %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("platform: decode %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}

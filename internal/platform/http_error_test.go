@@ -1,0 +1,100 @@
+package platform
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPMethodAndBodyErrors(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	// Wrong method on the publication endpoint.
+	resp, err := http.Post(ts.URL+PathPublication, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST publication = %d, want 405", resp.StatusCode)
+	}
+
+	// Wrong method on a POST endpoint.
+	resp, err = http.Get(ts.URL + PathRegister)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET register = %d, want 405", resp.StatusCode)
+	}
+
+	// Malformed JSON bodies on every POST endpoint.
+	for _, path := range []string{PathRegister, PathReregister, PathTask} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad JSON on %s = %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPClientSurfacesServerErrors(t *testing.T) {
+	// A server that always 500s: the client must fold the failure into the
+	// response structs rather than panic.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == PathPublication {
+			// Valid publication so NewClient succeeds.
+			s := newTestServer(t)
+			Handler(s).ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	client, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := client.Register(RegisterRequest{WorkerID: "w", Code: []byte{0}}); resp.OK {
+		t.Error("500 register reported OK")
+	} else if !strings.Contains(resp.Reason, "500") {
+		t.Errorf("reason %q does not surface the status", resp.Reason)
+	}
+	if resp := client.Submit(TaskRequest{TaskID: "t", Code: []byte{0}}); resp.Assigned {
+		t.Error("500 submit reported assigned")
+	}
+	if resp := client.Reregister(ReregisterRequest{WorkerID: "w", Code: []byte{0}}); resp.OK {
+		t.Error("500 reregister reported OK")
+	}
+	if _, err := client.Stats(); err == nil {
+		t.Error("500 stats reported no error")
+	}
+}
+
+func TestHTTPClientRejectsNonJSONPublication(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<html>not json</html>"))
+	}))
+	defer ts.Close()
+	if _, err := NewClient(ts.URL); err == nil {
+		t.Error("HTML publication accepted")
+	}
+}
+
+func TestHTTPClientRejectsEmptyPublication(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	if _, err := NewClient(ts.URL); err == nil {
+		t.Error("publication without a tree accepted")
+	}
+}

@@ -1,0 +1,60 @@
+// Package platform implements the paper's interaction model (Sec. II-A,
+// Fig. 1) as a runnable system: an untrusted server that publishes the
+// predefined points and HST, worker and task agents that snap and obfuscate
+// their locations *client-side* before reporting, online assignment on the
+// server, and a private channel through which an assigned worker learns the
+// task's true location (as the paper assumes happens off-platform).
+//
+// Two transports are provided: direct in-process calls and JSON over HTTP
+// (net/http), sharing the wire types below.
+package platform
+
+import (
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// Publication is what the server makes public: the tree (with its
+// predefined points), the grid geometry for O(1) snapping, and the privacy
+// budget workers and tasks must obfuscate with.
+type Publication struct {
+	Tree    *hst.Tree `json:"tree"`
+	Region  geo.Rect  `json:"region"`
+	Cols    int       `json:"cols"`
+	Rows    int       `json:"rows"`
+	Epsilon float64   `json:"epsilon"`
+}
+
+// RegisterRequest announces a worker's availability with its obfuscated
+// leaf. The true location never appears on the wire.
+type RegisterRequest struct {
+	WorkerID string `json:"worker_id"`
+	Code     []byte `json:"code"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// TaskRequest submits a dynamically appearing task with its obfuscated leaf.
+type TaskRequest struct {
+	TaskID string `json:"task_id"`
+	Code   []byte `json:"code"`
+}
+
+// TaskResponse carries the assignment decision.
+type TaskResponse struct {
+	Assigned bool   `json:"assigned"`
+	WorkerID string `json:"worker_id,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// StatsResponse summarises server state for monitoring.
+type StatsResponse struct {
+	RegisteredWorkers int `json:"registered_workers"`
+	AvailableWorkers  int `json:"available_workers"`
+	AssignedTasks     int `json:"assigned_tasks"`
+	RejectedTasks     int `json:"rejected_tasks"`
+}

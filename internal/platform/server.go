@@ -1,0 +1,117 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// Server is the untrusted crowdsourcing platform. It sees only obfuscated
+// leaf codes and assigns each arriving task to the tree-nearest available
+// worker (Alg. 4, trie-indexed so assignment is O(D)).
+//
+// Server is safe for concurrent use.
+type Server struct {
+	pub Publication
+
+	mu        sync.Mutex
+	index     *hst.LeafIndex
+	workerIDs []string   // slot → external id
+	codes     []hst.Code // slot → reported leaf
+	available []bool
+	byID      map[string]int
+	assigned  int
+	rejected  int
+}
+
+// NewServer builds the infrastructure (grid + HST) and returns a server
+// publishing it with the given privacy budget.
+func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64) (*Server, error) {
+	grid, err := geo.NewGrid(region, cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := hst.Build(grid.Points(), rng.New(seed).Derive("server-hst"))
+	if err != nil {
+		return nil, err
+	}
+	if eps <= 0 {
+		return nil, errors.New("platform: epsilon must be positive")
+	}
+	return &Server{
+		pub: Publication{
+			Tree:    tree,
+			Region:  region,
+			Cols:    cols,
+			Rows:    rows,
+			Epsilon: eps,
+		},
+		index: hst.NewLeafIndex(tree.Depth()),
+		byID:  map[string]int{},
+	}, nil
+}
+
+// Publication returns the public infrastructure.
+func (s *Server) Publication() Publication { return s.pub }
+
+// Register adds a worker with its obfuscated leaf. Worker ids must be
+// unique; re-registration is rejected (a real deployment would treat it as
+// a location update, which the paper's one-shot model does not cover).
+func (s *Server) Register(req RegisterRequest) RegisterResponse {
+	code := hst.Code(req.Code)
+	if err := s.pub.Tree.CheckCode(code); err != nil {
+		return RegisterResponse{OK: false, Reason: err.Error()}
+	}
+	if req.WorkerID == "" {
+		return RegisterResponse{OK: false, Reason: "platform: empty worker id"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byID[req.WorkerID]; dup {
+		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already registered", req.WorkerID)}
+	}
+	slot := len(s.workerIDs)
+	s.workerIDs = append(s.workerIDs, req.WorkerID)
+	s.codes = append(s.codes, code)
+	s.available = append(s.available, true)
+	s.byID[req.WorkerID] = slot
+	if err := s.index.Insert(code, slot); err != nil {
+		return RegisterResponse{OK: false, Reason: err.Error()}
+	}
+	return RegisterResponse{OK: true}
+}
+
+// Submit assigns an arriving task to the tree-nearest available worker.
+func (s *Server) Submit(req TaskRequest) TaskResponse {
+	code := hst.Code(req.Code)
+	if err := s.pub.Tree.CheckCode(code); err != nil {
+		return TaskResponse{Assigned: false, Reason: err.Error()}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, _, ok := s.index.Nearest(code)
+	if !ok {
+		s.rejected++
+		return TaskResponse{Assigned: false, Reason: "platform: no available workers"}
+	}
+	s.index.Remove(s.codes[slot], slot)
+	s.available[slot] = false
+	s.assigned++
+	return TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot]}
+}
+
+// Stats reports the server's counters.
+func (s *Server) Stats() StatsResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StatsResponse{
+		RegisteredWorkers: len(s.workerIDs),
+		AvailableWorkers:  s.index.Len(),
+		AssignedTasks:     s.assigned,
+		RejectedTasks:     s.rejected,
+	}
+}

@@ -1,0 +1,134 @@
+package platform
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+)
+
+func TestReregisterDirect(t *testing.T) {
+	s := newTestServer(t)
+	o, err := NewObfuscator(s.Publication(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Worker{ID: "w1", Loc: geo.Pt(10, 10)}
+	if err := w.Register(s, o); err != nil {
+		t.Fatal(err)
+	}
+	// Move: the report changes but the worker stays available.
+	newCode := o.Obfuscate(geo.Pt(150, 150))
+	resp := s.Reregister(ReregisterRequest{WorkerID: "w1", Code: []byte(newCode)})
+	if !resp.OK {
+		t.Fatalf("reregister failed: %s", resp.Reason)
+	}
+	if st := s.Stats(); st.AvailableWorkers != 1 {
+		t.Errorf("available = %d after move", st.AvailableWorkers)
+	}
+	// Unknown worker.
+	if resp := s.Reregister(ReregisterRequest{WorkerID: "nope", Code: []byte(newCode)}); resp.OK {
+		t.Error("unknown worker accepted")
+	}
+	// Bad code.
+	if resp := s.Reregister(ReregisterRequest{WorkerID: "w1", Code: []byte{1}}); resp.OK {
+		t.Error("malformed code accepted")
+	}
+	// Assign the worker, then moving must fail.
+	task := Task{ID: "t1", Loc: geo.Pt(150, 150)}
+	if _, ok, err := task.Submit(s, o); err != nil || !ok {
+		t.Fatalf("assignment failed: %v", err)
+	}
+	if resp := s.Reregister(ReregisterRequest{WorkerID: "w1", Code: []byte(newCode)}); resp.OK {
+		t.Error("assigned worker allowed to move")
+	}
+}
+
+func TestReregisterAffectsMatching(t *testing.T) {
+	s := newTestServer(t)
+	// With a huge ε the obfuscation is effectively the identity, so
+	// matching follows the reported geometry deterministically.
+	pub := s.Publication()
+	pub.Epsilon = 100
+	oTight, err := NewObfuscator(pub, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Worker{ID: "a", Loc: geo.Pt(10, 10)}
+	b := Worker{ID: "b", Loc: geo.Pt(190, 190)}
+	if err := a.Register(s, oTight); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(s, oTight); err != nil {
+		t.Fatal(err)
+	}
+	// Move worker a onto the future task's own leaf: after the move the
+	// task must match a, proving the index reflects the update.
+	taskLoc := geo.Pt(60, 60)
+	if resp := s.Reregister(ReregisterRequest{WorkerID: "a", Code: []byte(oTight.Obfuscate(taskLoc))}); !resp.OK {
+		t.Fatalf("move failed: %s", resp.Reason)
+	}
+	task := Task{ID: "t", Loc: taskLoc}
+	wid, ok, err := task.Submit(s, oTight)
+	if err != nil || !ok {
+		t.Fatalf("assignment failed: %v", err)
+	}
+	if wid != "a" {
+		t.Errorf("task matched %s, want the moved worker a", wid)
+	}
+}
+
+func TestBudgetedObfuscator(t *testing.T) {
+	s := newTestServer(t) // ε = 0.6 per report
+	pub := s.Publication()
+	b, err := NewBudgetedObfuscator("w1", pub, 1.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two reports fit (1.2 ≤ 1.5); the third (1.8) must fail.
+	if _, err := b.Obfuscate(geo.Pt(10, 10)); err != nil {
+		t.Fatalf("first report: %v", err)
+	}
+	if _, err := b.Obfuscate(geo.Pt(12, 10)); err != nil {
+		t.Fatalf("second report: %v", err)
+	}
+	if rem := b.Remaining(); rem < 0.29 || rem > 0.31 {
+		t.Errorf("remaining = %v, want 0.3", rem)
+	}
+	if _, err := b.Obfuscate(geo.Pt(14, 10)); err == nil {
+		t.Error("third report exceeded budget but succeeded")
+	}
+	// Invalid lifetime.
+	if _, err := NewBudgetedObfuscator("x", pub, 0, 1); err == nil {
+		t.Error("zero lifetime accepted")
+	}
+}
+
+func TestWorkerMoveToOverHTTP(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+	client, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBudgetedObfuscator("w1", client.Publication(), 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Worker{ID: "w1", Loc: geo.Pt(30, 30)}
+	code, err := b.Obfuscate(w.Loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := client.Register(RegisterRequest{WorkerID: w.ID, Code: []byte(code)}); !resp.OK {
+		t.Fatalf("register: %s", resp.Reason)
+	}
+	if err := w.MoveTo(client, b, geo.Pt(100, 100)); err != nil {
+		t.Fatalf("MoveTo: %v", err)
+	}
+	// Budget: 2 × 0.6 spent.
+	if rem := b.Remaining(); rem < 8.79 || rem > 8.81 {
+		t.Errorf("remaining = %v, want 8.8", rem)
+	}
+}

@@ -1,0 +1,69 @@
+package privacy
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Accountant tracks cumulative Geo-Indistinguishability budget per agent
+// under sequential composition: each report of (a perturbation of) the same
+// location adds its ε to the agent's total, and the accountant refuses
+// reports that would exceed the agent's lifetime budget.
+//
+// The paper's model is one-shot (every worker and task reports once), so
+// the evaluation never composes; a deployed platform, where workers
+// re-report as they move, needs exactly this bookkeeping to keep the
+// advertised guarantee meaningful.
+type Accountant struct {
+	limit float64
+
+	mu    sync.Mutex
+	spent map[string]float64
+}
+
+// NewAccountant returns an accountant enforcing a lifetime ε budget per
+// agent id.
+func NewAccountant(limit float64) (*Accountant, error) {
+	if limit <= 0 {
+		return nil, fmt.Errorf("%w (lifetime budget %v)", ErrBadEpsilon, limit)
+	}
+	return &Accountant{limit: limit, spent: map[string]float64{}}, nil
+}
+
+// Limit returns the lifetime budget.
+func (a *Accountant) Limit() float64 { return a.limit }
+
+// Spend records a report with budget eps for the agent. It returns an
+// error — and records nothing — when the agent's total would exceed the
+// lifetime budget or eps is not positive.
+func (a *Accountant) Spend(agentID string, eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("%w (got %v)", ErrBadEpsilon, eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent[agentID]+eps > a.limit+1e-12 {
+		return fmt.Errorf("privacy: agent %q budget exhausted: spent %.4g of %.4g, requested %.4g",
+			agentID, a.spent[agentID], a.limit, eps)
+	}
+	a.spent[agentID] += eps
+	return nil
+}
+
+// Spent returns the budget the agent has consumed so far.
+func (a *Accountant) Spent(agentID string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent[agentID]
+}
+
+// Remaining returns the budget the agent has left.
+func (a *Accountant) Remaining(agentID string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := a.limit - a.spent[agentID]
+	if r < 0 {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,75 @@
+package privacy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAccountantValidation(t *testing.T) {
+	if _, err := NewAccountant(0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := NewAccountant(-1); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestAccountantSequentialComposition(t *testing.T) {
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("w1", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("w1", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent("w1"); got != 1.0 {
+		t.Errorf("Spent = %v", got)
+	}
+	if got := a.Remaining("w1"); got != 0 {
+		t.Errorf("Remaining = %v", got)
+	}
+	if err := a.Spend("w1", 0.01); err == nil {
+		t.Error("over-budget spend accepted")
+	}
+	// A failed spend must not consume budget.
+	if got := a.Spent("w1"); got != 1.0 {
+		t.Errorf("failed spend changed total to %v", got)
+	}
+	// Other agents are independent.
+	if err := a.Spend("w2", 0.9); err != nil {
+		t.Errorf("independent agent rejected: %v", err)
+	}
+	if err := a.Spend("w1", -0.1); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a, err := NewAccountant(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("agent-%d", g%2) // two contended agents
+			for i := 0; i < 100; i++ {
+				a.Spend(id, 0.1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// 4 goroutines × 100 spends × 0.1 = 40 requested per agent; limit 100
+	// admits all of them, and the total must be exact (no lost updates).
+	for _, id := range []string{"agent-0", "agent-1"} {
+		if got := a.Spent(id); got < 39.99 || got > 40.01 {
+			t.Errorf("%s spent %v, want 40", id, got)
+		}
+	}
+}

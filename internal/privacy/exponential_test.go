@@ -1,0 +1,87 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func TestNewGridExponentialValidation(t *testing.T) {
+	cands := []geo.Point{geo.Pt(0, 0), geo.Pt(1, 1)}
+	if _, err := NewGridExponential(0, cands); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewGridExponential(1, nil); err == nil {
+		t.Error("empty candidates accepted")
+	}
+}
+
+func TestGridExponentialProbSumsToOne(t *testing.T) {
+	g := geo.MustGrid(geo.NewRect(geo.Pt(0, 0), geo.Pt(50, 50)), 5, 5)
+	m, err := NewGridExponential(0.4, g.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geo.Pt(12, 33)
+	var sum float64
+	for z := range g.Points() {
+		sum += m.Prob(p, z)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Σ probs = %v", sum)
+	}
+}
+
+func TestGridExponentialSamplingMatchesProb(t *testing.T) {
+	g := geo.MustGrid(geo.NewRect(geo.Pt(0, 0), geo.Pt(20, 20)), 3, 3)
+	m, err := NewGridExponential(0.5, g.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geo.Pt(4, 4)
+	src := rng.New(13)
+	const n = 80000
+	counts := make([]int, g.Len())
+	for i := 0; i < n; i++ {
+		counts[m.ObfuscateIndex(p, src)]++
+	}
+	for z := range counts {
+		want := m.Prob(p, z)
+		got := float64(counts[z]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("candidate %d: freq %v, prob %v", z, got, want)
+		}
+	}
+}
+
+func TestGridExponentialGeoI(t *testing.T) {
+	g := geo.MustGrid(geo.NewRect(geo.Pt(0, 0), geo.Pt(40, 40)), 4, 4)
+	m, err := NewGridExponential(0.6, g.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]int, g.Len())
+	for i := range inputs {
+		inputs[i] = i
+	}
+	rep := VerifyGridExponentialGeoI(m, inputs, 1e-9)
+	if !rep.Satisfied() {
+		t.Errorf("%v", rep)
+	}
+}
+
+func TestGridExponentialUnderflowFallback(t *testing.T) {
+	// With an enormous ε and a faraway point, all weights underflow to 0;
+	// the mechanism must fall back to the nearest candidate, not panic.
+	cands := []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0)}
+	m, err := NewGridExponential(1000, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	if got := m.ObfuscateIndex(geo.Pt(1e6, 1e6), src); got != 1 {
+		t.Errorf("fallback picked %d, want nearest (1)", got)
+	}
+}

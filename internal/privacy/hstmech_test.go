@@ -1,0 +1,301 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// paperTree rebuilds the Example 1 HST: 4 points, β = 1/2, identity
+// permutation, giving D = 4 and c = 2.
+func paperTree(t *testing.T) *hst.Tree {
+	t.Helper()
+	pts := []geo.Point{geo.Pt(1, 1), geo.Pt(2, 3), geo.Pt(5, 3), geo.Pt(4, 4)}
+	tr, err := hst.BuildWithParams(pts, 0.5, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func randomTree(t *testing.T, src *rng.Source, n int, side float64) *hst.Tree {
+	t.Helper()
+	pts := make([]geo.Point, 0, n)
+	seen := map[geo.Point]bool{}
+	for len(pts) < n {
+		p := geo.Pt(src.Uniform(0, side), src.Uniform(0, side))
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	tr, err := hst.Build(pts, src.Derive("tree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewHSTMechanismValidation(t *testing.T) {
+	tr := paperTree(t)
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewHSTMechanism(tr, eps); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+	}
+}
+
+// TestPaperTableI reproduces Table I of the paper: per-leaf obfuscation
+// probabilities for x = o1 at ε = 0.1.
+func TestPaperTableI(t *testing.T) {
+	tr := paperTree(t)
+	m, err := NewHSTMechanism(tr, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWt := []float64{1, 0.670, 0.301, 0.061, 0.002}
+	wantProb := []float64{0.394, 0.264, 0.119, 0.024, 0.001}
+	for i := 0; i <= 4; i++ {
+		if got := m.Weight(i); math.Abs(got-wantWt[i]) > 5e-4 {
+			t.Errorf("wt_%d = %.4f, want %.3f", i, got, wantWt[i])
+		}
+		perLeaf := m.Weight(i) / m.TotalWeight()
+		if math.Abs(perLeaf-wantProb[i]) > 5e-4 {
+			t.Errorf("per-leaf prob at level %d = %.4f, want %.3f", i, perLeaf, wantProb[i])
+		}
+	}
+}
+
+// TestPaperExample3WalkProbabilities reproduces Example 3: pu₀ = 0.606,
+// pu₁ = 0.564, and P[o1 → f3] = 0.119.
+func TestPaperExample3WalkProbabilities(t *testing.T) {
+	tr := paperTree(t)
+	m, err := NewHSTMechanism(tr, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.WalkUpProb(0); math.Abs(got-0.606) > 1e-3 {
+		t.Errorf("pu0 = %.4f, want 0.606", got)
+	}
+	if got := m.WalkUpProb(1); math.Abs(got-0.564) > 1e-3 {
+		t.Errorf("pu1 = %.4f, want 0.564", got)
+	}
+	// f3 in the paper's Fig. 3/4 is a fake leaf whose LCA with o1 is at
+	// level 2; every such leaf has probability wt_2/WT ≈ 0.119.
+	o1 := tr.CodeOf(0)
+	f3 := []byte(o1)
+	f3[len(f3)-2] ^= 1 // flip the digit two levels up: LCA level 2
+	z := hst.Code(f3)
+	if lvl := tr.LCALevel(o1, z); lvl != 2 {
+		t.Fatalf("constructed leaf has LCA level %d, want 2", lvl)
+	}
+	if got := m.LeafProb(o1, z); math.Abs(got-0.119) > 5e-4 {
+		t.Errorf("P[o1→f3] = %.4f, want 0.119", got)
+	}
+}
+
+// TestTheorem2WalkEqualsDirect proves Alg. 3 ≡ Alg. 2 analytically: the
+// walk's stopping-level distribution equals the closed-form level
+// distribution for every level, across trees and budgets.
+func TestTheorem2WalkEqualsDirect(t *testing.T) {
+	src := rng.New(404)
+	for trial := 0; trial < 6; trial++ {
+		tr := randomTree(t, src.DeriveN("t", trial), 20+trial*17, 150)
+		for _, eps := range []float64{0.1, 0.2, 0.6, 1.0, 2.0} {
+			m, err := NewHSTMechanism(tr, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct := m.LevelProbs()
+			walk := m.WalkDistribution()
+			for i := range direct {
+				if math.Abs(direct[i]-walk[i]) > 1e-12 {
+					t.Fatalf("trial %d ε=%v: level %d direct %v walk %v",
+						trial, eps, i, direct[i], walk[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLevelProbsSumToOne(t *testing.T) {
+	src := rng.New(7)
+	tr := randomTree(t, src, 40, 200)
+	for _, eps := range []float64{0.05, 0.2, 1, 5} {
+		m, err := NewHSTMechanism(tr, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, p := range m.LevelProbs() {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("ε=%v: Σ level probs = %v", eps, sum)
+		}
+	}
+}
+
+// TestSamplersAgreeChiSquare draws from all three samplers on the Example 1
+// tree and checks each against the exact leaf distribution with a χ² test.
+func TestSamplersAgreeChiSquare(t *testing.T) {
+	tr := paperTree(t)
+	m, err := NewHSTMechanism(tr, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tr.CodeOf(0)
+	codes, probs, err := m.EnumerateDistribution(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := map[hst.Code]int{}
+	for i, c := range codes {
+		index[c] = i
+	}
+	const n = 60000
+	samplers := map[string]func(src *rng.Source) hst.Code{
+		"walk":   func(src *rng.Source) hst.Code { return m.ObfuscateWalk(x, src) },
+		"direct": func(src *rng.Source) hst.Code { return m.ObfuscateDirect(x, src) },
+		"enumerate": func(src *rng.Source) hst.Code {
+			z, err := m.ObfuscateEnumerate(x, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return z
+		},
+	}
+	for name, sample := range samplers {
+		src := rng.New(1).Derive(name)
+		counts := make([]int, len(codes))
+		for i := 0; i < n; i++ {
+			z := sample(src)
+			j, ok := index[z]
+			if !ok {
+				t.Fatalf("%s produced non-leaf code %q", name, z)
+			}
+			counts[j]++
+		}
+		var chi2 float64
+		dof := 0
+		for j, p := range probs {
+			expected := p * n
+			if expected < 5 {
+				continue // merge-tail convention; tiny cells skipped
+			}
+			dof++
+			d := float64(counts[j]) - expected
+			chi2 += d * d / expected
+		}
+		// 99.9th percentile of χ² with ~16 dof is ≈ 39; use a loose 80.
+		if chi2 > 80 {
+			t.Errorf("%s: χ² = %v over %d cells", name, chi2, dof)
+		}
+	}
+}
+
+// TestTheorem1GeoI audits Geo-Indistinguishability exactly on several trees
+// and budgets by full enumeration of (x1, x2, z) triples.
+func TestTheorem1GeoI(t *testing.T) {
+	src := rng.New(2025)
+	trees := []*hst.Tree{
+		paperTree(t),
+		randomTree(t, src.Derive("a"), 12, 60),
+		randomTree(t, src.Derive("b"), 25, 300),
+	}
+	for ti, tr := range trees {
+		for _, eps := range []float64{0.1, 0.5, 1.0} {
+			m, err := NewHSTMechanism(tr, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := VerifyHSTGeoI(m, 1e-9)
+			if !rep.Satisfied() {
+				t.Errorf("tree %d ε=%v: %v", ti, eps, rep)
+			}
+			if rep.Checked == 0 {
+				t.Errorf("tree %d ε=%v: no triples audited", ti, eps)
+			}
+		}
+	}
+}
+
+func TestLeafProbMatchesEnumeration(t *testing.T) {
+	tr := paperTree(t)
+	m, err := NewHSTMechanism(tr, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tr.NumPoints(); i++ {
+		x := tr.CodeOf(i)
+		codes, probs, err := m.EnumerateDistribution(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for j, z := range codes {
+			if got := m.LeafProb(x, z); math.Abs(got-probs[j]) > 1e-15 {
+				t.Fatalf("LeafProb(%q,%q) inconsistent", x, z)
+			}
+			sum += probs[j]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("leaf distribution for point %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestEnumerateRefusesHugeTrees(t *testing.T) {
+	src := rng.New(88)
+	tr := randomTree(t, src, 400, 4000) // deep tree: c^D will be huge
+	m, err := NewHSTMechanism(tr, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalLeaves() <= EnumerateLimit {
+		t.Skip("tree unexpectedly small; nothing to refuse")
+	}
+	if _, _, err := m.EnumerateDistribution(tr.CodeOf(0)); err == nil {
+		t.Error("enumeration of huge tree accepted")
+	}
+}
+
+func TestObfuscatePreservesCodeValidity(t *testing.T) {
+	src := rng.New(3)
+	tr := randomTree(t, src, 60, 250)
+	m, err := NewHSTMechanism(tr, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := src.Derive("samples")
+	for i := 0; i < 2000; i++ {
+		x := tr.CodeOf(s.Intn(tr.NumPoints()))
+		z := m.Obfuscate(x, s)
+		if err := tr.CheckCode(z); err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+	}
+}
+
+func TestWalkStaysAtLeafForLargeEps(t *testing.T) {
+	// With ε huge, P[stay] → 1: the mechanism must return x essentially
+	// always (and the level distribution must say so).
+	tr := paperTree(t)
+	m, err := NewHSTMechanism(tr, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.LevelProbs()[0]; p < 0.9999 {
+		t.Errorf("P[level 0] = %v at ε=50", p)
+	}
+	src := rng.New(9)
+	x := tr.CodeOf(2)
+	for i := 0; i < 100; i++ {
+		if z := m.ObfuscateWalk(x, src); z != x {
+			t.Fatalf("walked away from x at ε=50")
+		}
+	}
+}

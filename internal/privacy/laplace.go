@@ -1,0 +1,120 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/numeric"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// PlanarLaplace is the polar Laplacian mechanism of Andrés et al. (CCS'13):
+// the reported point is the true point plus noise with density
+// ε²/(2π)·e^{−ε·r}, which is ε-Geo-Indistinguishable in the Euclidean
+// metric. It is the mechanism inside the Lap-GR, Lap-HG and Prob baselines.
+type PlanarLaplace struct {
+	eps float64
+}
+
+// NewPlanarLaplace returns the mechanism for budget ε.
+func NewPlanarLaplace(eps float64) (*PlanarLaplace, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadEpsilon, eps)
+	}
+	return &PlanarLaplace{eps: eps}, nil
+}
+
+// Epsilon returns the privacy budget.
+func (l *PlanarLaplace) Epsilon() float64 { return l.eps }
+
+// ObfuscatePoint adds planar Laplace noise to p: a uniform angle and a
+// radius drawn by inverting the radial CDF through the Lambert W −1 branch.
+func (l *PlanarLaplace) ObfuscatePoint(p geo.Point, src *rng.Source) geo.Point {
+	theta := src.Uniform(0, 2*math.Pi)
+	r := l.SampleRadius(src)
+	return geo.Pt(p.X+r*math.Cos(theta), p.Y+r*math.Sin(theta))
+}
+
+// SampleRadius draws the noise magnitude: C_ε⁻¹(u) for uniform u, where
+// C_ε(r) = 1 − (1+εr)e^{−εr} and C_ε⁻¹(u) = −(W₋₁((u−1)/e) + 1)/ε.
+func (l *PlanarLaplace) SampleRadius(src *rng.Source) float64 {
+	u := src.Float64()
+	r, err := InverseRadialCDF(l.eps, u)
+	if err != nil {
+		// u outside [0,1) cannot occur from Float64; fall back to the mean.
+		return 2 / l.eps
+	}
+	return r
+}
+
+// PDF returns the density of reporting z when the true point is p.
+func (l *PlanarLaplace) PDF(p, z geo.Point) float64 {
+	return l.eps * l.eps / (2 * math.Pi) * math.Exp(-l.eps*p.Dist(z))
+}
+
+// RadialCDF returns C_ε(r) = P[noise magnitude ≤ r].
+func RadialCDF(eps, r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return 1 - (1+eps*r)*math.Exp(-eps*r)
+}
+
+// InverseRadialCDF inverts RadialCDF: it returns the radius r with
+// C_ε(r) = u, for u ∈ [0, 1).
+func InverseRadialCDF(eps, u float64) (float64, error) {
+	if u < 0 || u >= 1 {
+		return 0, fmt.Errorf("privacy: CDF value %v outside [0,1)", u)
+	}
+	if u == 0 {
+		return 0, nil
+	}
+	w, err := numeric.LambertWm1((u - 1) / math.E)
+	if err != nil {
+		return 0, err
+	}
+	return -(w + 1) / eps, nil
+}
+
+// CaptureProb returns the probability that the true location lies within
+// reach of a target point at distance dObf from the *reported* location,
+// under planar Laplace noise with budget ε:
+//
+//	P = ∫ ε²ρe^{−ερ} · ArcFraction(ρ, dObf, reach) dρ.
+//
+// This is the reachability posterior the Prob baseline (To et al. ICDE'18)
+// ranks workers by. The integrand is 1 on [0, reach−dObf] when the disc
+// covers the small circle entirely, handled in closed form.
+func CaptureProb(eps, dObf, reach float64) float64 {
+	if reach <= 0 {
+		return 0
+	}
+	if dObf < 0 {
+		dObf = -dObf
+	}
+	full := 0.0
+	if reach > dObf {
+		full = RadialCDF(eps, reach-dObf)
+	}
+	lo := math.Abs(reach - dObf)
+	hi := reach + dObf
+	if hi <= lo {
+		return clampProb(full)
+	}
+	integrand := func(rho float64) float64 {
+		return eps * eps * rho * math.Exp(-eps*rho) * numeric.ArcFraction(rho, dObf, reach)
+	}
+	partial := numeric.AdaptiveSimpson(integrand, lo, hi, 1e-9)
+	return clampProb(full + partial)
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

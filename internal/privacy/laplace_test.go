@@ -1,0 +1,175 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/numeric"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func TestNewPlanarLaplaceValidation(t *testing.T) {
+	for _, eps := range []float64{0, -0.5, math.NaN(), math.Inf(1)} {
+		if _, err := NewPlanarLaplace(eps); err == nil {
+			t.Errorf("eps=%v accepted", eps)
+		}
+	}
+	if l, err := NewPlanarLaplace(0.7); err != nil || l.Epsilon() != 0.7 {
+		t.Errorf("valid eps rejected: %v", err)
+	}
+}
+
+func TestRadialCDFInverseRoundTrip(t *testing.T) {
+	for _, eps := range []float64{0.2, 0.6, 1.0, 3.0} {
+		for _, u := range []float64{0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.9999} {
+			r, err := InverseRadialCDF(eps, u)
+			if err != nil {
+				t.Fatalf("eps=%v u=%v: %v", eps, u, err)
+			}
+			if back := RadialCDF(eps, r); math.Abs(back-u) > 1e-9 {
+				t.Errorf("eps=%v: CDF(CDF⁻¹(%v)) = %v", eps, u, back)
+			}
+		}
+	}
+	if _, err := InverseRadialCDF(1, 1); err == nil {
+		t.Error("u=1 accepted")
+	}
+	if _, err := InverseRadialCDF(1, -0.1); err == nil {
+		t.Error("u<0 accepted")
+	}
+}
+
+func TestSampleRadiusMoments(t *testing.T) {
+	// The planar Laplace radial distribution has mean 2/ε.
+	for _, eps := range []float64{0.2, 1.0} {
+		l, err := NewPlanarLaplace(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(11)
+		const n = 100000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += l.SampleRadius(src)
+		}
+		mean := sum / n
+		want := 2 / eps
+		if math.Abs(mean-want) > 0.03*want {
+			t.Errorf("eps=%v: mean radius %v, want %v", eps, mean, want)
+		}
+	}
+}
+
+func TestObfuscatePointIsotropy(t *testing.T) {
+	// Noise must be unbiased: the average reported point converges to the
+	// true point in both coordinates.
+	l, err := NewPlanarLaplace(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(21)
+	p := geo.Pt(10, -7)
+	const n = 200000
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		z := l.ObfuscatePoint(p, src)
+		sx += z.X
+		sy += z.Y
+	}
+	if math.Abs(sx/n-p.X) > 0.05 || math.Abs(sy/n-p.Y) > 0.05 {
+		t.Errorf("mean reported point (%v, %v), want %v", sx/n, sy/n, p)
+	}
+}
+
+func TestPlanarLaplacePDFGeoIBound(t *testing.T) {
+	// Density ratio respects e^{ε·d(x1,x2)} for arbitrary triples.
+	l, err := NewPlanarLaplace(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(31)
+	for i := 0; i < 5000; i++ {
+		x1 := geo.Pt(src.Uniform(0, 100), src.Uniform(0, 100))
+		x2 := geo.Pt(src.Uniform(0, 100), src.Uniform(0, 100))
+		z := geo.Pt(src.Uniform(-50, 150), src.Uniform(-50, 150))
+		bound := math.Exp(l.Epsilon() * x1.Dist(x2))
+		ratio := l.PDF(x1, z) / l.PDF(x2, z)
+		if ratio > bound*(1+1e-9) {
+			t.Fatalf("pdf ratio %v exceeds bound %v", ratio, bound)
+		}
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	l, err := NewPlanarLaplace(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radial integration of the planar pdf: ∫ 2πρ·pdf(ρ) dρ = 1.
+	f := func(rho float64) float64 {
+		return 2 * math.Pi * rho * l.PDF(geo.Pt(0, 0), geo.Pt(rho, 0))
+	}
+	got := numeric.AdaptiveSimpson(f, 0, 60, 1e-10)
+	if math.Abs(got-1) > 1e-6 {
+		t.Errorf("∫ pdf = %v", got)
+	}
+}
+
+func TestCaptureProbAgainstMonteCarlo(t *testing.T) {
+	cases := []struct{ eps, d, reach float64 }{
+		{0.5, 3, 5}, {0.5, 8, 5}, {1.0, 0, 4}, {0.2, 10, 15}, {1.5, 2, 2},
+	}
+	for _, c := range cases {
+		l, err := NewPlanarLaplace(c.eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(77)
+		const n = 150000
+		in := 0
+		target := geo.Pt(c.d, 0)
+		for i := 0; i < n; i++ {
+			// True point at origin; reported point z = noise. The capture
+			// question is symmetric: P[ ||true − target|| ≤ reach | z at
+			// distance d ] with true = z − noise ~ z + noise by isotropy.
+			z := l.ObfuscatePoint(geo.Pt(0, 0), src)
+			if z.Dist(target) <= c.reach {
+				in++
+			}
+		}
+		mc := float64(in) / n
+		got := CaptureProb(c.eps, c.d, c.reach)
+		if math.Abs(got-mc) > 0.01 {
+			t.Errorf("CaptureProb(ε=%v,d=%v,r=%v) = %v, Monte Carlo = %v",
+				c.eps, c.d, c.reach, got, mc)
+		}
+	}
+}
+
+func TestCaptureProbProperties(t *testing.T) {
+	if got := CaptureProb(0.5, 3, 0); got != 0 {
+		t.Errorf("zero reach = %v", got)
+	}
+	// d = 0 reduces to the radial CDF.
+	if got, want := CaptureProb(0.7, 0, 4), RadialCDF(0.7, 4); math.Abs(got-want) > 1e-9 {
+		t.Errorf("d=0: %v, want %v", got, want)
+	}
+	// Monotone in reach, antitone in distance.
+	prev := 0.0
+	for r := 0.0; r <= 20; r += 0.5 {
+		cur := CaptureProb(0.5, 6, r)
+		if cur+1e-9 < prev {
+			t.Fatalf("not monotone in reach at r=%v", r)
+		}
+		prev = cur
+	}
+	prev = 1.0
+	for d := 0.0; d <= 20; d += 0.5 {
+		cur := CaptureProb(0.5, d, 6)
+		if cur > prev+1e-9 {
+			t.Fatalf("not antitone in distance at d=%v", d)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,141 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// These tests verify the paper's Lemmas 1 and 2 — the bounds on the
+// expected tree distance between an obfuscated leaf and any other leaf that
+// drive the competitive-ratio proof (Theorem 3) — by computing the
+// expectation EXACTLY via enumeration of the complete tree's leaves.
+
+// exactExpectedDist computes E_M[dT(u', v)] = Σ_z M(u)(z)·dT(z, v).
+func exactExpectedDist(t *testing.T, m *HSTMechanism, u, v hst.Code) float64 {
+	t.Helper()
+	codes, probs, err := m.EnumerateDistribution(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e float64
+	for i, z := range codes {
+		e += probs[i] * m.Tree().Dist(z, v)
+	}
+	return e
+}
+
+// enumerableTrees builds small trees whose complete form can be enumerated.
+func enumerableTrees(t *testing.T) []*hst.Tree {
+	t.Helper()
+	var trees []*hst.Tree
+	trees = append(trees, paperTree(t))
+	src := rng.New(31337)
+	for trial := 0; len(trees) < 4 && trial < 50; trial++ {
+		tr := randomTree(t, src.DeriveN("t", trial), 5+trial%3, 30)
+		if tr.TotalLeaves() <= 100000 && tr.Degree() >= 2 {
+			trees = append(trees, tr)
+		}
+	}
+	if len(trees) < 2 {
+		t.Fatal("could not build enumerable trees")
+	}
+	return trees
+}
+
+// TestLemma1LowerBound: E[dT(u′,v)] ≥ dT(u,v) / (3(2c−1)) for all real
+// leaf pairs and a range of budgets.
+func TestLemma1LowerBound(t *testing.T) {
+	for ti, tr := range enumerableTrees(t) {
+		c := float64(tr.Degree())
+		lb := 1 / (3 * (2*c - 1))
+		for _, eps := range []float64{0.1, 0.5, 1.0} {
+			m, err := NewHSTMechanism(tr, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < tr.NumPoints(); i++ {
+				for j := 0; j < tr.NumPoints(); j++ {
+					if i == j {
+						continue
+					}
+					u, v := tr.CodeOf(i), tr.CodeOf(j)
+					e := exactExpectedDist(t, m, u, v)
+					bound := lb * tr.Dist(u, v)
+					if e < bound-1e-9 {
+						t.Fatalf("tree %d ε=%v pair (%d,%d): E=%v < bound %v (dT=%v, c=%v)",
+							ti, eps, i, j, e, bound, tr.Dist(u, v), c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLemma2UpperBoundShape: E[dT(u′,v)] ≤ C·(ln(2c)/ε)^{log₂(2c)}·dT(u,v)
+// for a generous constant C — the asymptotic form of Lemma 2. The bound
+// must also tighten as ε grows (at large ε the expectation approaches
+// dT(u,v) itself, since u′ ≈ u).
+func TestLemma2UpperBoundShape(t *testing.T) {
+	const C = 60
+	for ti, tr := range enumerableTrees(t) {
+		c := float64(tr.Degree())
+		for _, eps := range []float64{0.2, 0.6, 1.0, 3.0} {
+			m, err := NewHSTMechanism(tr, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			factor := C * math.Pow(math.Max(math.Log(2*c)/eps, 1), math.Log2(2*c))
+			for i := 0; i < tr.NumPoints(); i++ {
+				for j := 0; j < tr.NumPoints(); j++ {
+					if i == j {
+						continue
+					}
+					u, v := tr.CodeOf(i), tr.CodeOf(j)
+					e := exactExpectedDist(t, m, u, v)
+					if e > factor*tr.Dist(u, v) {
+						t.Fatalf("tree %d ε=%v pair (%d,%d): E=%v exceeds %v·dT",
+							ti, eps, i, j, e, factor)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExpectationConvergesToTruthAtLargeEps: as ε → ∞ the mechanism stops
+// moving leaves, so E[dT(u′,v)] → dT(u,v) exactly.
+func TestExpectationConvergesToTruthAtLargeEps(t *testing.T) {
+	tr := paperTree(t)
+	m, err := NewHSTMechanism(tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := tr.CodeOf(0), tr.CodeOf(2)
+	e := exactExpectedDist(t, m, u, v)
+	if math.Abs(e-tr.Dist(u, v)) > 1e-6 {
+		t.Errorf("E = %v, want dT = %v", e, tr.Dist(u, v))
+	}
+}
+
+// TestExpectationMonotoneInEpsilonNearTruth: with stronger privacy (smaller
+// ε) the expected displacement of the obfuscated leaf can only grow, so the
+// expected distance to the input leaf itself (v = u) is antitone in ε.
+func TestExpectationMonotoneInEpsilonNearTruth(t *testing.T) {
+	tr := paperTree(t)
+	u := tr.CodeOf(1)
+	prev := math.Inf(1)
+	for _, eps := range []float64{0.05, 0.1, 0.3, 0.6, 1, 2, 5} {
+		m, err := NewHSTMechanism(tr, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := exactExpectedDist(t, m, u, u)
+		if e > prev+1e-9 {
+			t.Fatalf("E[dT(u',u)] grew from %v to %v as ε rose to %v", prev, e, eps)
+		}
+		prev = e
+	}
+}

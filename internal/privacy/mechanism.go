@@ -1,0 +1,26 @@
+// Package privacy implements the location-obfuscation mechanisms of the
+// POMBM problem: the paper's tree-based mechanism on HST leaves (Alg. 2 and
+// its O(D) random-walk implementation, Alg. 3), the planar Laplace
+// mechanism of Andrés et al. (CCS'13) used by the Lap-GR/Lap-HG/Prob
+// baselines, and a grid exponential mechanism used for ablations. It also
+// provides an exact Geo-Indistinguishability verifier used by the tests.
+package privacy
+
+import (
+	"errors"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// PointMechanism obfuscates locations in the plane. Implementations must be
+// safe for concurrent use when each call receives its own rng.Source.
+type PointMechanism interface {
+	// ObfuscatePoint maps a true location to a reported location.
+	ObfuscatePoint(p geo.Point, src *rng.Source) geo.Point
+	// Epsilon returns the privacy budget the mechanism was built with.
+	Epsilon() float64
+}
+
+// ErrBadEpsilon is returned when a non-positive privacy budget is supplied.
+var ErrBadEpsilon = errors.New("privacy: epsilon must be positive")

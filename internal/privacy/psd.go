@@ -1,0 +1,192 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// NoisyQuadtree is an ε-differentially-private spatial decomposition in the
+// style of Cormode et al. (ICDE'12), the construction To et al. (PVLDB'14)
+// use to protect *worker densities* — the paper's related-work baseline for
+// aggregate (rather than per-location) privacy. A fixed-depth quadtree is
+// built over the region; every node stores its point count perturbed with
+// Laplace noise, with the budget split geometrically across levels (deeper
+// levels, which answer finer queries, receive larger shares).
+//
+// Unlike Geo-Indistinguishability, this protects presence in *counts*: any
+// single location change alters one count per level, so by sequential
+// composition the whole tree is ε-differentially private.
+type NoisyQuadtree struct {
+	eps   float64
+	depth int
+	root  *nqNode
+}
+
+type nqNode struct {
+	bounds   geo.Rect
+	noisy    float64
+	children *[4]*nqNode
+}
+
+// NewNoisyQuadtree builds the decomposition over the points. depth is the
+// number of split levels (the tree has depth+1 count layers; 4^depth leaf
+// cells). src supplies the Laplace noise.
+func NewNoisyQuadtree(region geo.Rect, points []geo.Point, eps float64, depth int, src *rng.Source) (*NoisyQuadtree, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadEpsilon, eps)
+	}
+	if depth < 0 || depth > 12 {
+		return nil, fmt.Errorf("privacy: quadtree depth %d outside [0, 12]", depth)
+	}
+	if region.Width() <= 0 || region.Height() <= 0 {
+		return nil, fmt.Errorf("privacy: region %v must have positive area", region)
+	}
+	budgets := levelBudgets(eps, depth)
+	t := &NoisyQuadtree{eps: eps, depth: depth}
+	clamped := make([]geo.Point, len(points))
+	for i, p := range points {
+		clamped[i] = region.Clamp(p)
+	}
+	t.root = buildNQ(region, clamped, budgets, 0, depth, src)
+	return t, nil
+}
+
+// levelBudgets splits ε geometrically: level i (root = 0) receives a share
+// proportional to 2^(i/3), the allocation Cormode et al. show balances
+// noise against uniformity error.
+func levelBudgets(eps float64, depth int) []float64 {
+	n := depth + 1
+	weights := make([]float64, n)
+	var total float64
+	for i := range weights {
+		weights[i] = math.Pow(2, float64(i)/3)
+		total += weights[i]
+	}
+	for i := range weights {
+		weights[i] = eps * weights[i] / total
+	}
+	return weights
+}
+
+func buildNQ(bounds geo.Rect, pts []geo.Point, budgets []float64, level, depth int, src *rng.Source) *nqNode {
+	n := &nqNode{
+		bounds: bounds,
+		noisy:  float64(len(pts)) + LaplaceScalar(1/budgets[level], src),
+	}
+	if level == depth {
+		return n
+	}
+	quads := bounds.Quadrants()
+	buckets := [4][]geo.Point{}
+	for _, p := range pts {
+		buckets[nqChild(bounds, p)] = append(buckets[nqChild(bounds, p)], p)
+	}
+	var ch [4]*nqNode
+	for i := range ch {
+		ch[i] = buildNQ(quads[i], buckets[i], budgets, level+1, depth, src)
+	}
+	n.children = &ch
+	return n
+}
+
+func nqChild(b geo.Rect, p geo.Point) int {
+	c := b.Center()
+	if p.Y >= c.Y {
+		if p.X < c.X {
+			return 0
+		}
+		return 1
+	}
+	if p.X < c.X {
+		return 2
+	}
+	return 3
+}
+
+// Epsilon returns the total differential-privacy budget of the tree.
+func (t *NoisyQuadtree) Epsilon() float64 { return t.eps }
+
+// Depth returns the number of split levels.
+func (t *NoisyQuadtree) Depth() int { return t.depth }
+
+// TotalCount returns the noisy total population (the root count).
+func (t *NoisyQuadtree) TotalCount() float64 { return t.root.noisy }
+
+// CountIn estimates the number of points inside r: counts of nodes fully
+// contained in r are used whole; partially overlapping leaf cells
+// contribute under the standard uniformity assumption (count scaled by the
+// overlap area fraction).
+func (t *NoisyQuadtree) CountIn(r geo.Rect) float64 {
+	return nqCount(t.root, r)
+}
+
+func nqCount(n *nqNode, r geo.Rect) float64 {
+	if !n.bounds.Intersects(r) {
+		return 0
+	}
+	if rectContainsRect(r, n.bounds) {
+		return n.noisy
+	}
+	if n.children == nil {
+		frac := overlapArea(n.bounds, r) / (n.bounds.Width() * n.bounds.Height())
+		return n.noisy * frac
+	}
+	var sum float64
+	for _, ch := range n.children {
+		sum += nqCount(ch, r)
+	}
+	return sum
+}
+
+// DensestCell returns the leaf cell with the largest noisy count — the
+// primitive To et al.'s offline assignment uses to pick the region whose
+// workers receive a task.
+func (t *NoisyQuadtree) DensestCell() (geo.Rect, float64) {
+	best := t.root
+	var walk func(n *nqNode)
+	walk = func(n *nqNode) {
+		if n.children == nil {
+			if best.children != nil || n.noisy > best.noisy {
+				best = n
+			}
+			return
+		}
+		for _, ch := range n.children {
+			walk(ch)
+		}
+	}
+	walk(t.root)
+	return best.bounds, best.noisy
+}
+
+func rectContainsRect(outer, inner geo.Rect) bool {
+	return inner.MinX >= outer.MinX && inner.MaxX <= outer.MaxX &&
+		inner.MinY >= outer.MinY && inner.MaxY <= outer.MaxY
+}
+
+func overlapArea(a, b geo.Rect) float64 {
+	w := math.Min(a.MaxX, b.MaxX) - math.Max(a.MinX, b.MinX)
+	h := math.Min(a.MaxY, b.MaxY) - math.Max(a.MinY, b.MinY)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// LaplaceScalar draws one-dimensional Laplace noise with scale b via
+// inverse-CDF sampling. It is the noise primitive of differentially private
+// counts (distinct from the *planar* Laplace used for locations).
+func LaplaceScalar(b float64, src *rng.Source) float64 {
+	u := src.Float64() - 0.5
+	mag := 1 - 2*math.Abs(u)
+	if mag <= 0 { // u landed exactly on −1/2; the next float is fine
+		mag = math.SmallestNonzeroFloat64
+	}
+	if u < 0 {
+		return b * math.Log(mag)
+	}
+	return -b * math.Log(mag)
+}

@@ -1,0 +1,159 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func TestLaplaceScalarMoments(t *testing.T) {
+	src := rng.New(8)
+	const n = 300000
+	b := 2.5
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		v := LaplaceScalar(b, src)
+		sum += v
+		sumAbs += math.Abs(v)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.03 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	// E|X| = b for Laplace(b).
+	if meanAbs := sumAbs / n; math.Abs(meanAbs-b) > 0.03 {
+		t.Errorf("E|X| = %v, want %v", meanAbs, b)
+	}
+}
+
+func TestLevelBudgetsSumToEpsilon(t *testing.T) {
+	for _, depth := range []int{0, 1, 3, 7} {
+		bs := levelBudgets(1.5, depth)
+		if len(bs) != depth+1 {
+			t.Fatalf("depth %d: %d budgets", depth, len(bs))
+		}
+		var sum float64
+		for i, b := range bs {
+			if b <= 0 {
+				t.Fatalf("budget %d non-positive", i)
+			}
+			if i > 0 && b < bs[i-1] {
+				t.Errorf("budgets not increasing with depth: %v", bs)
+			}
+			sum += b
+		}
+		if math.Abs(sum-1.5) > 1e-9 {
+			t.Errorf("depth %d: budgets sum to %v", depth, sum)
+		}
+	}
+}
+
+func TestNoisyQuadtreeValidation(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10))
+	src := rng.New(1)
+	if _, err := NewNoisyQuadtree(region, nil, 0, 3, src); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewNoisyQuadtree(region, nil, 1, -1, src); err == nil {
+		t.Error("negative depth accepted")
+	}
+	if _, err := NewNoisyQuadtree(region, nil, 1, 13, src); err == nil {
+		t.Error("huge depth accepted")
+	}
+	if _, err := NewNoisyQuadtree(geo.Rect{}, nil, 1, 2, src); err == nil {
+		t.Error("degenerate region accepted")
+	}
+}
+
+func TestNoisyQuadtreeUnbiasedCounts(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100))
+	src := rng.New(13)
+	pts := make([]geo.Point, 800)
+	for i := range pts {
+		pts[i] = geo.Pt(src.Uniform(0, 100), src.Uniform(0, 100))
+	}
+	query := geo.NewRect(geo.Pt(0, 0), geo.Pt(50, 50)) // aligns with quadrants
+	trueCount := 0
+	for _, p := range pts {
+		if query.Contains(p) {
+			trueCount++
+		}
+	}
+	const trees = 300
+	var sumTotal, sumQuery float64
+	for i := 0; i < trees; i++ {
+		nq, err := NewNoisyQuadtree(region, pts, 1.0, 4, src.DeriveN("tree", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumTotal += nq.TotalCount()
+		sumQuery += nq.CountIn(query)
+	}
+	if got := sumTotal / trees; math.Abs(got-800) > 15 {
+		t.Errorf("mean total = %v, want ~800", got)
+	}
+	if got := sumQuery / trees; math.Abs(got-float64(trueCount)) > 15 {
+		t.Errorf("mean query count = %v, true %d", got, trueCount)
+	}
+}
+
+func TestNoisyQuadtreeQueryGeometry(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(64, 64))
+	src := rng.New(5)
+	pts := []geo.Point{geo.Pt(10, 10), geo.Pt(50, 50)}
+	nq, err := NewNoisyQuadtree(region, pts, 50 /* tiny noise */, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint query.
+	if c := nq.CountIn(geo.NewRect(geo.Pt(200, 200), geo.Pt(300, 300))); c != 0 {
+		t.Errorf("disjoint count = %v", c)
+	}
+	// Whole region: close to 2 with ε=50.
+	if c := nq.CountIn(region); math.Abs(c-2) > 1 {
+		t.Errorf("total = %v, want ~2", c)
+	}
+	// Containment of the SW quadrant captures the (10,10) point.
+	if c := nq.CountIn(geo.NewRect(geo.Pt(0, 0), geo.Pt(32, 32))); math.Abs(c-1) > 1 {
+		t.Errorf("SW count = %v, want ~1", c)
+	}
+}
+
+func TestNoisyQuadtreeDensestCell(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(80, 80))
+	src := rng.New(77)
+	// Cluster in the NE corner.
+	var pts []geo.Point
+	for i := 0; i < 400; i++ {
+		pts = append(pts, geo.Pt(src.Uniform(70, 80), src.Uniform(70, 80)))
+	}
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geo.Pt(src.Uniform(0, 80), src.Uniform(0, 80)))
+	}
+	nq, err := NewNoisyQuadtree(region, pts, 5, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, count := nq.DensestCell()
+	if count < 100 {
+		t.Errorf("densest count = %v, want the NE cluster", count)
+	}
+	if cell.MinX < 60 || cell.MinY < 60 {
+		t.Errorf("densest cell = %v, want the NE corner", cell)
+	}
+}
+
+func TestNoisyQuadtreeDepthZero(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10))
+	nq, err := NewNoisyQuadtree(region, []geo.Point{geo.Pt(5, 5)}, 10, 0, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nq.CountIn(region); math.Abs(got-1) > 1 {
+		t.Errorf("depth-0 total = %v", got)
+	}
+	if nq.Depth() != 0 || nq.Epsilon() != 10 {
+		t.Error("accessors wrong")
+	}
+}

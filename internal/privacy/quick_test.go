@@ -1,0 +1,126 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// quickMechTree builds one moderately deep tree for the property tests.
+func quickMechTree(t *testing.T) *hst.Tree {
+	t.Helper()
+	return randomTree(t, rng.New(4242), 60, 300)
+}
+
+func quickLeaf(tr *hst.Tree, seed uint64) hst.Code {
+	s := rng.New(seed)
+	buf := make([]byte, tr.Depth())
+	for i := range buf {
+		buf[i] = byte(s.Intn(tr.Degree()))
+	}
+	return hst.Code(buf)
+}
+
+// TestQuickGeoIPairwise is Theorem 1 as a property: for arbitrary leaf
+// triples and budgets, the log-probability gap never exceeds ε times the
+// tree distance between the inputs.
+func TestQuickGeoIPairwise(t *testing.T) {
+	tr := quickMechTree(t)
+	mechs := map[float64]*HSTMechanism{}
+	for _, eps := range []float64{0.1, 0.6, 2.0} {
+		m, err := NewHSTMechanism(tr, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mechs[eps] = m
+	}
+	f := func(x, y, z uint64, pick uint8) bool {
+		eps := []float64{0.1, 0.6, 2.0}[int(pick)%3]
+		m := mechs[eps]
+		x1, x2, out := quickLeaf(tr, x), quickLeaf(tr, y), quickLeaf(tr, z)
+		gap := m.LogLeafProb(x1, out) - m.LogLeafProb(x2, out)
+		return gap <= eps*tr.Dist(x1, x2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWalkDistributionIsProbability checks Σ P = 1 and P ≥ 0 for the
+// analytic walk distribution across random budgets.
+func TestQuickWalkDistributionIsProbability(t *testing.T) {
+	tr := quickMechTree(t)
+	f := func(raw float64) bool {
+		eps := math.Abs(math.Mod(raw, 5)) + 0.01
+		m, err := NewHSTMechanism(tr, eps)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range m.WalkDistribution() {
+			if p < -1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWeightsMonotone: wt_i strictly decreases with the level (farther
+// sibling sets are exponentially less likely), for any ε.
+func TestQuickWeightsMonotone(t *testing.T) {
+	tr := quickMechTree(t)
+	f := func(raw float64) bool {
+		eps := math.Abs(math.Mod(raw, 3)) + 0.01
+		m, err := NewHSTMechanism(tr, eps)
+		if err != nil {
+			return false
+		}
+		for i := 1; i <= tr.Depth(); i++ {
+			if m.Weight(i) > m.Weight(i-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLaplaceRadiusCDF: sampled radii honour the analytic CDF at
+// arbitrary thresholds (one-sample check on quantiles).
+func TestQuickLaplaceRadiusCDF(t *testing.T) {
+	l, err := NewPlanarLaplace(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(99)
+	const n = 50000
+	radii := make([]float64, n)
+	for i := range radii {
+		radii[i] = l.SampleRadius(src)
+	}
+	f := func(raw float64) bool {
+		r := math.Abs(math.Mod(raw, 20))
+		want := RadialCDF(0.7, r)
+		count := 0
+		for _, v := range radii {
+			if v <= r {
+				count++
+			}
+		}
+		got := float64(count) / n
+		return math.Abs(got-want) < 0.015
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveIndependentOfParentConsumption(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 50; i++ {
+		a.Float64() // consume the parent stream
+	}
+	ca, cb := a.Derive("child"), b.Derive("child")
+	for i := 0; i < 100; i++ {
+		if ca.Float64() != cb.Float64() {
+			t.Fatal("Derive depends on parent consumption")
+		}
+	}
+}
+
+func TestDeriveDistinctLabels(t *testing.T) {
+	s := New(1)
+	x := s.Derive("alpha").Uint64()
+	y := s.Derive("beta").Uint64()
+	if x == y {
+		t.Error("distinct labels produced identical first draws")
+	}
+}
+
+func TestDeriveNDistinct(t *testing.T) {
+	s := New(1)
+	seen := map[uint64]int{}
+	for i := 0; i < 100; i++ {
+		v := s.DeriveN("rep", i).Uint64()
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("DeriveN(%d) collides with DeriveN(%d)", i, prev)
+		}
+		seen[v] = i
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 3)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %v, want ~10", mean)
+	}
+	if math.Abs(std-3) > 0.05 {
+		t.Errorf("std = %v, want ~3", std)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(0.5)
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.05 {
+		t.Errorf("mean = %v, want ~2", mean)
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	s := New(17)
+	if got := s.WeightedIndex(nil); got != -1 {
+		t.Errorf("empty = %d", got)
+	}
+	if got := s.WeightedIndex([]float64{0, 0, 0}); got != -1 {
+		t.Errorf("all-zero = %d", got)
+	}
+	// Only one positive weight: always picked.
+	for i := 0; i < 100; i++ {
+		if got := s.WeightedIndex([]float64{0, 5, 0}); got != 1 {
+			t.Fatalf("singleton weight picked %d", got)
+		}
+	}
+	// Frequencies approach the weights.
+	counts := [3]int{}
+	w := []float64{1, 2, 7}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.WeightedIndex(w)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestPermInPlaceIsPermutation(t *testing.T) {
+	s := New(23)
+	xs := make([]int, 50)
+	for i := range xs {
+		xs[i] = i
+	}
+	PermInPlace(s, xs)
+	seen := map[int]bool{}
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("duplicate %d after shuffle", x)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 50 {
+		t.Errorf("lost elements: %d", len(seen))
+	}
+}
+
+func TestSplitmix64Bijective(t *testing.T) {
+	// Spot-check injectivity on a window of inputs.
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 10000; i++ {
+		v := splitmix64(i)
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("collision: splitmix64(%d) == splitmix64(%d)", i, prev)
+		}
+		seen[v] = i
+	}
+}

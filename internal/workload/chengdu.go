@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// ChengduRegion is the 10 km × 10 km study region in units of 50 m
+// (200 × 200 units), chosen so the paper's real-data reachable radii of
+// 500–1000 m land on the same [10, 20] scale as the synthetic ones and the
+// privacy budgets ε ∈ [0.2, 1] produce noise comparable to worker spacing.
+var ChengduRegion = geo.NewRect(geo.Pt(0, 0), geo.Pt(200, 200))
+
+// ChengduDays is the number of days in the generated "dataset"
+// (November 2016 in the original).
+const ChengduDays = 30
+
+// chengduSeed fixes the city structure: hotspots play the role of the real
+// city's business districts and stay identical across days and runs.
+const chengduSeed = 0xC43D
+
+// chengduHotspot is one persistent demand centre.
+type chengduHotspot struct {
+	center geo.Point
+	sigma  float64
+	weight float64
+}
+
+// chengduCity lazily builds the fixed hotspot mixture.
+func chengduCity() []chengduHotspot {
+	src := rng.New(chengduSeed).Derive("city")
+	const n = 14
+	hs := make([]chengduHotspot, n)
+	for i := range hs {
+		// Hotspots concentrate towards the centre like CBDs do; weights
+		// follow a heavy-ish tail so a few districts dominate demand.
+		hs[i] = chengduHotspot{
+			center: ChengduRegion.Clamp(geo.Pt(src.Normal(100, 45), src.Normal(100, 45))),
+			sigma:  src.Uniform(6, 18),
+			weight: math.Exp(src.Normal(0, 0.8)),
+		}
+	}
+	return hs
+}
+
+// ChengduParams selects one generated day and a worker-fleet size.
+type ChengduParams struct {
+	Day        int // 1-based, 1..ChengduDays
+	NumWorkers int
+}
+
+// ChengduTaskRange bounds the per-day peak-hour task counts (Table III:
+// 4245 to 5034 tasks per day).
+var ChengduTaskRange = [2]int{4245, 5034}
+
+// Chengdu generates the instance for one day. Task counts and locations
+// depend only on the day (the "dataset" is fixed); worker locations depend
+// on the day and the supplied source, since the paper's real data has no
+// workers and varies |W| synthetically.
+func Chengdu(p ChengduParams, src *rng.Source) (*Instance, error) {
+	if p.Day < 1 || p.Day > ChengduDays {
+		return nil, fmt.Errorf("workload: day %d outside 1..%d", p.Day, ChengduDays)
+	}
+	if p.NumWorkers < 0 {
+		return nil, fmt.Errorf("workload: negative worker count %d", p.NumWorkers)
+	}
+	city := chengduCity()
+	daySrc := rng.New(chengduSeed).DeriveN("day", p.Day)
+
+	lo, hi := ChengduTaskRange[0], ChengduTaskRange[1]
+	numTasks := lo + daySrc.Intn(hi-lo+1)
+
+	in := &Instance{Region: ChengduRegion}
+	in.Tasks = chengduPoints(numTasks, city, 0.12, daySrc.Derive("tasks"))
+	// Workers spread slightly wider than demand (drivers cruise between
+	// hotspots), with a higher uniform background share.
+	in.Workers = chengduPoints(p.NumWorkers, city, 0.25, src.Derive("chengdu-workers"))
+	return in, nil
+}
+
+// chengduPoints draws n points from the hotspot mixture with the given
+// uniform-background fraction.
+func chengduPoints(n int, city []chengduHotspot, background float64, src *rng.Source) []geo.Point {
+	weights := make([]float64, len(city))
+	for i, h := range city {
+		weights[i] = h.weight
+	}
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		if src.Float64() < background {
+			pts[i] = geo.Pt(
+				src.Uniform(ChengduRegion.MinX, ChengduRegion.MaxX),
+				src.Uniform(ChengduRegion.MinY, ChengduRegion.MaxY),
+			)
+			continue
+		}
+		h := city[src.WeightedIndex(weights)]
+		pts[i] = ChengduRegion.Clamp(geo.Pt(
+			src.Normal(h.center.X, h.sigma),
+			src.Normal(h.center.Y, h.sigma),
+		))
+	}
+	return pts
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures arbitrary input never panics the parser and that
+// anything it accepts round-trips losslessly.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("kind,x,y\nworker,1,2\ntask,3,4\n")
+	f.Add("kind,x,y\n")
+	f.Add("garbage")
+	f.Add("kind,x,y\nworker,1e308,-1e308\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		in, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var sb strings.Builder
+		if err := in.WriteCSV(&sb); err != nil {
+			t.Fatalf("WriteCSV after successful read: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(back.Workers) != len(in.Workers) || len(back.Tasks) != len(in.Tasks) {
+			t.Fatalf("round trip changed sizes")
+		}
+		for i := range in.Workers {
+			if in.Workers[i] != back.Workers[i] {
+				t.Fatalf("worker %d changed", i)
+			}
+		}
+		for i := range in.Tasks {
+			if in.Tasks[i] != back.Tasks[i] {
+				t.Fatalf("task %d changed", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	in, err := Synthetic(SyntheticParams{NumTasks: 40, NumWorkers: 60, Mu: 100, Sigma: 20}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := in.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Workers) != 60 || len(back.Tasks) != 40 {
+		t.Fatalf("sizes %d/%d", len(back.Workers), len(back.Tasks))
+	}
+	for i := range in.Workers {
+		if in.Workers[i] != back.Workers[i] {
+			t.Fatalf("worker %d changed: %v vs %v", i, in.Workers[i], back.Workers[i])
+		}
+	}
+	for i := range in.Tasks {
+		if in.Tasks[i] != back.Tasks[i] {
+			t.Fatalf("task %d order/position changed", i)
+		}
+	}
+	// All synthetic points fit the standard region, so it is preserved.
+	if back.Region != SyntheticRegion {
+		t.Errorf("region = %v, want synthetic region", back.Region)
+	}
+}
+
+func TestReadCSVInfersRegionForForeignData(t *testing.T) {
+	csv := "kind,x,y\nworker,-50,0\nworker,500,300\ntask,100,100\n"
+	in, err := ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range append(in.Workers, in.Tasks...) {
+		if !in.Region.Contains(p) {
+			t.Fatalf("inferred region %v excludes %v", in.Region, p)
+		}
+	}
+	if in.Region == SyntheticRegion {
+		t.Error("foreign data kept the synthetic region")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, data string
+	}{
+		{"empty", ""},
+		{"bad header", "a,b,c\nworker,1,2\n"},
+		{"bad kind", "kind,x,y\ndrone,1,2\n"},
+		{"bad x", "kind,x,y\nworker,abc,2\n"},
+		{"bad y", "kind,x,y\nworker,1,\n"},
+		{"nan", "kind,x,y\nworker,NaN,2\n"},
+		{"no agents", "kind,x,y\n"},
+		{"wrong fields", "kind,x,y\nworker,1\n"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.data)); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+func TestWriteCSVDegeneratePoint(t *testing.T) {
+	in := &Instance{
+		Region:  SyntheticRegion,
+		Workers: []geo.Point{geo.Pt(1, 1)},
+	}
+	var sb strings.Builder
+	if err := in.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Workers) != 1 || len(back.Tasks) != 0 {
+		t.Errorf("sizes %d/%d", len(back.Workers), len(back.Tasks))
+	}
+}

@@ -1,0 +1,63 @@
+package pombm
+
+import (
+	"net/http"
+
+	"github.com/pombm/pombm/internal/platform"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// Platform types: the paper's interaction model (Sec. II-A) as a runnable
+// client/server system. Obfuscation happens on the agents' side; the
+// untrusted server sees only leaf codes.
+type (
+	// Server is the untrusted crowdsourcing platform.
+	Server = platform.Server
+	// ServerClient talks to a Server over JSON/HTTP.
+	ServerClient = platform.Client
+	// Backend abstracts in-process and HTTP access to a Server.
+	Backend = platform.Backend
+	// Publication is the infrastructure the server makes public.
+	Publication = platform.Publication
+	// Obfuscator is the client-side snap-and-obfuscate stack.
+	Obfuscator = platform.Obfuscator
+	// Worker is a crowd worker agent with a private true location.
+	Worker = platform.Worker
+	// Task is a spatial task agent with a private true location.
+	Task = platform.Task
+	// StatsResponse reports server counters.
+	StatsResponse = platform.StatsResponse
+)
+
+// NewServer builds a platform server over a region: grid, HST, and the
+// privacy budget agents must use.
+func NewServer(region Rect, cols, rows int, eps float64, seed uint64) (*Server, error) {
+	return platform.NewServer(region, cols, rows, eps, seed)
+}
+
+// NewServerClient connects to a platform server's HTTP API.
+func NewServerClient(baseURL string) (*ServerClient, error) {
+	return platform.NewClient(baseURL)
+}
+
+// NewObfuscator builds an agent's client-side privacy stack from a
+// publication.
+func NewObfuscator(pub Publication, seed uint64) (*Obfuscator, error) {
+	return platform.NewObfuscator(pub, seed)
+}
+
+// PlatformHandler exposes a server over HTTP.
+func PlatformHandler(s *Server) http.Handler { return platform.Handler(s) }
+
+// Seed-based randomness helpers for agents that need raw draws.
+//
+// UniformPoints draws n uniform locations in a region, a convenience for
+// examples and demos.
+func UniformPoints(region Rect, n int, seed uint64) []Point {
+	src := rng.New(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(src.Uniform(region.MinX, region.MaxX), src.Uniform(region.MinY, region.MaxY))
+	}
+	return pts
+}
