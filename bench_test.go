@@ -12,9 +12,12 @@ package pombm_test
 // their packages (internal/match, experiment abl-walk).
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"github.com/pombm/pombm"
+	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/experiments"
 	"github.com/pombm/pombm/internal/geo"
 	"github.com/pombm/pombm/internal/hst"
@@ -166,6 +169,172 @@ func BenchmarkHungarian64(b *testing.B) {
 		if _, _, err := match.Hungarian(cost); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Assignment throughput benchmarks: the paper's O(D·n) scan, the O(D)
+// trie behind one global lock (the old server path), and the sharded
+// concurrent engine, each assigning benchTasks random tasks over a pool of
+// benchWorkers random workers split across 1/4/8 goroutines. The reported
+// tasks/sec metric is the headline number; ns/op counts one full batch
+// (refill excluded via timer control).
+const (
+	benchWorkers = 16384
+	benchTasks   = 8192
+)
+
+func benchCodes(b *testing.B, tr *hst.Tree, n int, label string) []hst.Code {
+	b.Helper()
+	src := rng.New(9).Derive(label)
+	out := make([]hst.Code, n)
+	for i := range out {
+		bs := make([]byte, tr.Depth())
+		for j := range bs {
+			bs[j] = byte(src.Intn(tr.Degree()))
+		}
+		out[i] = hst.Code(bs)
+	}
+	return out
+}
+
+// benchAssignConcurrent times `assign the tasks split across g goroutines
+// over a freshly refilled pool` once per iteration. newPool rebuilds the
+// pool (untimed); run consumes one chunk of tasks on one goroutine.
+func benchAssignConcurrent(b *testing.B, g int, tasks []hst.Code, newPool func() func([]hst.Code)) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		run := newPool()
+		b.StartTimer()
+		var wg sync.WaitGroup
+		chunk := (len(tasks) + g - 1) / g
+		for k := 0; k < g; k++ {
+			lo := k * chunk
+			hi := lo + chunk
+			if hi > len(tasks) {
+				hi = len(tasks)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				run(tasks[lo:hi])
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(len(tasks))/b.Elapsed().Seconds(), "tasks/sec")
+}
+
+// Shared across benchmark cases; initialised lazily by benchAssignSetup.
+var (
+	benchSetupOnce  sync.Once
+	benchTree       *hst.Tree
+	benchWorkerPool []hst.Code
+	benchTaskSlice  []hst.Code
+)
+
+func benchAssignSetup(b *testing.B) {
+	b.Helper()
+	benchSetupOnce.Do(func() {
+		g, err := geo.NewGrid(workload.SyntheticRegion, 32, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTree, err = hst.Build(g.Points(), rng.New(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWorkerPool = benchCodes(b, benchTree, benchWorkers, "workers")
+		benchTaskSlice = benchCodes(b, benchTree, benchTasks, "tasks")
+	})
+}
+
+func BenchmarkAssignScan(b *testing.B) {
+	benchAssignSetup(b)
+	// The O(D·n) scan is orders of magnitude slower; a reduced task count
+	// keeps the benchmark runnable while tasks/sec stays comparable.
+	benchAssignConcurrent(b, 1, benchTaskSlice[:512], func() func([]hst.Code) {
+		m := match.NewHSTGreedyScan(benchTree, benchWorkerPool)
+		return func(tasks []hst.Code) {
+			for _, t := range tasks {
+				m.Assign(t)
+			}
+		}
+	})
+}
+
+func BenchmarkAssignTrieLocked(b *testing.B) {
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			benchAssignSetup(b)
+			benchAssignConcurrent(b, g, benchTaskSlice, func() func([]hst.Code) {
+				idx := hst.NewLeafIndex(benchTree.Depth())
+				for i, c := range benchWorkerPool {
+					if err := idx.Insert(c, i); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var mu sync.Mutex
+				return func(tasks []hst.Code) {
+					for _, t := range tasks {
+						mu.Lock()
+						idx.PopNearest(t)
+						mu.Unlock()
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkEngineAssign(b *testing.B) {
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			benchAssignSetup(b)
+			benchAssignConcurrent(b, g, benchTaskSlice, func() func([]hst.Code) {
+				e, err := engine.New(benchTree, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i, c := range benchWorkerPool {
+					if err := e.Insert(c, i); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return func(tasks []hst.Code) {
+					for _, t := range tasks {
+						e.Assign(t)
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkEngineAssignBatch(b *testing.B) {
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			benchAssignSetup(b)
+			benchAssignConcurrent(b, g, benchTaskSlice, func() func([]hst.Code) {
+				e, err := engine.New(benchTree, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i, c := range benchWorkerPool {
+					if err := e.Insert(c, i); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return func(tasks []hst.Code) {
+					e.AssignBatch(tasks)
+				}
+			})
+		})
 	}
 }
 

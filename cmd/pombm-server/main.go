@@ -25,17 +25,18 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		grid = flag.Int("grid", 64, "predefined grid columns/rows")
-		side = flag.Float64("side", 200, "side of the square service region")
-		eps  = flag.Float64("eps", 0.6, "privacy budget ε")
-		seed = flag.Uint64("seed", 2020, "server random seed")
-		demo = flag.Int("demo", 0, "run a self-demo with this many workers (0 = serve only)")
+		addr   = flag.String("addr", ":8080", "listen address")
+		grid   = flag.Int("grid", 64, "predefined grid columns/rows")
+		side   = flag.Float64("side", 200, "side of the square service region")
+		eps    = flag.Float64("eps", 0.6, "privacy budget ε")
+		seed   = flag.Uint64("seed", 2020, "server random seed")
+		shards = flag.Int("shards", 0, "assignment engine shard count (0 = engine default)")
+		demo   = flag.Int("demo", 0, "run a self-demo with this many workers (0 = serve only)")
 	)
 	flag.Parse()
 
 	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(*side, *side))
-	srv, err := platform.NewServer(region, *grid, *grid, *eps, *seed)
+	srv, err := platform.NewServer(region, *grid, *grid, *eps, *seed, platform.WithShards(*shards))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pombm-server:", err)
 		os.Exit(1)
@@ -45,8 +46,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pombm-server:", err)
 		os.Exit(1)
 	}
-	log.Printf("serving on %s (grid %dx%d, ε=%g, tree depth %d)",
-		ln.Addr(), *grid, *grid, *eps, srv.Publication().Tree.Depth())
+	log.Printf("serving on %s (grid %dx%d, ε=%g, tree depth %d, %d engine shards)",
+		ln.Addr(), *grid, *grid, *eps, srv.Publication().Tree.Depth(), srv.Engine().Shards())
 
 	if *demo > 0 {
 		go runDemo(ln.Addr().String(), *demo, *seed)

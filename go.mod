@@ -1,0 +1,3 @@
+module github.com/pombm/pombm
+
+go 1.24

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/pombm/pombm/internal/geo"
@@ -30,6 +31,23 @@ type Options struct {
 	// paper's O(n) scan. Off by default: the evaluation reproduces the
 	// paper's complexity behaviour; the trie is the ablation.
 	UseTrie bool
+	// UseEngine selects the sharded concurrent assignment engine
+	// (internal/engine) as the HST-Greedy implementation. Takes precedence
+	// over UseTrie. Sequentially driven it reproduces the scan assignment
+	// for assignment; its value is concurrency safety and shard-local
+	// locking when tasks arrive on many goroutines.
+	UseEngine bool
+	// Shards is the engine shard count when UseEngine is set; 0 selects
+	// the engine default.
+	Shards int
+	// Parallelism bounds the worker pool for the client-side obfuscation
+	// fan-out in RunTBF and RunLapHG. 0 or 1 keeps the sequential draw
+	// order the harness has always used (bit-for-bit reproducible against
+	// earlier results); larger values obfuscate concurrently with
+	// per-agent derived randomness, deterministic for a given seed
+	// regardless of scheduling. Obfuscation is client-side work, so this
+	// does not touch the server-side assignment timing the paper measures.
+	Parallelism int
 }
 
 // Result summarises one distance-objective run.
@@ -78,19 +96,14 @@ func RunTBF(env *Env, inst *workload.Instance, opt Options, src *rng.Source) (*R
 		return nil, err
 	}
 	// Client side: every worker and task obfuscates its own snapped leaf.
-	wSrc := src.Derive("workers")
-	workerCodes := make([]hst.Code, len(inst.Workers))
-	for i, w := range inst.Workers {
-		workerCodes[i] = mech.Obfuscate(env.SnapCode(w), wSrc)
+	obf := func(p geo.Point, s *rng.Source) hst.Code {
+		return mech.Obfuscate(env.SnapCode(p), s)
 	}
-	tSrc := src.Derive("tasks")
-	taskCodes := make([]hst.Code, len(inst.Tasks))
-	for i, t := range inst.Tasks {
-		taskCodes[i] = mech.Obfuscate(env.SnapCode(t), tSrc)
-	}
+	workerCodes := obfuscateAll(inst.Workers, src.Derive("workers"), opt.Parallelism, obf)
+	taskCodes := obfuscateAll(inst.Tasks, src.Derive("tasks"), opt.Parallelism, obf)
 
 	res := &Result{Algorithm: AlgTBF}
-	assign, err := newHSTAssigner(env.Tree, workerCodes, opt.UseTrie)
+	assign, err := newHSTAssigner(env.Tree, workerCodes, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -142,19 +155,14 @@ func RunLapHG(env *Env, inst *workload.Instance, opt Options, src *rng.Source) (
 	if err != nil {
 		return nil, err
 	}
-	wSrc := src.Derive("workers")
-	workerCodes := make([]hst.Code, len(inst.Workers))
-	for i, w := range inst.Workers {
-		workerCodes[i] = env.SnapCode(lap.ObfuscatePoint(w, wSrc))
+	obf := func(p geo.Point, s *rng.Source) hst.Code {
+		return env.SnapCode(lap.ObfuscatePoint(p, s))
 	}
-	tSrc := src.Derive("tasks")
-	taskCodes := make([]hst.Code, len(inst.Tasks))
-	for i, t := range inst.Tasks {
-		taskCodes[i] = env.SnapCode(lap.ObfuscatePoint(t, tSrc))
-	}
+	workerCodes := obfuscateAll(inst.Workers, src.Derive("workers"), opt.Parallelism, obf)
+	taskCodes := obfuscateAll(inst.Tasks, src.Derive("tasks"), opt.Parallelism, obf)
 
 	res := &Result{Algorithm: AlgLapHG}
-	assign, err := newHSTAssigner(env.Tree, workerCodes, opt.UseTrie)
+	assign, err := newHSTAssigner(env.Tree, workerCodes, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -170,16 +178,55 @@ func RunLapHG(env *Env, inst *workload.Instance, opt Options, src *rng.Source) (
 
 // newHSTAssigner returns the configured HST-Greedy implementation as a
 // plain assign function.
-func newHSTAssigner(tree *hst.Tree, workers []hst.Code, useTrie bool) (func(hst.Code) int, error) {
-	if useTrie {
+func newHSTAssigner(tree *hst.Tree, workers []hst.Code, opt Options) (func(hst.Code) int, error) {
+	switch {
+	case opt.UseEngine:
+		g, err := match.NewHSTGreedyEngine(tree, workers, opt.Shards)
+		if err != nil {
+			return nil, err
+		}
+		return g.Assign, nil
+	case opt.UseTrie:
 		g, err := match.NewHSTGreedyTrie(tree, workers)
 		if err != nil {
 			return nil, err
 		}
 		return g.Assign, nil
+	default:
+		g := match.NewHSTGreedyScan(tree, workers)
+		return g.Assign, nil
 	}
-	g := match.NewHSTGreedyScan(tree, workers)
-	return g.Assign, nil
+}
+
+// obfuscateAll maps every point through obf into a leaf code. With
+// parallelism ≤ 1 items draw sequentially from src, preserving the exact
+// random stream the harness has always produced. With parallelism > 1 a
+// worker pool fans the items out, each item drawing from its own
+// index-derived child source — deterministic for a given seed no matter
+// how the goroutines are scheduled or how wide the pool is.
+func obfuscateAll(pts []geo.Point, src *rng.Source, parallelism int, obf func(geo.Point, *rng.Source) hst.Code) []hst.Code {
+	codes := make([]hst.Code, len(pts))
+	if parallelism <= 1 || len(pts) < 2 {
+		for i, p := range pts {
+			codes[i] = obf(p, src)
+		}
+		return codes
+	}
+	if parallelism > len(pts) {
+		parallelism = len(pts)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < parallelism; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(pts); i += parallelism {
+				codes[i] = obf(pts[i], src.DeriveN("item", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	return codes
 }
 
 // score accumulates the true-distance objective for task i matched to w.

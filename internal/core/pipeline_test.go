@@ -150,6 +150,58 @@ func TestTrieAndScanPipelineEquivalent(t *testing.T) {
 	}
 }
 
+// TestEngineAndScanPipelineEquivalent: the sharded engine breaks ties
+// towards the lowest worker id like the scan does, so driven sequentially
+// by the pipelines the totals agree exactly — not merely within the
+// tie-breaking variance Alg. 4 permits.
+func TestEngineAndScanPipelineEquivalent(t *testing.T) {
+	env := testEnv(t, 16)
+	inst := testInstance(t, 150, 200, 8)
+	for _, alg := range []Algorithm{AlgTBF, AlgLapHG} {
+		scan, err := Run(alg, env, inst, Options{Epsilon: 0.6}, rng.New(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{0, 1, 3} {
+			eng, err := Run(alg, env, inst, Options{Epsilon: 0.6, UseEngine: true, Shards: shards}, rng.New(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scan.TotalDistance != eng.TotalDistance || scan.Matched != eng.Matched {
+				t.Errorf("%s shards=%d: scan (%v, %d) ≠ engine (%v, %d)", alg, shards,
+					scan.TotalDistance, scan.Matched, eng.TotalDistance, eng.Matched)
+			}
+		}
+	}
+}
+
+// TestParallelObfuscationDeterministic: with Parallelism > 1 the result
+// must depend only on the seed, not on the pool width or scheduling.
+func TestParallelObfuscationDeterministic(t *testing.T) {
+	env := testEnv(t, 16)
+	inst := testInstance(t, 120, 160, 9)
+	for _, alg := range []Algorithm{AlgTBF, AlgLapHG} {
+		var ref *Result
+		for _, par := range []int{2, 4, 8} {
+			res, err := Run(alg, env, inst, Options{Epsilon: 0.6, Parallelism: par}, rng.New(12))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Matched != len(inst.Tasks) {
+				t.Errorf("%s par=%d: matched %d of %d", alg, par, res.Matched, len(inst.Tasks))
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.TotalDistance != ref.TotalDistance || res.Matched != ref.Matched {
+				t.Errorf("%s: par=%d total %v diverged from par=2 total %v",
+					alg, par, res.TotalDistance, ref.TotalDistance)
+			}
+		}
+	}
+}
+
 // TestShapeTBFBeatsBaselinesAtSmallEpsilon is the paper's headline claim in
 // miniature: averaged over repetitions at strict privacy (ε = 0.2), TBF's
 // total true distance is clearly below Lap-GR's and Lap-HG's (Fig. 7a).

@@ -1,0 +1,243 @@
+// Package engine provides a sharded, concurrency-safe HST assignment
+// engine: the online greedy of Alg. 4 behind an API that many goroutines
+// can drive at once without funnelling through one global lock.
+//
+// The leaf-code trie is sharded by top-level HST branch: workers whose
+// obfuscated codes start with digit d live in shard d mod S, each shard
+// owning its own hst.LeafIndex and mutex. Because every leaf sharing at
+// least the first digit with a query lives in the query's own shard, a
+// task's tree-nearest worker at any LCA level below the root is found
+// entirely inside that shard — disjoint traffic never contends. Only when
+// the query's shard holds no worker in the query's top-level branch (the
+// nearest worker sits at the maximal LCA level D, where every available
+// worker is equidistant) does the engine take the slow path that locks all
+// shards in order and picks the globally smallest id.
+//
+// Tie-breaking is everywhere towards the smallest worker id, which makes a
+// sequentially driven Engine assignment-for-assignment identical to the
+// paper-faithful scanning matcher (match.HSTGreedyScan). Under concurrent
+// use the interleaving of requests is arbitrary — exactly the freedom the
+// online model grants — and every individual answer is still tree-nearest
+// among the workers available at that instant.
+//
+// Sharding is pure server-side post-processing of already-obfuscated
+// reports, so the privacy guarantee (Theorem 1) is untouched.
+package engine
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// None is returned by Assign and AssignBatch when no worker is available.
+const None = -1
+
+// DefaultShards is the shard count used when a caller passes 0: enough to
+// spread top-level branches without making the cross-shard fallback scan
+// long. New clamps it to the tree's degree.
+const DefaultShards = 8
+
+// Engine is a sharded concurrent assignment engine over one published HST.
+// All methods are safe for concurrent use.
+type Engine struct {
+	tree   *hst.Tree
+	depth  int
+	shards []engineShard
+}
+
+type engineShard struct {
+	mu    sync.Mutex
+	index *hst.LeafIndex
+}
+
+// New returns an engine for the published tree with the given shard count.
+// Shards ≤ 0 selects DefaultShards; the count is clamped to the tree's
+// degree (more shards than top-level branches cannot help) and to 1 for
+// trees of depth 0.
+func New(tree *hst.Tree, shards int) (*Engine, error) {
+	if tree == nil {
+		return nil, errors.New("engine: nil tree")
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if d := tree.Degree(); shards > d && d > 0 {
+		shards = d
+	}
+	if tree.Depth() == 0 {
+		shards = 1
+	}
+	e := &Engine{
+		tree:   tree,
+		depth:  tree.Depth(),
+		shards: make([]engineShard, shards),
+	}
+	for i := range e.shards {
+		e.shards[i].index = hst.NewLeafIndex(e.depth)
+	}
+	return e, nil
+}
+
+// Tree returns the published HST the engine serves.
+func (e *Engine) Tree() *hst.Tree { return e.tree }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+func (e *Engine) shardOf(code hst.Code) *engineShard {
+	if e.depth == 0 || len(e.shards) == 1 {
+		return &e.shards[0]
+	}
+	return &e.shards[int(code[0])%len(e.shards)]
+}
+
+// Insert registers an available worker id at its obfuscated leaf code.
+func (e *Engine) Insert(code hst.Code, id int) error {
+	if err := e.tree.CheckCode(code); err != nil {
+		return err
+	}
+	s := e.shardOf(code)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.index.Insert(code, id)
+}
+
+// Remove withdraws a worker previously inserted at the given code. It
+// reports whether the worker was still available.
+func (e *Engine) Remove(code hst.Code, id int) bool {
+	if e.tree.CheckCode(code) != nil {
+		return false
+	}
+	s := e.shardOf(code)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.index.Remove(code, id)
+}
+
+// Len returns the number of available workers.
+func (e *Engine) Len() int {
+	n := 0
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		n += s.index.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Occupancy returns the number of available workers per shard, for
+// monitoring and load inspection.
+func (e *Engine) Occupancy() []int {
+	occ := make([]int, len(e.shards))
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		occ[i] = s.index.Len()
+		s.mu.Unlock()
+	}
+	return occ
+}
+
+// Assign atomically finds, removes, and returns the tree-nearest available
+// worker for a task's obfuscated leaf code, together with the LCA level of
+// the match. ok is false when the code is malformed or no worker is
+// available.
+func (e *Engine) Assign(code hst.Code) (id, lcaLevel int, ok bool) {
+	if e.tree.CheckCode(code) != nil {
+		return None, 0, false
+	}
+	return e.assign(code)
+}
+
+func (e *Engine) assign(code hst.Code) (id, lcaLevel int, ok bool) {
+	if e.depth > 0 {
+		s := e.shardOf(code)
+		s.mu.Lock()
+		id, lvl, ok := s.index.PopNearestWithin(code, e.depth-1)
+		s.mu.Unlock()
+		if ok {
+			return id, lvl, true
+		}
+	}
+	return e.assignAcross(code)
+}
+
+// assignAcross is the slow path: the query's own shard holds no worker
+// below the root LCA, so every available worker (in any shard) is at the
+// maximal level and the globally smallest id wins. All shard locks are
+// taken in index order — the single lock order in the package, so the fast
+// path (one shard) and slow path (all shards, ascending) cannot deadlock.
+func (e *Engine) assignAcross(code hst.Code) (id, lcaLevel int, ok bool) {
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range e.shards {
+			e.shards[i].mu.Unlock()
+		}
+	}()
+	// The own shard may have gained a closer worker since the fast path
+	// gave up; re-check it now that the state is frozen.
+	if e.depth > 0 {
+		if id, lvl, ok := e.shardOf(code).index.PopNearestWithin(code, e.depth-1); ok {
+			return id, lvl, true
+		}
+	}
+	best := -1
+	bestID := int(^uint(0) >> 1) // max int
+	for i := range e.shards {
+		if m, ok := e.shards[i].index.MinID(); ok && m < bestID {
+			best, bestID = i, m
+		}
+	}
+	if best < 0 {
+		return None, 0, false
+	}
+	id, _ = e.shards[best].index.PopMin()
+	return id, e.depth, true
+}
+
+// AssignBatch assigns a batch of task codes in order, amortising shard
+// locking across runs of tasks that hit the same shard. The result holds
+// one worker id (or None) per task. The outcome is exactly the outcome of
+// calling Assign sequentially on each code.
+func (e *Engine) AssignBatch(codes []hst.Code) []int {
+	out := make([]int, len(codes))
+	var held *engineShard
+	release := func() {
+		if held != nil {
+			held.mu.Unlock()
+			held = nil
+		}
+	}
+	defer release()
+	for i, code := range codes {
+		if e.tree.CheckCode(code) != nil {
+			out[i] = None
+			continue
+		}
+		if e.depth > 0 {
+			s := e.shardOf(code)
+			if s != held {
+				release()
+				s.mu.Lock()
+				held = s
+			}
+			if id, _, ok := held.index.PopNearestWithin(code, e.depth-1); ok {
+				out[i] = id
+				continue
+			}
+		}
+		// Fall back without holding any shard lock.
+		release()
+		if id, _, ok := e.assignAcross(code); ok {
+			out[i] = id
+		} else {
+			out[i] = None
+		}
+	}
+	return out
+}

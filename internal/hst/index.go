@@ -154,6 +154,117 @@ func (x *LeafIndex) Nearest(code Code) (id, lcaLevel int, ok bool) {
 	return n.minID, x.depth - j, true
 }
 
+// MinID returns the smallest live item id. ok is false when the index is
+// empty. The assignment engine uses it to break cross-shard ties towards
+// the lowest id, matching the scanning implementation of Alg. 4.
+func (x *LeafIndex) MinID() (int, bool) {
+	if x.size == 0 {
+		return 0, false
+	}
+	return x.root.minID, true
+}
+
+// CountPrefix returns the number of live items whose code starts with the
+// given prefix — the occupancy of the complete-tree node the prefix
+// identifies (level D−len(prefix)). An empty prefix counts everything.
+func (x *LeafIndex) CountPrefix(prefix Code) int {
+	if len(prefix) > x.depth {
+		return 0
+	}
+	n := x.root
+	for j := 0; j < len(prefix); j++ {
+		if n.children == nil {
+			return 0
+		}
+		n = n.children[prefix[j]]
+		if n == nil {
+			return 0
+		}
+	}
+	return n.count
+}
+
+// PopNearest atomically finds and removes the item Nearest would return:
+// the smallest-id item with the deepest common code prefix with the query.
+// Unlike Nearest+Remove it needs no external code table and traverses the
+// trie once down and once up.
+func (x *LeafIndex) PopNearest(code Code) (id, lcaLevel int, ok bool) {
+	return x.PopNearestWithin(code, x.depth)
+}
+
+// PopNearestWithin is PopNearest restricted to candidates whose LCA with
+// the query sits at level ≤ maxLevel: when even the nearest item is farther,
+// nothing is removed and ok is false (lcaLevel still reports the level the
+// nearest item would have had). The sharded engine uses it to detect when a
+// query must fall back to a cross-shard search.
+func (x *LeafIndex) PopNearestWithin(code Code, maxLevel int) (id, lcaLevel int, ok bool) {
+	if x.size == 0 || len(code) != x.depth {
+		return 0, 0, false
+	}
+	path := make([]*trieNode, 0, x.depth+1)
+	n := x.root
+	path = append(path, n)
+	j := 0
+	for j < x.depth {
+		ch := n.children[code[j]]
+		if ch == nil || ch.count == 0 {
+			break
+		}
+		n = ch
+		path = append(path, n)
+		j++
+	}
+	lvl := x.depth - j
+	if lvl > maxLevel {
+		return 0, lvl, false
+	}
+	return x.popMinFrom(path), lvl, true
+}
+
+// PopMin atomically removes and returns the smallest live item id. ok is
+// false when the index is empty.
+func (x *LeafIndex) PopMin() (int, bool) {
+	if x.size == 0 {
+		return 0, false
+	}
+	path := make([]*trieNode, 0, x.depth+1)
+	path = append(path, x.root)
+	return x.popMinFrom(path), true
+}
+
+// popMinFrom removes the minID item under the last node of path (a
+// root-anchored trie path) and repairs counts and minIDs along the way.
+func (x *LeafIndex) popMinFrom(path []*trieNode) int {
+	n := path[len(path)-1]
+	target := n.minID
+	for depthAt := len(path) - 1; depthAt < x.depth; depthAt++ {
+		var next *trieNode
+		for _, ch := range n.children {
+			if ch.count > 0 && ch.minID == target {
+				next = ch
+				break
+			}
+		}
+		n = next // a live subtree always contains its own minID
+		path = append(path, n)
+	}
+	for i, item := range n.items {
+		if item == target {
+			last := len(n.items) - 1
+			n.items[i] = n.items[last]
+			n.items = n.items[:last]
+			break
+		}
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		p := path[i]
+		p.count--
+		p.minID = p.recomputeMin()
+	}
+	x.size--
+	return target
+}
+
 // Walk visits every indexed item (code, id). Order is unspecified.
 func (x *LeafIndex) Walk(fn func(code Code, id int)) {
 	var rec func(n *trieNode, prefix []byte)

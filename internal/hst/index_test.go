@@ -130,6 +130,126 @@ func TestLeafIndexNearestMatchesBruteForce(t *testing.T) {
 	}
 }
 
+func TestLeafIndexPopNearestMatchesNearest(t *testing.T) {
+	// PopNearest must return exactly what Nearest would, and remove it.
+	src := rng.New(99)
+	const depth = 6
+	const degree = 4
+	randCode := func(s *rng.Source) Code {
+		b := make([]byte, depth)
+		for i := range b {
+			b[i] = byte(s.Intn(degree))
+		}
+		return Code(b)
+	}
+	for trial := 0; trial < 20; trial++ {
+		s := src.DeriveN("trial", trial)
+		x := NewLeafIndex(depth)
+		y := NewLeafIndex(depth)
+		codes := map[int]Code{}
+		n := 1 + s.Intn(150)
+		for i := 0; i < n; i++ {
+			c := randCode(s)
+			codes[i] = c
+			x.Insert(c, i)
+			y.Insert(c, i)
+		}
+		for x.Len() > 0 {
+			query := randCode(s)
+			wantID, wantLvl, _ := y.Nearest(query)
+			id, lvl, ok := x.PopNearest(query)
+			if !ok || id != wantID || lvl != wantLvl {
+				t.Fatalf("trial %d: PopNearest = (%d,%d,%v), Nearest = (%d,%d)",
+					trial, id, lvl, ok, wantID, wantLvl)
+			}
+			if !y.Remove(codes[id], id) {
+				t.Fatalf("trial %d: mirror removal of %d failed", trial, id)
+			}
+			if x.Len() != y.Len() {
+				t.Fatalf("trial %d: Len diverged %d vs %d", trial, x.Len(), y.Len())
+			}
+		}
+		if _, _, ok := x.PopNearest(randCode(s)); ok {
+			t.Fatal("PopNearest on empty index returned ok")
+		}
+	}
+}
+
+func TestLeafIndexPopNearestWithin(t *testing.T) {
+	x := NewLeafIndex(3)
+	x.Insert(mkCode(2, 1, 0), 5)
+	// The only item is at LCA level 3 from this query; a cap of 2 must
+	// refuse to pop but still report the level.
+	if id, lvl, ok := x.PopNearestWithin(mkCode(0, 1, 0), 2); ok {
+		t.Errorf("capped pop succeeded: (%d,%d)", id, lvl)
+	} else if lvl != 3 {
+		t.Errorf("capped pop reported level %d, want 3", lvl)
+	}
+	if x.Len() != 1 {
+		t.Fatalf("Len = %d after refused pop", x.Len())
+	}
+	if id, lvl, ok := x.PopNearestWithin(mkCode(2, 1, 1), 1); !ok || id != 5 || lvl != 1 {
+		t.Errorf("pop within cap = (%d,%d,%v)", id, lvl, ok)
+	}
+	if x.Len() != 0 {
+		t.Fatalf("Len = %d after pop", x.Len())
+	}
+}
+
+func TestLeafIndexMinIDAndPopMin(t *testing.T) {
+	x := NewLeafIndex(2)
+	if _, ok := x.MinID(); ok {
+		t.Error("MinID on empty index returned ok")
+	}
+	if _, ok := x.PopMin(); ok {
+		t.Error("PopMin on empty index returned ok")
+	}
+	x.Insert(mkCode(1, 1), 9)
+	x.Insert(mkCode(0, 0), 4)
+	x.Insert(mkCode(0, 1), 6)
+	if id, ok := x.MinID(); !ok || id != 4 {
+		t.Errorf("MinID = (%d,%v), want 4", id, ok)
+	}
+	for _, want := range []int{4, 6, 9} {
+		id, ok := x.PopMin()
+		if !ok || id != want {
+			t.Fatalf("PopMin = (%d,%v), want %d", id, ok, want)
+		}
+	}
+	if x.Len() != 0 {
+		t.Errorf("Len = %d after draining", x.Len())
+	}
+}
+
+func TestLeafIndexCountPrefix(t *testing.T) {
+	x := NewLeafIndex(3)
+	x.Insert(mkCode(0, 1, 2), 1)
+	x.Insert(mkCode(0, 1, 1), 2)
+	x.Insert(mkCode(0, 2, 0), 3)
+	x.Insert(mkCode(1, 0, 0), 4)
+	cases := []struct {
+		prefix Code
+		want   int
+	}{
+		{Code(""), 4},
+		{mkCode(0), 3},
+		{mkCode(0, 1), 2},
+		{mkCode(0, 1, 2), 1},
+		{mkCode(1), 1},
+		{mkCode(2), 0},
+		{mkCode(0, 1, 2, 0), 0}, // longer than depth
+	}
+	for _, c := range cases {
+		if got := x.CountPrefix(c.prefix); got != c.want {
+			t.Errorf("CountPrefix(%v) = %d, want %d", []byte(c.prefix), got, c.want)
+		}
+	}
+	x.Remove(mkCode(0, 1, 1), 2)
+	if got := x.CountPrefix(mkCode(0, 1)); got != 1 {
+		t.Errorf("CountPrefix after removal = %d, want 1", got)
+	}
+}
+
 func TestLeafIndexInterleavedInsertRemove(t *testing.T) {
 	src := rng.New(17)
 	const depth = 5

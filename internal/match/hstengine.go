@@ -1,0 +1,59 @@
+package match
+
+import (
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// HSTGreedyEngine answers Alg. 4 through the sharded concurrent engine:
+// the same O(D) per-task work as HSTGreedyTrie, but safe for concurrent
+// Assign calls and free of the single-lock bottleneck — the matcher to use
+// when tasks arrive on many goroutines. Ties are broken towards the lowest
+// worker id, so driven sequentially it is assignment-for-assignment
+// identical to HSTGreedyScan.
+type HSTGreedyEngine struct {
+	eng *engine.Engine
+}
+
+// NewHSTGreedyEngine returns the engine-backed matcher over the reported
+// worker leaf codes. shards ≤ 0 selects the engine default.
+func NewHSTGreedyEngine(tree *hst.Tree, workers []hst.Code, shards int) (*HSTGreedyEngine, error) {
+	eng, err := engine.New(tree, shards)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range workers {
+		if err := eng.Insert(c, i); err != nil {
+			return nil, err
+		}
+	}
+	return &HSTGreedyEngine{eng: eng}, nil
+}
+
+// Engine exposes the underlying assignment engine.
+func (g *HSTGreedyEngine) Engine() *engine.Engine { return g.eng }
+
+// Remaining returns the number of unassigned workers.
+func (g *HSTGreedyEngine) Remaining() int { return g.eng.Len() }
+
+// Assign matches the task with obfuscated leaf t to a tree-nearest
+// unassigned worker and consumes it. Returns NoWorker when exhausted.
+func (g *HSTGreedyEngine) Assign(t hst.Code) int {
+	id, _, ok := g.eng.Assign(t)
+	if !ok {
+		return NoWorker
+	}
+	return id
+}
+
+// AssignBatch assigns a batch of tasks in order, amortising shard locking.
+// Each entry is the assigned worker or NoWorker.
+func (g *HSTGreedyEngine) AssignBatch(ts []hst.Code) []int {
+	out := g.eng.AssignBatch(ts)
+	for i, id := range out {
+		if id == engine.None {
+			out[i] = NoWorker
+		}
+	}
+	return out
+}

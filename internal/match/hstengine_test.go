@@ -1,0 +1,99 @@
+package match
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func engineTestTree(t *testing.T) *hst.Tree {
+	t.Helper()
+	grid, err := geo.NewGrid(geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100)), 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := hst.Build(grid.Points(), rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestHSTGreedyEngineMatchesScan(t *testing.T) {
+	tree := engineTestTree(t)
+	src := rng.New(31)
+	randLeaf := func() hst.Code {
+		b := make([]byte, tree.Depth())
+		for i := range b {
+			b[i] = byte(src.Intn(tree.Degree()))
+		}
+		return hst.Code(b)
+	}
+	workers := make([]hst.Code, 180)
+	for i := range workers {
+		workers[i] = randLeaf()
+	}
+	eng, err := NewHSTGreedyEngine(tree, workers, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := NewHSTGreedyScan(tree, workers)
+	if eng.Remaining() != scan.Remaining() {
+		t.Fatalf("Remaining: engine %d, scan %d", eng.Remaining(), scan.Remaining())
+	}
+	for i := 0; i < len(workers)+5; i++ {
+		task := randLeaf()
+		if got, want := eng.Assign(task), scan.Assign(task); got != want {
+			t.Fatalf("task %d: engine %d, scan %d", i, got, want)
+		}
+		if eng.Remaining() != scan.Remaining() {
+			t.Fatalf("task %d: Remaining diverged %d vs %d", i, eng.Remaining(), scan.Remaining())
+		}
+	}
+}
+
+func TestHSTGreedyEngineAssignBatch(t *testing.T) {
+	tree := engineTestTree(t)
+	src := rng.New(32)
+	randLeaf := func() hst.Code {
+		b := make([]byte, tree.Depth())
+		for i := range b {
+			b[i] = byte(src.Intn(tree.Degree()))
+		}
+		return hst.Code(b)
+	}
+	workers := make([]hst.Code, 60)
+	for i := range workers {
+		workers[i] = randLeaf()
+	}
+	tasks := make([]hst.Code, 70)
+	for i := range tasks {
+		tasks[i] = randLeaf()
+	}
+	eng, err := NewHSTGreedyEngine(tree, workers, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewHSTGreedyEngine(tree, workers, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eng.AssignBatch(tasks)
+	for i, task := range tasks {
+		if want := seq.Assign(task); got[i] != want {
+			t.Fatalf("task %d: batch %d, sequential %d", i, got[i], want)
+		}
+	}
+	if eng.Remaining() != 0 {
+		t.Errorf("Remaining = %d after over-subscribed batch", eng.Remaining())
+	}
+}
+
+func TestHSTGreedyEngineRejectsBadWorkers(t *testing.T) {
+	tree := engineTestTree(t)
+	if _, err := NewHSTGreedyEngine(tree, []hst.Code{"x"}, 2); err == nil {
+		t.Error("malformed worker code accepted")
+	}
+}

@@ -16,7 +16,9 @@ const (
 	PathPublication = "/v1/publication"
 	PathRegister    = "/v1/register"
 	PathReregister  = "/v1/reregister"
+	PathRelease     = "/v1/release"
 	PathTask        = "/v1/task"
+	PathTaskBatch   = "/v1/tasks"
 	PathStats       = "/v1/stats"
 )
 
@@ -53,12 +55,26 @@ func Handler(s *Server) http.Handler {
 		}
 		writeJSON(w, s.Reregister(req))
 	})
+	mux.HandleFunc(PathRelease, func(w http.ResponseWriter, r *http.Request) {
+		var req ReleaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.Release(req))
+	})
 	mux.HandleFunc(PathTask, func(w http.ResponseWriter, r *http.Request) {
 		var req TaskRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
 		writeJSON(w, s.Submit(req))
+	})
+	mux.HandleFunc(PathTaskBatch, func(w http.ResponseWriter, r *http.Request) {
+		var req TaskBatchRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.SubmitBatch(req))
 	})
 	mux.HandleFunc(PathStats, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
@@ -131,11 +147,33 @@ func (c *Client) Reregister(req ReregisterRequest) RegisterResponse {
 	return resp
 }
 
+// Release returns an assigned worker to the pool over HTTP.
+func (c *Client) Release(req ReleaseRequest) RegisterResponse {
+	var resp RegisterResponse
+	if err := c.post(PathRelease, req, &resp); err != nil {
+		return RegisterResponse{OK: false, Reason: err.Error()}
+	}
+	return resp
+}
+
 // Submit implements Backend over HTTP.
 func (c *Client) Submit(req TaskRequest) TaskResponse {
 	var resp TaskResponse
 	if err := c.post(PathTask, req, &resp); err != nil {
 		return TaskResponse{Assigned: false, Reason: err.Error()}
+	}
+	return resp
+}
+
+// SubmitBatch submits a task batch over HTTP.
+func (c *Client) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
+	var resp TaskBatchResponse
+	if err := c.post(PathTaskBatch, req, &resp); err != nil {
+		out := TaskBatchResponse{Results: make([]TaskResponse, len(req.Tasks))}
+		for i := range out.Results {
+			out.Results[i] = TaskResponse{Assigned: false, Reason: err.Error()}
+		}
+		return out
 	}
 	return resp
 }

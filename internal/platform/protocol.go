@@ -51,10 +51,31 @@ type TaskResponse struct {
 	Reason   string `json:"reason,omitempty"`
 }
 
+// TaskBatchRequest submits a batch of tasks to be assigned in order
+// through the engine's amortised batch path.
+type TaskBatchRequest struct {
+	Tasks []TaskRequest `json:"tasks"`
+}
+
+// TaskBatchResponse carries one assignment decision per submitted task, in
+// submission order.
+type TaskBatchResponse struct {
+	Results []TaskResponse `json:"results"`
+}
+
+// ReleaseRequest returns an assigned worker to the available pool. Code is
+// optional: empty re-reports the worker's previous leaf (no extra privacy
+// spend); non-empty reports a freshly obfuscated location.
+type ReleaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	Code     []byte `json:"code,omitempty"`
+}
+
 // StatsResponse summarises server state for monitoring.
 type StatsResponse struct {
 	RegisteredWorkers int `json:"registered_workers"`
 	AvailableWorkers  int `json:"available_workers"`
 	AssignedTasks     int `json:"assigned_tasks"`
 	RejectedTasks     int `json:"rejected_tasks"`
+	ReleasedWorkers   int `json:"released_workers"`
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/geo"
 	"github.com/pombm/pombm/internal/hst"
 	"github.com/pombm/pombm/internal/rng"
@@ -12,25 +13,52 @@ import (
 
 // Server is the untrusted crowdsourcing platform. It sees only obfuscated
 // leaf codes and assigns each arriving task to the tree-nearest available
-// worker (Alg. 4, trie-indexed so assignment is O(D)).
+// worker (Alg. 4). It is a thin transport wrapper over the sharded
+// concurrent assignment engine (internal/engine): the engine holds the
+// availability state and answers each task in O(D) with shard-local
+// locking, while the server only maps external worker ids to engine slots
+// and keeps counters.
 //
-// Server is safe for concurrent use.
+// Server is safe for concurrent use; Submit calls on disjoint top-level
+// HST branches do not contend.
 type Server struct {
 	pub Publication
+	eng *engine.Engine
 
+	// mu guards the slot tables and counters. The engine is the source of
+	// truth for availability: a slot is registered in the engine exactly
+	// when the worker is available. Every engine mutation except Submit's
+	// atomic pop happens under mu, so slot-table reads after a pop are
+	// always consistent.
 	mu        sync.Mutex
-	index     *hst.LeafIndex
 	workerIDs []string   // slot → external id
 	codes     []hst.Code // slot → reported leaf
 	available []bool
 	byID      map[string]int
 	assigned  int
 	rejected  int
+	released  int
+}
+
+// ServerOption customises server construction.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	shards int
+}
+
+// WithShards sets the assignment engine's shard count (0 = engine default).
+func WithShards(n int) ServerOption {
+	return func(c *serverConfig) { c.shards = n }
 }
 
 // NewServer builds the infrastructure (grid + HST) and returns a server
 // publishing it with the given privacy budget.
-func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64) (*Server, error) {
+func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64, opts ...ServerOption) (*Server, error) {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	grid, err := geo.NewGrid(region, cols, rows)
 	if err != nil {
 		return nil, err
@@ -42,6 +70,10 @@ func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64) (*Serv
 	if eps <= 0 {
 		return nil, errors.New("platform: epsilon must be positive")
 	}
+	eng, err := engine.New(tree, cfg.shards)
+	if err != nil {
+		return nil, err
+	}
 	return &Server{
 		pub: Publication{
 			Tree:    tree,
@@ -50,17 +82,21 @@ func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64) (*Serv
 			Rows:    rows,
 			Epsilon: eps,
 		},
-		index: hst.NewLeafIndex(tree.Depth()),
-		byID:  map[string]int{},
+		eng:  eng,
+		byID: map[string]int{},
 	}, nil
 }
 
 // Publication returns the public infrastructure.
 func (s *Server) Publication() Publication { return s.pub }
 
+// Engine returns the underlying assignment engine, for monitoring.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
 // Register adds a worker with its obfuscated leaf. Worker ids must be
-// unique; re-registration is rejected (a real deployment would treat it as
-// a location update, which the paper's one-shot model does not cover).
+// unique; use Reregister for location updates. Validation and the engine
+// insert happen before any slot-table mutation, so a failed registration
+// leaves no half-registered state behind and the id stays free for retry.
 func (s *Server) Register(req RegisterRequest) RegisterResponse {
 	code := hst.Code(req.Code)
 	if err := s.pub.Tree.CheckCode(code); err != nil {
@@ -75,13 +111,15 @@ func (s *Server) Register(req RegisterRequest) RegisterResponse {
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already registered", req.WorkerID)}
 	}
 	slot := len(s.workerIDs)
+	if err := s.eng.Insert(code, slot); err != nil {
+		return RegisterResponse{OK: false, Reason: err.Error()}
+	}
+	// A concurrent Submit can pop the new slot as soon as Insert returns,
+	// but it reads the tables under mu, which we still hold.
 	s.workerIDs = append(s.workerIDs, req.WorkerID)
 	s.codes = append(s.codes, code)
 	s.available = append(s.available, true)
 	s.byID[req.WorkerID] = slot
-	if err := s.index.Insert(code, slot); err != nil {
-		return RegisterResponse{OK: false, Reason: err.Error()}
-	}
 	return RegisterResponse{OK: true}
 }
 
@@ -91,17 +129,86 @@ func (s *Server) Submit(req TaskRequest) TaskResponse {
 	if err := s.pub.Tree.CheckCode(code); err != nil {
 		return TaskResponse{Assigned: false, Reason: err.Error()}
 	}
+	slot, _, ok := s.eng.Assign(code)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	slot, _, ok := s.index.Nearest(code)
 	if !ok {
 		s.rejected++
 		return TaskResponse{Assigned: false, Reason: "platform: no available workers"}
 	}
-	s.index.Remove(s.codes[slot], slot)
 	s.available[slot] = false
 	s.assigned++
 	return TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot]}
+}
+
+// SubmitBatch assigns a batch of tasks in arrival order through the
+// engine's batched API, amortising locking across the batch. The outcome
+// is exactly that of submitting the tasks one by one.
+func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
+	out := TaskBatchResponse{Results: make([]TaskResponse, len(req.Tasks))}
+	// Malformed tasks are answered without touching the engine (mirroring
+	// Submit); only the valid ones, in order, form the assignment batch.
+	valid := make([]int, 0, len(req.Tasks))
+	codes := make([]hst.Code, 0, len(req.Tasks))
+	for i, t := range req.Tasks {
+		code := hst.Code(t.Code)
+		if err := s.pub.Tree.CheckCode(code); err != nil {
+			out.Results[i] = TaskResponse{Assigned: false, Reason: err.Error()}
+			continue
+		}
+		valid = append(valid, i)
+		codes = append(codes, code)
+	}
+	slots := s.eng.AssignBatch(codes)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, slot := range slots {
+		i := valid[k]
+		if slot == engine.None {
+			s.rejected++
+			out.Results[i] = TaskResponse{Assigned: false, Reason: "platform: no available workers"}
+			continue
+		}
+		s.available[slot] = false
+		s.assigned++
+		out.Results[i] = TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot]}
+	}
+	return out
+}
+
+// Release returns an assigned worker to the available pool, optionally at
+// a freshly obfuscated leaf (re-reporting the previous code costs no extra
+// privacy budget; a new code reflects a new location report). The paper's
+// one-shot model has no releases; a deployed platform needs them for
+// workers that complete tasks.
+func (s *Server) Release(req ReleaseRequest) RegisterResponse {
+	var newCode hst.Code
+	if len(req.Code) > 0 {
+		newCode = hst.Code(req.Code)
+		if err := s.pub.Tree.CheckCode(newCode); err != nil {
+			return RegisterResponse{OK: false, Reason: err.Error()}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, ok := s.byID[req.WorkerID]
+	if !ok {
+		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q not registered", req.WorkerID)}
+	}
+	if s.available[slot] {
+		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q is not assigned", req.WorkerID)}
+	}
+	code := s.codes[slot]
+	if newCode != "" {
+		code = newCode
+	}
+	if err := s.eng.Insert(code, slot); err != nil {
+		return RegisterResponse{OK: false, Reason: err.Error()}
+	}
+	s.codes[slot] = code
+	s.available[slot] = true
+	s.released++
+	return RegisterResponse{OK: true}
 }
 
 // Stats reports the server's counters.
@@ -110,8 +217,9 @@ func (s *Server) Stats() StatsResponse {
 	defer s.mu.Unlock()
 	return StatsResponse{
 		RegisteredWorkers: len(s.workerIDs),
-		AvailableWorkers:  s.index.Len(),
+		AvailableWorkers:  s.eng.Len(),
 		AssignedTasks:     s.assigned,
 		RejectedTasks:     s.rejected,
+		ReleasedWorkers:   s.released,
 	}
 }

@@ -38,13 +38,18 @@ func (s *Server) Reregister(req ReregisterRequest) RegisterResponse {
 	if !s.available[slot] {
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already assigned", req.WorkerID)}
 	}
-	if !s.index.Remove(s.codes[slot], slot) {
-		return RegisterResponse{OK: false, Reason: "platform: index inconsistency"}
+	if !s.eng.Remove(s.codes[slot], slot) {
+		// A concurrent Submit popped the worker between its engine pop and
+		// its table update (which waits on mu): the assignment wins.
+		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already assigned", req.WorkerID)}
 	}
-	s.codes[slot] = code
-	if err := s.index.Insert(code, slot); err != nil {
+	if err := s.eng.Insert(code, slot); err != nil {
+		// Unreachable given CheckCode above; restore the old report so the
+		// worker is not lost from the pool.
+		s.eng.Insert(s.codes[slot], slot)
 		return RegisterResponse{OK: false, Reason: err.Error()}
 	}
+	s.codes[slot] = code
 	return RegisterResponse{OK: true}
 }
 

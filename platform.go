@@ -27,12 +27,35 @@ type (
 	Task = platform.Task
 	// StatsResponse reports server counters.
 	StatsResponse = platform.StatsResponse
+	// RegisterRequest announces a worker's obfuscated leaf.
+	RegisterRequest = platform.RegisterRequest
+	// RegisterResponse acknowledges registrations, releases, and updates.
+	RegisterResponse = platform.RegisterResponse
+	// ReregisterRequest replaces a worker's reported leaf.
+	ReregisterRequest = platform.ReregisterRequest
+	// ReleaseRequest returns an assigned worker to the pool.
+	ReleaseRequest = platform.ReleaseRequest
+	// TaskRequest submits one task's obfuscated leaf.
+	TaskRequest = platform.TaskRequest
+	// TaskResponse carries one assignment decision.
+	TaskResponse = platform.TaskResponse
+	// TaskBatchRequest submits a batch of tasks in arrival order.
+	TaskBatchRequest = platform.TaskBatchRequest
+	// TaskBatchResponse carries per-task decisions in submission order.
+	TaskBatchResponse = platform.TaskBatchResponse
 )
+
+// ServerOption customises server construction (e.g. WithShards).
+type ServerOption = platform.ServerOption
+
+// WithShards sets the server's assignment-engine shard count (0 = engine
+// default).
+func WithShards(n int) ServerOption { return platform.WithShards(n) }
 
 // NewServer builds a platform server over a region: grid, HST, and the
 // privacy budget agents must use.
-func NewServer(region Rect, cols, rows int, eps float64, seed uint64) (*Server, error) {
-	return platform.NewServer(region, cols, rows, eps, seed)
+func NewServer(region Rect, cols, rows int, eps float64, seed uint64, opts ...ServerOption) (*Server, error) {
+	return platform.NewServer(region, cols, rows, eps, seed, opts...)
 }
 
 // NewServerClient connects to a platform server's HTTP API.

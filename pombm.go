@@ -34,6 +34,7 @@ package pombm
 
 import (
 	"github.com/pombm/pombm/internal/core"
+	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/geo"
 	"github.com/pombm/pombm/internal/hst"
 	"github.com/pombm/pombm/internal/match"
@@ -133,7 +134,25 @@ type (
 	HSTGreedyScan = match.HSTGreedyScan
 	// HSTGreedyTrie is Alg. 4 answered in O(D) per task.
 	HSTGreedyTrie = match.HSTGreedyTrie
+	// HSTGreedyEngine is Alg. 4 answered by the sharded concurrent engine.
+	HSTGreedyEngine = match.HSTGreedyEngine
+	// AssignmentEngine is the sharded, concurrency-safe assignment engine
+	// itself: per-branch shard locking, atomic Assign, and a batched API.
+	AssignmentEngine = engine.Engine
 )
+
+// NewAssignmentEngine returns an empty sharded assignment engine over a
+// published HST (shards ≤ 0 selects the default). Insert workers, then
+// Assign or AssignBatch tasks from any number of goroutines.
+func NewAssignmentEngine(tree *HST, shards int) (*AssignmentEngine, error) {
+	return engine.New(tree, shards)
+}
+
+// NewHSTGreedyEngine returns the engine-backed matcher over reported
+// worker leaf codes, safe for concurrent Assign calls.
+func NewHSTGreedyEngine(tree *HST, workers []Code, shards int) (*HSTGreedyEngine, error) {
+	return match.NewHSTGreedyEngine(tree, workers, shards)
+}
 
 // NoWorker is returned by matchers when no worker can be assigned.
 const NoWorker = match.NoWorker
