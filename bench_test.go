@@ -202,6 +202,7 @@ func benchCodes(b *testing.B, tr *hst.Tree, n int, label string) []hst.Code {
 // pool (untimed); run consumes one chunk of tasks on one goroutine.
 func benchAssignConcurrent(b *testing.B, g int, tasks []hst.Code, newPool func() func([]hst.Code)) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()

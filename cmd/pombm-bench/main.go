@@ -15,11 +15,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -64,6 +67,7 @@ func main() {
 		engTasks   = flag.Int("tasks", 8192, "enginebench: tasks assigned per run")
 		engShards  = flag.Int("shards", 0, "engine shard count for -enginebench and -instance -engine runs (0 = engine default)")
 		engGors    = flag.String("goroutines", "1,4,8", "enginebench: comma-separated goroutine counts")
+		engJSON    = flag.String("json", "BENCH_engine.json", "enginebench: write machine-readable results to this file ('' disables)")
 	)
 	flag.Parse()
 
@@ -75,7 +79,7 @@ func main() {
 	}
 
 	if *engBench {
-		if err := runEngineBench(*grid, *engWorkers, *engTasks, *engShards, *repeat, *engGors, *seed); err != nil {
+		if err := runEngineBench(*grid, *engWorkers, *engTasks, *engShards, *repeat, *engGors, *seed, *engJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -231,13 +235,52 @@ func throughput(tasks int, d time.Duration) (nsPerOp, tasksPerSec float64) {
 	return float64(d.Nanoseconds()) / float64(tasks), float64(tasks) / d.Seconds()
 }
 
+// benchRecord is one enginebench measurement in BENCH_engine.json: the
+// perf trajectory across PRs is tracked through these files instead of
+// living only in terminal output.
+type benchRecord struct {
+	Benchmark   string  `json:"benchmark"` // e.g. "engine/goroutines=4"
+	Goroutines  int     `json:"goroutines"`
+	Shards      int     `json:"shards,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+}
+
+// benchReport is the file-level envelope of BENCH_engine.json.
+type benchReport struct {
+	GitSHA     string        `json:"git_sha"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Tasks      int           `json:"tasks"`
+	Repeat     int           `json:"repeat"`
+	Results    []benchRecord `json:"results"`
+}
+
+// gitSHA resolves the current revision: the VCS stamp baked into the
+// binary when available, the working tree's HEAD otherwise.
+func gitSHA() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	return "unknown"
+}
+
 // runEngineBench measures online assignment throughput of the three
 // HST-Greedy implementations — the paper's O(D·n) scan, the single-lock
 // O(D) trie, and the sharded concurrent engine — at several goroutine
 // counts. Workers and tasks are uniformly random leaves of a grid HST. The
 // scan baseline runs only single-threaded (it is not concurrency-safe and
-// exists as the complexity reference).
-func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines string, seed uint64) error {
+// exists as the complexity reference). With jsonPath non-empty the results
+// are additionally written as machine-readable JSON.
+func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines string, seed uint64, jsonPath string) error {
 	gors, err := parseInts(goroutines)
 	if err != nil {
 		return fmt.Errorf("-goroutines: %w", err)
@@ -267,23 +310,38 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 
 	fmt.Printf("enginebench: N=%d D=%d c=%d, %d workers, %d tasks, GOMAXPROCS=%d, best of %d\n\n",
 		tree.NumPoints(), tree.Depth(), tree.Degree(), workers, tasks, runtime.GOMAXPROCS(0), repeat)
-	fmt.Printf("%-12s %11s %9s %12s %14s\n", "impl", "goroutines", "shards", "ns/op", "tasks/sec")
+	fmt.Printf("%-12s %11s %9s %12s %12s %14s\n", "impl", "goroutines", "shards", "ns/op", "allocs/op", "tasks/sec")
+
+	out := benchReport{
+		GitSHA:     gitSHA(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Tasks:      tasks,
+		Repeat:     repeat,
+	}
 
 	// setup builds the worker pool (untimed); the returned run assigns the
-	// task batch and is the only region measured.
+	// task batch and is the only region measured. Heap allocations are
+	// sampled around the best-timed region via MemStats deltas.
 	report := func(impl string, g, sh int, setup func() (func() error, error)) error {
 		best := time.Duration(0)
+		allocs := 0.0
+		var ms0, ms1 runtime.MemStats
 		for r := 0; r < repeat; r++ {
 			run, err := setup()
 			if err != nil {
 				return err
 			}
+			runtime.ReadMemStats(&ms0)
 			t0 := time.Now()
 			if err := run(); err != nil {
 				return err
 			}
-			if d := time.Since(t0); best == 0 || d < best {
+			d := time.Since(t0)
+			runtime.ReadMemStats(&ms1)
+			if best == 0 || d < best {
 				best = d
+				allocs = float64(ms1.Mallocs-ms0.Mallocs) / float64(tasks)
 			}
 		}
 		nsPerOp, tasksPerSec := throughput(tasks, best)
@@ -291,7 +349,15 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 		if sh > 0 {
 			shCol = strconv.Itoa(sh)
 		}
-		fmt.Printf("%-12s %11d %9s %12.0f %14.0f\n", impl, g, shCol, nsPerOp, tasksPerSec)
+		fmt.Printf("%-12s %11d %9s %12.0f %12.2f %14.0f\n", impl, g, shCol, nsPerOp, allocs, tasksPerSec)
+		out.Results = append(out.Results, benchRecord{
+			Benchmark:   fmt.Sprintf("%s/goroutines=%d", impl, g),
+			Goroutines:  g,
+			Shards:      sh,
+			NsPerOp:     nsPerOp,
+			AllocsPerOp: allocs,
+			TasksPerSec: tasksPerSec,
+		})
 		return nil
 	}
 
@@ -317,7 +383,7 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 	for _, g := range gors {
 		// Single global lock around the O(D) trie: the old server path.
 		if err := report("trie-lock", g, 0, func() (func() error, error) {
-			idx := hst.NewLeafIndex(tree.Depth())
+			idx := hst.NewLeafIndexDegree(tree.Depth(), tree.Degree())
 			for i, c := range workerCodes {
 				if err := idx.Insert(c, i); err != nil {
 					return nil, err
@@ -375,6 +441,16 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 		}); err != nil {
 			return err
 		}
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s\n", jsonPath)
 	}
 	return nil
 }

@@ -71,13 +71,19 @@ func runDemo(addr string, workers int, seed uint64) {
 	}
 	src := rng.New(seed + 2)
 	region := client.Publication().Region
-	for i := 0; i < workers; i++ {
-		w := platform.Worker{
-			ID:  fmt.Sprintf("demo-worker-%d", i),
-			Loc: geo.Pt(src.Uniform(region.MinX, region.MaxX), src.Uniform(region.MinY, region.MaxY)),
-		}
-		if err := w.Register(client, obf); err != nil {
-			log.Printf("demo: %v", err)
+	// The whole worker wave obfuscates through one batch: the sampled codes
+	// share a single slab instead of allocating one buffer per worker.
+	locs := make([]geo.Point, workers)
+	for i := range locs {
+		locs[i] = geo.Pt(src.Uniform(region.MinX, region.MaxX), src.Uniform(region.MinY, region.MaxY))
+	}
+	for i, code := range obf.ObfuscateBatch(locs) {
+		resp := client.Register(platform.RegisterRequest{
+			WorkerID: fmt.Sprintf("demo-worker-%d", i),
+			Code:     []byte(code),
+		})
+		if !resp.OK {
+			log.Printf("demo: registration failed: %s", resp.Reason)
 			return
 		}
 	}

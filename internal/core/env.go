@@ -75,7 +75,7 @@ func NewEnvFromTree(grid *geo.Grid, tree *hst.Tree) (*Env, error) {
 }
 
 func newEnvFrom(grid *geo.Grid, tree *hst.Tree) (*Env, error) {
-	idx := hst.NewLeafIndex(tree.Depth())
+	idx := hst.NewLeafIndexDegree(tree.Depth(), tree.Degree())
 	for i := 0; i < tree.NumPoints(); i++ {
 		if err := idx.Insert(tree.CodeOf(i), i); err != nil {
 			return nil, fmt.Errorf("core: %w", err)

@@ -1,0 +1,56 @@
+package engine_test
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// TestAssignZeroAllocSteadyState pins the serving hot path's allocation
+// contract: in steady state (assignments balanced by released workers, the
+// shard arenas at their high-water mark) Engine.Assign on the fast path
+// must not allocate at all.
+func TestAssignZeroAllocSteadyState(t *testing.T) {
+	tree := buildTree(t, 16, 9)
+	e, err := engine.New(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(21)
+	const n = 1024
+	codes := make([]hst.Code, n)
+	for i := range codes {
+		codes[i] = randCode(tree, src)
+		if err := e.Insert(codes[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm every shard's arenas and freelists through one churn cycle.
+	for i := 0; i < 4*n; i++ {
+		q := codes[src.Intn(n)]
+		if id, _, ok := e.Assign(q); ok {
+			if err := e.Insert(codes[id], id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Querying at a live worker's own code keeps the assignment on the
+	// single-shard fast path (LCA level 0 < depth).
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		q := codes[i%n]
+		i++
+		id, _, ok := e.Assign(q)
+		if !ok {
+			t.Fatal("assign failed on a populated engine")
+		}
+		if err := e.Insert(codes[id], id); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Engine.Assign steady state allocates %.1f/op, want 0", allocs)
+	}
+}

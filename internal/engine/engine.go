@@ -75,7 +75,7 @@ func New(tree *hst.Tree, shards int) (*Engine, error) {
 		shards: make([]engineShard, shards),
 	}
 	for i := range e.shards {
-		e.shards[i].index = hst.NewLeafIndex(e.depth)
+		e.shards[i].index = hst.NewLeafIndexDegree(e.depth, tree.Degree())
 	}
 	return e, nil
 }
@@ -201,11 +201,14 @@ func (e *Engine) assignAcross(code hst.Code) (id, lcaLevel int, ok bool) {
 }
 
 // AssignBatch assigns a batch of task codes in order, amortising shard
-// locking across runs of tasks that hit the same shard. The result holds
-// one worker id (or None) per task. The outcome is exactly the outcome of
-// calling Assign sequentially on each code.
-func (e *Engine) AssignBatch(codes []hst.Code) []int {
-	out := make([]int, len(codes))
+// locking across runs of tasks that hit the same shard. The results hold
+// one worker id (or None) per task together with the LCA level of each
+// match (0 for unassigned tasks), so batch callers can keep the same
+// match-quality statistics as the one-by-one path. The outcome is exactly
+// the outcome of calling Assign sequentially on each code.
+func (e *Engine) AssignBatch(codes []hst.Code) (ids, lcaLevels []int) {
+	ids = make([]int, len(codes))
+	lcaLevels = make([]int, len(codes))
 	var held *engineShard
 	release := func() {
 		if held != nil {
@@ -216,7 +219,7 @@ func (e *Engine) AssignBatch(codes []hst.Code) []int {
 	defer release()
 	for i, code := range codes {
 		if e.tree.CheckCode(code) != nil {
-			out[i] = None
+			ids[i] = None
 			continue
 		}
 		if e.depth > 0 {
@@ -226,18 +229,18 @@ func (e *Engine) AssignBatch(codes []hst.Code) []int {
 				s.mu.Lock()
 				held = s
 			}
-			if id, _, ok := held.index.PopNearestWithin(code, e.depth-1); ok {
-				out[i] = id
+			if id, lvl, ok := held.index.PopNearestWithin(code, e.depth-1); ok {
+				ids[i], lcaLevels[i] = id, lvl
 				continue
 			}
 		}
 		// Fall back without holding any shard lock.
 		release()
-		if id, _, ok := e.assignAcross(code); ok {
-			out[i] = id
+		if id, lvl, ok := e.assignAcross(code); ok {
+			ids[i], lcaLevels[i] = id, lvl
 		} else {
-			out[i] = None
+			ids[i] = None
 		}
 	}
-	return out
+	return ids, lcaLevels
 }

@@ -200,14 +200,17 @@ func TestAssignBatchMatchesSequential(t *testing.T) {
 
 	eb := newTestEngine(t, tree, codes, 5)
 	es := newTestEngine(t, tree, codes, 5)
-	got := eb.AssignBatch(tasks)
+	got, lvls := eb.AssignBatch(tasks)
 	for i, q := range tasks {
-		id, _, ok := es.Assign(q)
+		id, lvl, ok := es.Assign(q)
 		if !ok {
 			id = engine.None
 		}
 		if got[i] != id {
 			t.Fatalf("task %d: batch chose %d, sequential chose %d", i, got[i], id)
+		}
+		if ok && lvls[i] != lvl {
+			t.Fatalf("task %d: batch reported level %d, sequential %d", i, lvls[i], lvl)
 		}
 	}
 	if eb.Len() != es.Len() {
@@ -274,7 +277,7 @@ func TestConcurrentAssignNoDoubleAssignment(t *testing.T) {
 				for i := range batch {
 					batch[i] = randCode(tree, s)
 				}
-				results[g] = e.AssignBatch(batch)
+				results[g], _ = e.AssignBatch(batch)
 			} else {
 				out := make([]int, 0, tasksPer)
 				for i := 0; i < tasksPer; i++ {

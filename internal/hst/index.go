@@ -15,30 +15,98 @@ import (
 // scanning implementation of Alg. 4 (which also resolves ties towards the
 // lowest index). Multiple items may share a leaf code (several workers can
 // be obfuscated to the same leaf).
+//
+// Layout: the index is arena-backed. All trie nodes live in one contiguous
+// []flatNode slab and refer to each other by int32 index, so descent walks
+// the slab instead of chasing heap pointers. Children are resolved through
+// dense per-node blocks of the child arena (one int32 slot per digit,
+// available when the tree degree is known and ≤ denseDegreeLimit) or, for
+// larger or unknown degrees, through digit-tagged sibling lists threaded
+// inside the node slab itself. Leaf items sit in a third slab as
+// singly-linked slots. Nodes, child blocks, and item slots freed when a
+// subtree empties go on freelists and are reused by later inserts, and the
+// root-to-leaf path scratch is owned by the index, so in steady state
+// (inserts balancing removals) no operation allocates.
+//
+// Like its map-based predecessor, LeafIndex is not safe for concurrent use;
+// callers serialise access (the sharded engine drives one index per shard
+// under that shard's lock, which also makes the shared path scratch safe).
 type LeafIndex struct {
-	depth int
-	size  int
-	root  *trieNode
+	depth  int
+	degree int // dense child-block width; 0 = sparse sibling lists
+	size   int
+
+	nodes []flatNode // node arena; index 0 is the root
+	kids  []int32    // dense child arena: blocks of degree slots, nilIdx = absent
+	items []itemSlot // leaf item arena
+
+	freeNode  int32   // head of the freed-node list (linked through flatNode.sib)
+	freeItem  int32   // head of the freed-item list (linked through itemSlot.next)
+	freeBlock []int32 // freed dense child-block offsets
+
+	path []int32 // reusable root-to-leaf descent scratch
 }
 
-type trieNode struct {
-	children map[byte]*trieNode
-	count    int   // live items in this subtree
-	minID    int   // smallest live item id in this subtree (maxInt when none)
-	items    []int // ids, leaf nodes only
+// flatNode is one trie position in the arena. 24 bytes; a realistic shard
+// of the index fits in L2.
+type flatNode struct {
+	count int32 // live items in this subtree (≥ 1 for every allocated non-root node)
+	minID int32 // smallest live item id in this subtree (noItem32 when none)
+	kids  int32 // dense: child-block offset into LeafIndex.kids; sparse: first child node
+	sib   int32 // sparse: next sibling node; freed nodes: freelist link
+	items int32 // head of this leaf's item-slot list
+	digit uint8 // child digit under the parent (unused for the root)
 }
 
-const noItem = math.MaxInt
+type itemSlot struct {
+	id   int32
+	next int32
+}
 
-// NewLeafIndex returns an empty index for codes of the given depth.
+const (
+	nilIdx   = int32(-1)
+	noItem32 = int32(math.MaxInt32)
+
+	// denseDegreeLimit bounds the child-block width: degrees above it fall
+	// back to sparse sibling lists (a dense block per node would waste
+	// arena space on mostly-absent digits).
+	denseDegreeLimit = 32
+)
+
+// NewLeafIndex returns an empty index for codes of the given depth. The
+// tree degree is unknown, so children use the sparse representation; when
+// the degree is available, prefer NewLeafIndexDegree.
 func NewLeafIndex(depth int) *LeafIndex {
-	return &LeafIndex{depth: depth, root: &trieNode{minID: noItem}}
+	return NewLeafIndexDegree(depth, 0)
+}
+
+// NewLeafIndexDegree returns an empty index for codes of the given depth
+// over a tree with the given branching factor. Degrees in [1,
+// denseDegreeLimit] select dense per-node child blocks with O(1) digit
+// lookup; 0 (unknown) or larger degrees select sparse sibling lists.
+func NewLeafIndexDegree(depth, degree int) *LeafIndex {
+	if degree < 0 || degree > denseDegreeLimit {
+		degree = 0
+	}
+	x := &LeafIndex{
+		depth:  depth,
+		degree: degree,
+		nodes:  make([]flatNode, 1, 64),
+		path:   make([]int32, 0, depth+1),
+
+		freeNode: nilIdx,
+		freeItem: nilIdx,
+	}
+	x.nodes[0] = flatNode{minID: noItem32, kids: nilIdx, sib: nilIdx, items: nilIdx}
+	return x
 }
 
 // Len returns the number of items currently indexed.
 func (x *LeafIndex) Len() int { return x.size }
 
-// Insert adds an item id at the given leaf code. Ids must be non-negative.
+// Insert adds an item id at the given leaf code. Ids must be non-negative
+// and fit in an int32. With a dense child layout every digit must be below
+// the declared degree.
 func (x *LeafIndex) Insert(code Code, id int) error {
 	if len(code) != x.depth {
 		return fmt.Errorf("hst: code length %d, index depth %d", len(code), x.depth)
@@ -46,84 +114,250 @@ func (x *LeafIndex) Insert(code Code, id int) error {
 	if id < 0 {
 		return fmt.Errorf("hst: item id must be non-negative, got %d", id)
 	}
-	n := x.root
+	if id > math.MaxInt32 {
+		return fmt.Errorf("hst: item id %d exceeds the index's int32 range", id)
+	}
+	if x.degree > 0 {
+		// Validate before mutating anything: a dense block is indexed by
+		// digit, so an out-of-range digit must not corrupt counts.
+		for j := 0; j < x.depth; j++ {
+			if int(code[j]) >= x.degree {
+				return fmt.Errorf("hst: digit %d at position %d exceeds index degree %d", code[j], j, x.degree)
+			}
+		}
+	}
+	id32 := int32(id)
+	ni := int32(0)
+	x.bump(ni, id32)
+	for j := 0; j < x.depth; j++ {
+		ci := x.child(ni, code[j])
+		if ci == nilIdx {
+			ci = x.addChild(ni, code[j])
+		}
+		x.bump(ci, id32)
+		ni = ci
+	}
+	si := x.allocItem(id32)
+	x.items[si].next = x.nodes[ni].items
+	x.nodes[ni].items = si
+	x.size++
+	return nil
+}
+
+// bump increments a node's count and folds id into its subtree minimum.
+func (x *LeafIndex) bump(ni, id int32) {
+	n := &x.nodes[ni]
 	n.count++
 	if id < n.minID {
 		n.minID = id
 	}
-	for j := 0; j < x.depth; j++ {
-		if n.children == nil {
-			n.children = make(map[byte]*trieNode)
+}
+
+// child resolves the child of node ni holding the given digit, or nilIdx.
+func (x *LeafIndex) child(ni int32, digit byte) int32 {
+	n := &x.nodes[ni]
+	if x.degree > 0 {
+		if n.kids == nilIdx {
+			return nilIdx
 		}
-		ch := n.children[code[j]]
-		if ch == nil {
-			ch = &trieNode{minID: noItem}
-			n.children[code[j]] = ch
+		if int(digit) >= x.degree {
+			return nilIdx
 		}
-		ch.count++
-		if id < ch.minID {
-			ch.minID = id
-		}
-		n = ch
+		return x.kids[n.kids+int32(digit)]
 	}
-	n.items = append(n.items, id)
-	x.size++
-	return nil
+	for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
+		if x.nodes[ci].digit == digit {
+			return ci
+		}
+	}
+	return nilIdx
+}
+
+// addChild allocates a child of ni for the given digit and links it in.
+func (x *LeafIndex) addChild(ni int32, digit byte) int32 {
+	ci := x.allocNode(digit)
+	if x.degree > 0 {
+		blk := x.nodes[ni].kids
+		if blk == nilIdx {
+			blk = x.allocBlock()
+			x.nodes[ni].kids = blk
+		}
+		x.kids[blk+int32(digit)] = ci
+	} else {
+		x.nodes[ci].sib = x.nodes[ni].kids
+		x.nodes[ni].kids = ci
+	}
+	return ci
+}
+
+// allocNode takes a node off the freelist or grows the arena. Callers must
+// not hold *flatNode pointers across the call: growth may move the slab.
+func (x *LeafIndex) allocNode(digit byte) int32 {
+	var ni int32
+	if x.freeNode != nilIdx {
+		ni = x.freeNode
+		x.freeNode = x.nodes[ni].sib
+	} else {
+		ni = int32(len(x.nodes))
+		x.nodes = append(x.nodes, flatNode{})
+	}
+	x.nodes[ni] = flatNode{minID: noItem32, kids: nilIdx, sib: nilIdx, items: nilIdx, digit: digit}
+	return ni
+}
+
+// allocBlock takes a dense child block off the freelist or grows the child
+// arena. Freed blocks are all-nilIdx by the count invariant (a node is
+// freed only after all of its children were), so reuse needs no clearing.
+func (x *LeafIndex) allocBlock() int32 {
+	if n := len(x.freeBlock); n > 0 {
+		off := x.freeBlock[n-1]
+		x.freeBlock = x.freeBlock[:n-1]
+		return off
+	}
+	off := int32(len(x.kids))
+	for i := 0; i < x.degree; i++ {
+		x.kids = append(x.kids, nilIdx)
+	}
+	return off
+}
+
+func (x *LeafIndex) allocItem(id int32) int32 {
+	var si int32
+	if x.freeItem != nilIdx {
+		si = x.freeItem
+		x.freeItem = x.items[si].next
+	} else {
+		si = int32(len(x.items))
+		x.items = append(x.items, itemSlot{})
+	}
+	x.items[si] = itemSlot{id: id, next: nilIdx}
+	return si
+}
+
+// freeNodeAt returns an empty node (count 0, no items, no live children) to
+// the freelist, releasing its dense child block if it ever grew one.
+func (x *LeafIndex) freeNodeAt(ni int32) {
+	n := &x.nodes[ni]
+	if x.degree > 0 && n.kids != nilIdx {
+		x.freeBlock = append(x.freeBlock, n.kids)
+	}
+	n.kids = nilIdx
+	n.items = nilIdx
+	n.sib = x.freeNode
+	x.freeNode = ni
+}
+
+// unlinkChild detaches child ci from parent pi.
+func (x *LeafIndex) unlinkChild(pi, ci int32) {
+	if x.degree > 0 {
+		x.kids[x.nodes[pi].kids+int32(x.nodes[ci].digit)] = nilIdx
+		return
+	}
+	prev := nilIdx
+	for cur := x.nodes[pi].kids; cur != nilIdx; cur = x.nodes[cur].sib {
+		if cur == ci {
+			if prev == nilIdx {
+				x.nodes[pi].kids = x.nodes[ci].sib
+			} else {
+				x.nodes[prev].sib = x.nodes[ci].sib
+			}
+			return
+		}
+		prev = cur
+	}
 }
 
 // Remove deletes one occurrence of id at the given leaf code. It reports
 // whether the item was present.
 func (x *LeafIndex) Remove(code Code, id int) bool {
-	if len(code) != x.depth {
+	if len(code) != x.depth || id < 0 || id > math.MaxInt32 {
 		return false
 	}
 	// Locate the leaf first so failed removals do not corrupt counts.
-	path := make([]*trieNode, 0, x.depth+1)
-	n := x.root
-	path = append(path, n)
+	path := x.path[:0]
+	ni := int32(0)
+	path = append(path, ni)
 	for j := 0; j < x.depth; j++ {
-		if n.children == nil {
+		ni = x.child(ni, code[j])
+		if ni == nilIdx {
 			return false
 		}
-		n = n.children[code[j]]
-		if n == nil {
-			return false
-		}
-		path = append(path, n)
+		path = append(path, ni)
 	}
-	found := -1
-	for i, item := range n.items {
-		if item == id {
-			found = i
-			break
-		}
-	}
-	if found < 0 {
+	if !x.removeItem(ni, int32(id)) {
 		return false
 	}
-	last := len(n.items) - 1
-	n.items[found] = n.items[last]
-	n.items = n.items[:last]
-	// Decrement counts and rebuild minID bottom-up along the path.
-	for i := len(path) - 1; i >= 0; i-- {
-		p := path[i]
-		p.count--
-		p.minID = p.recomputeMin()
-	}
+	x.repair(path, int32(id))
 	x.size--
 	return true
 }
 
-func (n *trieNode) recomputeMin() int {
-	min := noItem
-	for _, id := range n.items {
-		if id < min {
-			min = id
+// removeItem unlinks one occurrence of id from the leaf's item list.
+func (x *LeafIndex) removeItem(ni, id int32) bool {
+	prev := nilIdx
+	for si := x.nodes[ni].items; si != nilIdx; si = x.items[si].next {
+		if x.items[si].id == id {
+			if prev == nilIdx {
+				x.nodes[ni].items = x.items[si].next
+			} else {
+				x.items[prev].next = x.items[si].next
+			}
+			x.items[si].next = x.freeItem
+			x.freeItem = si
+			return true
+		}
+		prev = si
+	}
+	return false
+}
+
+// repair walks a root-anchored path bottom-up after the removal of id:
+// counts drop, emptied nodes are unlinked and freed, and a node's subtree
+// minimum is recomputed only when the removed id was that minimum — the
+// only case in which it can have changed.
+func (x *LeafIndex) repair(path []int32, id int32) {
+	for i := len(path) - 1; i >= 1; i-- {
+		ni := path[i]
+		n := &x.nodes[ni]
+		n.count--
+		if n.count == 0 {
+			x.unlinkChild(path[i-1], ni)
+			x.freeNodeAt(ni)
+		} else if n.minID == id {
+			n.minID = x.recomputeMin(ni)
 		}
 	}
-	for _, ch := range n.children {
-		if ch.count > 0 && ch.minID < min {
-			min = ch.minID
+	r := &x.nodes[0]
+	r.count--
+	if r.minID == id {
+		r.minID = x.recomputeMin(0)
+	}
+}
+
+// recomputeMin scans a node's own items and its live children for the
+// smallest id (noItem32 when the subtree is empty).
+func (x *LeafIndex) recomputeMin(ni int32) int32 {
+	n := &x.nodes[ni]
+	min := noItem32
+	for si := n.items; si != nilIdx; si = x.items[si].next {
+		if x.items[si].id < min {
+			min = x.items[si].id
+		}
+	}
+	if x.degree > 0 {
+		if n.kids != nilIdx {
+			blk := x.kids[n.kids : n.kids+int32(x.degree)]
+			for _, ci := range blk {
+				if ci != nilIdx && x.nodes[ci].minID < min {
+					min = x.nodes[ci].minID
+				}
+			}
+		}
+	} else {
+		for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
+			if x.nodes[ci].minID < min {
+				min = x.nodes[ci].minID
+			}
 		}
 	}
 	return min
@@ -137,21 +371,21 @@ func (x *LeafIndex) Nearest(code Code) (id, lcaLevel int, ok bool) {
 	if x.size == 0 || len(code) != x.depth {
 		return 0, 0, false
 	}
-	n := x.root
+	ni := int32(0)
 	j := 0
 	for j < x.depth {
-		ch := n.children[code[j]]
-		if ch == nil || ch.count == 0 {
+		ci := x.child(ni, code[j])
+		if ci == nilIdx {
 			break
 		}
-		n = ch
+		ni = ci
 		j++
 	}
-	// Every live item under n shares exactly the first j digits with the
-	// query (the exact branch below n is exhausted), so all of them are at
+	// Every live item under ni shares exactly the first j digits with the
+	// query (the exact branch below ni is exhausted), so all of them are at
 	// LCA level depth−j — the minimum possible — and minID picks the
 	// deterministic representative.
-	return n.minID, x.depth - j, true
+	return int(x.nodes[ni].minID), x.depth - j, true
 }
 
 // MinID returns the smallest live item id. ok is false when the index is
@@ -161,7 +395,7 @@ func (x *LeafIndex) MinID() (int, bool) {
 	if x.size == 0 {
 		return 0, false
 	}
-	return x.root.minID, true
+	return int(x.nodes[0].minID), true
 }
 
 // CountPrefix returns the number of live items whose code starts with the
@@ -171,17 +405,14 @@ func (x *LeafIndex) CountPrefix(prefix Code) int {
 	if len(prefix) > x.depth {
 		return 0
 	}
-	n := x.root
+	ni := int32(0)
 	for j := 0; j < len(prefix); j++ {
-		if n.children == nil {
-			return 0
-		}
-		n = n.children[prefix[j]]
-		if n == nil {
+		ni = x.child(ni, prefix[j])
+		if ni == nilIdx {
 			return 0
 		}
 	}
-	return n.count
+	return int(x.nodes[ni].count)
 }
 
 // PopNearest atomically finds and removes the item Nearest would return:
@@ -201,17 +432,17 @@ func (x *LeafIndex) PopNearestWithin(code Code, maxLevel int) (id, lcaLevel int,
 	if x.size == 0 || len(code) != x.depth {
 		return 0, 0, false
 	}
-	path := make([]*trieNode, 0, x.depth+1)
-	n := x.root
-	path = append(path, n)
+	path := x.path[:0]
+	ni := int32(0)
+	path = append(path, ni)
 	j := 0
 	for j < x.depth {
-		ch := n.children[code[j]]
-		if ch == nil || ch.count == 0 {
+		ci := x.child(ni, code[j])
+		if ci == nilIdx {
 			break
 		}
-		n = ch
-		path = append(path, n)
+		ni = ci
+		path = append(path, ni)
 		j++
 	}
 	lvl := x.depth - j
@@ -227,57 +458,73 @@ func (x *LeafIndex) PopMin() (int, bool) {
 	if x.size == 0 {
 		return 0, false
 	}
-	path := make([]*trieNode, 0, x.depth+1)
-	path = append(path, x.root)
+	path := append(x.path[:0], 0)
 	return x.popMinFrom(path), true
 }
 
 // popMinFrom removes the minID item under the last node of path (a
 // root-anchored trie path) and repairs counts and minIDs along the way.
-func (x *LeafIndex) popMinFrom(path []*trieNode) int {
-	n := path[len(path)-1]
-	target := n.minID
+func (x *LeafIndex) popMinFrom(path []int32) int {
+	ni := path[len(path)-1]
+	target := x.nodes[ni].minID
 	for depthAt := len(path) - 1; depthAt < x.depth; depthAt++ {
-		var next *trieNode
-		for _, ch := range n.children {
-			if ch.count > 0 && ch.minID == target {
-				next = ch
-				break
+		// A live subtree always contains its own minID: descend into the
+		// child carrying it.
+		ni = x.childWithMin(ni, target)
+		path = append(path, ni)
+	}
+	x.removeItem(ni, target)
+	x.repair(path, target)
+	x.size--
+	return int(target)
+}
+
+// childWithMin returns the child of ni whose subtree minimum is target.
+func (x *LeafIndex) childWithMin(ni, target int32) int32 {
+	n := &x.nodes[ni]
+	if x.degree > 0 {
+		blk := x.kids[n.kids : n.kids+int32(x.degree)]
+		for _, ci := range blk {
+			if ci != nilIdx && x.nodes[ci].minID == target {
+				return ci
 			}
 		}
-		n = next // a live subtree always contains its own minID
-		path = append(path, n)
-	}
-	for i, item := range n.items {
-		if item == target {
-			last := len(n.items) - 1
-			n.items[i] = n.items[last]
-			n.items = n.items[:last]
-			break
+	} else {
+		for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
+			if x.nodes[ci].minID == target {
+				return ci
+			}
 		}
 	}
-	for i := len(path) - 1; i >= 0; i-- {
-		p := path[i]
-		p.count--
-		p.minID = p.recomputeMin()
-	}
-	x.size--
-	return target
+	return nilIdx
 }
 
 // Walk visits every indexed item (code, id). Order is unspecified.
 func (x *LeafIndex) Walk(fn func(code Code, id int)) {
-	var rec func(n *trieNode, prefix []byte)
-	rec = func(n *trieNode, prefix []byte) {
-		if n.count == 0 {
+	if x.size == 0 {
+		return
+	}
+	prefix := make([]byte, 0, x.depth)
+	x.walk(0, prefix, fn)
+}
+
+func (x *LeafIndex) walk(ni int32, prefix []byte, fn func(code Code, id int)) {
+	n := x.nodes[ni]
+	for si := n.items; si != nilIdx; si = x.items[si].next {
+		fn(Code(prefix), int(x.items[si].id))
+	}
+	if x.degree > 0 {
+		if n.kids == nilIdx {
 			return
 		}
-		for _, id := range n.items {
-			fn(Code(prefix), id)
+		for d := 0; d < x.degree; d++ {
+			if ci := x.kids[n.kids+int32(d)]; ci != nilIdx {
+				x.walk(ci, append(prefix, byte(d)), fn)
+			}
 		}
-		for digit, ch := range n.children {
-			rec(ch, append(prefix, digit))
+	} else {
+		for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
+			x.walk(ci, append(prefix, x.nodes[ci].digit), fn)
 		}
 	}
-	rec(x.root, make([]byte, 0, x.depth))
 }

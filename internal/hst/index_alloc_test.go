@@ -1,0 +1,135 @@
+package hst
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// allocFixture builds a warmed flat index plus query codes for the
+// steady-state allocation and speed tests.
+func allocFixture(tb testing.TB, depth, degree, n int) (*LeafIndex, []Code) {
+	tb.Helper()
+	src := rng.New(31)
+	x := NewLeafIndexDegree(depth, degree)
+	codes := make([]Code, n)
+	for i := range codes {
+		b := make([]byte, depth)
+		for j := range b {
+			b[j] = byte(src.Intn(degree))
+		}
+		codes[i] = Code(b)
+		if err := x.Insert(codes[i], i); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return x, codes
+}
+
+// TestPopNearestZeroAllocSteadyState pins the zero-allocation contract of
+// the serving hot path: once the arena has reached its high-water mark,
+// PopNearest and the reinsert that follows (a worker assigned, a worker
+// released) must not allocate at all.
+func TestPopNearestZeroAllocSteadyState(t *testing.T) {
+	x, codes := allocFixture(t, 8, 6, 512)
+	src := rng.New(77)
+	// Warm the freelists and scratch through one full churn cycle.
+	for i := 0; i < 2048; i++ {
+		q := codes[src.Intn(len(codes))]
+		if id, _, ok := x.PopNearest(q); ok {
+			if err := x.Insert(codes[id], id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		q := codes[i%len(codes)]
+		i++
+		id, _, ok := x.PopNearest(q)
+		if !ok {
+			t.Fatal("pop failed on populated index")
+		}
+		if err := x.Insert(codes[id], id); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PopNearest+Insert steady state allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRemoveZeroAllocSteadyState(t *testing.T) {
+	x, codes := allocFixture(t, 8, 6, 512)
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		id := i % len(codes)
+		i++
+		if !x.Remove(codes[id], id) {
+			t.Fatal("remove failed")
+		}
+		if err := x.Insert(codes[id], id); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Remove+Insert steady state allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// Benchmarks: the flat arena trie against the retained map-trie reference,
+// on the PopNearest+Insert churn that dominates the serving path.
+
+func benchChurn(b *testing.B, pop func(Code) (int, int, bool), insert func(Code, int) error, codes []Code) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := codes[i%len(codes)]
+		id, _, ok := pop(q)
+		if !ok {
+			b.Fatal("pop failed")
+		}
+		if err := insert(codes[id], id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeafIndexPopNearestFlat(b *testing.B) {
+	x, codes := allocFixture(b, 10, 12, 16384)
+	benchChurn(b, x.PopNearest, x.Insert, codes)
+}
+
+func BenchmarkLeafIndexPopNearestMap(b *testing.B) {
+	src := rng.New(31)
+	const depth, degree, n = 10, 12, 16384
+	x := newMapLeafIndex(depth)
+	codes := make([]Code, n)
+	for i := range codes {
+		bs := make([]byte, depth)
+		for j := range bs {
+			bs[j] = byte(src.Intn(degree))
+		}
+		codes[i] = Code(bs)
+		if err := x.Insert(codes[i], i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchChurn(b, x.PopNearest, x.Insert, codes)
+}
+
+func BenchmarkLeafIndexInsertRemoveFlat(b *testing.B) {
+	x, codes := allocFixture(b, 10, 12, 16384)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i % len(codes)
+		if !x.Remove(codes[id], id) {
+			b.Fatal("remove failed")
+		}
+		if err := x.Insert(codes[id], id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package hst
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// The flat arena trie must be answer-for-answer identical to the original
+// map trie on every operation. These tests drive both with the same
+// randomized operation tapes — in dense and sparse child layouts — and
+// compare every return value.
+
+// diffPair couples a flat index with the map reference.
+type diffPair struct {
+	flat *LeafIndex
+	ref  *mapLeafIndex
+}
+
+func newDiffPair(depth, degree int) *diffPair {
+	return &diffPair{flat: NewLeafIndexDegree(depth, degree), ref: newMapLeafIndex(depth)}
+}
+
+func (p *diffPair) check(t *testing.T, step int) {
+	t.Helper()
+	if p.flat.Len() != p.ref.Len() {
+		t.Fatalf("step %d: Len %d ≠ %d", step, p.flat.Len(), p.ref.Len())
+	}
+	fm, fok := p.flat.MinID()
+	rm, rok := p.ref.MinID()
+	if fok != rok || (fok && fm != rm) {
+		t.Fatalf("step %d: MinID (%d,%v) ≠ (%d,%v)", step, fm, fok, rm, rok)
+	}
+}
+
+// driveDifferential runs a randomized Insert/Remove/PopNearest/PopMin/
+// Nearest/CountPrefix tape over both implementations.
+func driveDifferential(t *testing.T, depth, degree int, steps int, seed uint64) {
+	t.Helper()
+	src := rng.New(seed)
+	p := newDiffPair(depth, degree)
+	live := map[int]Code{}
+	nextID := 0
+	randCode := func() Code {
+		b := make([]byte, depth)
+		for i := range b {
+			b[i] = byte(src.Intn(degree))
+		}
+		return Code(b)
+	}
+	for step := 0; step < steps; step++ {
+		switch op := src.Intn(10); {
+		case op < 4: // insert
+			c := randCode()
+			errF := p.flat.Insert(c, nextID)
+			errR := p.ref.Insert(c, nextID)
+			if (errF == nil) != (errR == nil) {
+				t.Fatalf("step %d: Insert err %v ≠ %v", step, errF, errR)
+			}
+			live[nextID] = c
+			nextID++
+		case op < 6: // remove an arbitrary live item (or a missing one)
+			if len(live) == 0 || src.Float64() < 0.1 {
+				c := randCode()
+				if gf, gr := p.flat.Remove(c, nextID+1000), p.ref.Remove(c, nextID+1000); gf != gr {
+					t.Fatalf("step %d: Remove(missing) %v ≠ %v", step, gf, gr)
+				}
+				break
+			}
+			for id, c := range live {
+				if gf, gr := p.flat.Remove(c, id), p.ref.Remove(c, id); gf != gr {
+					t.Fatalf("step %d: Remove(%d) %v ≠ %v", step, id, gf, gr)
+				}
+				delete(live, id)
+				break
+			}
+		case op < 8: // pop nearest (optionally level-capped)
+			q := randCode()
+			max := depth
+			if src.Float64() < 0.5 {
+				max = src.Intn(depth + 1)
+			}
+			fid, flvl, fok := p.flat.PopNearestWithin(q, max)
+			rid, rlvl, rok := p.ref.PopNearestWithin(q, max)
+			if fid != rid || flvl != rlvl || fok != rok {
+				t.Fatalf("step %d: PopNearestWithin(%v,%d) = (%d,%d,%v) ≠ (%d,%d,%v)",
+					step, []byte(q), max, fid, flvl, fok, rid, rlvl, rok)
+			}
+			if fok {
+				delete(live, fid)
+			}
+		case op < 9: // pop the global minimum
+			fid, fok := p.flat.PopMin()
+			rid, rok := p.ref.PopMin()
+			if fid != rid || fok != rok {
+				t.Fatalf("step %d: PopMin (%d,%v) ≠ (%d,%v)", step, fid, fok, rid, rok)
+			}
+			if fok {
+				delete(live, fid)
+			}
+		default: // read-only probes
+			q := randCode()
+			fid, flvl, fok := p.flat.Nearest(q)
+			rid, rlvl, rok := p.ref.Nearest(q)
+			if fid != rid || flvl != rlvl || fok != rok {
+				t.Fatalf("step %d: Nearest = (%d,%d,%v) ≠ (%d,%d,%v)", step, fid, flvl, fok, rid, rlvl, rok)
+			}
+			pl := src.Intn(depth + 1)
+			if cf, cr := p.flat.CountPrefix(q[:pl]), p.ref.CountPrefix(q[:pl]); cf != cr {
+				t.Fatalf("step %d: CountPrefix %d ≠ %d", step, cf, cr)
+			}
+		}
+		p.check(t, step)
+	}
+	// Both must hold exactly the same (code, id) multiset at the end.
+	gotF := map[int]Code{}
+	p.flat.Walk(func(c Code, id int) { gotF[id] = c })
+	gotR := map[int]Code{}
+	p.ref.Walk(func(c Code, id int) { gotR[id] = c })
+	if len(gotF) != len(gotR) {
+		t.Fatalf("Walk: %d items ≠ %d", len(gotF), len(gotR))
+	}
+	for id, c := range gotR {
+		if gotF[id] != c {
+			t.Fatalf("Walk: item %d at %v ≠ %v", id, []byte(gotF[id]), []byte(c))
+		}
+	}
+}
+
+func TestLeafIndexDifferentialDense(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		driveDifferential(t, 6, 4, 4000, uint64(1000+trial))
+	}
+}
+
+func TestLeafIndexDifferentialSparse(t *testing.T) {
+	// Degree above denseDegreeLimit forces the sibling-list fallback.
+	for trial := 0; trial < 4; trial++ {
+		driveDifferential(t, 4, denseDegreeLimit+8, 3000, uint64(2000+trial))
+	}
+}
+
+func TestLeafIndexDifferentialUnknownDegree(t *testing.T) {
+	// NewLeafIndex (no degree hint) must behave identically too.
+	src := rng.New(7)
+	flat := NewLeafIndex(5)
+	ref := newMapLeafIndex(5)
+	for step := 0; step < 2000; step++ {
+		b := make([]byte, 5)
+		for i := range b {
+			b[i] = byte(src.Intn(3))
+		}
+		c := Code(b)
+		if src.Float64() < 0.6 {
+			if err := flat.Insert(c, step); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Insert(c, step); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			fid, flvl, fok := flat.PopNearest(c)
+			rid, rlvl, rok := ref.PopNearest(c)
+			if fid != rid || flvl != rlvl || fok != rok {
+				t.Fatalf("step %d: PopNearest (%d,%d,%v) ≠ (%d,%d,%v)", step, fid, flvl, fok, rid, rlvl, rok)
+			}
+		}
+	}
+}
+
+func TestLeafIndexDepthZero(t *testing.T) {
+	// Degenerate single-level trees: every item lives on the root.
+	x := NewLeafIndexDegree(0, 1)
+	if err := x.Insert(Code(""), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Insert(Code(""), 1); err != nil {
+		t.Fatal(err)
+	}
+	if id, lvl, ok := x.Nearest(Code("")); !ok || id != 1 || lvl != 0 {
+		t.Fatalf("Nearest = (%d,%d,%v)", id, lvl, ok)
+	}
+	if id, _, ok := x.PopNearest(Code("")); !ok || id != 1 {
+		t.Fatalf("PopNearest = (%d,%v)", id, ok)
+	}
+	if !x.Remove(Code(""), 3) {
+		t.Fatal("Remove failed")
+	}
+	if x.Len() != 0 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+}
+
+func TestLeafIndexDenseRejectsOutOfRangeDigit(t *testing.T) {
+	x := NewLeafIndexDegree(2, 3)
+	if err := x.Insert(mkCode(0, 3), 1); err == nil {
+		t.Error("digit ≥ degree accepted by dense index")
+	}
+	if x.Len() != 0 {
+		t.Fatalf("failed insert mutated the index: Len = %d", x.Len())
+	}
+	if err := x.Insert(mkCode(2, 2), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range digits in queries are treated as absent branches.
+	if x.Remove(mkCode(0, 9), 1) {
+		t.Error("Remove with out-of-range digit succeeded")
+	}
+	if got := x.CountPrefix(mkCode(9)); got != 0 {
+		t.Errorf("CountPrefix = %d", got)
+	}
+	if _, lvl, ok := x.Nearest(mkCode(9, 9)); !ok || lvl != 2 {
+		t.Errorf("Nearest diverged at level %d, %v", lvl, ok)
+	}
+}
+
+// TestLeafIndexArenaReuse checks the freelist contract: a long steady-state
+// churn (every insert matched by a removal) must not grow the arenas beyond
+// their high-water mark.
+func TestLeafIndexArenaReuse(t *testing.T) {
+	const depth, degree = 6, 4
+	x := NewLeafIndexDegree(depth, degree)
+	src := rng.New(11)
+	randCode := func() Code {
+		b := make([]byte, depth)
+		for i := range b {
+			b[i] = byte(src.Intn(degree))
+		}
+		return Code(b)
+	}
+	codes := make([]Code, 64)
+	for i := range codes {
+		codes[i] = randCode()
+		if err := x.Insert(codes[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := len(x.nodes)
+	for round := 0; round < 2000; round++ {
+		i := src.Intn(len(codes))
+		if !x.Remove(codes[i], i) {
+			t.Fatalf("round %d: remove failed", round)
+		}
+		codes[i] = randCode()
+		if err := x.Insert(codes[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each (remove, insert) pair may touch at most one fresh path of nodes
+	// before reuse kicks in; the arena must stay near its high-water mark,
+	// not grow linearly with churn.
+	if len(x.nodes) > warm+depth*len(codes) {
+		t.Fatalf("node arena grew from %d to %d over steady-state churn", warm, len(x.nodes))
+	}
+}
+
+// FuzzLeafIndexDifferential drives the flat trie and the map trie with an
+// identical operation tape decoded from fuzz input and requires identical
+// answers everywhere.
+func FuzzLeafIndexDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{255, 0, 255, 0, 1, 2, 250, 9, 9, 9})
+	f.Add([]byte{})
+	const depth = 4
+	const degree = 3
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		flat := NewLeafIndexDegree(depth, degree)
+		ref := newMapLeafIndex(depth)
+		nextID := 0
+		var liveIDs []int
+		liveCodes := map[int]Code{}
+		readCode := func(pos int) Code {
+			buf := make([]byte, depth)
+			for i := range buf {
+				if pos+i < len(tape) {
+					buf[i] = tape[pos+i] % degree
+				}
+			}
+			return Code(buf)
+		}
+		for pos := 0; pos+depth < len(tape); pos += depth + 1 {
+			op := tape[pos]
+			code := readCode(pos + 1)
+			switch op % 4 {
+			case 0, 1: // insert
+				errF := flat.Insert(code, nextID)
+				errR := ref.Insert(code, nextID)
+				if (errF == nil) != (errR == nil) {
+					t.Fatalf("Insert err %v ≠ %v", errF, errR)
+				}
+				if errF == nil {
+					liveIDs = append(liveIDs, nextID)
+					liveCodes[nextID] = code
+				}
+				nextID++
+			case 2: // remove the oldest live item
+				if len(liveIDs) == 0 {
+					continue
+				}
+				victim := liveIDs[0]
+				liveIDs = liveIDs[1:]
+				gf := flat.Remove(liveCodes[victim], victim)
+				gr := ref.Remove(liveCodes[victim], victim)
+				if gf != gr || !gf {
+					t.Fatalf("Remove(%d) %v ≠ %v", victim, gf, gr)
+				}
+				delete(liveCodes, victim)
+			case 3: // pop nearest
+				fid, flvl, fok := flat.PopNearest(code)
+				rid, rlvl, rok := ref.PopNearest(code)
+				if fid != rid || flvl != rlvl || fok != rok {
+					t.Fatalf("PopNearest (%d,%d,%v) ≠ (%d,%d,%v)", fid, flvl, fok, rid, rlvl, rok)
+				}
+				if fok {
+					delete(liveCodes, fid)
+					for i, id := range liveIDs {
+						if id == fid {
+							liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			if flat.Len() != ref.Len() {
+				t.Fatalf("Len %d ≠ %d", flat.Len(), ref.Len())
+			}
+			fid, flvl, fok := flat.Nearest(code)
+			rid, rlvl, rok := ref.Nearest(code)
+			if fid != rid || flvl != rlvl || fok != rok {
+				t.Fatalf("Nearest (%d,%d,%v) ≠ (%d,%d,%v)", fid, flvl, fok, rid, rlvl, rok)
+			}
+		}
+	})
+}

@@ -29,7 +29,7 @@ func NewHSTGreedyCapacitated(tree *hst.Tree, workers []hst.Code, capacity []int)
 	if len(capacity) != len(workers) {
 		return nil, fmt.Errorf("match: %d capacities for %d workers", len(capacity), len(workers))
 	}
-	idx := hst.NewLeafIndex(tree.Depth())
+	idx := hst.NewLeafIndexDegree(tree.Depth(), tree.Degree())
 	total := 0
 	for i, c := range workers {
 		if capacity[i] < 0 {

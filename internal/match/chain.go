@@ -27,8 +27,8 @@ type HSTChain struct {
 
 // NewHSTChain returns the chain matcher over the reported worker leaves.
 func NewHSTChain(tree *hst.Tree, workers []hst.Code) (*HSTChain, error) {
-	all := hst.NewLeafIndex(tree.Depth())
-	free := hst.NewLeafIndex(tree.Depth())
+	all := hst.NewLeafIndexDegree(tree.Depth(), tree.Degree())
+	free := hst.NewLeafIndexDegree(tree.Depth(), tree.Degree())
 	for i, c := range workers {
 		if err := all.Insert(c, i); err != nil {
 			return nil, err

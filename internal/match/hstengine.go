@@ -49,7 +49,7 @@ func (g *HSTGreedyEngine) Assign(t hst.Code) int {
 // AssignBatch assigns a batch of tasks in order, amortising shard locking.
 // Each entry is the assigned worker or NoWorker.
 func (g *HSTGreedyEngine) AssignBatch(ts []hst.Code) []int {
-	out := g.eng.AssignBatch(ts)
+	out, _ := g.eng.AssignBatch(ts)
 	for i, id := range out {
 		if id == engine.None {
 			out[i] = NoWorker

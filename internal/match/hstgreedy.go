@@ -59,7 +59,6 @@ func (g *HSTGreedyScan) Assign(t hst.Code) int {
 // chosen worker ids.
 type HSTGreedyTrie struct {
 	tree      *hst.Tree
-	codes     []hst.Code
 	index     *hst.LeafIndex
 	remaining int
 }
@@ -67,7 +66,7 @@ type HSTGreedyTrie struct {
 // NewHSTGreedyTrie returns the indexed matcher over the reported worker
 // leaf codes.
 func NewHSTGreedyTrie(tree *hst.Tree, workers []hst.Code) (*HSTGreedyTrie, error) {
-	idx := hst.NewLeafIndex(tree.Depth())
+	idx := hst.NewLeafIndexDegree(tree.Depth(), tree.Degree())
 	for i, c := range workers {
 		if err := idx.Insert(c, i); err != nil {
 			return nil, err
@@ -75,7 +74,6 @@ func NewHSTGreedyTrie(tree *hst.Tree, workers []hst.Code) (*HSTGreedyTrie, error
 	}
 	return &HSTGreedyTrie{
 		tree:      tree,
-		codes:     workers,
 		index:     idx,
 		remaining: len(workers),
 	}, nil
@@ -87,11 +85,10 @@ func (g *HSTGreedyTrie) Remaining() int { return g.remaining }
 // Assign matches the task with obfuscated leaf t to a tree-nearest
 // unassigned worker and consumes it. Returns NoWorker when exhausted.
 func (g *HSTGreedyTrie) Assign(t hst.Code) int {
-	id, _, ok := g.index.Nearest(t)
+	id, _, ok := g.index.PopNearest(t)
 	if !ok {
 		return NoWorker
 	}
-	g.index.Remove(g.codes[id], id)
 	g.remaining--
 	return id
 }

@@ -21,12 +21,15 @@ var _ Backend = (*Server)(nil)
 
 // Obfuscator is the client-side privacy stack: it snaps a true location to
 // the published grid and obfuscates the leaf with the HST mechanism, all on
-// the agent's device. Only the resulting code travels to the server.
+// the agent's device. Only the resulting code travels to the server. It is
+// not safe for concurrent use (it owns a random source and a reusable digit
+// scratch); build one per goroutine.
 type Obfuscator struct {
-	grid *geo.Grid
-	tree *hst.Tree
-	mech *privacy.HSTMechanism
-	src  *rng.Source
+	grid    *geo.Grid
+	tree    *hst.Tree
+	mech    *privacy.HSTMechanism
+	src     *rng.Source
+	scratch []byte
 }
 
 // NewObfuscator builds the client-side stack from a publication. The seed
@@ -44,12 +47,32 @@ func NewObfuscator(pub Publication, seed uint64) (*Obfuscator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("platform: %w", err)
 	}
-	return &Obfuscator{grid: grid, tree: pub.Tree, mech: mech, src: rng.New(seed)}, nil
+	return &Obfuscator{
+		grid:    grid,
+		tree:    pub.Tree,
+		mech:    mech,
+		src:     rng.New(seed),
+		scratch: make([]byte, pub.Tree.Depth()),
+	}, nil
 }
 
 // Obfuscate maps a true location to the leaf code reported to the server.
+// It allocates at most the returned code itself.
 func (o *Obfuscator) Obfuscate(p geo.Point) hst.Code {
-	return o.mech.Obfuscate(o.tree.CodeOf(o.grid.Snap(p)), o.src)
+	return o.mech.ObfuscateWalkInto(o.tree.CodeOf(o.grid.Snap(p)), o.src, o.scratch)
+}
+
+// ObfuscateBatch maps a wave of true locations to their reported leaf codes
+// through the mechanism's batch sampler, which materialises every sampled
+// code out of one shared slab: registering a fleet of workers costs a
+// constant number of allocations instead of one per worker. The draws are
+// exactly those of calling Obfuscate in order.
+func (o *Obfuscator) ObfuscateBatch(pts []geo.Point) []hst.Code {
+	snapped := make([]hst.Code, len(pts))
+	for i, p := range pts {
+		snapped[i] = o.tree.CodeOf(o.grid.Snap(p))
+	}
+	return o.mech.ObfuscateInto(make([]hst.Code, len(pts)), snapped, o.src)
 }
 
 // Worker is a crowd worker agent: it holds its true location privately and

@@ -78,4 +78,12 @@ type StatsResponse struct {
 	AssignedTasks     int `json:"assigned_tasks"`
 	RejectedTasks     int `json:"rejected_tasks"`
 	ReleasedWorkers   int `json:"released_workers"`
+	// MatchLevelCounts histograms assignments by the LCA level of the
+	// match (index 0 = co-located leaf, index D = cross-root match): the
+	// server-observable proxy for match quality, maintained identically on
+	// the one-by-one and batch submission paths.
+	MatchLevelCounts []int `json:"match_level_counts,omitempty"`
+	// MeanMatchLevel is the average LCA level over all assignments (0 when
+	// none have been made).
+	MeanMatchLevel float64 `json:"mean_match_level"`
 }

@@ -38,6 +38,11 @@ type Server struct {
 	assigned  int
 	rejected  int
 	released  int
+	// levelCounts[l] counts assignments whose match LCA sat at level l;
+	// levelSum is Σ levels for the running mean. Both are fed by Submit and
+	// SubmitBatch alike.
+	levelCounts []int
+	levelSum    int
 }
 
 // ServerOption customises server construction.
@@ -82,8 +87,9 @@ func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64, opts .
 			Rows:    rows,
 			Epsilon: eps,
 		},
-		eng:  eng,
-		byID: map[string]int{},
+		eng:         eng,
+		byID:        map[string]int{},
+		levelCounts: make([]int, tree.Depth()+1),
 	}, nil
 }
 
@@ -129,7 +135,7 @@ func (s *Server) Submit(req TaskRequest) TaskResponse {
 	if err := s.pub.Tree.CheckCode(code); err != nil {
 		return TaskResponse{Assigned: false, Reason: err.Error()}
 	}
-	slot, _, ok := s.eng.Assign(code)
+	slot, lvl, ok := s.eng.Assign(code)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !ok {
@@ -138,6 +144,8 @@ func (s *Server) Submit(req TaskRequest) TaskResponse {
 	}
 	s.available[slot] = false
 	s.assigned++
+	s.levelCounts[lvl]++
+	s.levelSum += lvl
 	return TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot]}
 }
 
@@ -159,7 +167,7 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 		valid = append(valid, i)
 		codes = append(codes, code)
 	}
-	slots := s.eng.AssignBatch(codes)
+	slots, lvls := s.eng.AssignBatch(codes)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for k, slot := range slots {
@@ -171,6 +179,8 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 		}
 		s.available[slot] = false
 		s.assigned++
+		s.levelCounts[lvls[k]]++
+		s.levelSum += lvls[k]
 		out.Results[i] = TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot]}
 	}
 	return out
@@ -215,11 +225,17 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 func (s *Server) Stats() StatsResponse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	mean := 0.0
+	if s.assigned > 0 {
+		mean = float64(s.levelSum) / float64(s.assigned)
+	}
 	return StatsResponse{
 		RegisteredWorkers: len(s.workerIDs),
 		AvailableWorkers:  s.eng.Len(),
 		AssignedTasks:     s.assigned,
 		RejectedTasks:     s.rejected,
 		ReleasedWorkers:   s.released,
+		MatchLevelCounts:  append([]int(nil), s.levelCounts...),
+		MeanMatchLevel:    mean,
 	}
 }

@@ -123,19 +123,89 @@ func (m *HSTMechanism) ObfuscateDirect(x hst.Code, src *rng.Source) hst.Code {
 // ObfuscateWalk is Alg. 3: walk upward from x, at each level i continuing
 // with probability pu_i; on turning downward at level i, pick uniformly
 // among the c−1 non-ancestor children and then descend uniformly to a leaf.
+//
+// ObfuscateWalk performs at most one allocation — the final Code
+// materialisation — and none at all when the walk stops at level 0. For
+// batches, ObfuscateInto amortises even that allocation across the batch.
 func (m *HSTMechanism) ObfuscateWalk(x hst.Code, src *rng.Source) hst.Code {
-	d := m.tree.Depth()
-	lvl := 0
-	for lvl < d && src.Float64() < m.pu[lvl] {
-		lvl++
-	}
-	// pu[d] is 0 by construction (tw[d+1] = 0), so lvl ≤ d; reaching d
-	// through the loop bound alone cannot happen with consistent weights,
-	// but guard anyway: turning down at the root is well defined.
+	lvl := m.walkLevel(src)
 	if lvl == 0 {
 		return x
 	}
 	return m.sampleSibling(x, lvl, src)
+}
+
+// walkLevel draws the stopping level of the Alg. 3 random walk.
+func (m *HSTMechanism) walkLevel(src *rng.Source) int {
+	d := m.tree.Depth()
+	lvl := 0
+	// pu[d] is 0 by construction (tw[d+1] = 0), so lvl ≤ d; reaching d
+	// through the loop bound alone cannot happen with consistent weights,
+	// but guard anyway: turning down at the root is well defined.
+	for lvl < d && src.Float64() < m.pu[lvl] {
+		lvl++
+	}
+	return lvl
+}
+
+// walkStackDepth is the deepest tree whose walk buffer fits on the stack;
+// realistic HSTs are far shallower (D ≈ 10 for a 64×64 grid).
+const walkStackDepth = 64
+
+// ObfuscateWalkInto is ObfuscateWalk drawing the same distribution from the
+// same random stream, but writing the sampled digits through the
+// caller-owned scratch buffer (len ≥ D) instead of a fresh one. It
+// allocates only the final Code materialisation — nothing when the walk
+// stops at level 0 — so a caller obfuscating a wave of agents reuses one
+// scratch per goroutine. The returned Code never aliases scratch.
+func (m *HSTMechanism) ObfuscateWalkInto(x hst.Code, src *rng.Source, scratch []byte) hst.Code {
+	lvl := m.walkLevel(src)
+	if lvl == 0 {
+		return x
+	}
+	m.sampleSiblingInto(scratch, x, lvl, src)
+	return hst.Code(scratch[:m.tree.Depth()])
+}
+
+// ObfuscateInto obfuscates every code of xs into dst (allocated when nil or
+// short), drawing exactly the random stream that calling ObfuscateWalk on
+// each element in order would draw — batch and loop are interchangeable,
+// result for result. All sampled codes are materialised through one shared
+// slab with a single string conversion, so the per-item allocation cost is
+// amortised to two allocations per batch.
+func (m *HSTMechanism) ObfuscateInto(dst []hst.Code, xs []hst.Code, src *rng.Source) []hst.Code {
+	if len(dst) < len(xs) {
+		dst = make([]hst.Code, len(xs))
+	}
+	d := m.tree.Depth()
+	if d == 0 {
+		// Depth-0 trees have a single leaf: every walk stops at level 0.
+		for i, x := range xs {
+			m.walkLevel(src)
+			dst[i] = x
+		}
+		return dst[:len(xs)]
+	}
+	slab := make([]byte, len(xs)*d)
+	for i, x := range xs {
+		lvl := m.walkLevel(src)
+		if lvl == 0 {
+			dst[i] = x // reported unchanged; no slab entry needed
+			continue
+		}
+		m.sampleSiblingInto(slab[i*d:(i+1)*d], x, lvl, src)
+		dst[i] = "" // sampled; resolved against the slab string below
+	}
+	// One string materialisation covers every sampled code; slices of it
+	// share the backing, so per-item cost is zero. A valid depth-d code is
+	// never the empty string, making "" a safe sentinel.
+	all := string(slab)
+	for i := range xs {
+		if dst[i] == "" {
+			dst[i] = hst.Code(all[i*d : (i+1)*d])
+		}
+	}
+	return dst[:len(xs)]
 }
 
 // ObfuscateEnumerate is the literal Alg. 2: it materialises M(x)(·) over
@@ -189,20 +259,31 @@ func (m *HSTMechanism) EnumerateDistribution(x hst.Code) ([]hst.Code, []float64,
 // level lvl, replace the child step below it by a uniform non-ancestor
 // digit, and fill the remaining lvl−1 digits uniformly.
 func (m *HSTMechanism) sampleSibling(x hst.Code, lvl int, src *rng.Source) hst.Code {
+	var stack [walkStackDepth]byte
+	buf := stack[:]
+	if d := m.tree.Depth(); d > len(buf) {
+		buf = make([]byte, d)
+	}
+	m.sampleSiblingInto(buf, x, lvl, src)
+	return hst.Code(buf[:m.tree.Depth()])
+}
+
+// sampleSiblingInto writes a uniform leaf of L_lvl(x) into out[:D] without
+// allocating: the digits of x's level-lvl ancestor, then a uniform
+// non-ancestor digit, then uniform fill.
+func (m *HSTMechanism) sampleSiblingInto(out []byte, x hst.Code, lvl int, src *rng.Source) {
 	d, c := m.tree.Depth(), m.tree.Degree()
-	buf := make([]byte, d)
-	copy(buf, x[:d-lvl])
+	copy(out, x[:d-lvl])
 	// Uniform digit different from x's at this depth.
 	own := int(x[d-lvl])
 	digit := src.Intn(c - 1)
 	if digit >= own {
 		digit++
 	}
-	buf[d-lvl] = byte(digit)
+	out[d-lvl] = byte(digit)
 	for j := d - lvl + 1; j < d; j++ {
-		buf[j] = byte(src.Intn(c))
+		out[j] = byte(src.Intn(c))
 	}
-	return hst.Code(buf)
 }
 
 // WalkDistribution computes, analytically, the probability that the

@@ -1,0 +1,165 @@
+package privacy
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func intoTestMech(t testing.TB, cols int, eps float64) *HSTMechanism {
+	t.Helper()
+	g, err := geo.NewGrid(geo.NewRect(geo.Pt(0, 0), geo.Pt(200, 200)), cols, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := hst.Build(g.Points(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewHSTMechanism(tree, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestObfuscateIntoMatchesWalkLoop: the batch sampler must consume exactly
+// the random stream of the per-item walk sampler and produce identical
+// codes — batch and loop are interchangeable result for result, which is
+// what keeps the evaluation pipelines bit-for-bit reproducible across the
+// batch migration.
+func TestObfuscateIntoMatchesWalkLoop(t *testing.T) {
+	m := intoTestMech(t, 16, 0.6)
+	tree := m.Tree()
+	src := rng.New(42)
+	xs := make([]hst.Code, 500)
+	for i := range xs {
+		xs[i] = tree.CodeOf(src.Intn(tree.NumPoints()))
+	}
+
+	loopSrc := rng.New(1234)
+	want := make([]hst.Code, len(xs))
+	for i, x := range xs {
+		want[i] = m.ObfuscateWalk(x, loopSrc)
+	}
+
+	batchSrc := rng.New(1234)
+	got := m.ObfuscateInto(nil, xs, batchSrc)
+	for i := range xs {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: batch %v ≠ loop %v", i, []byte(got[i]), []byte(want[i]))
+		}
+	}
+
+	// And the scratch variant draws the same stream too.
+	intoSrc := rng.New(1234)
+	scratch := make([]byte, tree.Depth())
+	for i, x := range xs {
+		if z := m.ObfuscateWalkInto(x, intoSrc, scratch); z != want[i] {
+			t.Fatalf("item %d: Into %v ≠ loop %v", i, []byte(z), []byte(want[i]))
+		}
+	}
+}
+
+// TestObfuscateIntoReusesDst: a dst slice of sufficient length is reused,
+// not reallocated.
+func TestObfuscateIntoReusesDst(t *testing.T) {
+	m := intoTestMech(t, 8, 0.6)
+	xs := []hst.Code{m.Tree().CodeOf(0), m.Tree().CodeOf(1)}
+	dst := make([]hst.Code, 8)
+	out := m.ObfuscateInto(dst, xs, rng.New(9))
+	if len(out) != len(xs) {
+		t.Fatalf("len(out) = %d, want %d", len(out), len(xs))
+	}
+	if &out[0] != &dst[0] {
+		t.Error("ObfuscateInto reallocated a sufficient dst")
+	}
+}
+
+// TestObfuscateWalkIntoNoScratchAlias: the returned code must be detached
+// from the scratch buffer — later reuse of scratch must not mutate it.
+func TestObfuscateWalkIntoNoScratchAlias(t *testing.T) {
+	m := intoTestMech(t, 16, 0.2) // strict ε: walks move often
+	tree := m.Tree()
+	src := rng.New(3)
+	scratch := make([]byte, tree.Depth())
+	x := tree.CodeOf(7)
+	var z hst.Code
+	for i := 0; i < 200; i++ {
+		z = m.ObfuscateWalkInto(x, src, scratch)
+		if z != x {
+			break
+		}
+	}
+	if z == x {
+		t.Skip("walk never left the true leaf in 200 draws")
+	}
+	snapshot := string(z)
+	for i := range scratch {
+		scratch[i] = 0xFF
+	}
+	if string(z) != snapshot {
+		t.Fatal("returned code aliases the scratch buffer")
+	}
+}
+
+// TestObfuscateWalkAllocs pins the hot-path allocation contract: at most
+// one allocation per ObfuscateWalk (the final Code materialisation), at
+// most one for the scratch variant, and amortised ~2 per batch for
+// ObfuscateInto.
+func TestObfuscateWalkAllocs(t *testing.T) {
+	m := intoTestMech(t, 32, 0.6)
+	tree := m.Tree()
+	src := rng.New(8)
+	x := tree.CodeOf(100)
+
+	if a := testing.AllocsPerRun(1000, func() { m.ObfuscateWalk(x, src) }); a > 1 {
+		t.Errorf("ObfuscateWalk allocates %.1f/op, want ≤ 1", a)
+	}
+	scratch := make([]byte, tree.Depth())
+	if a := testing.AllocsPerRun(1000, func() { m.ObfuscateWalkInto(x, src, scratch) }); a > 1 {
+		t.Errorf("ObfuscateWalkInto allocates %.1f/op, want ≤ 1", a)
+	}
+
+	xs := make([]hst.Code, 256)
+	for i := range xs {
+		xs[i] = tree.CodeOf(i)
+	}
+	dst := make([]hst.Code, len(xs))
+	a := testing.AllocsPerRun(100, func() { m.ObfuscateInto(dst, xs, src) })
+	if a > 2 {
+		t.Errorf("ObfuscateInto allocates %.1f/batch of %d, want ≤ 2", a, len(xs))
+	}
+}
+
+func BenchmarkObfuscateWalkInto(b *testing.B) {
+	m := intoTestMech(b, 32, 0.6)
+	src := rng.New(2)
+	x := m.Tree().CodeOf(100)
+	scratch := make([]byte, m.Tree().Depth())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ObfuscateWalkInto(x, src, scratch)
+	}
+}
+
+func BenchmarkObfuscateInto(b *testing.B) {
+	m := intoTestMech(b, 32, 0.6)
+	tree := m.Tree()
+	src := rng.New(2)
+	xs := make([]hst.Code, 1024)
+	for i := range xs {
+		xs[i] = tree.CodeOf(i % tree.NumPoints())
+	}
+	dst := make([]hst.Code, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ObfuscateInto(dst, xs, src)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(xs)), "ns/code")
+}

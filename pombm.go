@@ -99,6 +99,13 @@ func BuildHSTWithParams(points []Point, beta float64, perm []int) (*HST, error) 
 // given level: 2^(ℓ+2) − 4.
 func LevelDist(level int) float64 { return hst.LevelDist(level) }
 
+// NewLeafIndex returns an empty leaf-code index for the tree: the
+// arena-backed flat trie behind the assignment engine, with O(D)
+// insert/remove/nearest and allocation-free steady-state operation.
+func NewLeafIndex(tree *HST) *LeafIndex {
+	return hst.NewLeafIndexDegree(tree.Depth(), tree.Degree())
+}
+
 // Privacy mechanisms.
 type (
 	// HSTMechanism is the paper's ε-Geo-Indistinguishable tree mechanism.
