@@ -1,0 +1,143 @@
+// benchdiff is the bench-regression gate: it compares a freshly produced
+// engine benchmark snapshot (BENCH_engine.ci.json) against the checked-in
+// baseline (BENCH_engine.json) and exits non-zero when the hot path
+// regressed.
+//
+// Two checks run per gated benchmark:
+//
+//   - ns/op may not regress by more than -max-regress (default 30%).
+//     Because CI machines differ from the machine that produced the
+//     baseline, -normalize names a benchmark whose ns/op divides both
+//     sides first (the single-threaded scan is a good hardware yardstick:
+//     it exercises the same memory system without the code under test's
+//     optimisations).
+//   - allocs/op may not rise above the baseline by more than -alloc-slack
+//     (default 0.05): the engine's steady state is allocation-free, and a
+//     new allocation on the hot path shows up here long before it shows up
+//     in timings.
+//
+// Usage:
+//
+//	benchdiff -base BENCH_engine.json -new BENCH_engine.ci.json
+//	benchdiff -base ... -new ... -bench engine/goroutines=1 -normalize scan/goroutines=1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pombm/pombm/internal/benchfmt"
+)
+
+// compare gates one benchmark and returns the failures found. The
+// normalizer ns/op values divide both sides when positive.
+func compare(base, fresh benchfmt.Record, baseNorm, freshNorm float64, maxRegress, allocSlack float64) []string {
+	var fails []string
+	baseNs, freshNs := base.NsPerOp, fresh.NsPerOp
+	unit := "ns/op"
+	if baseNorm > 0 && freshNorm > 0 {
+		baseNs /= baseNorm
+		freshNs /= freshNorm
+		unit = "normalized ns/op"
+	}
+	if baseNs > 0 && freshNs > baseNs*(1+maxRegress) {
+		fails = append(fails, fmt.Sprintf("%s: %s %.4g vs baseline %.4g (+%.1f%%, limit +%.0f%%)",
+			base.Benchmark, unit, freshNs, baseNs, 100*(freshNs/baseNs-1), 100*maxRegress))
+	}
+	if fresh.AllocsPerOp > base.AllocsPerOp+allocSlack {
+		fails = append(fails, fmt.Sprintf("%s: allocs/op %.4f vs pinned %.4f (slack %.2f)",
+			base.Benchmark, fresh.AllocsPerOp, base.AllocsPerOp, allocSlack))
+	}
+	return fails
+}
+
+func main() {
+	var (
+		basePath   = flag.String("base", "BENCH_engine.json", "checked-in baseline snapshot")
+		newPath    = flag.String("new", "BENCH_engine.ci.json", "freshly produced snapshot")
+		benchList  = flag.String("bench", "engine/goroutines=1", "comma-separated benchmarks to gate")
+		normalize  = flag.String("normalize", "", "divide ns/op by this benchmark's ns/op on each side (hardware yardstick, e.g. scan/goroutines=1)")
+		maxRegress = flag.Float64("max-regress", 0.30, "maximum allowed relative ns/op regression")
+		allocSlack = flag.Float64("alloc-slack", 0.05, "maximum allowed allocs/op rise above the pinned baseline")
+	)
+	flag.Parse()
+
+	base, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	// Normalisation absorbs hardware deltas, not workload deltas: ns/op of
+	// every benchmark depends on pool size, so comparing snapshots of
+	// different workloads would gate nothing meaningful.
+	if base.Workers != fresh.Workers || base.Tasks != fresh.Tasks {
+		fatal(fmt.Errorf("workload mismatch: baseline %d workers/%d tasks vs %d/%d — produce the snapshot with the baseline's parameters",
+			base.Workers, base.Tasks, fresh.Workers, fresh.Tasks))
+	}
+
+	var baseNorm, freshNorm float64
+	if *normalize != "" {
+		b, ok := base.Find(*normalize)
+		if !ok {
+			fatal(fmt.Errorf("normalizer %q missing from %s", *normalize, *basePath))
+		}
+		f, ok := fresh.Find(*normalize)
+		if !ok {
+			fatal(fmt.Errorf("normalizer %q missing from %s", *normalize, *newPath))
+		}
+		baseNorm, freshNorm = b.NsPerOp, f.NsPerOp
+	}
+
+	var fails []string
+	for _, name := range strings.Split(*benchList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, ok := base.Find(name)
+		if !ok {
+			fatal(fmt.Errorf("benchmark %q missing from baseline %s", name, *basePath))
+		}
+		f, ok := fresh.Find(name)
+		if !ok {
+			fatal(fmt.Errorf("benchmark %q missing from %s", name, *newPath))
+		}
+		fmt.Printf("%-24s ns/op %8.1f → %8.1f   allocs/op %.4f → %.4f\n",
+			name, b.NsPerOp, f.NsPerOp, b.AllocsPerOp, f.AllocsPerOp)
+		fails = append(fails, compare(b, f, baseNorm, freshNorm, *maxRegress, *allocSlack)...)
+	}
+
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+func load(path string) (*benchfmt.Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchfmt.Report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/pombm/pombm/internal/benchfmt"
+)
+
+func rec(ns, allocs float64) benchfmt.Record {
+	return benchfmt.Record{Benchmark: "engine/goroutines=1", NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestCompareWithinBudgetPasses(t *testing.T) {
+	if fails := compare(rec(700, 0.01), rec(850, 0.02), 0, 0, 0.30, 0.05); len(fails) != 0 {
+		t.Errorf("21%% regression within a 30%% budget failed: %v", fails)
+	}
+}
+
+func TestCompareNsRegressionFails(t *testing.T) {
+	fails := compare(rec(700, 0.01), rec(1000, 0.01), 0, 0, 0.30, 0.05)
+	if len(fails) != 1 || !strings.Contains(fails[0], "ns/op") {
+		t.Errorf("43%% regression not caught: %v", fails)
+	}
+}
+
+func TestCompareAllocRiseFails(t *testing.T) {
+	fails := compare(rec(700, 0.01), rec(700, 0.5), 0, 0, 0.30, 0.05)
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/op") {
+		t.Errorf("alloc rise not caught: %v", fails)
+	}
+}
+
+func TestCompareNormalizedAbsorbsHardwareDelta(t *testing.T) {
+	// The fresh machine is 2× slower across the board: raw ns/op doubles
+	// (a false regression), but dividing by the scan yardstick on each
+	// side cancels the hardware difference.
+	if fails := compare(rec(700, 0), rec(1400, 0), 80000, 160000, 0.30, 0.05); len(fails) != 0 {
+		t.Errorf("normalization did not absorb a uniform slowdown: %v", fails)
+	}
+	// A genuine 2× regression of the engine alone still fails normalized.
+	if fails := compare(rec(700, 0), rec(1400, 0), 80000, 80000, 0.30, 0.05); len(fails) != 1 {
+		t.Errorf("normalized genuine regression not caught: %v", fails)
+	}
+}
+
+// TestGateEndToEnd runs the built gate against the checked-in baseline
+// compared with itself (trivially clean) and with a doctored regression.
+func TestGateEndToEnd(t *testing.T) {
+	baseline := filepath.Join("..", "..", "BENCH_engine.json")
+	if _, err := os.Stat(baseline); err != nil {
+		t.Skipf("baseline snapshot not present: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "benchdiff")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	clean := exec.Command(bin, "-base", baseline, "-new", baseline, "-normalize", "scan/goroutines=1")
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, out)
+	}
+
+	blob, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the engine benchmark 10× slower in the doctored snapshot.
+	doctored := strings.Replace(string(blob), `"ns_per_op": 741`, `"ns_per_op": 7410`, 1)
+	if doctored == string(blob) {
+		t.Skip("baseline layout changed; update the doctored substitution")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gate := exec.Command(bin, "-base", baseline, "-new", bad, "-normalize", "scan/goroutines=1")
+	out, err := gate.CombinedOutput()
+	if err == nil {
+		t.Fatalf("10× regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(string(out), "FAIL") {
+		t.Fatalf("gate failed without explanation:\n%s", out)
+	}
+
+	// A snapshot of a different workload must be refused outright: the scan
+	// yardstick absorbs hardware deltas, not pool-size deltas.
+	mismatched := strings.Replace(string(blob), `"workers": 16384`, `"workers": 4000`, 1)
+	if mismatched == string(blob) {
+		t.Skip("baseline layout changed; update the workload substitution")
+	}
+	mis := filepath.Join(t.TempDir(), "mismatch.json")
+	if err := os.WriteFile(mis, []byte(mismatched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, "-base", baseline, "-new", mis).CombinedOutput()
+	if err == nil {
+		t.Fatalf("workload mismatch passed the gate:\n%s", out)
+	}
+	if !strings.Contains(string(out), "workload mismatch") {
+		t.Fatalf("mismatch refused without explanation:\n%s", out)
+	}
+}

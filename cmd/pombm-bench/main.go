@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/pombm/pombm/internal/benchfmt"
 	"github.com/pombm/pombm/internal/core"
 	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/experiments"
@@ -235,28 +236,6 @@ func throughput(tasks int, d time.Duration) (nsPerOp, tasksPerSec float64) {
 	return float64(d.Nanoseconds()) / float64(tasks), float64(tasks) / d.Seconds()
 }
 
-// benchRecord is one enginebench measurement in BENCH_engine.json: the
-// perf trajectory across PRs is tracked through these files instead of
-// living only in terminal output.
-type benchRecord struct {
-	Benchmark   string  `json:"benchmark"` // e.g. "engine/goroutines=4"
-	Goroutines  int     `json:"goroutines"`
-	Shards      int     `json:"shards,omitempty"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	TasksPerSec float64 `json:"tasks_per_sec"`
-}
-
-// benchReport is the file-level envelope of BENCH_engine.json.
-type benchReport struct {
-	GitSHA     string        `json:"git_sha"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Workers    int           `json:"workers"`
-	Tasks      int           `json:"tasks"`
-	Repeat     int           `json:"repeat"`
-	Results    []benchRecord `json:"results"`
-}
-
 // gitSHA resolves the current revision: the VCS stamp baked into the
 // binary when available, the working tree's HEAD otherwise.
 func gitSHA() string {
@@ -312,7 +291,7 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 		tree.NumPoints(), tree.Depth(), tree.Degree(), workers, tasks, runtime.GOMAXPROCS(0), repeat)
 	fmt.Printf("%-12s %11s %9s %12s %12s %14s\n", "impl", "goroutines", "shards", "ns/op", "allocs/op", "tasks/sec")
 
-	out := benchReport{
+	out := benchfmt.Report{
 		GitSHA:     gitSHA(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    workers,
@@ -350,7 +329,7 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 			shCol = strconv.Itoa(sh)
 		}
 		fmt.Printf("%-12s %11d %9s %12.0f %12.2f %14.0f\n", impl, g, shCol, nsPerOp, allocs, tasksPerSec)
-		out.Results = append(out.Results, benchRecord{
+		out.Results = append(out.Results, benchfmt.Record{
 			Benchmark:   fmt.Sprintf("%s/goroutines=%d", impl, g),
 			Goroutines:  g,
 			Shards:      sh,

@@ -1,0 +1,35 @@
+// Package benchfmt defines the BENCH_engine.json schema shared by its
+// writer (cmd/pombm-bench -enginebench) and its reader (cmd/benchdiff, the
+// CI regression gate), so field renames are compile errors instead of
+// silently-zero JSON fields on one side.
+package benchfmt
+
+// Record is one benchmark measurement.
+type Record struct {
+	Benchmark   string  `json:"benchmark"` // e.g. "engine/goroutines=4"
+	Goroutines  int     `json:"goroutines"`
+	Shards      int     `json:"shards,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+}
+
+// Report is the file-level envelope.
+type Report struct {
+	GitSHA     string   `json:"git_sha"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Workers    int      `json:"workers"`
+	Tasks      int      `json:"tasks"`
+	Repeat     int      `json:"repeat"`
+	Results    []Record `json:"results"`
+}
+
+// Find returns the named benchmark's record.
+func (r *Report) Find(name string) (Record, bool) {
+	for _, rec := range r.Results {
+		if rec.Benchmark == name {
+			return rec, true
+		}
+	}
+	return Record{}, false
+}

@@ -1,0 +1,301 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// stressN scales iteration counts: the nightly CI lane sets POMBM_STRESS
+// to hammer the interleavings much harder than the per-push run.
+func stressN(base int) int {
+	if os.Getenv("POMBM_STRESS") != "" {
+		return base * 10
+	}
+	return base
+}
+
+// churnLedger is the test's ground truth for worker lifecycles. Per-id
+// locks serialise bookkeeping for one worker without serialising the
+// engine itself, so cross-worker engine races stay live while the ledger
+// stays consistent.
+type churnLedger struct {
+	mu    []sync.Mutex
+	state []uint8 // 0 offline, 1 available, 2 assigned, 3 departed
+	code  []hst.Code
+}
+
+const (
+	lOffline uint8 = iota
+	lAvailable
+	lAssigned
+	lDeparted
+)
+
+func newChurnLedger(n int) *churnLedger {
+	return &churnLedger{
+		mu:    make([]sync.Mutex, n),
+		state: make([]uint8, n),
+		code:  make([]hst.Code, n),
+	}
+}
+
+func randCode(tree *hst.Tree, src *rng.Source) hst.Code {
+	b := make([]byte, tree.Depth())
+	for j := range b {
+		b[j] = byte(src.Intn(tree.Degree()))
+	}
+	return hst.Code(b)
+}
+
+// TestConcurrentChurn interleaves Register (Insert), Assign, Release
+// (re-Insert by the assigner), departure (Remove) and re-registration at a
+// fresh code across goroutines, asserting under -race that no task is ever
+// matched to a departed, offline, or already-assigned worker, and that the
+// engine's shard accounting survives the churn intact.
+func TestConcurrentChurn(t *testing.T) {
+	grid, err := geo.NewGrid(geo.NewRect(geo.Pt(0, 0), geo.Pt(200, 200)), 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := hst.Build(grid.Points(), rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nWorkers = 512
+	const nChurners = 4
+	const nAssigners = 4
+	opsPerChurner := stressN(400)
+	opsPerAssigner := stressN(600)
+
+	led := newChurnLedger(nWorkers)
+	var violations atomic.Int64
+	var assignedTotal atomic.Int64
+	fail := func(format string, args ...any) {
+		violations.Add(1)
+		t.Errorf(format, args...)
+	}
+
+	// Seed half the pool so assigners have something to pop immediately.
+	seedSrc := rng.New(1).Derive("seed-pool")
+	for id := 0; id < nWorkers/2; id++ {
+		led.code[id] = randCode(tree, seedSrc)
+		led.state[id] = lAvailable
+		if err := eng.Insert(led.code[id], id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < nChurners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := rng.New(7).DeriveN("churner", g)
+			for op := 0; op < opsPerChurner; op++ {
+				id := src.Intn(nWorkers)
+				led.mu[id].Lock()
+				switch led.state[id] {
+				case lOffline, lDeparted:
+					// (Re-)register at a freshly obfuscated code.
+					led.code[id] = randCode(tree, src)
+					if err := eng.Insert(led.code[id], id); err != nil {
+						fail("insert worker %d: %v", id, err)
+					} else {
+						led.state[id] = lAvailable
+					}
+				case lAvailable:
+					// Worker goes offline. A failed Remove means a
+					// concurrent Assign popped it first: the assignment
+					// wins and its goroutine updates the ledger.
+					if eng.Remove(led.code[id], id) {
+						led.state[id] = lDeparted
+					}
+				case lAssigned:
+					// Busy worker: leave it to its assigner.
+				}
+				led.mu[id].Unlock()
+			}
+		}(g)
+	}
+	for g := 0; g < nAssigners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := rng.New(13).DeriveN("assigner", g)
+			for op := 0; op < opsPerAssigner; op++ {
+				task := randCode(tree, src)
+				id, _, ok := eng.Assign(task)
+				if !ok {
+					continue
+				}
+				assignedTotal.Add(1)
+				led.mu[id].Lock()
+				switch led.state[id] {
+				case lAvailable:
+					led.state[id] = lAssigned
+				case lDeparted:
+					fail("task matched departed worker %d", id)
+				case lOffline:
+					fail("task matched offline worker %d", id)
+				case lAssigned:
+					fail("worker %d double-assigned", id)
+				}
+				led.mu[id].Unlock()
+				// Half the time the worker finishes quickly and is
+				// released back at a new report.
+				if src.Intn(2) == 0 {
+					led.mu[id].Lock()
+					if led.state[id] == lAssigned {
+						led.code[id] = randCode(tree, src)
+						if err := eng.Insert(led.code[id], id); err != nil {
+							fail("release worker %d: %v", id, err)
+						} else {
+							led.state[id] = lAvailable
+						}
+					}
+					led.mu[id].Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if assignedTotal.Load() == 0 {
+		t.Fatal("no assignments happened; the interleaving test exercised nothing")
+	}
+
+	// Quiesced: shard accounting must agree with the ledger exactly.
+	want := map[int]bool{}
+	for id := 0; id < nWorkers; id++ {
+		if led.state[id] == lAvailable {
+			want[id] = true
+		}
+	}
+	if n := eng.Len(); n != len(want) {
+		t.Errorf("engine.Len() = %d, ledger has %d available", n, len(want))
+	}
+	occ := 0
+	for _, o := range eng.Occupancy() {
+		occ += o
+	}
+	if occ != len(want) {
+		t.Errorf("Σ Occupancy = %d, ledger has %d available", occ, len(want))
+	}
+
+	// Drain through Assign: every pop walks the trie's count/minID
+	// bookkeeping, so a corrupted shard surfaces as a wrong or missing id.
+	drainSrc := rng.New(21).Derive("drain")
+	got := map[int]bool{}
+	for {
+		id, _, ok := eng.Assign(randCode(tree, drainSrc))
+		if !ok {
+			break
+		}
+		if got[id] {
+			t.Fatalf("worker %d drained twice", id)
+		}
+		got[id] = true
+	}
+	if len(got) != len(want) {
+		t.Errorf("drained %d workers, ledger has %d available", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("available worker %d missing from drain", id)
+		}
+	}
+	if eng.Len() != 0 {
+		t.Errorf("engine.Len() = %d after drain", eng.Len())
+	}
+	if v := violations.Load(); v > 0 {
+		t.Fatalf("%d lifecycle violations", v)
+	}
+}
+
+// TestConcurrentChurnAcrossShardCounts re-runs a smaller churn at shard
+// counts around the degree clamp, including the single-shard degenerate
+// case where every operation contends on one lock.
+func TestConcurrentChurnAcrossShardCounts(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			grid, err := geo.NewGrid(geo.NewRect(geo.Pt(0, 0), geo.Pt(200, 200)), 8, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := hst.Build(grid.Points(), rng.New(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := New(tree, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 128
+			led := newChurnLedger(n)
+			var wg sync.WaitGroup
+			var bad atomic.Int64
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					src := rng.New(31).DeriveN("mix", g)
+					for op := 0; op < stressN(300); op++ {
+						id := src.Intn(n)
+						led.mu[id].Lock()
+						switch led.state[id] {
+						case lAvailable:
+							if eng.Remove(led.code[id], id) {
+								led.state[id] = lOffline
+							} else {
+								// Lost to a concurrent Assign by another
+								// goroutine of this same mix: reconcile.
+								led.state[id] = lAssigned
+							}
+						default:
+							led.code[id] = randCode(tree, src)
+							if err := eng.Insert(led.code[id], id); err != nil {
+								bad.Add(1)
+							} else {
+								led.state[id] = lAvailable
+							}
+						}
+						led.mu[id].Unlock()
+						if op%3 == 0 {
+							if id, _, ok := eng.Assign(randCode(tree, src)); ok {
+								led.mu[id].Lock()
+								if led.state[id] == lAvailable {
+									led.state[id] = lAssigned
+								}
+								led.mu[id].Unlock()
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if bad.Load() > 0 {
+				t.Fatalf("%d unexpected insert failures", bad.Load())
+			}
+			occ := 0
+			for _, o := range eng.Occupancy() {
+				occ += o
+			}
+			if occ != eng.Len() {
+				t.Errorf("Σ Occupancy %d != Len %d", occ, eng.Len())
+			}
+		})
+	}
+}

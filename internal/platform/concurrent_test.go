@@ -3,6 +3,7 @@ package platform
 import (
 	"fmt"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"testing"
 
@@ -10,6 +11,16 @@ import (
 	"github.com/pombm/pombm/internal/rng"
 	"github.com/pombm/pombm/internal/workload"
 )
+
+// stressScale multiplies iteration counts in the concurrent stress tests:
+// the nightly CI lane sets POMBM_STRESS to churn through far more
+// interleavings than the per-push run.
+func stressScale(base int) int {
+	if os.Getenv("POMBM_STRESS") != "" {
+		return base * 10
+	}
+	return base
+}
 
 // TestServerConcurrentStress drives Register, Reregister, Submit,
 // SubmitBatch, Release, and Stats concurrently against one server (run
@@ -21,15 +32,19 @@ func TestServerConcurrentStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var (
+		workersPerGor = stressScale(50)
+		tasksPerGor   = stressScale(60)
+	)
 	const (
 		regGoroutines   = 4
-		workersPerGor   = 50
 		taskGoroutines  = 4
-		tasksPerGor     = 60
 		rereGoroutines  = 2
 		statsGoroutines = 2
-		nWorkers        = regGoroutines * workersPerGor
-		nTasks          = taskGoroutines * tasksPerGor
+	)
+	var (
+		nWorkers = regGoroutines * workersPerGor
+		nTasks   = taskGoroutines * tasksPerGor
 	)
 
 	// Phase 1: registrations, submissions, reregistrations, and stats reads
@@ -126,7 +141,7 @@ func TestServerConcurrentStress(t *testing.T) {
 				return
 			}
 			src := rng.New(uint64(60 + g))
-			for i := 0; i < 40; i++ {
+			for i := 0; i < stressScale(40); i++ {
 				// Move a random (possibly unregistered, possibly assigned)
 				// worker; any well-formed response is acceptable.
 				wid := fmt.Sprintf("w-%d-%d", src.Intn(regGoroutines), src.Intn(workersPerGor))
@@ -139,7 +154,7 @@ func TestServerConcurrentStress(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := 0; i < 50; i++ {
+			for i := 0; i < stressScale(50); i++ {
 				st := s.Stats()
 				if st.AssignedTasks < 0 || st.AvailableWorkers < 0 || st.RegisteredWorkers > nWorkers {
 					t.Errorf("implausible stats mid-run: %+v", st)

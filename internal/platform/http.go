@@ -17,6 +17,7 @@ const (
 	PathRegister    = "/v1/register"
 	PathReregister  = "/v1/reregister"
 	PathRelease     = "/v1/release"
+	PathWithdraw    = "/v1/withdraw"
 	PathTask        = "/v1/task"
 	PathTaskBatch   = "/v1/tasks"
 	PathStats       = "/v1/stats"
@@ -61,6 +62,13 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		writeJSON(w, s.Release(req))
+	})
+	mux.HandleFunc(PathWithdraw, func(w http.ResponseWriter, r *http.Request) {
+		var req WithdrawRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.Withdraw(req))
 	})
 	mux.HandleFunc(PathTask, func(w http.ResponseWriter, r *http.Request) {
 		var req TaskRequest
@@ -151,6 +159,15 @@ func (c *Client) Reregister(req ReregisterRequest) RegisterResponse {
 func (c *Client) Release(req ReleaseRequest) RegisterResponse {
 	var resp RegisterResponse
 	if err := c.post(PathRelease, req, &resp); err != nil {
+		return RegisterResponse{OK: false, Reason: err.Error()}
+	}
+	return resp
+}
+
+// Withdraw takes a worker offline over HTTP.
+func (c *Client) Withdraw(req WithdrawRequest) RegisterResponse {
+	var resp RegisterResponse
+	if err := c.post(PathWithdraw, req, &resp); err != nil {
 		return RegisterResponse{OK: false, Reason: err.Error()}
 	}
 	return resp

@@ -71,6 +71,12 @@ type ReleaseRequest struct {
 	Code     []byte `json:"code,omitempty"`
 }
 
+// WithdrawRequest takes a worker offline: immediately when available, after
+// its current task when assigned.
+type WithdrawRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
 // StatsResponse summarises server state for monitoring.
 type StatsResponse struct {
 	RegisteredWorkers int `json:"registered_workers"`
@@ -78,6 +84,7 @@ type StatsResponse struct {
 	AssignedTasks     int `json:"assigned_tasks"`
 	RejectedTasks     int `json:"rejected_tasks"`
 	ReleasedWorkers   int `json:"released_workers"`
+	WithdrawnWorkers  int `json:"withdrawn_workers"`
 	// MatchLevelCounts histograms assignments by the LCA level of the
 	// match (index 0 = co-located leaf, index D = cross-root match): the
 	// server-observable proxy for match quality, maintained identically on

@@ -33,17 +33,39 @@ type Server struct {
 	mu        sync.Mutex
 	workerIDs []string   // slot → external id
 	codes     []hst.Code // slot → reported leaf
-	available []bool
+	states    []workerState
 	byID      map[string]int
 	assigned  int
 	rejected  int
 	released  int
+	withdrawn int
 	// levelCounts[l] counts assignments whose match LCA sat at level l;
 	// levelSum is Σ levels for the running mean. Both are fed by Submit and
 	// SubmitBatch alike.
 	levelCounts []int
 	levelSum    int
 }
+
+// workerState tracks a slot's lifecycle. A worker is in the engine exactly
+// when its state is stateAvailable. Slots are registration epochs: a
+// worker that withdraws and registers back gets a fresh slot, and the old
+// one is retired for good — so a Submit holding a popped slot can always
+// tell whether the stint that slot belongs to is still the live one.
+type workerState uint8
+
+const (
+	stateAvailable    workerState = iota
+	stateAssigned                 // popped by a task, awaiting Release
+	stateGone                     // withdrew; stint over, id may Register back
+	stateAssignedGone             // withdrew mid-assignment; stint ends at Release
+	stateRetired                  // superseded by a newer registration of the same id
+)
+
+// stintOver reports whether a popped slot's stint was closed (by a
+// Withdraw, possibly followed by a re-registration) while the pop was in
+// flight: the pop is stale and must be retried — the worker was told it is
+// offline, and acting on the pop could double-assign its new registration.
+func stintOver(st workerState) bool { return st == stateGone || st == stateRetired }
 
 // ServerOption customises server construction.
 type ServerOption func(*serverConfig)
@@ -100,7 +122,9 @@ func (s *Server) Publication() Publication { return s.pub }
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Register adds a worker with its obfuscated leaf. Worker ids must be
-// unique; use Reregister for location updates. Validation and the engine
+// unique among active workers; use Reregister for location updates. A
+// worker that previously withdrew while available may register again under
+// the same id with a freshly obfuscated code. Validation and the engine
 // insert happen before any slot-table mutation, so a failed registration
 // leaves no half-registered state behind and the id stays free for retry.
 func (s *Server) Register(req RegisterRequest) RegisterResponse {
@@ -113,8 +137,15 @@ func (s *Server) Register(req RegisterRequest) RegisterResponse {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.byID[req.WorkerID]; dup {
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already registered", req.WorkerID)}
+	// A withdrawn worker coming back online starts a fresh stint in a
+	// fresh slot; the old slot is retired below, once the insert succeeded,
+	// so a stale pop of the old stint still in flight sees stateRetired.
+	revive := -1
+	if old, dup := s.byID[req.WorkerID]; dup {
+		if s.states[old] != stateGone {
+			return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already registered", req.WorkerID)}
+		}
+		revive = old
 	}
 	slot := len(s.workerIDs)
 	if err := s.eng.Insert(code, slot); err != nil {
@@ -124,8 +155,11 @@ func (s *Server) Register(req RegisterRequest) RegisterResponse {
 	// but it reads the tables under mu, which we still hold.
 	s.workerIDs = append(s.workerIDs, req.WorkerID)
 	s.codes = append(s.codes, code)
-	s.available = append(s.available, true)
+	s.states = append(s.states, stateAvailable)
 	s.byID[req.WorkerID] = slot
+	if revive >= 0 {
+		s.states[revive] = stateRetired
+	}
 	return RegisterResponse{OK: true}
 }
 
@@ -138,11 +172,21 @@ func (s *Server) Submit(req TaskRequest) TaskResponse {
 	slot, lvl, ok := s.eng.Assign(code)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// A pop whose stint was closed while in flight (the worker withdrew,
+	// its Release was rejected, and it possibly registered back into a new
+	// slot) is stale: that assignment was never confirmed to anyone, so
+	// retry. Pops under mu cannot go stale again — stint transitions all
+	// happen under mu.
+	for ok && stintOver(s.states[slot]) {
+		slot, lvl, ok = s.eng.Assign(code)
+	}
 	if !ok {
 		s.rejected++
 		return TaskResponse{Assigned: false, Reason: "platform: no available workers"}
 	}
-	s.available[slot] = false
+	// The retry loop above guarantees the stint is live, and a popped slot
+	// cannot be in any other live state than stateAvailable.
+	s.states[slot] = stateAssigned
 	s.assigned++
 	s.levelCounts[lvl]++
 	s.levelSum += lvl
@@ -172,15 +216,24 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 	defer s.mu.Unlock()
 	for k, slot := range slots {
 		i := valid[k]
+		lvl := lvls[k]
+		// Stale pops (see Submit) are retried; under mu no retry can go
+		// stale again.
+		for slot != engine.None && stintOver(s.states[slot]) {
+			var ok bool
+			if slot, lvl, ok = s.eng.Assign(codes[k]); !ok {
+				slot = engine.None
+			}
+		}
 		if slot == engine.None {
 			s.rejected++
 			out.Results[i] = TaskResponse{Assigned: false, Reason: "platform: no available workers"}
 			continue
 		}
-		s.available[slot] = false
+		s.states[slot] = stateAssigned
 		s.assigned++
-		s.levelCounts[lvls[k]]++
-		s.levelSum += lvls[k]
+		s.levelCounts[lvl]++
+		s.levelSum += lvl
 		out.Results[i] = TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot]}
 	}
 	return out
@@ -205,8 +258,17 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 	if !ok {
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q not registered", req.WorkerID)}
 	}
-	if s.available[slot] {
+	switch s.states[slot] {
+	case stateAvailable:
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q is not assigned", req.WorkerID)}
+	case stateGone:
+		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)}
+	case stateAssignedGone:
+		// The task is done but the worker had withdrawn mid-assignment: it
+		// does not return to the pool, yet the completion means it is now
+		// simply offline — free to Register back later.
+		s.states[slot] = stateGone
+		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)}
 	}
 	code := s.codes[slot]
 	if newCode != "" {
@@ -216,8 +278,39 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 		return RegisterResponse{OK: false, Reason: err.Error()}
 	}
 	s.codes[slot] = code
-	s.available[slot] = true
+	s.states[slot] = stateAvailable
 	s.released++
+	return RegisterResponse{OK: true}
+}
+
+// Withdraw takes a worker offline. An available worker leaves the pool
+// immediately; an assigned worker finishes its current task but will not
+// return to the pool (its Release is rejected, and that rejected Release
+// marks the stint over). Withdrawn workers may Register again later with a
+// freshly obfuscated code — churn costs no protocol round-trips beyond the
+// re-registration itself.
+func (s *Server) Withdraw(req WithdrawRequest) RegisterResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, ok := s.byID[req.WorkerID]
+	if !ok {
+		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q not registered", req.WorkerID)}
+	}
+	switch s.states[slot] {
+	case stateGone, stateAssignedGone:
+		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has already withdrawn", req.WorkerID)}
+	case stateAssigned:
+		s.states[slot] = stateAssignedGone
+	default: // stateAvailable
+		// The worker observed itself available and is told it is offline,
+		// so the withdrawal must win every race: when a concurrent Submit
+		// popped the worker but has not recorded the assignment yet
+		// (eng.Remove fails), marking the stint over makes that pop stale
+		// and the Submit retries another worker.
+		s.eng.Remove(s.codes[slot], slot)
+		s.states[slot] = stateGone
+	}
+	s.withdrawn++
 	return RegisterResponse{OK: true}
 }
 
@@ -230,11 +323,14 @@ func (s *Server) Stats() StatsResponse {
 		mean = float64(s.levelSum) / float64(s.assigned)
 	}
 	return StatsResponse{
-		RegisteredWorkers: len(s.workerIDs),
+		// Distinct worker ids, not slots: re-registrations after a
+		// withdrawal retire the old slot rather than reuse it.
+		RegisteredWorkers: len(s.byID),
 		AvailableWorkers:  s.eng.Len(),
 		AssignedTasks:     s.assigned,
 		RejectedTasks:     s.rejected,
 		ReleasedWorkers:   s.released,
+		WithdrawnWorkers:  s.withdrawn,
 		MatchLevelCounts:  append([]int(nil), s.levelCounts...),
 		MeanMatchLevel:    mean,
 	}

@@ -35,7 +35,10 @@ func (s *Server) Reregister(req ReregisterRequest) RegisterResponse {
 	if !ok {
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q not registered", req.WorkerID)}
 	}
-	if !s.available[slot] {
+	switch s.states[slot] {
+	case stateGone, stateAssignedGone:
+		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)}
+	case stateAssigned:
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already assigned", req.WorkerID)}
 	}
 	if !s.eng.Remove(s.codes[slot], slot) {

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/platform"
+)
+
+// Driver selects which layer of the stack the simulator exercises.
+type Driver string
+
+// The available drivers. Both sit on the same sharded engine, so a
+// scenario produces the same assignments under either; the platform driver
+// additionally covers the server's slot bookkeeping and wire types.
+const (
+	DriverEngine   Driver = "engine"   // internal/engine directly
+	DriverPlatform Driver = "platform" // platform.Server (in-process, no HTTP)
+)
+
+// backend is the simulator's view of the system under test. Registration
+// ids are fresh per online stint — a worker that departs and returns gets
+// a new id and a freshly obfuscated code — while the worker argument is
+// the stable sim-worker index, so the platform driver can keep one
+// external WorkerID per worker across stints and thereby exercise the
+// server's withdraw → same-id re-registration (revival) path. Within a
+// stint, a worker finishing a task re-enters the pool through release (a
+// re-report at a fresh code under the same id), mirroring the platform's
+// Release.
+//
+// Both drivers make identical assignment decisions: the engine ties
+// towards the smallest id, regIDs and platform slots are allocated in the
+// same (registration-event) order, and the platform's revival path also
+// allocates a fresh slot per stint.
+type backend interface {
+	register(id, worker int, code hst.Code) error
+	release(id int, code hst.Code) error
+	withdraw(id int, code hst.Code) bool
+	assign(code hst.Code) (id int, ok bool)
+	assignBatch(codes []hst.Code) []int // engine.None where unassigned
+	poolSize() int
+}
+
+type engineBackend struct{ eng *engine.Engine }
+
+func (b engineBackend) register(id, worker int, code hst.Code) error { return b.eng.Insert(code, id) }
+func (b engineBackend) release(id int, code hst.Code) error          { return b.eng.Insert(code, id) }
+func (b engineBackend) withdraw(id int, code hst.Code) bool          { return b.eng.Remove(code, id) }
+func (b engineBackend) assign(code hst.Code) (int, bool) {
+	id, _, ok := b.eng.Assign(code)
+	return id, ok
+}
+func (b engineBackend) assignBatch(codes []hst.Code) []int {
+	ids, _ := b.eng.AssignBatch(codes)
+	return ids
+}
+func (b engineBackend) poolSize() int { return b.eng.Len() }
+
+// platformBackend maps stable sim workers to external WorkerIDs and
+// translates the server's string answers back to the current registration
+// id of the named worker.
+type platformBackend struct {
+	srv      *platform.Server
+	ownerOf  map[int]int // registration id → sim worker
+	curRegOf map[int]int // sim worker → current registration id
+}
+
+func newPlatformBackend(srv *platform.Server) *platformBackend {
+	return &platformBackend{srv: srv, ownerOf: map[int]int{}, curRegOf: map[int]int{}}
+}
+
+func workerName(worker int) string { return "w" + strconv.Itoa(worker) }
+
+func (b *platformBackend) register(id, worker int, code hst.Code) error {
+	resp := b.srv.Register(platform.RegisterRequest{WorkerID: workerName(worker), Code: []byte(code)})
+	if !resp.OK {
+		return fmt.Errorf("sim: platform register: %s", resp.Reason)
+	}
+	b.ownerOf[id] = worker
+	b.curRegOf[worker] = id
+	return nil
+}
+
+func (b *platformBackend) release(id int, code hst.Code) error {
+	resp := b.srv.Release(platform.ReleaseRequest{WorkerID: workerName(b.ownerOf[id]), Code: []byte(code)})
+	if !resp.OK {
+		return fmt.Errorf("sim: platform release: %s", resp.Reason)
+	}
+	return nil
+}
+
+func (b *platformBackend) withdraw(id int, code hst.Code) bool {
+	return b.srv.Withdraw(platform.WithdrawRequest{WorkerID: workerName(b.ownerOf[id])}).OK
+}
+
+// decode maps a served WorkerID back to that worker's current registration.
+func (b *platformBackend) decode(workerID string) int {
+	w, err := strconv.Atoi(workerID[1:])
+	if err != nil {
+		return engine.None
+	}
+	return b.curRegOf[w]
+}
+
+func (b *platformBackend) assign(code hst.Code) (int, bool) {
+	resp := b.srv.Submit(platform.TaskRequest{Code: []byte(code)})
+	if !resp.Assigned {
+		return engine.None, false
+	}
+	return b.decode(resp.WorkerID), true
+}
+
+func (b *platformBackend) assignBatch(codes []hst.Code) []int {
+	req := platform.TaskBatchRequest{Tasks: make([]platform.TaskRequest, len(codes))}
+	for i, c := range codes {
+		req.Tasks[i] = platform.TaskRequest{Code: []byte(c)}
+	}
+	resp := b.srv.SubmitBatch(req)
+	ids := make([]int, len(codes))
+	for i, r := range resp.Results {
+		if !r.Assigned {
+			ids[i] = engine.None
+			continue
+		}
+		ids[i] = b.decode(r.WorkerID)
+	}
+	return ids
+}
+
+func (b *platformBackend) poolSize() int { return b.srv.Stats().AvailableWorkers }

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// crossCheck is the sequential reference: it mirrors the available pool in
+// a plain map and re-derives every assignment by brute-force scan, exactly
+// the paper-faithful rule (minimal LCA level, ties to the smallest id —
+// match.HSTGreedyScan's order). Because the simulator drives the engine
+// from a single goroutine, the engine's answers must agree decision for
+// decision; any divergence is a correctness violation, not a tie-break
+// artefact.
+type crossCheck struct {
+	tree        *hst.Tree
+	avail       map[int]hst.Code // registration id → reported code
+	checked     int
+	nViolations int
+	samples     []string // first few violation descriptions
+}
+
+// maxSamples bounds the retained violation details.
+const maxSamples = 5
+
+func newCrossCheck(tree *hst.Tree) *crossCheck {
+	return &crossCheck{tree: tree, avail: map[int]hst.Code{}}
+}
+
+func (c *crossCheck) register(id int, code hst.Code) { c.avail[id] = code }
+
+func (c *crossCheck) withdraw(id int) { delete(c.avail, id) }
+
+// observe verifies one assignment decision and consumes the chosen worker
+// from the mirror pool.
+func (c *crossCheck) observe(taskCode hst.Code, gotID int, ok bool) {
+	c.checked++
+	if !ok {
+		if len(c.avail) > 0 {
+			c.fail(fmt.Sprintf("task %q unassigned with %d workers available", taskCode, len(c.avail)))
+		}
+		return
+	}
+	code, present := c.avail[gotID]
+	if !present {
+		c.fail(fmt.Sprintf("task %q assigned to worker %d, which is not available", taskCode, gotID))
+		return
+	}
+	bestLvl, bestID := c.tree.Depth()+1, -1
+	for id, wc := range c.avail {
+		lvl := c.tree.LCALevel(taskCode, wc)
+		if lvl < bestLvl || (lvl == bestLvl && id < bestID) {
+			bestLvl, bestID = lvl, id
+		}
+	}
+	if got := c.tree.LCALevel(taskCode, code); got != bestLvl {
+		c.fail(fmt.Sprintf("task %q matched at level %d, nearest available is level %d", taskCode, got, bestLvl))
+	} else if gotID != bestID {
+		c.fail(fmt.Sprintf("task %q matched worker %d, sequential rule picks %d", taskCode, gotID, bestID))
+	}
+	delete(c.avail, gotID)
+}
+
+func (c *crossCheck) fail(msg string) {
+	c.nViolations++
+	if len(c.samples) < maxSamples {
+		c.samples = append(c.samples, msg)
+	}
+}

@@ -1,0 +1,43 @@
+package sim
+
+import "container/heap"
+
+// The simulator is event-driven: every state change is an event on a
+// virtual clock, ordered by time with an insertion sequence number as the
+// tie-breaker. Because event times and payloads are drawn from derived
+// rng.Sources and processing is single-threaded, a run is a pure function
+// of (scenario, seed) — bit-for-bit reproducible.
+
+type eventKind uint8
+
+const (
+	evWorkerArrive eventKind = iota // a worker comes online (initial, fresh, or returning)
+	evWorkerDepart                  // a worker's online lifetime ends
+	evTaskArrive                    // a task enters the system
+	evTaskExpire                    // a pending task hits its deadline
+	evTaskComplete                  // an assigned task finishes service
+	evBatchTick                     // a time-sliced assignment window closes
+)
+
+type event struct {
+	at     float64
+	seq    int64 // insertion order; breaks ties deterministically
+	kind   eventKind
+	worker int // worker index, for worker events and evTaskComplete
+	task   int // task index, for task events
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/workload"
+)
+
+// Spatial selects the location model arrivals draw from.
+type Spatial string
+
+// The spatial models, backed by internal/workload samplers.
+const (
+	SpatialUniform Spatial = "uniform" // uniform over the region
+	SpatialNormal  Spatial = "normal"  // Normal(µ, σ) per coordinate (Table II)
+	SpatialChengdu Spatial = "chengdu" // fixed Chengdu hotspot mixture (Table III)
+)
+
+// Scenario describes one temporal workload: how workers and tasks arrive,
+// linger, and leave. All times are in simulated seconds; all stochastic
+// choices are drawn from sources derived from the run seed, so a scenario
+// is a pure function of (Scenario, seed).
+type Scenario struct {
+	Name     string  `json:"name"`
+	Duration float64 `json:"duration"` // simulated horizon
+
+	// Infrastructure published by the server.
+	GridCols int     `json:"grid_cols"` // predefined grid is GridCols × GridCols
+	Epsilon  float64 `json:"epsilon"`
+
+	// Worker population dynamics.
+	InitialWorkers    int     `json:"initial_workers"`     // online at t = 0
+	WorkerArrivalRate float64 `json:"worker_arrival_rate"` // fresh workers per second (Poisson)
+	MeanOnline        float64 `json:"mean_online"`         // mean online stint before departing; 0 = never departs
+	ReturnProb        float64 `json:"return_prob"`         // chance a departed worker re-registers later
+	MeanAway          float64 `json:"mean_away"`           // mean offline gap before returning
+
+	// Task stream.
+	TaskRate    workload.RateProfile `json:"task_rate"`    // piecewise-constant arrival intensity
+	MeanService float64              `json:"mean_service"` // mean service time once assigned
+	Deadline    float64              `json:"deadline"`     // pending tasks expire after this; 0 = never
+	BatchWindow float64              `json:"batch_window"` // > 0: assign in windows of this length; 0: immediately
+
+	// Spatial model.
+	Spatial Spatial `json:"spatial"`
+	Mu      float64 `json:"mu,omitempty"`    // SpatialNormal center
+	Sigma   float64 `json:"sigma,omitempty"` // SpatialNormal spread
+}
+
+// Validate reports the first structural problem with the scenario.
+func (sc *Scenario) Validate() error {
+	switch {
+	case sc.Duration <= 0:
+		return fmt.Errorf("sim: duration %v must be positive", sc.Duration)
+	case sc.GridCols < 1:
+		return fmt.Errorf("sim: grid cols %d must be positive", sc.GridCols)
+	case sc.Epsilon <= 0:
+		return fmt.Errorf("sim: epsilon %v must be positive", sc.Epsilon)
+	case sc.InitialWorkers < 0:
+		return fmt.Errorf("sim: negative initial workers %d", sc.InitialWorkers)
+	case sc.WorkerArrivalRate < 0:
+		return fmt.Errorf("sim: negative worker arrival rate %v", sc.WorkerArrivalRate)
+	case sc.MeanOnline < 0 || sc.MeanAway < 0 || sc.MeanService <= 0:
+		return fmt.Errorf("sim: online/away/service times must be non-negative (service positive)")
+	case sc.ReturnProb < 0 || sc.ReturnProb > 1:
+		return fmt.Errorf("sim: return probability %v outside [0, 1]", sc.ReturnProb)
+	case sc.ReturnProb > 0 && sc.MeanAway <= 0:
+		return fmt.Errorf("sim: returning workers need a positive mean away time, got %v", sc.MeanAway)
+	case sc.Deadline < 0 || sc.BatchWindow < 0:
+		return fmt.Errorf("sim: deadline and batch window must be non-negative")
+	case len(sc.TaskRate) == 0:
+		return fmt.Errorf("sim: empty task rate profile")
+	}
+	switch sc.Spatial {
+	case SpatialUniform, SpatialChengdu:
+	case SpatialNormal:
+		if sc.Sigma <= 0 {
+			return fmt.Errorf("sim: normal spatial model needs positive sigma, got %v", sc.Sigma)
+		}
+	default:
+		return fmt.Errorf("sim: unknown spatial model %q", sc.Spatial)
+	}
+	return nil
+}
+
+// WithDuration returns a copy of the scenario running for d simulated
+// seconds: the task-rate profile is trimmed to d, or its last segment
+// extended, so the task stream always spans the whole horizon.
+func (sc Scenario) WithDuration(d float64) Scenario {
+	if d <= 0 || d == sc.Duration {
+		return sc
+	}
+	sc.Duration = d
+	trimmed := sc.TaskRate[:0:0]
+	for _, seg := range sc.TaskRate {
+		if seg.Until >= d {
+			seg.Until = d
+			trimmed = append(trimmed, seg)
+			break
+		}
+		trimmed = append(trimmed, seg)
+	}
+	if n := len(trimmed); n > 0 && trimmed[n-1].Until < d {
+		trimmed[n-1].Until = d // extend the final rate to the new horizon
+	}
+	sc.TaskRate = trimmed
+	return sc
+}
+
+// region returns the scenario's spatial region.
+func (sc *Scenario) region() geo.Rect {
+	if sc.Spatial == SpatialChengdu {
+		return workload.ChengduRegion
+	}
+	return workload.SyntheticRegion
+}
+
+// samplers returns the worker and task location samplers. Chengdu workers
+// cruise with a wider uniform background than task demand, matching the
+// batch generator.
+func (sc *Scenario) samplers() (workers, tasks workload.PointSampler) {
+	switch sc.Spatial {
+	case SpatialNormal:
+		s := workload.NormalSampler(sc.Mu, sc.Sigma, sc.region())
+		return s, s
+	case SpatialChengdu:
+		return workload.ChengduSampler(0.25), workload.ChengduSampler(0.12)
+	default:
+		s := workload.UniformSampler(sc.region())
+		return s, s
+	}
+}
+
+// presets are the named scenarios shipped with pombm-sim. Durations are
+// sized so every preset finishes in well under a second of wall clock —
+// they run in CI smoke tests and the nightly lane.
+var presets = map[string]Scenario{
+	// steady: a calm weekday — constant demand comfortably below capacity,
+	// mild churn. The baseline every other preset perturbs.
+	"steady": {
+		Name:              "steady",
+		Duration:          600,
+		GridCols:          32,
+		Epsilon:           0.6,
+		InitialWorkers:    300,
+		WorkerArrivalRate: 0.5,
+		MeanOnline:        300,
+		ReturnProb:        0.5,
+		MeanAway:          120,
+		TaskRate:          workload.Constant(3, 600),
+		MeanService:       60,
+		Deadline:          30,
+		Spatial:           SpatialUniform,
+	},
+	// rush-hour: two demand peaks over a skewed city (everyone heads for
+	// the same districts), capacity tight at the peaks.
+	"rush-hour": {
+		Name:              "rush-hour",
+		Duration:          720,
+		GridCols:          32,
+		Epsilon:           0.6,
+		InitialWorkers:    400,
+		WorkerArrivalRate: 0.8,
+		MeanOnline:        400,
+		ReturnProb:        0.5,
+		MeanAway:          90,
+		TaskRate: workload.RateProfile{
+			{Until: 180, Rate: 2},
+			{Until: 330, Rate: 8},
+			{Until: 510, Rate: 3},
+			{Until: 660, Rate: 8},
+			{Until: 720, Rate: 2},
+		},
+		MeanService: 45,
+		Deadline:    20,
+		Spatial:     SpatialNormal,
+		Mu:          100,
+		Sigma:       40,
+	},
+	// flash-crowd: a stadium empties — a >10× demand spike against a small
+	// pool with tight deadlines; the backlog outruns capacity and tasks
+	// expire.
+	"flash-crowd": {
+		Name:              "flash-crowd",
+		Duration:          600,
+		GridCols:          32,
+		Epsilon:           0.6,
+		InitialWorkers:    180,
+		WorkerArrivalRate: 0.3,
+		MeanOnline:        500,
+		ReturnProb:        0.4,
+		MeanAway:          150,
+		TaskRate: workload.RateProfile{
+			{Until: 240, Rate: 1.5},
+			{Until: 300, Rate: 20},
+			{Until: 600, Rate: 1.5},
+		},
+		MeanService: 30,
+		Deadline:    15,
+		Spatial:     SpatialUniform,
+	},
+	// churn-heavy: short online stints and frequent comebacks — the pool
+	// turns over constantly, every comeback re-obfuscating afresh. The
+	// stress preset for register/assign/withdraw/re-register interleaving.
+	"churn-heavy": {
+		Name:              "churn-heavy",
+		Duration:          600,
+		GridCols:          32,
+		Epsilon:           0.6,
+		InitialWorkers:    200,
+		WorkerArrivalRate: 2,
+		MeanOnline:        60,
+		ReturnProb:        0.7,
+		MeanAway:          45,
+		TaskRate:          workload.Constant(4, 600),
+		MeanService:       30,
+		Deadline:          25,
+		Spatial:           SpatialUniform,
+	},
+	// chengdu-day: the Chengdu hotspot mixture under time-sliced batch
+	// assignment (5 s windows), long ride-like service times.
+	"chengdu-day": {
+		Name:              "chengdu-day",
+		Duration:          900,
+		GridCols:          32,
+		Epsilon:           0.6,
+		InitialWorkers:    350,
+		WorkerArrivalRate: 0.4,
+		MeanOnline:        600,
+		ReturnProb:        0.6,
+		MeanAway:          180,
+		TaskRate:          workload.Constant(1.8, 900),
+		MeanService:       90,
+		Deadline:          60,
+		BatchWindow:       5,
+		Spatial:           SpatialChengdu,
+	},
+}
+
+// Scenarios lists the preset names in sorted order.
+func Scenarios() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns the named scenario.
+func Preset(name string) (Scenario, error) {
+	sc, ok := presets[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("sim: unknown scenario %q (have %v)", name, Scenarios())
+	}
+	return sc, nil
+}

@@ -1,0 +1,587 @@
+// Package sim is a deterministic, seed-driven event simulator for the
+// online assignment stack. It drives the sharded engine (or the platform
+// server wrapped around it) through temporal scenarios the static
+// batch pipelines cannot express: Poisson and bursty task arrivals, worker
+// churn (arrive, serve, go offline, come back with a freshly obfuscated
+// code), task deadlines with expiry, and time-sliced batch assignment
+// windows.
+//
+// The simulator owns a virtual clock and an event heap ordered by (time,
+// insertion sequence); every stochastic choice is drawn from an rng.Source
+// derived from the run seed, and the loop is single-threaded, so a run —
+// including its metrics report — is a bit-for-bit pure function of
+// (scenario, seed, driver, shards). An optional cross-check mode replays
+// every assignment against the sequential brute-force rule of Alg. 4 and
+// counts divergences (zero expected: the engine's tie-breaking makes a
+// sequentially driven engine identical to the scanning matcher).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/platform"
+	"github.com/pombm/pombm/internal/privacy"
+	"github.com/pombm/pombm/internal/rng"
+	"github.com/pombm/pombm/internal/workload"
+)
+
+// Config selects what to run.
+type Config struct {
+	Scenario   Scenario
+	Seed       uint64
+	Driver     Driver // DriverEngine when empty
+	Shards     int    // engine shard count; 0 = engine default
+	CrossCheck bool   // verify every assignment against the sequential rule
+}
+
+type workerState uint8
+
+const (
+	wOffline workerState = iota
+	wAvailable
+	wBusy
+)
+
+// simWorker is one worker's ground truth: the true location and lifecycle
+// the server never sees.
+type simWorker struct {
+	loc     geo.Point
+	state   workerState
+	leaving bool // depart at next completion instead of re-registering
+	regID   int  // current registration id; fresh per online stint
+	code    hst.Code
+
+	onlineSince float64
+	busySince   float64
+	onlineTotal float64
+	busyTotal   float64
+}
+
+type taskStatus uint8
+
+const (
+	tPending taskStatus = iota
+	tAssigned
+	tExpired
+)
+
+type simTask struct {
+	loc      geo.Point
+	code     hst.Code // reported code; drawn at first assignment attempt
+	arriveAt float64
+	status   taskStatus
+}
+
+// sim is one run's mutable state.
+type sim struct {
+	sc      Scenario
+	backend backend
+	tree    *hst.Tree
+	grid    *geo.Grid
+	mech    *privacy.HSTMechanism
+	check   *crossCheck
+
+	heap eventHeap
+	seq  int64
+	now  float64
+
+	workers  []simWorker
+	tasks    []simTask
+	pending  []int // task indexes awaiting assignment, arrival order
+	regOwner []int // registration id → worker index
+
+	// Derived randomness, one stream per concern so adding draws to one
+	// cannot reseed another.
+	workerLocSrc *rng.Source
+	taskLocSrc   *rng.Source
+	obfSrc       *rng.Source
+	lifeSrc      *rng.Source
+	serviceSrc   *rng.Source
+	churnSrc     *rng.Source
+
+	sampleWorker workload.PointSampler
+	sampleTask   workload.PointSampler
+
+	events        int
+	expired       int
+	assignedTasks int
+	waitSum       float64
+	levelCounts   []int
+	levelSum      int
+	treeDistSum   float64
+	trueDists     []float64
+	freshArrivals int
+	returns       int
+	departures    int
+	registrations int
+}
+
+// Run executes the configured scenario and returns its deterministic
+// report plus wall-clock stats.
+func Run(cfg Config) (*Report, *RunStats, error) {
+	if err := cfg.Scenario.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Driver == "" {
+		cfg.Driver = DriverEngine
+	}
+	sc := cfg.Scenario
+	root := rng.New(cfg.Seed)
+
+	grid, err := geo.NewGrid(sc.region(), sc.GridCols, sc.GridCols)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// The tree comes from the system under test: built directly for the
+	// engine driver, taken from the server's publication for the platform
+	// driver (the platform builds its own over the same grid geometry).
+	var tree *hst.Tree
+	var be backend
+	var shards int
+	switch cfg.Driver {
+	case DriverEngine:
+		tree, err = hst.Build(grid.Points(), root.Derive("sim-hst"))
+		if err != nil {
+			return nil, nil, err
+		}
+		eng, err := engine.New(tree, cfg.Shards)
+		if err != nil {
+			return nil, nil, err
+		}
+		be, shards = engineBackend{eng: eng}, eng.Shards()
+	case DriverPlatform:
+		srv, err := platform.NewServer(sc.region(), sc.GridCols, sc.GridCols, sc.Epsilon, cfg.Seed, platform.WithShards(cfg.Shards))
+		if err != nil {
+			return nil, nil, err
+		}
+		tree = srv.Publication().Tree
+		be, shards = newPlatformBackend(srv), srv.Engine().Shards()
+	default:
+		return nil, nil, fmt.Errorf("sim: unknown driver %q", cfg.Driver)
+	}
+	mech, err := privacy.NewHSTMechanism(tree, sc.Epsilon)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	s := &sim{
+		sc:           sc,
+		backend:      be,
+		tree:         tree,
+		grid:         grid,
+		mech:         mech,
+		workerLocSrc: root.Derive("worker-loc"),
+		taskLocSrc:   root.Derive("task-loc"),
+		obfSrc:       root.Derive("obfuscate"),
+		lifeSrc:      root.Derive("lifetime"),
+		serviceSrc:   root.Derive("service"),
+		churnSrc:     root.Derive("churn"),
+		levelCounts:  make([]int, tree.Depth()+1),
+	}
+	s.sampleWorker, s.sampleTask = sc.samplers()
+	if cfg.CrossCheck {
+		s.check = newCrossCheck(tree)
+	}
+
+	if err := s.schedule(root); err != nil {
+		return nil, nil, err
+	}
+
+	start := time.Now()
+	s.loop()
+	wall := time.Since(start).Seconds()
+
+	report := s.report(cfg, shards)
+	stats := &RunStats{WallSeconds: wall}
+	if wall > 0 {
+		stats.EventsPerSec = float64(s.events) / wall
+	}
+	return report, stats, nil
+}
+
+// schedule seeds the heap: initial workers at t = 0, fresh worker arrivals
+// and tasks at their drawn times, and the batch window ticks.
+func (s *sim) schedule(root *rng.Source) error {
+	for i := 0; i < s.sc.InitialWorkers; i++ {
+		s.newWorker(0)
+	}
+	for _, t := range workload.PoissonTimes(s.sc.WorkerArrivalRate, s.sc.Duration, root.Derive("worker-times")) {
+		s.newWorker(t)
+	}
+	taskTimes, err := s.sc.TaskRate.Times(root.Derive("task-times"))
+	if err != nil {
+		return err
+	}
+	for _, t := range taskTimes {
+		s.push(event{at: t, kind: evTaskArrive, task: len(s.tasks)})
+		s.tasks = append(s.tasks, simTask{arriveAt: t})
+	}
+	if s.sc.BatchWindow > 0 {
+		s.push(event{at: s.sc.BatchWindow, kind: evBatchTick})
+	}
+	return nil
+}
+
+// newWorker creates a fresh worker arriving at time t.
+func (s *sim) newWorker(t float64) {
+	s.push(event{at: t, kind: evWorkerArrive, worker: len(s.workers)})
+	s.workers = append(s.workers, simWorker{regID: -1})
+}
+
+func (s *sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	s.heap.push(e)
+}
+
+func (s *sim) loop() {
+	for s.heap.Len() > 0 {
+		e := s.heap.pop()
+		if e.at > s.sc.Duration {
+			// Pops come in time order and handlers never schedule into the
+			// past, so everything left is past the horizon too: stop here
+			// and close the books at Duration.
+			break
+		}
+		s.now = e.at
+		s.events++
+		switch e.kind {
+		case evWorkerArrive:
+			s.workerArrive(e.worker)
+		case evWorkerDepart:
+			s.workerDepart(e.worker)
+		case evTaskArrive:
+			s.taskArrive(e.task)
+		case evTaskExpire:
+			s.taskExpire(e.task)
+		case evTaskComplete:
+			s.taskComplete(e.worker, e.task)
+		case evBatchTick:
+			s.batchTick()
+		}
+	}
+	s.closeBooks()
+}
+
+// registerWorker brings worker w online at its current true location under
+// a fresh registration id and a freshly obfuscated code.
+func (s *sim) registerWorker(w int) {
+	wk := &s.workers[w]
+	snapped := s.tree.CodeOf(s.grid.Snap(wk.loc))
+	wk.code = s.mech.ObfuscateWalk(snapped, s.obfSrc)
+	wk.regID = len(s.regOwner)
+	s.regOwner = append(s.regOwner, w)
+	if err := s.backend.register(wk.regID, w, wk.code); err != nil {
+		// Codes come from the mechanism over the same tree; failure here is
+		// a bug worth surfacing loudly rather than skewing metrics.
+		panic(fmt.Sprintf("sim: register worker %d: %v", w, err))
+	}
+	wk.state = wAvailable
+	s.registrations++
+	if s.check != nil {
+		s.check.register(wk.regID, wk.code)
+	}
+}
+
+func (s *sim) workerArrive(w int) {
+	wk := &s.workers[w]
+	if wk.state != wOffline {
+		return
+	}
+	wk.loc = s.sampleWorker(s.workerLocSrc)
+	wk.leaving = false
+	wk.onlineSince = s.now
+	if wk.regID == -1 {
+		s.freshArrivals++
+	} else {
+		s.returns++
+	}
+	s.registerWorker(w)
+	if s.sc.MeanOnline > 0 {
+		s.push(event{at: s.now + s.lifeSrc.Exponential(1/s.sc.MeanOnline), kind: evWorkerDepart, worker: w})
+	}
+	s.drainPending()
+}
+
+// workerDepart ends worker w's online stint. A busy worker departs at its
+// next completion; an available one leaves immediately and may come back.
+func (s *sim) workerDepart(w int) {
+	wk := &s.workers[w]
+	switch wk.state {
+	case wOffline:
+		return // already left (e.g. completed its last task while leaving)
+	case wBusy:
+		wk.leaving = true
+		return
+	}
+	if !s.backend.withdraw(wk.regID, wk.code) {
+		panic(fmt.Sprintf("sim: withdraw of available worker %d (reg %d) failed", w, wk.regID))
+	}
+	if s.check != nil {
+		s.check.withdraw(wk.regID)
+	}
+	s.goOffline(w)
+}
+
+// goOffline finalises a departure and possibly schedules a comeback.
+func (s *sim) goOffline(w int) {
+	wk := &s.workers[w]
+	wk.state = wOffline
+	wk.onlineTotal += s.now - wk.onlineSince
+	s.departures++
+	if s.sc.ReturnProb > 0 && s.churnSrc.Float64() < s.sc.ReturnProb {
+		away := s.churnSrc.Exponential(1 / s.sc.MeanAway)
+		if at := s.now + away; at < s.sc.Duration {
+			s.push(event{at: at, kind: evWorkerArrive, worker: w})
+		}
+	}
+}
+
+func (s *sim) taskArrive(ti int) {
+	t := &s.tasks[ti]
+	t.loc = s.sampleTask(s.taskLocSrc)
+	s.pending = append(s.pending, ti)
+	if s.sc.Deadline > 0 {
+		s.push(event{at: s.now + s.sc.Deadline, kind: evTaskExpire, task: ti})
+	}
+	if s.sc.BatchWindow == 0 {
+		s.drainPending()
+	}
+}
+
+func (s *sim) taskExpire(ti int) {
+	t := &s.tasks[ti]
+	if t.status != tPending {
+		return
+	}
+	t.status = tExpired
+	s.expired++
+}
+
+// taskComplete frees the worker: it has travelled to the task, so its true
+// location is now the task's, and it re-enters the pool through the
+// release path — a re-report at a freshly obfuscated code under the same
+// stint id. A leaving worker withdraws right after its release, so the
+// backend (in particular the platform's slot table) sees every stint end
+// through a well-defined operation instead of a silent disappearance.
+func (s *sim) taskComplete(w, ti int) {
+	wk := &s.workers[w]
+	wk.busyTotal += s.now - wk.busySince
+	wk.loc = s.tasks[ti].loc
+	snapped := s.tree.CodeOf(s.grid.Snap(wk.loc))
+	wk.code = s.mech.ObfuscateWalk(snapped, s.obfSrc)
+	if err := s.backend.release(wk.regID, wk.code); err != nil {
+		panic(fmt.Sprintf("sim: release worker %d: %v", w, err))
+	}
+	s.registrations++
+	if s.check != nil {
+		s.check.register(wk.regID, wk.code)
+	}
+	if wk.leaving {
+		if !s.backend.withdraw(wk.regID, wk.code) {
+			panic(fmt.Sprintf("sim: withdraw of leaving worker %d failed", w))
+		}
+		if s.check != nil {
+			s.check.withdraw(wk.regID)
+		}
+		s.goOffline(w)
+		return
+	}
+	wk.state = wAvailable
+	if s.sc.BatchWindow == 0 {
+		s.drainPending()
+	}
+}
+
+// batchTick closes one time-sliced window: all pending tasks are assigned
+// as a batch in arrival order; leftovers stay pending for the next window.
+func (s *sim) batchTick() {
+	s.compactPending() // drop expired tasks in place before batching
+	if len(s.pending) > 0 {
+		codes := make([]hst.Code, len(s.pending))
+		for i, ti := range s.pending {
+			codes[i] = s.obfuscateTask(ti)
+		}
+		ids := s.backend.assignBatch(codes)
+		for i, id := range ids {
+			if s.check != nil {
+				s.check.observe(codes[i], id, id != engine.None)
+			}
+			if id != engine.None {
+				s.completeAssignment(s.pending[i], codes[i], id)
+			}
+		}
+		s.compactPending() // drop the just-assigned
+	}
+	if next := s.now + s.sc.BatchWindow; next <= s.sc.Duration {
+		s.push(event{at: next, kind: evBatchTick})
+	}
+}
+
+// obfuscateTask draws the task's reported code. Each task reports once; in
+// batch mode the report is drawn when the window containing its assignment
+// attempt first closes — subsequent windows reuse it.
+func (s *sim) obfuscateTask(ti int) hst.Code {
+	t := &s.tasks[ti]
+	if t.code == "" {
+		snapped := s.tree.CodeOf(s.grid.Snap(t.loc))
+		t.code = s.mech.ObfuscateWalk(snapped, s.obfSrc)
+	}
+	return t.code
+}
+
+// drainPending serves the immediate-mode queue: assign the oldest pending
+// tasks until one fails (the pool is empty) or the queue drains.
+func (s *sim) drainPending() {
+	if s.sc.BatchWindow > 0 {
+		return
+	}
+	for len(s.pending) > 0 {
+		ti := s.pending[0]
+		if s.tasks[ti].status != tPending {
+			s.pending = s.pending[1:]
+			continue
+		}
+		code := s.obfuscateTask(ti)
+		id, ok := s.backend.assign(code)
+		if s.check != nil {
+			s.check.observe(code, id, ok)
+		}
+		if !ok {
+			return
+		}
+		s.pending = s.pending[1:]
+		s.completeAssignment(ti, code, id)
+	}
+}
+
+// completeAssignment records the match and schedules the completion.
+func (s *sim) completeAssignment(ti int, taskCode hst.Code, regID int) {
+	t := &s.tasks[ti]
+	t.status = tAssigned
+	w := s.regOwner[regID]
+	wk := &s.workers[w]
+	wk.state = wBusy
+	wk.busySince = s.now
+
+	lvl := s.tree.LCALevel(taskCode, wk.code)
+	s.levelCounts[lvl]++
+	s.levelSum += lvl
+	s.treeDistSum += hst.LevelDist(lvl)
+	s.trueDists = append(s.trueDists, t.loc.Dist(wk.loc))
+	s.waitSum += s.now - t.arriveAt
+	s.assignedTasks++
+
+	s.push(event{at: s.now + s.serviceSrc.Exponential(1/s.sc.MeanService), kind: evTaskComplete, worker: w, task: ti})
+}
+
+// compactPending drops assigned and expired tasks from the queue in place,
+// preserving arrival order without allocating.
+func (s *sim) compactPending() {
+	live := s.pending[:0]
+	for _, ti := range s.pending {
+		if s.tasks[ti].status == tPending {
+			live = append(live, ti)
+		}
+	}
+	s.pending = live
+}
+
+// closeBooks accrues online/busy time up to the horizon for workers still
+// active at the end.
+func (s *sim) closeBooks() {
+	s.now = s.sc.Duration
+	for i := range s.workers {
+		wk := &s.workers[i]
+		if wk.state == wBusy {
+			wk.busyTotal += s.now - wk.busySince
+		}
+		if wk.state != wOffline {
+			wk.onlineTotal += s.now - wk.onlineSince
+		}
+	}
+}
+
+func (s *sim) report(cfg Config, shards int) *Report {
+	r := &Report{
+		Scenario:    s.sc.Name,
+		Seed:        cfg.Seed,
+		Driver:      string(cfg.Driver),
+		Shards:      shards,
+		GridCols:    s.sc.GridCols,
+		Epsilon:     s.sc.Epsilon,
+		Depth:       s.tree.Depth(),
+		Degree:      s.tree.Degree(),
+		SimDuration: s.sc.Duration,
+		Events:      s.events,
+	}
+
+	arrived := len(s.tasks)
+	pendingAtEnd := 0
+	for i := range s.tasks {
+		if s.tasks[i].status == tPending {
+			pendingAtEnd++
+		}
+	}
+	r.Tasks = TaskMetrics{
+		Arrived:      arrived,
+		Assigned:     s.assignedTasks,
+		Expired:      s.expired,
+		PendingAtEnd: pendingAtEnd,
+	}
+	if arrived > 0 {
+		r.Tasks.AssignmentRate = float64(s.assignedTasks) / float64(arrived)
+	}
+	if s.assignedTasks > 0 {
+		r.Tasks.MeanWait = s.waitSum / float64(s.assignedTasks)
+	}
+
+	r.Match = MatchMetrics{
+		LevelCounts: s.levelCounts,
+		TrueDist:    quantiles(s.trueDists),
+	}
+	if s.assignedTasks > 0 {
+		r.Match.MeanLevel = float64(s.levelSum) / float64(s.assignedTasks)
+		r.Match.MeanTreeDist = s.treeDistSum / float64(s.assignedTasks)
+	}
+
+	var onlineAtEnd, availableAtEnd int
+	var busyTotal, onlineTotal float64
+	for i := range s.workers {
+		wk := &s.workers[i]
+		busyTotal += wk.busyTotal
+		onlineTotal += wk.onlineTotal
+		if wk.state != wOffline {
+			onlineAtEnd++
+		}
+		if wk.state == wAvailable {
+			availableAtEnd++
+		}
+	}
+	r.Workers = WorkerMetrics{
+		Arrived:        s.freshArrivals,
+		Returns:        s.returns,
+		Departed:       s.departures,
+		Registrations:  s.registrations,
+		OnlineAtEnd:    onlineAtEnd,
+		AvailableAtEnd: availableAtEnd,
+	}
+	if onlineTotal > 0 {
+		r.Workers.Utilisation = busyTotal / onlineTotal
+	}
+
+	if s.check != nil {
+		r.Check = &CrossCheckReport{
+			Checked:        s.check.checked,
+			Violations:     s.check.nViolations,
+			PoolConsistent: s.backend.poolSize() == len(s.check.avail),
+			Samples:        s.check.samples,
+		}
+	}
+	return r
+}

@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// shortPreset returns the named preset cut down to a quick horizon so the
+// full matrix of tests stays fast; structure (rates, churn, spatial model)
+// is untouched.
+func shortPreset(t *testing.T, name string, duration float64) Scenario {
+	t.Helper()
+	sc, err := Preset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc.WithDuration(duration)
+}
+
+func TestWithDuration(t *testing.T) {
+	sc, err := Preset("rush-hour") // multi-segment profile
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := sc.WithDuration(200)
+	if short.Duration != 200 || short.TaskRate.Duration() != 200 {
+		t.Errorf("trim: duration %v, profile ends %v", short.Duration, short.TaskRate.Duration())
+	}
+	if err := short.Validate(); err != nil {
+		t.Errorf("trimmed scenario invalid: %v", err)
+	}
+	long := sc.WithDuration(2000)
+	if long.Duration != 2000 || long.TaskRate.Duration() != 2000 {
+		t.Errorf("extend: duration %v, profile ends %v — tasks would stop arriving early",
+			long.Duration, long.TaskRate.Duration())
+	}
+	if err := long.Validate(); err != nil {
+		t.Errorf("extended scenario invalid: %v", err)
+	}
+	if same := sc.WithDuration(sc.Duration); same.TaskRate.Duration() != sc.TaskRate.Duration() {
+		t.Error("no-op override changed the profile")
+	}
+	// The extended run actually generates tasks across the whole horizon.
+	r, _, err := Run(Config{Scenario: long.WithDuration(900), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tasks.Arrived < 2000 { // ≥2/s for 900s at the lowest segment rate
+		t.Errorf("extended horizon arrived only %d tasks", r.Tasks.Arrived)
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	names := Scenarios()
+	want := []string{"chengdu-day", "churn-heavy", "flash-crowd", "rush-hour", "steady"}
+	if len(names) != len(want) {
+		t.Fatalf("Scenarios() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Scenarios() = %v, want %v", names, want)
+		}
+	}
+	for _, name := range names {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestValidateRejectsBadScenarios(t *testing.T) {
+	base, _ := Preset("steady")
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"zero duration", func(sc *Scenario) { sc.Duration = 0 }},
+		{"zero grid", func(sc *Scenario) { sc.GridCols = 0 }},
+		{"zero epsilon", func(sc *Scenario) { sc.Epsilon = 0 }},
+		{"negative workers", func(sc *Scenario) { sc.InitialWorkers = -1 }},
+		{"bad return prob", func(sc *Scenario) { sc.ReturnProb = 1.5 }},
+		{"returns without away time", func(sc *Scenario) { sc.ReturnProb = 0.5; sc.MeanAway = 0 }},
+		{"zero service", func(sc *Scenario) { sc.MeanService = 0 }},
+		{"empty task rate", func(sc *Scenario) { sc.TaskRate = nil }},
+		{"unknown spatial", func(sc *Scenario) { sc.Spatial = "hyperbolic" }},
+		{"normal without sigma", func(sc *Scenario) { sc.Spatial = SpatialNormal; sc.Sigma = 0 }},
+	}
+	for _, tc := range cases {
+		sc := base
+		tc.mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestRunDeterministic is the determinism contract: same (scenario, seed,
+// driver) → byte-identical canonical JSON.
+func TestRunDeterministic(t *testing.T) {
+	for _, driver := range []Driver{DriverEngine, DriverPlatform} {
+		sc := shortPreset(t, "churn-heavy", 120)
+		cfg := Config{Scenario: sc, Seed: 1, Driver: driver, CrossCheck: true}
+		r1, _, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, _, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, err := r1.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := r2.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: reports differ between identical runs:\n%s\n---\n%s", driver, b1, b2)
+		}
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	sc := shortPreset(t, "steady", 120)
+	r1, _, err := Run(Config{Scenario: sc, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := Run(Config{Scenario: sc, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := r1.JSON()
+	b2, _ := r2.JSON()
+	if bytes.Equal(b1, b2) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+// TestCrossCheckAllPresets is the acceptance criterion: zero
+// nearest-worker violations across every preset, on the engine driver.
+func TestCrossCheckAllPresets(t *testing.T) {
+	for _, name := range Scenarios() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc := shortPreset(t, name, 180)
+			r, _, err := Run(Config{Scenario: sc, Seed: 1, CrossCheck: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Check == nil {
+				t.Fatal("crosscheck report missing")
+			}
+			if r.Check.Violations != 0 {
+				t.Errorf("%d violations of %d checked: %v", r.Check.Violations, r.Check.Checked, r.Check.Samples)
+			}
+			if !r.Check.PoolConsistent {
+				t.Error("backend pool size diverged from the sequential reference")
+			}
+			if r.Check.Checked == 0 {
+				t.Error("crosscheck observed no assignment attempts")
+			}
+			if r.Tasks.Assigned == 0 {
+				t.Error("scenario assigned no tasks")
+			}
+		})
+	}
+}
+
+// TestCrossCheckPlatformDriver runs the churn-heavy preset through the
+// platform server: same engine underneath, plus slot bookkeeping on top.
+func TestCrossCheckPlatformDriver(t *testing.T) {
+	sc := shortPreset(t, "churn-heavy", 180)
+	r, _, err := Run(Config{Scenario: sc, Seed: 1, Driver: DriverPlatform, CrossCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Check.Violations != 0 {
+		t.Errorf("%d violations: %v", r.Check.Violations, r.Check.Samples)
+	}
+	if !r.Check.PoolConsistent {
+		t.Error("platform pool size diverged from the sequential reference")
+	}
+}
+
+func TestMetricsInvariants(t *testing.T) {
+	for _, name := range Scenarios() {
+		sc := shortPreset(t, name, 180)
+		r, stats, err := Run(Config{Scenario: sc, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := r.Tasks
+		if m.Assigned+m.Expired+m.PendingAtEnd > m.Arrived {
+			t.Errorf("%s: task accounting exceeds arrivals: %+v", name, m)
+		}
+		if m.AssignmentRate < 0 || m.AssignmentRate > 1 {
+			t.Errorf("%s: assignment rate %v outside [0,1]", name, m.AssignmentRate)
+		}
+		if r.Workers.Utilisation < 0 || r.Workers.Utilisation > 1 {
+			t.Errorf("%s: utilisation %v outside [0,1]", name, r.Workers.Utilisation)
+		}
+		if r.Workers.AvailableAtEnd > r.Workers.OnlineAtEnd {
+			t.Errorf("%s: more available than online: %+v", name, r.Workers)
+		}
+		var levelTotal int
+		for _, c := range r.Match.LevelCounts {
+			levelTotal += c
+		}
+		if levelTotal != m.Assigned {
+			t.Errorf("%s: level histogram sums to %d, assigned %d", name, levelTotal, m.Assigned)
+		}
+		if q := r.Match.TrueDist; q.P50 > q.P90 || q.P90 > q.P99 || q.P99 > q.Max {
+			t.Errorf("%s: quantiles not monotone: %+v", name, q)
+		}
+		if r.Events <= 0 || stats.WallSeconds < 0 {
+			t.Errorf("%s: events %d, wall %v", name, r.Events, stats.WallSeconds)
+		}
+	}
+}
+
+func TestChurnHeavyActuallyChurns(t *testing.T) {
+	sc := shortPreset(t, "churn-heavy", 300)
+	r, _, err := Run(Config{Scenario: sc, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers.Departed == 0 {
+		t.Error("no departures in churn-heavy")
+	}
+	if r.Workers.Returns == 0 {
+		t.Error("no comebacks in churn-heavy")
+	}
+	if r.Workers.Registrations <= r.Workers.Arrived {
+		t.Errorf("registrations %d not above fresh arrivals %d — no re-registration happened",
+			r.Workers.Registrations, r.Workers.Arrived)
+	}
+}
+
+func TestFlashCrowdExpiresTasks(t *testing.T) {
+	sc := shortPreset(t, "flash-crowd", 360) // includes the spike at [240, 300)
+	r, _, err := Run(Config{Scenario: sc, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tasks.Expired == 0 {
+		t.Error("flash crowd spike expired no tasks — the preset is not stressing the pool")
+	}
+}
+
+func TestBatchWindowMode(t *testing.T) {
+	sc := shortPreset(t, "chengdu-day", 200)
+	r, _, err := Run(Config{Scenario: sc, Seed: 9, CrossCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tasks.Assigned == 0 {
+		t.Fatal("batch mode assigned nothing")
+	}
+	// Windowed assignment delays every task to its window close: mean wait
+	// must be positive (immediate mode with spare capacity keeps it 0).
+	if r.Tasks.MeanWait <= 0 {
+		t.Errorf("mean wait %v in batch mode, want > 0", r.Tasks.MeanWait)
+	}
+	if r.Check.Violations != 0 {
+		t.Errorf("batch mode violations: %v", r.Check.Samples)
+	}
+}
+
+func TestUnknownDriverRejected(t *testing.T) {
+	sc := shortPreset(t, "steady", 60)
+	if _, _, err := Run(Config{Scenario: sc, Seed: 1, Driver: "carrier-pigeon"}); err == nil {
+		t.Error("unknown driver accepted")
+	}
+}

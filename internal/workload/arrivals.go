@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// Temporal structure for online scenarios. The paper's evaluation feeds
+// each matcher a pre-drawn task sequence in shuffled order; the event
+// simulator (internal/sim) instead needs arrival *times* — Poisson streams,
+// rush-hour double peaks, flash-crowd spikes — and per-arrival locations
+// drawn on demand. Both pieces live here so every generator that defines a
+// workload stays in this package.
+
+// PoissonTimes draws the event times of a homogeneous Poisson process with
+// the given rate (events per unit time) on [0, duration), in increasing
+// order. A non-positive rate or duration yields no events.
+func PoissonTimes(rate, duration float64, src *rng.Source) []float64 {
+	if rate <= 0 || duration <= 0 {
+		return nil
+	}
+	var times []float64
+	t := src.Exponential(rate)
+	for t < duration {
+		times = append(times, t)
+		t += src.Exponential(rate)
+	}
+	return times
+}
+
+// RateSegment is one piece of a piecewise-constant arrival-rate profile:
+// the process runs at Rate events per unit time until time Until.
+type RateSegment struct {
+	Until float64
+	Rate  float64
+}
+
+// RateProfile is a piecewise-constant intensity function for an
+// inhomogeneous Poisson process. Segments must have strictly increasing
+// Until bounds; the profile ends at the last segment's Until.
+type RateProfile []RateSegment
+
+// Duration returns the profile's end time (0 for an empty profile).
+func (p RateProfile) Duration() float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[len(p)-1].Until
+}
+
+// Times draws the arrival times of the inhomogeneous Poisson process with
+// this intensity, in increasing order. Each constant-rate segment is an
+// independent homogeneous process on its own interval, which is exactly
+// the superposition a piecewise-constant intensity defines.
+func (p RateProfile) Times(src *rng.Source) ([]float64, error) {
+	var times []float64
+	start := 0.0
+	for i, seg := range p {
+		if seg.Until <= start {
+			return nil, fmt.Errorf("workload: rate segment %d ends at %v, not after %v", i, seg.Until, start)
+		}
+		if seg.Rate < 0 {
+			return nil, fmt.Errorf("workload: rate segment %d has negative rate %v", i, seg.Rate)
+		}
+		for _, t := range PoissonTimes(seg.Rate, seg.Until-start, src) {
+			times = append(times, start+t)
+		}
+		start = seg.Until
+	}
+	// Per-segment generation already yields sorted times; keep the
+	// guarantee explicit against future segment reordering.
+	sort.Float64s(times)
+	return times, nil
+}
+
+// Constant returns the profile of a homogeneous process: one segment at
+// the given rate for the whole duration.
+func Constant(rate, duration float64) RateProfile {
+	return RateProfile{{Until: duration, Rate: rate}}
+}
+
+// A PointSampler draws one location per call. The simulator uses one
+// sampler per population (workers, tasks) so spatial structure and
+// temporal structure compose freely.
+type PointSampler func(src *rng.Source) geo.Point
+
+// UniformSampler draws points uniformly over the region.
+func UniformSampler(region geo.Rect) PointSampler {
+	return func(src *rng.Source) geo.Point {
+		return geo.Pt(
+			src.Uniform(region.MinX, region.MaxX),
+			src.Uniform(region.MinY, region.MaxY),
+		)
+	}
+}
+
+// NormalSampler draws Normal(µ, σ) points per coordinate, clamped to the
+// region — the per-point form of the Table II synthetic generator.
+func NormalSampler(mu, sigma float64, region geo.Rect) PointSampler {
+	return func(src *rng.Source) geo.Point {
+		return region.Clamp(geo.Pt(src.Normal(mu, sigma), src.Normal(mu, sigma)))
+	}
+}
+
+// ChengduSampler draws points from the fixed Chengdu hotspot mixture with
+// the given uniform-background fraction (tasks use ≈0.12, cruising workers
+// ≈0.25, matching the batch generator in chengdu.go).
+func ChengduSampler(background float64) PointSampler {
+	city := chengduCity()
+	weights := make([]float64, len(city))
+	for i, h := range city {
+		weights[i] = h.weight
+	}
+	return func(src *rng.Source) geo.Point {
+		if src.Float64() < background {
+			return geo.Pt(
+				src.Uniform(ChengduRegion.MinX, ChengduRegion.MaxX),
+				src.Uniform(ChengduRegion.MinY, ChengduRegion.MaxY),
+			)
+		}
+		h := city[src.WeightedIndex(weights)]
+		return ChengduRegion.Clamp(geo.Pt(
+			src.Normal(h.center.X, h.sigma),
+			src.Normal(h.center.Y, h.sigma),
+		))
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+func TestPoissonTimesSortedAndBounded(t *testing.T) {
+	src := rng.New(7).Derive("poisson")
+	times := PoissonTimes(3.0, 100, src)
+	if len(times) == 0 {
+		t.Fatal("expected events at rate 3 over 100 time units")
+	}
+	for i, x := range times {
+		if x < 0 || x >= 100 {
+			t.Fatalf("time %d = %v outside [0, 100)", i, x)
+		}
+		if i > 0 && x < times[i-1] {
+			t.Fatalf("times not sorted at %d: %v < %v", i, x, times[i-1])
+		}
+	}
+	// Mean count is rate·duration = 300; a 4σ band is ±70.
+	if n := len(times); n < 230 || n > 370 {
+		t.Errorf("count %d far from expectation 300", n)
+	}
+}
+
+func TestPoissonTimesDegenerate(t *testing.T) {
+	src := rng.New(1)
+	if got := PoissonTimes(0, 10, src); got != nil {
+		t.Errorf("rate 0: got %v, want nil", got)
+	}
+	if got := PoissonTimes(2, 0, src); got != nil {
+		t.Errorf("duration 0: got %v, want nil", got)
+	}
+}
+
+func TestPoissonTimesDeterministic(t *testing.T) {
+	a := PoissonTimes(5, 50, rng.New(42).Derive("p"))
+	b := PoissonTimes(5, 50, rng.New(42).Derive("p"))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different Poisson streams")
+	}
+}
+
+func TestRateProfileTimes(t *testing.T) {
+	p := RateProfile{{Until: 10, Rate: 1}, {Until: 20, Rate: 50}, {Until: 30, Rate: 1}}
+	if d := p.Duration(); d != 30 {
+		t.Fatalf("Duration = %v, want 30", d)
+	}
+	times, err := p.Times(rng.New(3).Derive("profile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid int
+	for i, x := range times {
+		if x < 0 || x >= 30 {
+			t.Fatalf("time %v outside [0, 30)", x)
+		}
+		if i > 0 && x < times[i-1] {
+			t.Fatalf("times not sorted at %d", i)
+		}
+		if x >= 10 && x < 20 {
+			mid++
+		}
+	}
+	// The burst segment holds ~500 of the ~520 expected events.
+	if mid < 350 {
+		t.Errorf("burst segment got %d events, expected ≈500", mid)
+	}
+	if outside := len(times) - mid; outside > 60 {
+		t.Errorf("quiet segments got %d events, expected ≈20", outside)
+	}
+}
+
+func TestRateProfileRejectsBadSegments(t *testing.T) {
+	if _, err := (RateProfile{{Until: 5, Rate: 1}, {Until: 5, Rate: 2}}).Times(rng.New(1)); err == nil {
+		t.Error("non-increasing Until accepted")
+	}
+	if _, err := (RateProfile{{Until: 5, Rate: -1}}).Times(rng.New(1)); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestConstantProfile(t *testing.T) {
+	p := Constant(2, 15)
+	if len(p) != 1 || p[0].Until != 15 || p[0].Rate != 2 {
+		t.Fatalf("Constant(2, 15) = %+v", p)
+	}
+}
+
+func TestSamplersStayInRegion(t *testing.T) {
+	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(200, 200))
+	samplers := map[string]PointSampler{
+		"uniform": UniformSampler(region),
+		"normal":  NormalSampler(100, 60, region),
+		"chengdu": ChengduSampler(0.2),
+	}
+	for name, sample := range samplers {
+		src := rng.New(9).Derive(name)
+		for i := 0; i < 2000; i++ {
+			p := sample(src)
+			if p.X < region.MinX || p.X > region.MaxX || p.Y < region.MinY || p.Y > region.MaxY {
+				t.Fatalf("%s: point %v outside region", name, p)
+			}
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				t.Fatalf("%s: NaN point", name)
+			}
+		}
+	}
+}
+
+func TestChengduSamplerMatchesBatchStructure(t *testing.T) {
+	// The sampler and the batch generator share the fixed city mixture, so
+	// their samples concentrate in the same places: compare hotspot-cell
+	// occupancy coarsely.
+	sample := ChengduSampler(0.12)
+	src := rng.New(11).Derive("cmp")
+	var nearCentre int
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p := sample(src)
+		if math.Hypot(p.X-100, p.Y-100) < 80 {
+			nearCentre++
+		}
+	}
+	// Hotspots concentrate towards the centre; well over half the mass
+	// lands within 80 units of it (uniform would put ~44% there).
+	if frac := float64(nearCentre) / n; frac < 0.55 {
+		t.Errorf("central mass %.2f, want > 0.55", frac)
+	}
+}

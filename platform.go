@@ -35,6 +35,9 @@ type (
 	ReregisterRequest = platform.ReregisterRequest
 	// ReleaseRequest returns an assigned worker to the pool.
 	ReleaseRequest = platform.ReleaseRequest
+	// WithdrawRequest takes a worker offline (immediately when available,
+	// after its current task when assigned).
+	WithdrawRequest = platform.WithdrawRequest
 	// TaskRequest submits one task's obfuscated leaf.
 	TaskRequest = platform.TaskRequest
 	// TaskResponse carries one assignment decision.
