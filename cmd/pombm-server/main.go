@@ -25,18 +25,20 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		grid   = flag.Int("grid", 64, "predefined grid columns/rows")
-		side   = flag.Float64("side", 200, "side of the square service region")
-		eps    = flag.Float64("eps", 0.6, "privacy budget ε")
-		seed   = flag.Uint64("seed", 2020, "server random seed")
-		shards = flag.Int("shards", 0, "assignment engine shard count (0 = engine default)")
-		demo   = flag.Int("demo", 0, "run a self-demo with this many workers (0 = serve only)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		grid     = flag.Int("grid", 64, "predefined grid columns/rows")
+		side     = flag.Float64("side", 200, "side of the square service region")
+		eps      = flag.Float64("eps", 0.6, "privacy budget ε")
+		seed     = flag.Uint64("seed", 2020, "server random seed")
+		shards   = flag.Int("shards", 0, "assignment engine shard count (0 = engine default)")
+		lifetime = flag.Float64("lifetime", 0, "per-worker lifetime ε budget; every fresh report spends ε and exhausted workers are parked (0 = unlimited)")
+		demo     = flag.Int("demo", 0, "run a self-demo with this many workers (0 = serve only)")
 	)
 	flag.Parse()
 
 	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(*side, *side))
-	srv, err := platform.NewServer(region, *grid, *grid, *eps, *seed, platform.WithShards(*shards))
+	srv, err := platform.NewServer(region, *grid, *grid, *eps, *seed,
+		platform.WithShards(*shards), platform.WithLifetimeBudget(*lifetime))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pombm-server:", err)
 		os.Exit(1)

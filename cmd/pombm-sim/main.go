@@ -29,6 +29,7 @@ import (
 func main() {
 	var (
 		scenario = flag.String("scenario", "", "scenario preset to run, comma-separated list, or 'all'")
+		preset   = flag.String("preset", "", "alias for -scenario")
 		list     = flag.Bool("list", false, "list scenario presets and exit")
 		seed     = flag.Uint64("seed", 1, "root random seed")
 		driver   = flag.String("driver", "engine", "system under test: engine or platform")
@@ -46,6 +47,13 @@ func main() {
 				name, sc.Duration, sc.Spatial, sc.BatchWindow, sc.InitialWorkers)
 		}
 		return
+	}
+	if *preset != "" && *scenario != "" && *preset != *scenario {
+		fmt.Fprintln(os.Stderr, "pombm-sim: -scenario and -preset disagree; pass one of them")
+		os.Exit(2)
+	}
+	if *scenario == "" {
+		*scenario = *preset
 	}
 	if *scenario == "" {
 		fmt.Fprintln(os.Stderr, "pombm-sim: -scenario is required (use -list to see presets)")
@@ -133,6 +141,11 @@ func printSummary(r *sim.Report) {
 		r.Match.MeanLevel, r.Match.MeanTreeDist, r.Match.TrueDist.Mean, r.Match.TrueDist.P50, r.Match.TrueDist.P90, r.Match.TrueDist.P99)
 	fmt.Printf("  workers  %d arrived, %d returns, %d departed, %d registrations, utilisation %.1f%%, %d online at end\n",
 		r.Workers.Arrived, r.Workers.Returns, r.Workers.Departed, r.Workers.Registrations, 100*r.Workers.Utilisation, r.Workers.OnlineAtEnd)
+	if r.Epochs != nil {
+		fmt.Printf("  epochs   %d rotations (final epoch %d), %d re-reports, %d workers parked, total ε spent %.1f (lifetime %g/worker)\n",
+			r.Epochs.Rotations, r.Epochs.FinalEpoch, r.Epochs.RotatedReports, r.Epochs.ParkedWorkers,
+			r.Epochs.BudgetSpent, r.Epochs.BudgetLimit)
+	}
 	if r.Check != nil {
 		fmt.Printf("  check    %d assignments verified, %d violations, pool consistent: %v\n",
 			r.Check.Checked, r.Check.Violations, r.Check.PoolConsistent)

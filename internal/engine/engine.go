@@ -20,13 +20,33 @@
 // online model grants — and every individual answer is still tree-nearest
 // among the workers available at that instant.
 //
-// Sharding is pure server-side post-processing of already-obfuscated
-// reports, so the privacy guarantee (Theorem 1) is untouched.
+// # Epochs
+//
+// A long-lived deployment periodically republishes the tree and re-noises
+// the live population (sequential composition spends budget on every fresh
+// report). The engine supports this as an atomic epoch swap: everything
+// that must change together — the tree, its shard set, and the epoch id
+// stamping them — lives in one immutable epochState behind an atomic
+// pointer. SwapEpoch builds the next state fully populated off to the
+// side while the current epoch keeps serving, then acquires every old
+// shard lock and publishes the new pointer, so each operation lands
+// entirely in one epoch or the other, never straddling both. Mutating
+// operations re-check the pointer after locking their shard and retry on
+// the new state when a swap won; an Assign that popped from the old state
+// just before the swap returns a stamp from the old epoch, which the
+// serving layer detects (the worker's slot was superseded) and retries —
+// the same staleness rule that governs withdraw races.
+//
+// Sharding and epoch swapping are pure server-side post-processing of
+// already-obfuscated reports, so the privacy guarantee (Theorem 1) is
+// untouched.
 package engine
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/pombm/pombm/internal/hst"
 )
@@ -34,14 +54,35 @@ import (
 // None is returned by Assign and AssignBatch when no worker is available.
 const None = -1
 
+// FirstEpoch is the epoch id a freshly constructed engine serves.
+const FirstEpoch = 1
+
+// ErrStaleEpoch is returned by epoch-pinned mutations when the engine has
+// rotated past the caller's epoch: the caller's code was obfuscated under
+// a tree that is no longer being served.
+var ErrStaleEpoch = errors.New("engine: epoch rotated")
+
 // DefaultShards is the shard count used when a caller passes 0: enough to
 // spread top-level branches without making the cross-shard fallback scan
 // long. New clamps it to the tree's degree.
 const DefaultShards = 8
 
-// Engine is a sharded concurrent assignment engine over one published HST.
-// All methods are safe for concurrent use.
+// Engine is a sharded concurrent assignment engine over one published HST
+// per epoch. All methods are safe for concurrent use.
 type Engine struct {
+	// state holds everything that swaps atomically at an epoch rotation.
+	// Reads are lock-free; mutators validate the pointer again under their
+	// shard lock (see op comments) so no operation ever lands in a state
+	// that has been swapped out.
+	state atomic.Pointer[epochState]
+	// swapMu serialises SwapEpoch calls only; serving ops never take it.
+	swapMu sync.Mutex
+}
+
+// epochState is one epoch's immutable identity (id, tree) plus its mutable
+// shard set. It is never mutated after being swapped out.
+type epochState struct {
+	epoch  int64
 	tree   *hst.Tree
 	depth  int
 	shards []engineShard
@@ -52,14 +93,9 @@ type engineShard struct {
 	index *hst.LeafIndex
 }
 
-// New returns an engine for the published tree with the given shard count.
-// Shards ≤ 0 selects DefaultShards; the count is clamped to the tree's
-// degree (more shards than top-level branches cannot help) and to 1 for
-// trees of depth 0.
-func New(tree *hst.Tree, shards int) (*Engine, error) {
-	if tree == nil {
-		return nil, errors.New("engine: nil tree")
-	}
+// newEpochState builds a shard set for the tree, clamping the shard count
+// exactly as New documents.
+func newEpochState(epoch int64, tree *hst.Tree, shards int) *epochState {
 	if shards <= 0 {
 		shards = DefaultShards
 	}
@@ -69,58 +105,156 @@ func New(tree *hst.Tree, shards int) (*Engine, error) {
 	if tree.Depth() == 0 {
 		shards = 1
 	}
-	e := &Engine{
+	st := &epochState{
+		epoch:  epoch,
 		tree:   tree,
 		depth:  tree.Depth(),
 		shards: make([]engineShard, shards),
 	}
-	for i := range e.shards {
-		e.shards[i].index = hst.NewLeafIndexDegree(e.depth, tree.Degree())
+	for i := range st.shards {
+		st.shards[i].index = hst.NewLeafIndexDegree(st.depth, tree.Degree())
 	}
+	return st
+}
+
+// New returns an engine for the published tree with the given shard count,
+// serving FirstEpoch. Shards ≤ 0 selects DefaultShards; the count is
+// clamped to the tree's degree (more shards than top-level branches cannot
+// help) and to 1 for trees of depth 0.
+func New(tree *hst.Tree, shards int) (*Engine, error) {
+	if tree == nil {
+		return nil, errors.New("engine: nil tree")
+	}
+	e := &Engine{}
+	e.state.Store(newEpochState(FirstEpoch, tree, shards))
 	return e, nil
 }
 
-// Tree returns the published HST the engine serves.
-func (e *Engine) Tree() *hst.Tree { return e.tree }
+// Tree returns the published HST of the epoch the engine currently serves.
+func (e *Engine) Tree() *hst.Tree { return e.state.Load().tree }
 
-// Shards returns the shard count.
-func (e *Engine) Shards() int { return len(e.shards) }
+// Shards returns the current shard count.
+func (e *Engine) Shards() int { return len(e.state.Load().shards) }
 
-func (e *Engine) shardOf(code hst.Code) *engineShard {
-	if e.depth == 0 || len(e.shards) == 1 {
-		return &e.shards[0]
+// Epoch returns the id of the epoch currently being served.
+func (e *Engine) Epoch() int64 { return e.state.Load().epoch }
+
+func (st *epochState) shardOf(code hst.Code) *engineShard {
+	if st.depth == 0 || len(st.shards) == 1 {
+		return &st.shards[0]
 	}
-	return &e.shards[int(code[0])%len(e.shards)]
+	return &st.shards[int(code[0])%len(st.shards)]
 }
 
-// Insert registers an available worker id at its obfuscated leaf code.
+// EpochInsert seeds one worker of a new epoch's population for SwapEpoch.
+type EpochInsert struct {
+	Code hst.Code
+	ID   int
+}
+
+// SwapEpoch atomically replaces the serving state: a fresh shard set over
+// tree, pre-populated with inserts (the re-obfuscated population) and
+// stamped with the given epoch id, which must exceed the current one.
+// The new state is built entirely off to the side — the current epoch
+// keeps serving throughout — and published with one pointer store while
+// every old shard lock is held, so no operation ever straddles epochs.
+// Shards ≤ 0 keeps the current shard count (re-clamped to the new tree).
+//
+// Workers of the old epoch that are not in inserts are dropped: their old
+// codes are meaningless under the new tree, and it is the rotation
+// controller's job to have re-obfuscated (or parked) them.
+func (e *Engine) SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []EpochInsert) error {
+	if tree == nil {
+		return errors.New("engine: nil tree")
+	}
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	old := e.state.Load()
+	if epoch <= old.epoch {
+		return fmt.Errorf("engine: swap to epoch %d, already serving %d", epoch, old.epoch)
+	}
+	if shards <= 0 {
+		shards = len(old.shards)
+	}
+	st := newEpochState(epoch, tree, shards)
+	for _, in := range inserts {
+		if err := tree.CheckCode(in.Code); err != nil {
+			return fmt.Errorf("engine: swap insert %d: %w", in.ID, err)
+		}
+		if err := st.shardOf(in.Code).index.Insert(in.Code, in.ID); err != nil {
+			return fmt.Errorf("engine: swap insert %d: %w", in.ID, err)
+		}
+	}
+	// Holding every old shard lock while storing the pointer guarantees
+	// that each in-flight mutator either completed on the old state before
+	// the swap or will observe the new pointer when it re-checks under its
+	// shard lock and retry there.
+	for i := range old.shards {
+		old.shards[i].mu.Lock()
+	}
+	e.state.Store(st)
+	for i := range old.shards {
+		old.shards[i].mu.Unlock()
+	}
+	return nil
+}
+
+// Insert registers an available worker id at its obfuscated leaf code in
+// the current epoch.
 func (e *Engine) Insert(code hst.Code, id int) error {
-	if err := e.tree.CheckCode(code); err != nil {
+	return e.InsertEpoch(code, id, 0)
+}
+
+// InsertEpoch is Insert pinned to an epoch: when epoch is non-zero and the
+// engine has rotated past it, the insert is refused with ErrStaleEpoch
+// instead of landing a stale-tree code in the new index.
+func (e *Engine) InsertEpoch(code hst.Code, id int, epoch int64) error {
+	for {
+		st := e.state.Load()
+		if epoch != 0 && st.epoch != epoch {
+			return fmt.Errorf("%w (insert for epoch %d, serving %d)", ErrStaleEpoch, epoch, st.epoch)
+		}
+		if err := st.tree.CheckCode(code); err != nil {
+			return err
+		}
+		s := st.shardOf(code)
+		s.mu.Lock()
+		if e.state.Load() != st {
+			s.mu.Unlock()
+			continue // swapped while waiting for the lock; retry on the new state
+		}
+		err := s.index.Insert(code, id)
+		s.mu.Unlock()
 		return err
 	}
-	s := e.shardOf(code)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.index.Insert(code, id)
 }
 
 // Remove withdraws a worker previously inserted at the given code. It
-// reports whether the worker was still available.
+// reports whether the worker was still available in the current epoch.
 func (e *Engine) Remove(code hst.Code, id int) bool {
-	if e.tree.CheckCode(code) != nil {
-		return false
+	for {
+		st := e.state.Load()
+		if st.tree.CheckCode(code) != nil {
+			return false
+		}
+		s := st.shardOf(code)
+		s.mu.Lock()
+		if e.state.Load() != st {
+			s.mu.Unlock()
+			continue
+		}
+		ok := s.index.Remove(code, id)
+		s.mu.Unlock()
+		return ok
 	}
-	s := e.shardOf(code)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.index.Remove(code, id)
 }
 
-// Len returns the number of available workers.
+// Len returns the number of available workers in the current epoch.
 func (e *Engine) Len() int {
+	st := e.state.Load()
 	n := 0
-	for i := range e.shards {
-		s := &e.shards[i]
+	for i := range st.shards {
+		s := &st.shards[i]
 		s.mu.Lock()
 		n += s.index.Len()
 		s.mu.Unlock()
@@ -131,9 +265,10 @@ func (e *Engine) Len() int {
 // Occupancy returns the number of available workers per shard, for
 // monitoring and load inspection.
 func (e *Engine) Occupancy() []int {
-	occ := make([]int, len(e.shards))
-	for i := range e.shards {
-		s := &e.shards[i]
+	st := e.state.Load()
+	occ := make([]int, len(st.shards))
+	for i := range st.shards {
+		s := &st.shards[i]
 		s.mu.Lock()
 		occ[i] = s.index.Len()
 		s.mu.Unlock()
@@ -141,28 +276,57 @@ func (e *Engine) Occupancy() []int {
 	return occ
 }
 
+// Walk visits every available (code, id) pair of the current epoch, one
+// shard at a time. The view is consistent only when writers are quiesced;
+// it exists for snapshots and monitoring, not for serving decisions.
+func (e *Engine) Walk(fn func(code hst.Code, id int)) {
+	st := e.state.Load()
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		s.index.Walk(fn)
+		s.mu.Unlock()
+	}
+}
+
 // Assign atomically finds, removes, and returns the tree-nearest available
 // worker for a task's obfuscated leaf code, together with the LCA level of
 // the match. ok is false when the code is malformed or no worker is
 // available.
 func (e *Engine) Assign(code hst.Code) (id, lcaLevel int, ok bool) {
-	if e.tree.CheckCode(code) != nil {
-		return None, 0, false
-	}
-	return e.assign(code)
+	id, lcaLevel, _, ok = e.AssignEpoch(code)
+	return id, lcaLevel, ok
 }
 
-func (e *Engine) assign(code hst.Code) (id, lcaLevel int, ok bool) {
-	if e.depth > 0 {
-		s := e.shardOf(code)
-		s.mu.Lock()
-		id, lvl, ok := s.index.PopNearestWithin(code, e.depth-1)
-		s.mu.Unlock()
-		if ok {
-			return id, lvl, true
+// AssignEpoch is Assign stamped with the epoch that served the pop. A
+// caller that tagged the task's code with the epoch it was obfuscated
+// under compares the stamp and treats a mismatch as stale — the engine
+// rotated between the task's obfuscation and its assignment.
+func (e *Engine) AssignEpoch(code hst.Code) (id, lcaLevel int, epoch int64, ok bool) {
+	for {
+		st := e.state.Load()
+		if st.tree.CheckCode(code) != nil {
+			return None, 0, st.epoch, false
 		}
+		if st.depth > 0 {
+			s := st.shardOf(code)
+			s.mu.Lock()
+			if e.state.Load() != st {
+				s.mu.Unlock()
+				continue
+			}
+			id, lvl, ok := s.index.PopNearestWithin(code, st.depth-1)
+			s.mu.Unlock()
+			if ok {
+				return id, lvl, st.epoch, true
+			}
+		}
+		id, lvl, ok, swapped := e.assignAcross(st, code)
+		if swapped {
+			continue
+		}
+		return id, lvl, st.epoch, ok
 	}
-	return e.assignAcross(code)
 }
 
 // assignAcross is the slow path: the query's own shard holds no worker
@@ -170,34 +334,39 @@ func (e *Engine) assign(code hst.Code) (id, lcaLevel int, ok bool) {
 // maximal level and the globally smallest id wins. All shard locks are
 // taken in index order — the single lock order in the package, so the fast
 // path (one shard) and slow path (all shards, ascending) cannot deadlock.
-func (e *Engine) assignAcross(code hst.Code) (id, lcaLevel int, ok bool) {
-	for i := range e.shards {
-		e.shards[i].mu.Lock()
+// swapped reports that an epoch swap beat the lock acquisition and the
+// caller must retry against the new state.
+func (e *Engine) assignAcross(st *epochState, code hst.Code) (id, lcaLevel int, ok, swapped bool) {
+	for i := range st.shards {
+		st.shards[i].mu.Lock()
 	}
 	defer func() {
-		for i := range e.shards {
-			e.shards[i].mu.Unlock()
+		for i := range st.shards {
+			st.shards[i].mu.Unlock()
 		}
 	}()
+	if e.state.Load() != st {
+		return None, 0, false, true
+	}
 	// The own shard may have gained a closer worker since the fast path
 	// gave up; re-check it now that the state is frozen.
-	if e.depth > 0 {
-		if id, lvl, ok := e.shardOf(code).index.PopNearestWithin(code, e.depth-1); ok {
-			return id, lvl, true
+	if st.depth > 0 {
+		if id, lvl, ok := st.shardOf(code).index.PopNearestWithin(code, st.depth-1); ok {
+			return id, lvl, true, false
 		}
 	}
 	best := -1
 	bestID := int(^uint(0) >> 1) // max int
-	for i := range e.shards {
-		if m, ok := e.shards[i].index.MinID(); ok && m < bestID {
+	for i := range st.shards {
+		if m, ok := st.shards[i].index.MinID(); ok && m < bestID {
 			best, bestID = i, m
 		}
 	}
 	if best < 0 {
-		return None, 0, false
+		return None, 0, false, false
 	}
-	id, _ = e.shards[best].index.PopMin()
-	return id, e.depth, true
+	id, _ = st.shards[best].index.PopMin()
+	return id, st.depth, true, false
 }
 
 // AssignBatch assigns a batch of task codes in order, amortising shard
@@ -218,25 +387,38 @@ func (e *Engine) AssignBatch(codes []hst.Code) (ids, lcaLevels []int) {
 	}
 	defer release()
 	for i, code := range codes {
-		if e.tree.CheckCode(code) != nil {
+	retry:
+		st := e.state.Load()
+		if st.tree.CheckCode(code) != nil {
 			ids[i] = None
 			continue
 		}
-		if e.depth > 0 {
-			s := e.shardOf(code)
+		if st.depth > 0 {
+			s := st.shardOf(code)
 			if s != held {
 				release()
 				s.mu.Lock()
 				held = s
 			}
-			if id, lvl, ok := held.index.PopNearestWithin(code, e.depth-1); ok {
+			if e.state.Load() != st {
+				// An epoch swap landed between loading the state and taking
+				// (or reusing) the shard lock: the held shard belongs to the
+				// old epoch. Drop it and redo this task on the new state.
+				release()
+				goto retry
+			}
+			if id, lvl, ok := held.index.PopNearestWithin(code, st.depth-1); ok {
 				ids[i], lcaLevels[i] = id, lvl
 				continue
 			}
 		}
 		// Fall back without holding any shard lock.
 		release()
-		if id, lvl, ok := e.assignAcross(code); ok {
+		id, lvl, ok, swapped := e.assignAcross(st, code)
+		if swapped {
+			goto retry
+		}
+		if ok {
 			ids[i], lcaLevels[i] = id, lvl
 		} else {
 			ids[i] = None

@@ -1,0 +1,226 @@
+package epoch
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// The rotation differential, extending the hst op-tape style to epoch
+// swaps: after any number of rotations, an engine that lived through them
+// must be assignment-for-assignment identical to an engine built fresh
+// from the same post-rotation worker set — a rotation leaves no residue
+// (no stale shard state, no leaked ids, no tie-break drift).
+
+// driveRotationDifferential churns an engine through random
+// insert/remove/assign ops interleaved with rotations driven by a
+// Controller; after every rotation (and at the end) it rebuilds a fresh
+// engine from the live population and replays an identical assignment tape
+// on both, comparing every answer.
+func driveRotationDifferential(t *testing.T, seed uint64, rotations, opsPerEpoch int) {
+	t.Helper()
+	src := rng.New(seed)
+	tree := buildTree(t, seed, 8)
+	eng, err := engine.New(tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(Config{Tree: tree, Seed: seed, Epsilon: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := map[int]hst.Code{} // id → code, the ground-truth population
+	nextID := 0
+
+	churn := func() {
+		for op := 0; op < opsPerEpoch; op++ {
+			switch {
+			case src.Float64() < 0.5: // insert
+				c := randCode(tree, src)
+				if err := eng.Insert(c, nextID); err != nil {
+					t.Fatal(err)
+				}
+				live[nextID] = c
+				nextID++
+			case src.Float64() < 0.5: // assign
+				if id, _, ok := eng.Assign(randCode(tree, src)); ok {
+					delete(live, id)
+				}
+			default: // remove an arbitrary live worker
+				for id, c := range live {
+					if !eng.Remove(c, id) {
+						t.Fatalf("remove of live worker %d failed", id)
+					}
+					delete(live, id)
+					break
+				}
+			}
+		}
+	}
+
+	// compare rebuilds a fresh engine from the live population and drains
+	// both engines with one probe tape, answer for answer.
+	compare := func(round int) {
+		fresh, err := engine.New(tree, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Inserting in arbitrary map order must not matter — the engines
+		// tie-break on ids, not insertion order.
+		for id, c := range live {
+			if err := fresh.Insert(c, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if fresh.Len() != eng.Len() {
+			t.Fatalf("round %d: rotated engine holds %d, fresh %d", round, eng.Len(), fresh.Len())
+		}
+		probeSrc := rng.New(seed).DeriveN("probe", round)
+		for {
+			q := randCode(tree, probeSrc)
+			idR, lvlR, okR := eng.Assign(q)
+			idF, lvlF, okF := fresh.Assign(q)
+			if idR != idF || lvlR != lvlF || okR != okF {
+				t.Fatalf("round %d: rotated engine assigned (%d,%d,%v), fresh (%d,%d,%v)",
+					round, idR, lvlR, okR, idF, lvlF, okF)
+			}
+			if !okR {
+				break
+			}
+			delete(live, idR)
+		}
+		// Drained: both empty. Rebuild the rotated engine's population for
+		// the next epoch from the (now empty) live set by reinserting a
+		// fresh wave, so later rounds start populated.
+		for i := 0; i < 40; i++ {
+			c := randCode(tree, src)
+			if err := eng.Insert(c, nextID); err != nil {
+				t.Fatal(err)
+			}
+			live[nextID] = c
+			nextID++
+		}
+	}
+
+	for round := 0; round < rotations; round++ {
+		churn()
+
+		// Rotate: every live worker re-reports under the staged tree with
+		// a fresh id, exactly as the serving layers do.
+		if _, err := ctrl.Prepare(0, false); err != nil {
+			t.Fatal(err)
+		}
+		order := make([]int, 0, len(live))
+		for id := range live {
+			order = append(order, id)
+		}
+		// Deterministic order: ascending id.
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && order[j] < order[j-1]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		names := make([]string, len(order))
+		for i, id := range order {
+			names[i] = workerNameFor(id)
+		}
+		var planTree *hst.Tree
+		plan, err := ctrl.PlanRotation(nil, names, func(_ string, tr *hst.Tree) (hst.Code, error) {
+			planTree = tr
+			return randCode(tr, src), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) > 0 && planTree == nil {
+			t.Fatal("reporter never called")
+		}
+		newLive := map[int]hst.Code{}
+		inserts := make([]engine.EpochInsert, 0, len(plan.Outcomes))
+		for i := range plan.Outcomes {
+			id := nextID
+			nextID++
+			newLive[id] = plan.Outcomes[i].Code
+			inserts = append(inserts, engine.EpochInsert{Code: plan.Outcomes[i].Code, ID: id})
+		}
+		if err := eng.SwapEpoch(plan.Epoch, plan.Tree, 0, inserts); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctrl.Commit(plan); err != nil {
+			t.Fatal(err)
+		}
+		tree = plan.Tree
+		live = newLive
+
+		compare(round)
+	}
+}
+
+func workerNameFor(id int) string { return "w" + strconv.Itoa(id) }
+
+func TestRotatedEngineMatchesFreshBuild(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		driveRotationDifferential(t, uint64(3000+trial), 5, 300)
+	}
+}
+
+// TestRotationDifferentialAcrossShardCounts repeats a smaller differential
+// at shard counts around the degree clamp: the swap must preserve the
+// sequential contract regardless of shard layout on either side.
+func TestRotationDifferentialAcrossShardCounts(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		t.Run("", func(t *testing.T) {
+			src := rng.New(uint64(40 + shards))
+			tree := buildTree(t, uint64(50+shards), 8)
+			eng, err := engine.New(tree, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := map[int]hst.Code{}
+			for id := 0; id < 100; id++ {
+				live[id] = randCode(tree, src)
+				if err := eng.Insert(live[id], id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tree2 := buildTree(t, uint64(60+shards), 8)
+			inserts := make([]engine.EpochInsert, 0, len(live))
+			newLive := map[int]hst.Code{}
+			for id := 0; id < 100; id++ {
+				c := randCode(tree2, src)
+				newLive[1000+id] = c
+				inserts = append(inserts, engine.EpochInsert{Code: c, ID: 1000 + id})
+			}
+			if err := eng.SwapEpoch(2, tree2, 0, inserts); err != nil {
+				t.Fatal(err)
+			}
+			// Fresh engine at a different shard count must still agree.
+			fresh, err := engine.New(tree2, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id, c := range newLive {
+				if err := fresh.Insert(c, id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for {
+				q := randCode(tree2, src)
+				idR, lvlR, okR := eng.Assign(q)
+				idF, lvlF, okF := fresh.Assign(q)
+				if idR != idF || lvlR != lvlF || okR != okF {
+					t.Fatalf("shards=%d: rotated (%d,%d,%v) ≠ fresh (%d,%d,%v)",
+						shards, idR, lvlR, okR, idF, lvlF, okF)
+				}
+				if !okR {
+					break
+				}
+			}
+		})
+	}
+}

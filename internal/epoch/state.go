@@ -1,0 +1,97 @@
+package epoch
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// State is a serialisable snapshot of one serving epoch: the epoch id, the
+// published tree, and the available population with their obfuscated
+// codes. It is what a deployment persists to survive a restart without
+// forcing every worker to re-report (and re-spend) — restoring a snapshot
+// reproduces the exact serving state, answer for answer.
+type State struct {
+	Epoch   int64         `json:"epoch"`
+	Tree    *hst.Tree     `json:"tree"` // marshals via its Published form
+	Workers []WorkerEntry `json:"workers"`
+}
+
+// WorkerEntry is one available worker in a snapshot.
+type WorkerEntry struct {
+	ID   int    `json:"id"`
+	Code []byte `json:"code"`
+}
+
+// Snapshot captures the engine's current epoch. The engine is walked shard
+// by shard, so the caller must have quiesced writers; entries are sorted
+// by id, making the snapshot — and its JSON — deterministic regardless of
+// shard layout.
+func Snapshot(eng *engine.Engine) *State {
+	st := &State{Epoch: eng.Epoch(), Tree: eng.Tree()}
+	eng.Walk(func(code hst.Code, id int) {
+		st.Workers = append(st.Workers, WorkerEntry{ID: id, Code: []byte(code)})
+	})
+	sort.Slice(st.Workers, func(a, b int) bool { return st.Workers[a].ID < st.Workers[b].ID })
+	return st
+}
+
+// Engine rebuilds a serving engine from the snapshot with the given shard
+// count (0 = engine default). The restored engine serves the snapshot's
+// epoch id and answers every assignment exactly as the snapshotted one
+// would.
+func (s *State) Engine(shards int) (*engine.Engine, error) {
+	if s.Tree == nil {
+		return nil, fmt.Errorf("epoch: state %d has no tree", s.Epoch)
+	}
+	eng, err := engine.New(s.Tree, shards)
+	if err != nil {
+		return nil, err
+	}
+	if s.Epoch < engine.FirstEpoch {
+		return nil, fmt.Errorf("epoch: state has invalid epoch %d", s.Epoch)
+	}
+	if s.Epoch == engine.FirstEpoch {
+		for _, w := range s.Workers {
+			if err := eng.Insert(hst.Code(w.Code), w.ID); err != nil {
+				return nil, fmt.Errorf("epoch: restore worker %d: %w", w.ID, err)
+			}
+		}
+		return eng, nil
+	}
+	// Later epochs restore through the same swap path a live rotation
+	// takes, stamping the engine with the snapshot's epoch id.
+	inserts := make([]engine.EpochInsert, len(s.Workers))
+	for i, w := range s.Workers {
+		inserts[i] = engine.EpochInsert{Code: hst.Code(w.Code), ID: w.ID}
+	}
+	if err := eng.SwapEpoch(s.Epoch, s.Tree, shards, inserts); err != nil {
+		return nil, fmt.Errorf("epoch: restore: %w", err)
+	}
+	return eng, nil
+}
+
+// JSON emits the canonical snapshot document.
+func (s *State) JSON() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// ParseState reconstructs a snapshot from its JSON form.
+func ParseState(blob []byte) (*State, error) {
+	var s State
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return nil, fmt.Errorf("epoch: parse state: %w", err)
+	}
+	if s.Tree == nil {
+		return nil, fmt.Errorf("epoch: state has no tree")
+	}
+	for _, w := range s.Workers {
+		if err := s.Tree.CheckCode(hst.Code(w.Code)); err != nil {
+			return nil, fmt.Errorf("epoch: state worker %d: %w", w.ID, err)
+		}
+	}
+	return &s, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
 	"github.com/pombm/pombm/internal/geo"
 	"github.com/pombm/pombm/internal/hst"
@@ -13,14 +14,16 @@ import (
 
 // HTTP endpoint paths.
 const (
-	PathPublication = "/v1/publication"
-	PathRegister    = "/v1/register"
-	PathReregister  = "/v1/reregister"
-	PathRelease     = "/v1/release"
-	PathWithdraw    = "/v1/withdraw"
-	PathTask        = "/v1/task"
-	PathTaskBatch   = "/v1/tasks"
-	PathStats       = "/v1/stats"
+	PathPublication   = "/v1/publication"
+	PathRegister      = "/v1/register"
+	PathReregister    = "/v1/reregister"
+	PathRelease       = "/v1/release"
+	PathWithdraw      = "/v1/withdraw"
+	PathTask          = "/v1/task"
+	PathTaskBatch     = "/v1/tasks"
+	PathStats         = "/v1/stats"
+	PathRotatePrepare = "/v1/rotate/prepare"
+	PathRotate        = "/v1/rotate"
 )
 
 // Handler exposes a Server over JSON/HTTP.
@@ -31,15 +34,17 @@ func Handler(s *Server) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		pub := s.Publication() // locked read: the tree and epoch rotate
 		writeJSON(w, wirePublication{
-			Tree:    s.pub.Tree,
-			MinX:    s.pub.Region.MinX,
-			MinY:    s.pub.Region.MinY,
-			MaxX:    s.pub.Region.MaxX,
-			MaxY:    s.pub.Region.MaxY,
-			Cols:    s.pub.Cols,
-			Rows:    s.pub.Rows,
-			Epsilon: s.pub.Epsilon,
+			Tree:    pub.Tree,
+			MinX:    pub.Region.MinX,
+			MinY:    pub.Region.MinY,
+			MaxX:    pub.Region.MaxX,
+			MaxY:    pub.Region.MaxY,
+			Cols:    pub.Cols,
+			Rows:    pub.Rows,
+			Epsilon: pub.Epsilon,
+			Epoch:   pub.Epoch,
 		})
 	})
 	mux.HandleFunc(PathRegister, func(w http.ResponseWriter, r *http.Request) {
@@ -84,6 +89,20 @@ func Handler(s *Server) http.Handler {
 		}
 		writeJSON(w, s.SubmitBatch(req))
 	})
+	mux.HandleFunc(PathRotatePrepare, func(w http.ResponseWriter, r *http.Request) {
+		var req PrepareRotateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.PrepareRotate(req))
+	})
+	mux.HandleFunc(PathRotate, func(w http.ResponseWriter, r *http.Request) {
+		var req RotateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.Rotate(req))
+	})
 	mux.HandleFunc(PathStats, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
 	})
@@ -101,15 +120,18 @@ type wirePublication struct {
 	Cols    int       `json:"cols"`
 	Rows    int       `json:"rows"`
 	Epsilon float64   `json:"epsilon"`
+	Epoch   int64     `json:"epoch,omitempty"`
 }
 
 // Client is an HTTP Backend: agents on other machines talk to the server
-// through it.
+// through it. It is safe for concurrent use: the cached publication is
+// re-fetched by Rotate, so reads and that refresh synchronise on a lock.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
 
-	pub *Publication
+	pubMu sync.RWMutex
+	pub   *Publication
 }
 
 // NewClient returns a client for a server base URL (e.g.
@@ -124,18 +146,29 @@ func NewClient(baseURL string) (*Client, error) {
 	if wire.Tree == nil {
 		return nil, fmt.Errorf("platform: server published no tree")
 	}
-	c.pub = &Publication{
+	c.pub = pubFromWire(&wire)
+	return c, nil
+}
+
+// pubFromWire folds the flattened wire form back into a Publication — the
+// one conversion site both the constructor and post-rotation re-fetch use.
+func pubFromWire(wire *wirePublication) *Publication {
+	return &Publication{
 		Tree:    wire.Tree,
 		Region:  geo.NewRect(geo.Pt(wire.MinX, wire.MinY), geo.Pt(wire.MaxX, wire.MaxY)),
 		Cols:    wire.Cols,
 		Rows:    wire.Rows,
 		Epsilon: wire.Epsilon,
+		Epoch:   wire.Epoch,
 	}
-	return c, nil
 }
 
 // Publication returns the cached publication.
-func (c *Client) Publication() Publication { return *c.pub }
+func (c *Client) Publication() Publication {
+	c.pubMu.RLock()
+	defer c.pubMu.RUnlock()
+	return *c.pub
+}
 
 // Register implements Backend over HTTP.
 func (c *Client) Register(req RegisterRequest) RegisterResponse {
@@ -191,6 +224,44 @@ func (c *Client) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 			out.Results[i] = TaskResponse{Assigned: false, Reason: err.Error()}
 		}
 		return out
+	}
+	return resp
+}
+
+// PrepareRotate stages the next epoch over HTTP and returns the staged
+// tree for client-side re-obfuscation. Operator-facing: a deployment
+// would protect the rotation endpoints behind its admin plane.
+func (c *Client) PrepareRotate(req PrepareRotateRequest) PrepareRotateResponse {
+	var resp PrepareRotateResponse
+	if err := c.post(PathRotatePrepare, req, &resp); err != nil {
+		return PrepareRotateResponse{OK: false, Reason: err.Error()}
+	}
+	return resp
+}
+
+// Rotate commits a staged rotation over HTTP with the collected fresh
+// reports. On success the client re-fetches and re-caches the publication
+// so subsequent agent construction sees the new epoch; if that re-fetch
+// fails the commit still happened server-side, so OK stays true and the
+// failure is surfaced in Reason — the caller must re-fetch before building
+// agents, or they will be refused as stale.
+func (c *Client) Rotate(req RotateRequest) RotateResponse {
+	var resp RotateResponse
+	if err := c.post(PathRotate, req, &resp); err != nil {
+		return RotateResponse{OK: false, Reason: err.Error()}
+	}
+	if resp.OK {
+		var wire wirePublication
+		switch err := c.get(PathPublication, &wire); {
+		case err != nil:
+			resp.Reason = fmt.Sprintf("rotation committed, but publication re-fetch failed: %v", err)
+		case wire.Tree == nil:
+			resp.Reason = "rotation committed, but the re-fetched publication has no tree"
+		default:
+			c.pubMu.Lock()
+			c.pub = pubFromWire(&wire)
+			c.pubMu.Unlock()
+		}
 	}
 	return resp
 }

@@ -23,6 +23,10 @@ type Publication struct {
 	Cols    int       `json:"cols"`
 	Rows    int       `json:"rows"`
 	Epsilon float64   `json:"epsilon"`
+	// Epoch identifies the serving epoch the tree belongs to. Agents tag
+	// their reports and tasks with it; after a rotation, codes obfuscated
+	// under an older publication are refused as stale.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // RegisterRequest announces a worker's availability with its obfuscated
@@ -30,18 +34,31 @@ type Publication struct {
 type RegisterRequest struct {
 	WorkerID string `json:"worker_id"`
 	Code     []byte `json:"code"`
+	// Epoch tags the publication the code was obfuscated under; 0 accepts
+	// whatever epoch is being served (pre-rotation clients).
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // RegisterResponse acknowledges a registration.
 type RegisterResponse struct {
 	OK     bool   `json:"ok"`
 	Reason string `json:"reason,omitempty"`
+	// Parked reports that the worker's lifetime ε budget is exhausted: the
+	// platform refuses further fresh reports from it permanently instead
+	// of degrading its guarantee.
+	Parked bool `json:"parked,omitempty"`
+	// Epoch is the serving epoch that accepted the report.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // TaskRequest submits a dynamically appearing task with its obfuscated leaf.
 type TaskRequest struct {
 	TaskID string `json:"task_id"`
 	Code   []byte `json:"code"`
+	// Epoch tags the publication the code was obfuscated under; a task
+	// from a rotated-away epoch is refused rather than matched against
+	// workers noised under a different tree. 0 accepts the serving epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // TaskResponse carries the assignment decision.
@@ -49,6 +66,10 @@ type TaskResponse struct {
 	Assigned bool   `json:"assigned"`
 	WorkerID string `json:"worker_id,omitempty"`
 	Reason   string `json:"reason,omitempty"`
+	// Epoch is the epoch the assigned worker's report was obfuscated
+	// under; it always equals the serving epoch of the assignment (the
+	// epoch-consistency invariant the rotation tests assert).
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // TaskBatchRequest submits a batch of tasks to be assigned in order
@@ -69,6 +90,8 @@ type TaskBatchResponse struct {
 type ReleaseRequest struct {
 	WorkerID string `json:"worker_id"`
 	Code     []byte `json:"code,omitempty"`
+	// Epoch tags the publication a non-empty Code was obfuscated under.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // WithdrawRequest takes a worker offline: immediately when available, after
@@ -93,4 +116,67 @@ type StatsResponse struct {
 	// MeanMatchLevel is the average LCA level over all assignments (0 when
 	// none have been made).
 	MeanMatchLevel float64 `json:"mean_match_level"`
+	// Epoch is the serving epoch id; Rotations counts committed epoch
+	// rotations, RotatedWorkers the successful re-obfuscations across all
+	// of them, ParkedWorkers the workers retired with exhausted lifetime
+	// budgets, and DroppedWorkers the available workers dropped at a
+	// rotation for lack of a fresh report.
+	Epoch          int64 `json:"epoch"`
+	Rotations      int   `json:"rotations"`
+	RotatedWorkers int   `json:"rotated_workers"`
+	ParkedWorkers  int   `json:"parked_workers"`
+	DroppedWorkers int   `json:"dropped_workers"`
+	// Budget accounting (zero values when no lifetime budget is set):
+	// BudgetSpentTotal is the accountant's grand total, which equals the
+	// sum of every accepted fresh report's ε exactly.
+	BudgetLimit      float64 `json:"budget_limit,omitempty"`
+	BudgetSpentTotal float64 `json:"budget_spent_total,omitempty"`
+	BudgetedAgents   int     `json:"budgeted_agents,omitempty"`
+}
+
+// PrepareRotateRequest stages the next epoch: a fresh HST built in the
+// background while the current epoch keeps serving. Seed 0 derives the
+// construction randomness deterministically from the server seed and the
+// next epoch id; Refit orders the carving permutation by the report
+// density observed during the serving epoch.
+type PrepareRotateRequest struct {
+	Seed  uint64 `json:"seed,omitempty"`
+	Refit bool   `json:"refit,omitempty"`
+}
+
+// PrepareRotateResponse returns the staged epoch and the tree workers must
+// re-obfuscate under.
+type PrepareRotateResponse struct {
+	OK     bool      `json:"ok"`
+	Reason string    `json:"reason,omitempty"`
+	Epoch  int64     `json:"epoch,omitempty"`
+	Tree   *hst.Tree `json:"tree,omitempty"`
+}
+
+// WorkerReport is one worker's fresh obfuscated report under a staged
+// epoch's tree.
+type WorkerReport struct {
+	WorkerID string `json:"worker_id"`
+	Code     []byte `json:"code"`
+}
+
+// RotateRequest commits a staged rotation with the fresh reports collected
+// from workers. Epoch 0 commits whatever is staged.
+type RotateRequest struct {
+	Epoch   int64          `json:"epoch,omitempty"`
+	Reports []WorkerReport `json:"reports"`
+}
+
+// RotateResponse summarises a rotation commit: how many workers rotated
+// into the new epoch, which were parked (lifetime budget exhausted) or
+// dropped (available but no usable fresh report), and how many reports
+// were skipped (unknown, busy, duplicate, or malformed).
+type RotateResponse struct {
+	OK      bool     `json:"ok"`
+	Reason  string   `json:"reason,omitempty"`
+	Epoch   int64    `json:"epoch,omitempty"`
+	Rotated int      `json:"rotated"`
+	Parked  []string `json:"parked,omitempty"`
+	Dropped []string `json:"dropped,omitempty"`
+	Skipped int      `json:"skipped,omitempty"`
 }

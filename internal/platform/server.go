@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/epoch"
 	"github.com/pombm/pombm/internal/geo"
 	"github.com/pombm/pombm/internal/hst"
 	"github.com/pombm/pombm/internal/rng"
@@ -22,26 +23,34 @@ import (
 // Server is safe for concurrent use; Submit calls on disjoint top-level
 // HST branches do not contend.
 type Server struct {
-	pub Publication
 	eng *engine.Engine
+	// rot owns epoch rotation and per-worker budget accounting. It has its
+	// own lock; the server calls into it under mu where slot-table
+	// consistency matters.
+	rot *epoch.Controller
 
-	// mu guards the slot tables and counters. The engine is the source of
-	// truth for availability: a slot is registered in the engine exactly
-	// when the worker is available. Every engine mutation except Submit's
-	// atomic pop happens under mu, so slot-table reads after a pop are
-	// always consistent.
+	// mu guards the slot tables, counters, and the publication (whose tree
+	// and epoch change at rotation). The engine is the source of truth for
+	// availability: a slot is registered in the engine exactly when the
+	// worker is available. Every engine mutation except Submit's atomic pop
+	// happens under mu, so slot-table reads after a pop are always
+	// consistent.
 	mu        sync.Mutex
+	pub       Publication
+	epoch     int64      // serving epoch; mirrors rot under mu
 	workerIDs []string   // slot → external id
 	codes     []hst.Code // slot → reported leaf
 	states    []workerState
+	slotEpoch []int64 // slot → epoch the slot's code was obfuscated under
 	byID      map[string]int
 	assigned  int
 	rejected  int
 	released  int
 	withdrawn int
+	dropped   int // available workers dropped at a rotation for lack of a fresh report
 	// levelCounts[l] counts assignments whose match LCA sat at level l;
 	// levelSum is Σ levels for the running mean. Both are fed by Submit and
-	// SubmitBatch alike.
+	// SubmitBatch alike. The histogram grows if a rotated tree is deeper.
 	levelCounts []int
 	levelSum    int
 }
@@ -59,24 +68,40 @@ const (
 	stateGone                     // withdrew; stint over, id may Register back
 	stateAssignedGone             // withdrew mid-assignment; stint ends at Release
 	stateRetired                  // superseded by a newer registration of the same id
+	stateParked                   // lifetime ε budget exhausted; terminal
 )
 
 // stintOver reports whether a popped slot's stint was closed (by a
-// Withdraw, possibly followed by a re-registration) while the pop was in
-// flight: the pop is stale and must be retried — the worker was told it is
-// offline, and acting on the pop could double-assign its new registration.
-func stintOver(st workerState) bool { return st == stateGone || st == stateRetired }
+// Withdraw, a rotation, or a parking, possibly followed by a
+// re-registration) while the pop was in flight: the pop is stale and must
+// be retried — the worker was told it is offline (or got a fresh slot in
+// the new epoch), and acting on the pop could double-assign it.
+func stintOver(st workerState) bool {
+	return st == stateGone || st == stateRetired || st == stateParked
+}
 
 // ServerOption customises server construction.
 type ServerOption func(*serverConfig)
 
 type serverConfig struct {
-	shards int
+	shards   int
+	lifetime float64
 }
 
 // WithShards sets the assignment engine's shard count (0 = engine default).
 func WithShards(n int) ServerOption {
 	return func(c *serverConfig) { c.shards = n }
+}
+
+// WithLifetimeBudget enforces a per-worker lifetime ε budget: every fresh
+// obfuscated report a worker submits (Register, Reregister, Release with a
+// new code, rotation re-reports) spends the publication's ε under
+// sequential composition, and a worker whose budget cannot afford another
+// report is parked — permanently retired from serving — instead of being
+// silently re-noised past its guarantee. 0 (the default) disables
+// accounting.
+func WithLifetimeBudget(lifetime float64) ServerOption {
+	return func(c *serverConfig) { c.lifetime = lifetime }
 }
 
 // NewServer builds the infrastructure (grid + HST) and returns a server
@@ -101,6 +126,15 @@ func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64, opts .
 	if err != nil {
 		return nil, err
 	}
+	rot, err := epoch.NewController(epoch.Config{
+		Tree:     tree,
+		Seed:     seed,
+		Epsilon:  eps,
+		Lifetime: cfg.lifetime,
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &Server{
 		pub: Publication{
 			Tree:    tree,
@@ -108,47 +142,81 @@ func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64, opts .
 			Cols:    cols,
 			Rows:    rows,
 			Epsilon: eps,
+			Epoch:   engine.FirstEpoch,
 		},
 		eng:         eng,
+		rot:         rot,
+		epoch:       engine.FirstEpoch,
 		byID:        map[string]int{},
 		levelCounts: make([]int, tree.Depth()+1),
 	}, nil
 }
 
-// Publication returns the public infrastructure.
-func (s *Server) Publication() Publication { return s.pub }
+// Publication returns the public infrastructure of the serving epoch.
+// After a rotation it carries the new tree and epoch id; clients holding
+// an older publication get their reports refused as stale.
+func (s *Server) Publication() Publication {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pub
+}
 
 // Engine returns the underlying assignment engine, for monitoring.
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
+// staleEpochReason formats the refusal for a report or task obfuscated
+// under a rotated-away publication.
+func staleEpochReason(got, cur int64) string {
+	return fmt.Sprintf("platform: stale epoch %d (serving %d); re-fetch the publication", got, cur)
+}
+
+// parkedReason formats the refusal for a worker whose lifetime budget is
+// exhausted.
+func parkedReason(workerID string) string {
+	return fmt.Sprintf("platform: worker %q lifetime budget exhausted; parked", workerID)
+}
+
 // Register adds a worker with its obfuscated leaf. Worker ids must be
 // unique among active workers; use Reregister for location updates. A
 // worker that previously withdrew while available may register again under
-// the same id with a freshly obfuscated code. Validation and the engine
-// insert happen before any slot-table mutation, so a failed registration
-// leaves no half-registered state behind and the id stays free for retry.
+// the same id with a freshly obfuscated code. Every registration is a
+// fresh report: with a lifetime budget configured it spends the
+// publication's ε, and an exhausted worker is refused with Parked set.
+// Validation and the engine insert happen before any slot-table mutation,
+// so a failed registration leaves no half-registered state behind and the
+// id stays free for retry.
 func (s *Server) Register(req RegisterRequest) RegisterResponse {
-	code := hst.Code(req.Code)
-	if err := s.pub.Tree.CheckCode(code); err != nil {
-		return RegisterResponse{OK: false, Reason: err.Error()}
-	}
 	if req.WorkerID == "" {
 		return RegisterResponse{OK: false, Reason: "platform: empty worker id"}
 	}
+	code := hst.Code(req.Code)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if req.Epoch != 0 && req.Epoch != s.epoch {
+		return RegisterResponse{OK: false, Reason: staleEpochReason(req.Epoch, s.epoch)}
+	}
+	if err := s.pub.Tree.CheckCode(code); err != nil {
+		return RegisterResponse{OK: false, Reason: err.Error()}
+	}
 	// A withdrawn worker coming back online starts a fresh stint in a
 	// fresh slot; the old slot is retired below, once the insert succeeded,
 	// so a stale pop of the old stint still in flight sees stateRetired.
 	revive := -1
 	if old, dup := s.byID[req.WorkerID]; dup {
-		if s.states[old] != stateGone {
+		switch s.states[old] {
+		case stateGone:
+			revive = old
+		case stateParked:
+			return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
+		default:
 			return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already registered", req.WorkerID)}
 		}
-		revive = old
+	}
+	if err := s.rot.Spend(req.WorkerID); err != nil {
+		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
 	}
 	slot := len(s.workerIDs)
-	if err := s.eng.Insert(code, slot); err != nil {
+	if err := s.eng.InsertEpoch(code, slot, s.epoch); err != nil {
 		return RegisterResponse{OK: false, Reason: err.Error()}
 	}
 	// A concurrent Submit can pop the new slot as soon as Insert returns,
@@ -156,27 +224,47 @@ func (s *Server) Register(req RegisterRequest) RegisterResponse {
 	s.workerIDs = append(s.workerIDs, req.WorkerID)
 	s.codes = append(s.codes, code)
 	s.states = append(s.states, stateAvailable)
+	s.slotEpoch = append(s.slotEpoch, s.epoch)
 	s.byID[req.WorkerID] = slot
 	if revive >= 0 {
 		s.states[revive] = stateRetired
 	}
-	return RegisterResponse{OK: true}
+	s.rot.Observe(code)
+	return RegisterResponse{OK: true, Epoch: s.epoch}
 }
 
 // Submit assigns an arriving task to the tree-nearest available worker.
+// A task tagged with the epoch its code was obfuscated under is refused as
+// stale once the server has rotated past it — an epoch-N task must never
+// be paired with an epoch-N+1 worker, since their codes live in different
+// trees.
 func (s *Server) Submit(req TaskRequest) TaskResponse {
 	code := hst.Code(req.Code)
-	if err := s.pub.Tree.CheckCode(code); err != nil {
+	// Validate against the engine's current tree (an atomic read — the
+	// locked publication may be mid-rotation); the engine re-validates
+	// internally, so a swap between here and the pop cannot corrupt it.
+	if err := s.eng.Tree().CheckCode(code); err != nil {
 		return TaskResponse{Assigned: false, Reason: err.Error()}
 	}
 	slot, lvl, ok := s.eng.Assign(code)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// A pop whose stint was closed while in flight (the worker withdrew,
-	// its Release was rejected, and it possibly registered back into a new
-	// slot) is stale: that assignment was never confirmed to anyone, so
-	// retry. Pops under mu cannot go stale again — stint transitions all
-	// happen under mu.
+	if req.Epoch != 0 && req.Epoch != s.epoch {
+		// The pop (if any) came from the fresh epoch; the task's code is
+		// from a rotated-away one. Undo the pop — unless the slot's stint
+		// closed in flight, in which case there is nothing to restore.
+		if ok && !stintOver(s.states[slot]) {
+			// The slot was popped live, so its code is valid for the
+			// serving epoch; the re-insert cannot fail.
+			s.eng.InsertEpoch(s.codes[slot], slot, s.epoch)
+		}
+		s.rejected++
+		return TaskResponse{Assigned: false, Reason: staleEpochReason(req.Epoch, s.epoch)}
+	}
+	// A pop whose stint was closed while in flight (the worker withdrew or
+	// was rotated/parked, its slot superseded) is stale: that assignment
+	// was never confirmed to anyone, so retry. Pops under mu cannot go
+	// stale again — stint transitions all happen under mu.
 	for ok && stintOver(s.states[slot]) {
 		slot, lvl, ok = s.eng.Assign(code)
 	}
@@ -188,9 +276,18 @@ func (s *Server) Submit(req TaskRequest) TaskResponse {
 	// cannot be in any other live state than stateAvailable.
 	s.states[slot] = stateAssigned
 	s.assigned++
+	s.bumpLevel(lvl)
+	return TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot], Epoch: s.slotEpoch[slot]}
+}
+
+// bumpLevel records one assignment's LCA level, growing the histogram when
+// a rotated tree is deeper than any before it.
+func (s *Server) bumpLevel(lvl int) {
+	for lvl >= len(s.levelCounts) {
+		s.levelCounts = append(s.levelCounts, 0)
+	}
 	s.levelCounts[lvl]++
 	s.levelSum += lvl
-	return TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot]}
 }
 
 // SubmitBatch assigns a batch of tasks in arrival order through the
@@ -200,12 +297,23 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 	out := TaskBatchResponse{Results: make([]TaskResponse, len(req.Tasks))}
 	// Malformed tasks are answered without touching the engine (mirroring
 	// Submit); only the valid ones, in order, form the assignment batch.
+	tree, engEpoch := s.eng.Tree(), s.eng.Epoch()
+	staleEarly := 0
 	valid := make([]int, 0, len(req.Tasks))
 	codes := make([]hst.Code, 0, len(req.Tasks))
 	for i, t := range req.Tasks {
 		code := hst.Code(t.Code)
-		if err := s.pub.Tree.CheckCode(code); err != nil {
+		if err := tree.CheckCode(code); err != nil {
 			out.Results[i] = TaskResponse{Assigned: false, Reason: err.Error()}
+			continue
+		}
+		// Epoch-stale tasks are refused up front, before the batch pops
+		// anything: letting them pop-and-undo would hand later tasks in
+		// the batch different workers than sequential Submit calls would.
+		// (A rotation racing the batch is re-checked under mu below.)
+		if t.Epoch != 0 && t.Epoch != engEpoch {
+			out.Results[i] = TaskResponse{Assigned: false, Reason: staleEpochReason(t.Epoch, engEpoch)}
+			staleEarly++
 			continue
 		}
 		valid = append(valid, i)
@@ -214,9 +322,20 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 	slots, lvls := s.eng.AssignBatch(codes)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.rejected += staleEarly
 	for k, slot := range slots {
 		i := valid[k]
 		lvl := lvls[k]
+		// Epoch-tagged tasks whose publication has been rotated away are
+		// refused and their pop undone, exactly as in Submit.
+		if e := req.Tasks[i].Epoch; e != 0 && e != s.epoch {
+			if slot != engine.None && !stintOver(s.states[slot]) {
+				s.eng.InsertEpoch(s.codes[slot], slot, s.epoch)
+			}
+			s.rejected++
+			out.Results[i] = TaskResponse{Assigned: false, Reason: staleEpochReason(e, s.epoch)}
+			continue
+		}
 		// Stale pops (see Submit) are retried; under mu no retry can go
 		// stale again.
 		for slot != engine.None && stintOver(s.states[slot]) {
@@ -232,28 +351,34 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 		}
 		s.states[slot] = stateAssigned
 		s.assigned++
-		s.levelCounts[lvl]++
-		s.levelSum += lvl
-		out.Results[i] = TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot]}
+		s.bumpLevel(lvl)
+		out.Results[i] = TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot], Epoch: s.slotEpoch[slot]}
 	}
 	return out
 }
 
 // Release returns an assigned worker to the available pool, optionally at
-// a freshly obfuscated leaf (re-reporting the previous code costs no extra
-// privacy budget; a new code reflects a new location report). The paper's
-// one-shot model has no releases; a deployed platform needs them for
-// workers that complete tasks.
+// a freshly obfuscated leaf. Re-reporting the previous code costs no extra
+// privacy budget (it is post-processing of an already-released report),
+// but is only possible while the epoch it was obfuscated under is still
+// being served; after a rotation the worker must supply a fresh code drawn
+// under the new publication, which — like every fresh report — spends ε
+// against its lifetime budget and can park it. The paper's one-shot model
+// has no releases; a deployed platform needs them for workers that
+// complete tasks.
 func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 	var newCode hst.Code
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(req.Code) > 0 {
 		newCode = hst.Code(req.Code)
+		if req.Epoch != 0 && req.Epoch != s.epoch {
+			return RegisterResponse{OK: false, Reason: staleEpochReason(req.Epoch, s.epoch)}
+		}
 		if err := s.pub.Tree.CheckCode(newCode); err != nil {
 			return RegisterResponse{OK: false, Reason: err.Error()}
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	slot, ok := s.byID[req.WorkerID]
 	if !ok {
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q not registered", req.WorkerID)}
@@ -263,6 +388,8 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q is not assigned", req.WorkerID)}
 	case stateGone:
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)}
+	case stateParked:
+		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
 	case stateAssignedGone:
 		// The task is done but the worker had withdrawn mid-assignment: it
 		// does not return to the pool, yet the completion means it is now
@@ -273,14 +400,28 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 	code := s.codes[slot]
 	if newCode != "" {
 		code = newCode
+		if err := s.rot.Spend(req.WorkerID); err != nil {
+			// The worker finished its task but cannot afford the fresh
+			// report: park it rather than re-noise past its guarantee.
+			s.states[slot] = stateParked
+			return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
+		}
+	} else if s.slotEpoch[slot] != s.epoch {
+		return RegisterResponse{OK: false, Reason: fmt.Sprintf(
+			"platform: worker %q report is from epoch %d (serving %d); a fresh report is required",
+			req.WorkerID, s.slotEpoch[slot], s.epoch)}
 	}
-	if err := s.eng.Insert(code, slot); err != nil {
+	if err := s.eng.InsertEpoch(code, slot, s.epoch); err != nil {
 		return RegisterResponse{OK: false, Reason: err.Error()}
 	}
 	s.codes[slot] = code
+	s.slotEpoch[slot] = s.epoch
 	s.states[slot] = stateAvailable
 	s.released++
-	return RegisterResponse{OK: true}
+	if newCode != "" {
+		s.rot.Observe(newCode)
+	}
+	return RegisterResponse{OK: true, Epoch: s.epoch}
 }
 
 // Withdraw takes a worker offline. An available worker leaves the pool
@@ -299,6 +440,8 @@ func (s *Server) Withdraw(req WithdrawRequest) RegisterResponse {
 	switch s.states[slot] {
 	case stateGone, stateAssignedGone:
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has already withdrawn", req.WorkerID)}
+	case stateParked:
+		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
 	case stateAssigned:
 		s.states[slot] = stateAssignedGone
 	default: // stateAvailable
@@ -322,6 +465,7 @@ func (s *Server) Stats() StatsResponse {
 	if s.assigned > 0 {
 		mean = float64(s.levelSum) / float64(s.assigned)
 	}
+	rs := s.rot.Stats()
 	return StatsResponse{
 		// Distinct worker ids, not slots: re-registrations after a
 		// withdrawal retire the old slot rather than reuse it.
@@ -333,5 +477,13 @@ func (s *Server) Stats() StatsResponse {
 		WithdrawnWorkers:  s.withdrawn,
 		MatchLevelCounts:  append([]int(nil), s.levelCounts...),
 		MeanMatchLevel:    mean,
+		Epoch:             s.epoch,
+		Rotations:         rs.Rotations,
+		RotatedWorkers:    rs.Rotated,
+		ParkedWorkers:     rs.Parked,
+		DroppedWorkers:    s.dropped,
+		BudgetLimit:       rs.Limit,
+		BudgetSpentTotal:  rs.SpentTotal,
+		BudgetedAgents:    rs.Agents,
 	}
 }

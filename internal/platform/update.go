@@ -19,18 +19,27 @@ import (
 type ReregisterRequest struct {
 	WorkerID string `json:"worker_id"`
 	Code     []byte `json:"code"`
+	// Epoch tags the publication the code was obfuscated under; 0 accepts
+	// the serving epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Reregister updates an available worker's reported location. Workers that
 // are already assigned cannot move their report (the assignment already
-// happened); unknown workers are rejected.
+// happened); unknown workers are rejected. An update is a fresh report:
+// with a lifetime budget configured it spends the publication's ε, and a
+// worker that cannot afford it is parked — removed from the pool — rather
+// than silently re-noised.
 func (s *Server) Reregister(req ReregisterRequest) RegisterResponse {
 	code := hst.Code(req.Code)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Epoch != 0 && req.Epoch != s.epoch {
+		return RegisterResponse{OK: false, Reason: staleEpochReason(req.Epoch, s.epoch)}
+	}
 	if err := s.pub.Tree.CheckCode(code); err != nil {
 		return RegisterResponse{OK: false, Reason: err.Error()}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	slot, ok := s.byID[req.WorkerID]
 	if !ok {
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q not registered", req.WorkerID)}
@@ -38,6 +47,8 @@ func (s *Server) Reregister(req ReregisterRequest) RegisterResponse {
 	switch s.states[slot] {
 	case stateGone, stateAssignedGone:
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)}
+	case stateParked:
+		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
 	case stateAssigned:
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already assigned", req.WorkerID)}
 	}
@@ -46,14 +57,24 @@ func (s *Server) Reregister(req ReregisterRequest) RegisterResponse {
 		// its table update (which waits on mu): the assignment wins.
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already assigned", req.WorkerID)}
 	}
-	if err := s.eng.Insert(code, slot); err != nil {
+	if err := s.rot.Spend(req.WorkerID); err != nil {
+		// The fresh report is unaffordable. The old report was already
+		// withdrawn from the engine above, and it is not restored: the
+		// worker is parked — out of the pool for good — instead of being
+		// re-noised past its guarantee.
+		s.states[slot] = stateParked
+		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
+	}
+	if err := s.eng.InsertEpoch(code, slot, s.epoch); err != nil {
 		// Unreachable given CheckCode above; restore the old report so the
 		// worker is not lost from the pool.
-		s.eng.Insert(s.codes[slot], slot)
+		s.eng.InsertEpoch(s.codes[slot], slot, s.epoch)
 		return RegisterResponse{OK: false, Reason: err.Error()}
 	}
 	s.codes[slot] = code
-	return RegisterResponse{OK: true}
+	s.slotEpoch[slot] = s.epoch
+	s.rot.Observe(code)
+	return RegisterResponse{OK: true, Epoch: s.epoch}
 }
 
 // BudgetedObfuscator is a client-side privacy stack with lifetime budget

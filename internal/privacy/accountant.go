@@ -1,9 +1,15 @@
 package privacy
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrBudgetExhausted is wrapped by Spend when a report would push an agent
+// past its lifetime budget. Serving layers match it to park the agent
+// instead of silently re-noising.
+var ErrBudgetExhausted = errors.New("privacy: lifetime budget exhausted")
 
 // Accountant tracks cumulative Geo-Indistinguishability budget per agent
 // under sequential composition: each report of (a perturbation of) the same
@@ -19,6 +25,7 @@ type Accountant struct {
 
 	mu    sync.Mutex
 	spent map[string]float64
+	total float64 // Σ spent over all agents; conserved by construction
 }
 
 // NewAccountant returns an accountant enforcing a lifetime ε budget per
@@ -43,10 +50,11 @@ func (a *Accountant) Spend(agentID string, eps float64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.spent[agentID]+eps > a.limit+1e-12 {
-		return fmt.Errorf("privacy: agent %q budget exhausted: spent %.4g of %.4g, requested %.4g",
-			agentID, a.spent[agentID], a.limit, eps)
+		return fmt.Errorf("%w: agent %q spent %.4g of %.4g, requested %.4g",
+			ErrBudgetExhausted, agentID, a.spent[agentID], a.limit, eps)
 	}
 	a.spent[agentID] += eps
+	a.total += eps
 	return nil
 }
 
@@ -55,6 +63,22 @@ func (a *Accountant) Spent(agentID string) float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.spent[agentID]
+}
+
+// TotalSpent returns the sum of every recorded spend across all agents.
+// Budget conservation — TotalSpent equals the sum the caller's own ledger
+// of successful Spend calls — is the invariant the rotation tests assert.
+func (a *Accountant) TotalSpent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Agents returns the number of agents with recorded spend.
+func (a *Accountant) Agents() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.spent)
 }
 
 // Remaining returns the budget the agent has left.

@@ -1,6 +1,7 @@
 package privacy
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -45,6 +46,59 @@ func TestAccountantSequentialComposition(t *testing.T) {
 	}
 	if err := a.Spend("w1", -0.1); err == nil {
 		t.Error("negative eps accepted")
+	}
+}
+
+func TestAccountantExhaustionSentinel(t *testing.T) {
+	a, err := NewAccountant(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend("w", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	err = a.Spend("w", 0.4)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("over-budget spend error %v does not wrap ErrBudgetExhausted", err)
+	}
+	// A malformed spend is a different failure, not an exhaustion.
+	if err := a.Spend("w", 0); errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("zero-eps spend reported as exhaustion: %v", err)
+	}
+}
+
+func TestAccountantTotalConservation(t *testing.T) {
+	a, err := NewAccountant(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The accountant's grand total must equal the caller's own ledger of
+	// successful spends exactly — failed spends contribute nothing.
+	var ledger float64
+	for i, sp := range []struct {
+		id  string
+		eps float64
+	}{
+		{"a", 0.6}, {"b", 1.9}, {"a", 0.6}, {"a", 0.9}, // last "a" spend fails (2.1 > 2)
+		{"b", 0.2}, {"c", 2.0}, {"c", 0.1}, // "b" fails, then "c" fails
+	} {
+		if err := a.Spend(sp.id, sp.eps); err == nil {
+			ledger += sp.eps
+		} else if !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("spend %d: unexpected error %v", i, err)
+		}
+	}
+	if got := a.TotalSpent(); got != ledger {
+		t.Errorf("TotalSpent = %v, ledger says %v", got, ledger)
+	}
+	if got := a.Agents(); got != 3 {
+		t.Errorf("Agents = %d, want 3", got)
+	}
+	// Per-agent totals never exceed the limit.
+	for _, id := range []string{"a", "b", "c"} {
+		if got := a.Spent(id); got > a.Limit()+1e-12 {
+			t.Errorf("agent %s spent %v over limit %v", id, got, a.Limit())
+		}
 	}
 }
 

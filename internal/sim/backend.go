@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 
 	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/epoch"
 	"github.com/pombm/pombm/internal/hst"
 	"github.com/pombm/pombm/internal/platform"
 )
@@ -28,65 +30,188 @@ const (
 // server's withdraw → same-id re-registration (revival) path. Within a
 // stint, a worker finishing a task re-enters the pool through release (a
 // re-report at a fresh code under the same id), mirroring the platform's
-// Release.
+// Release. An epoch rotation hands every available worker a fresh
+// registration id too: its re-obfuscated report is a new stint in the new
+// epoch's shard set.
 //
 // Both drivers make identical assignment decisions: the engine ties
 // towards the smallest id, regIDs and platform slots are allocated in the
-// same (registration-event) order, and the platform's revival path also
-// allocates a fresh slot per stint.
+// same (registration-event) order — including rotation order — and the
+// platform's revival and rotation paths also allocate a fresh slot per
+// stint. Budget decisions coincide as well: both drivers spend the same ε
+// for the same worker names in the same operation order, so the same
+// workers park at the same instants.
+//
+// register and release return an error wrapping epoch.ErrBudgetExhausted
+// when the worker's lifetime budget cannot afford the fresh report; the
+// simulator then parks the worker.
 type backend interface {
 	register(id, worker int, code hst.Code) error
-	release(id int, code hst.Code) error
+	release(id, worker int, code hst.Code) error
 	withdraw(id int, code hst.Code) bool
 	assign(code hst.Code) (id int, ok bool)
 	assignBatch(codes []hst.Code) []int // engine.None where unassigned
 	poolSize() int
+	// rotate swaps the backend to a fresh epoch. workers lists the
+	// available population in the simulator's deterministic order; report
+	// draws each one's fresh obfuscated code under the new tree (called
+	// exactly once per worker, in order — the rng contract); alloc hands
+	// out a fresh registration id, called exactly once per non-parked
+	// worker, in order. The returned outcome is aligned with workers.
+	rotate(workers []int, report func(worker int, tree *hst.Tree) hst.Code, alloc func(worker int) int) (*rotateResult, error)
+	// epochInfo reports the serving epoch and the budget accounting
+	// totals (zeros when no lifetime budget is configured).
+	epochInfo() (epoch int64, spent, limit float64)
 }
 
-type engineBackend struct{ eng *engine.Engine }
+// rotateResult is one rotation's outcome, aligned with the worker list
+// given to rotate.
+type rotateResult struct {
+	epoch  int64
+	tree   *hst.Tree
+	codes  []hst.Code // fresh report per worker ("" when parked)
+	parked []bool
+	newID  []int // fresh registration id; -1 when parked
+}
 
-func (b engineBackend) register(id, worker int, code hst.Code) error { return b.eng.Insert(code, id) }
-func (b engineBackend) release(id int, code hst.Code) error          { return b.eng.Insert(code, id) }
-func (b engineBackend) withdraw(id int, code hst.Code) bool          { return b.eng.Remove(code, id) }
-func (b engineBackend) assign(code hst.Code) (int, bool) {
+// engineBackend drives the sharded engine directly, with an epoch
+// controller owning rotation bookkeeping and budget accounting — the same
+// controller the platform server embeds, so both drivers park the same
+// workers at the same spends.
+type engineBackend struct {
+	eng   *engine.Engine
+	ctrl  *epoch.Controller
+	refit bool
+}
+
+func workerName(worker int) string { return "w" + strconv.Itoa(worker) }
+
+func (b *engineBackend) register(id, worker int, code hst.Code) error {
+	if err := b.ctrl.Spend(workerName(worker)); err != nil {
+		return err
+	}
+	if err := b.eng.Insert(code, id); err != nil {
+		return err
+	}
+	b.ctrl.Observe(code)
+	return nil
+}
+
+// release re-reports at a freshly obfuscated code — a fresh spend and an
+// insert, exactly the register protocol under the same stint id (matching
+// the platform's Release-with-code path), so it delegates.
+func (b *engineBackend) release(id, worker int, code hst.Code) error {
+	return b.register(id, worker, code)
+}
+
+func (b *engineBackend) withdraw(id int, code hst.Code) bool { return b.eng.Remove(code, id) }
+
+func (b *engineBackend) assign(code hst.Code) (int, bool) {
 	id, _, ok := b.eng.Assign(code)
 	return id, ok
 }
-func (b engineBackend) assignBatch(codes []hst.Code) []int {
+
+func (b *engineBackend) assignBatch(codes []hst.Code) []int {
 	ids, _ := b.eng.AssignBatch(codes)
 	return ids
 }
-func (b engineBackend) poolSize() int { return b.eng.Len() }
+
+func (b *engineBackend) poolSize() int { return b.eng.Len() }
+
+func (b *engineBackend) rotate(workers []int, report func(int, *hst.Tree) hst.Code, alloc func(int) int) (*rotateResult, error) {
+	staged, err := b.ctrl.Prepare(0, b.refit)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(workers))
+	for i, w := range workers {
+		names[i] = workerName(w)
+	}
+	idx := 0
+	plan, err := b.ctrl.PlanRotation(staged, names, func(_ string, tree *hst.Tree) (hst.Code, error) {
+		code := report(workers[idx], tree)
+		idx++
+		return code, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &rotateResult{
+		epoch:  plan.Epoch,
+		tree:   plan.Tree,
+		codes:  make([]hst.Code, len(workers)),
+		parked: make([]bool, len(workers)),
+		newID:  make([]int, len(workers)),
+	}
+	inserts := make([]engine.EpochInsert, 0, len(workers))
+	for i := range plan.Outcomes {
+		o := &plan.Outcomes[i]
+		if o.Parked {
+			res.parked[i], res.newID[i] = true, -1
+			continue
+		}
+		id := alloc(workers[i])
+		res.codes[i], res.newID[i] = o.Code, id
+		inserts = append(inserts, engine.EpochInsert{Code: o.Code, ID: id})
+	}
+	if err := b.eng.SwapEpoch(plan.Epoch, plan.Tree, 0, inserts); err != nil {
+		return nil, err
+	}
+	if err := b.ctrl.Commit(plan); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (b *engineBackend) epochInfo() (int64, float64, float64) {
+	st := b.ctrl.Stats()
+	return st.Epoch, st.SpentTotal, st.Limit
+}
 
 // platformBackend maps stable sim workers to external WorkerIDs and
 // translates the server's string answers back to the current registration
 // id of the named worker.
 type platformBackend struct {
 	srv      *platform.Server
+	refit    bool
+	epoch    int64       // serving epoch; reports and tasks are tagged with it
 	ownerOf  map[int]int // registration id → sim worker
 	curRegOf map[int]int // sim worker → current registration id
 }
 
-func newPlatformBackend(srv *platform.Server) *platformBackend {
-	return &platformBackend{srv: srv, ownerOf: map[int]int{}, curRegOf: map[int]int{}}
+func newPlatformBackend(srv *platform.Server, refit bool) *platformBackend {
+	return &platformBackend{
+		srv:      srv,
+		refit:    refit,
+		epoch:    srv.Publication().Epoch,
+		ownerOf:  map[int]int{},
+		curRegOf: map[int]int{},
+	}
 }
 
-func workerName(worker int) string { return "w" + strconv.Itoa(worker) }
+// budgetErr folds a Parked refusal back into the sentinel the simulator
+// handles; any other refusal is a hard failure.
+func budgetErr(op string, resp platform.RegisterResponse) error {
+	if resp.Parked {
+		return fmt.Errorf("sim: platform %s: %w", op, epoch.ErrBudgetExhausted)
+	}
+	return fmt.Errorf("sim: platform %s: %s", op, resp.Reason)
+}
 
 func (b *platformBackend) register(id, worker int, code hst.Code) error {
-	resp := b.srv.Register(platform.RegisterRequest{WorkerID: workerName(worker), Code: []byte(code)})
+	resp := b.srv.Register(platform.RegisterRequest{WorkerID: workerName(worker), Code: []byte(code), Epoch: b.epoch})
 	if !resp.OK {
-		return fmt.Errorf("sim: platform register: %s", resp.Reason)
+		return budgetErr("register", resp)
 	}
 	b.ownerOf[id] = worker
 	b.curRegOf[worker] = id
 	return nil
 }
 
-func (b *platformBackend) release(id int, code hst.Code) error {
-	resp := b.srv.Release(platform.ReleaseRequest{WorkerID: workerName(b.ownerOf[id]), Code: []byte(code)})
+func (b *platformBackend) release(id, worker int, code hst.Code) error {
+	resp := b.srv.Release(platform.ReleaseRequest{WorkerID: workerName(worker), Code: []byte(code), Epoch: b.epoch})
 	if !resp.OK {
-		return fmt.Errorf("sim: platform release: %s", resp.Reason)
+		return budgetErr("release", resp)
 	}
 	return nil
 }
@@ -105,7 +230,7 @@ func (b *platformBackend) decode(workerID string) int {
 }
 
 func (b *platformBackend) assign(code hst.Code) (int, bool) {
-	resp := b.srv.Submit(platform.TaskRequest{Code: []byte(code)})
+	resp := b.srv.Submit(platform.TaskRequest{Code: []byte(code), Epoch: b.epoch})
 	if !resp.Assigned {
 		return engine.None, false
 	}
@@ -115,7 +240,7 @@ func (b *platformBackend) assign(code hst.Code) (int, bool) {
 func (b *platformBackend) assignBatch(codes []hst.Code) []int {
 	req := platform.TaskBatchRequest{Tasks: make([]platform.TaskRequest, len(codes))}
 	for i, c := range codes {
-		req.Tasks[i] = platform.TaskRequest{Code: []byte(c)}
+		req.Tasks[i] = platform.TaskRequest{Code: []byte(c), Epoch: b.epoch}
 	}
 	resp := b.srv.SubmitBatch(req)
 	ids := make([]int, len(codes))
@@ -130,3 +255,55 @@ func (b *platformBackend) assignBatch(codes []hst.Code) []int {
 }
 
 func (b *platformBackend) poolSize() int { return b.srv.Stats().AvailableWorkers }
+
+func (b *platformBackend) rotate(workers []int, report func(int, *hst.Tree) hst.Code, alloc func(int) int) (*rotateResult, error) {
+	names := make([]string, len(workers))
+	for i, w := range workers {
+		names[i] = workerName(w)
+	}
+	res := &rotateResult{
+		codes:  make([]hst.Code, len(workers)),
+		parked: make([]bool, len(workers)),
+		newID:  make([]int, len(workers)),
+	}
+	// RotateNow invokes the callback once per listed worker, in order —
+	// the same rng contract the engine driver's plan follows.
+	idx := 0
+	resp := b.srv.RotateNow(platform.PrepareRotateRequest{Refit: b.refit}, names, func(_ string, tree *hst.Tree) (hst.Code, error) {
+		res.codes[idx] = report(workers[idx], tree)
+		idx++
+		return res.codes[idx-1], nil
+	})
+	if !resp.OK {
+		return nil, fmt.Errorf("sim: platform rotate: %s", resp.Reason)
+	}
+	if len(resp.Dropped) > 0 || resp.Skipped > 0 {
+		// The simulator lists exactly the available population; the server
+		// dropping or skipping any of it means the two disagree about who
+		// is online — a bookkeeping bug, not a scenario outcome.
+		return nil, errors.New("sim: platform rotate dropped or skipped listed workers")
+	}
+	parked := make(map[string]bool, len(resp.Parked))
+	for _, name := range resp.Parked {
+		parked[name] = true
+	}
+	for i, w := range workers {
+		if parked[names[i]] {
+			res.parked[i], res.newID[i], res.codes[i] = true, -1, ""
+			continue
+		}
+		id := alloc(w)
+		res.newID[i] = id
+		b.ownerOf[id] = w
+		b.curRegOf[w] = id
+	}
+	pub := b.srv.Publication()
+	res.epoch, res.tree = pub.Epoch, pub.Tree
+	b.epoch = pub.Epoch
+	return res, nil
+}
+
+func (b *platformBackend) epochInfo() (int64, float64, float64) {
+	st := b.srv.Stats()
+	return st.Epoch, st.BudgetSpentTotal, st.BudgetLimit
+}

@@ -32,6 +32,11 @@ func (c *crossCheck) register(id int, code hst.Code) { c.avail[id] = code }
 
 func (c *crossCheck) withdraw(id int) { delete(c.avail, id) }
 
+// retree swaps the reference to a rotated epoch's tree. The caller must
+// have replaced (or withdrawn) every mirrored worker first: codes from the
+// old epoch are meaningless under the new tree.
+func (c *crossCheck) retree(tree *hst.Tree) { c.tree = tree }
+
 // observe verifies one assignment decision and consumes the chosen worker
 // from the mirror pool.
 func (c *crossCheck) observe(taskCode hst.Code, gotID int, ok bool) {

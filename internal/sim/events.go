@@ -17,6 +17,7 @@ const (
 	evTaskExpire                    // a pending task hits its deadline
 	evTaskComplete                  // an assigned task finishes service
 	evBatchTick                     // a time-sliced assignment window closes
+	evRotate                        // an epoch rotation: republish the tree, re-noise the pool
 )
 
 type event struct {

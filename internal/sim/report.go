@@ -28,7 +28,22 @@ type Report struct {
 	Tasks   TaskMetrics       `json:"tasks"`
 	Match   MatchMetrics      `json:"match"`
 	Workers WorkerMetrics     `json:"workers"`
+	Epochs  *EpochMetrics     `json:"epochs,omitempty"`
 	Check   *CrossCheckReport `json:"crosscheck,omitempty"`
+}
+
+// EpochMetrics summarises epoch rotation and budget accounting; present
+// only for scenarios that rotate or enforce a lifetime budget, so the
+// reports of non-rotating scenarios are unchanged.
+type EpochMetrics struct {
+	Rotations      int   `json:"rotations"`
+	FinalEpoch     int64 `json:"final_epoch"`
+	RotatedReports int   `json:"rotated_reports"` // successful rotation re-obfuscations
+	ParkedWorkers  int   `json:"parked_workers"`  // lifetime budgets exhausted
+	// BudgetSpent is the accountant's grand total — exactly Σ ε over every
+	// accepted fresh report (registrations, releases, rotations).
+	BudgetLimit float64 `json:"budget_limit"`
+	BudgetSpent float64 `json:"budget_spent"`
 }
 
 // TaskMetrics summarises the task stream's fate.

@@ -47,6 +47,17 @@ type Scenario struct {
 	Spatial Spatial `json:"spatial"`
 	Mu      float64 `json:"mu,omitempty"`    // SpatialNormal center
 	Sigma   float64 `json:"sigma,omitempty"` // SpatialNormal spread
+
+	// Epoch dynamics. RotateEvery > 0 rotates the serving epoch on that
+	// period: a fresh tree is published and every available worker
+	// re-reports under it (spending budget when LifetimeEps is set;
+	// exhausted workers are parked). RotateRefit orders each new tree's
+	// carving permutation by the report density observed during the
+	// outgoing epoch. LifetimeEps > 0 enforces a per-worker lifetime ε
+	// budget on every fresh report, rotation or not.
+	RotateEvery float64 `json:"rotate_every,omitempty"`
+	RotateRefit bool    `json:"rotate_refit,omitempty"`
+	LifetimeEps float64 `json:"lifetime_eps,omitempty"`
 }
 
 // Validate reports the first structural problem with the scenario.
@@ -72,6 +83,13 @@ func (sc *Scenario) Validate() error {
 		return fmt.Errorf("sim: deadline and batch window must be non-negative")
 	case len(sc.TaskRate) == 0:
 		return fmt.Errorf("sim: empty task rate profile")
+	case sc.RotateEvery < 0 || sc.LifetimeEps < 0:
+		return fmt.Errorf("sim: rotate interval and lifetime budget must be non-negative")
+	case sc.LifetimeEps > 0 && sc.LifetimeEps < sc.Epsilon:
+		return fmt.Errorf("sim: lifetime budget %v below per-report ε %v; every report would be refused",
+			sc.LifetimeEps, sc.Epsilon)
+	case sc.RotateRefit && sc.RotateEvery <= 0:
+		return fmt.Errorf("sim: rotate refit needs a positive rotate interval")
 	}
 	switch sc.Spatial {
 	case SpatialUniform, SpatialChengdu:
@@ -218,6 +236,28 @@ var presets = map[string]Scenario{
 		MeanService:       30,
 		Deadline:          25,
 		Spatial:           SpatialUniform,
+	},
+	// epoch-rotate: the long-horizon regime — the tree is republished every
+	// 300 s (refit from the observed report history) and every available
+	// worker re-noises under it, with a lifetime budget of 5 reports
+	// (ε=0.6 each); long-lived workers exhaust their budget and are parked.
+	"epoch-rotate": {
+		Name:              "epoch-rotate",
+		Duration:          900,
+		GridCols:          32,
+		Epsilon:           0.6,
+		InitialWorkers:    250,
+		WorkerArrivalRate: 0.5,
+		MeanOnline:        400,
+		ReturnProb:        0.5,
+		MeanAway:          120,
+		TaskRate:          workload.Constant(3, 900),
+		MeanService:       45,
+		Deadline:          30,
+		Spatial:           SpatialUniform,
+		RotateEvery:       300,
+		RotateRefit:       true,
+		LifetimeEps:       3.0,
 	},
 	// chengdu-day: the Chengdu hotspot mixture under time-sliced batch
 	// assignment (5 s windows), long ride-like service times.

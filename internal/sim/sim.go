@@ -17,10 +17,12 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/epoch"
 	"github.com/pombm/pombm/internal/geo"
 	"github.com/pombm/pombm/internal/hst"
 	"github.com/pombm/pombm/internal/platform"
@@ -52,6 +54,7 @@ type simWorker struct {
 	loc     geo.Point
 	state   workerState
 	leaving bool // depart at next completion instead of re-registering
+	parked  bool // lifetime ε budget exhausted; offline for good
 	regID   int  // current registration id; fresh per online stint
 	code    hst.Code
 
@@ -118,6 +121,9 @@ type sim struct {
 	returns       int
 	departures    int
 	registrations int
+	rotations     int
+	rotatedRep    int // successful rotation re-reports
+	parkedCount   int
 }
 
 // Run executes the configured scenario and returns its deterministic
@@ -153,14 +159,24 @@ func Run(cfg Config) (*Report, *RunStats, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		be, shards = engineBackend{eng: eng}, eng.Shards()
+		ctrl, err := epoch.NewController(epoch.Config{
+			Tree:     tree,
+			Seed:     cfg.Seed,
+			Epsilon:  sc.Epsilon,
+			Lifetime: sc.LifetimeEps,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		be, shards = &engineBackend{eng: eng, ctrl: ctrl, refit: sc.RotateRefit}, eng.Shards()
 	case DriverPlatform:
-		srv, err := platform.NewServer(sc.region(), sc.GridCols, sc.GridCols, sc.Epsilon, cfg.Seed, platform.WithShards(cfg.Shards))
+		srv, err := platform.NewServer(sc.region(), sc.GridCols, sc.GridCols, sc.Epsilon, cfg.Seed,
+			platform.WithShards(cfg.Shards), platform.WithLifetimeBudget(sc.LifetimeEps))
 		if err != nil {
 			return nil, nil, err
 		}
 		tree = srv.Publication().Tree
-		be, shards = newPlatformBackend(srv), srv.Engine().Shards()
+		be, shards = newPlatformBackend(srv, sc.RotateRefit), srv.Engine().Shards()
 	default:
 		return nil, nil, fmt.Errorf("sim: unknown driver %q", cfg.Driver)
 	}
@@ -224,6 +240,11 @@ func (s *sim) schedule(root *rng.Source) error {
 	if s.sc.BatchWindow > 0 {
 		s.push(event{at: s.sc.BatchWindow, kind: evBatchTick})
 	}
+	if s.sc.RotateEvery > 0 {
+		for t := s.sc.RotateEvery; t < s.sc.Duration; t += s.sc.RotateEvery {
+			s.push(event{at: t, kind: evRotate})
+		}
+	}
 	return nil
 }
 
@@ -263,34 +284,60 @@ func (s *sim) loop() {
 			s.taskComplete(e.worker, e.task)
 		case evBatchTick:
 			s.batchTick()
+		case evRotate:
+			s.rotate()
 		}
 	}
 	s.closeBooks()
 }
 
 // registerWorker brings worker w online at its current true location under
-// a fresh registration id and a freshly obfuscated code.
-func (s *sim) registerWorker(w int) {
+// a fresh registration id and a freshly obfuscated code. It reports false
+// — and parks the worker — when the lifetime budget cannot afford the
+// fresh report.
+func (s *sim) registerWorker(w int) bool {
 	wk := &s.workers[w]
 	snapped := s.tree.CodeOf(s.grid.Snap(wk.loc))
 	wk.code = s.mech.ObfuscateWalk(snapped, s.obfSrc)
-	wk.regID = len(s.regOwner)
+	regID := len(s.regOwner)
 	s.regOwner = append(s.regOwner, w)
-	if err := s.backend.register(wk.regID, w, wk.code); err != nil {
-		// Codes come from the mechanism over the same tree; failure here is
-		// a bug worth surfacing loudly rather than skewing metrics.
+	if err := s.backend.register(regID, w, wk.code); err != nil {
+		if errors.Is(err, epoch.ErrBudgetExhausted) {
+			// The registration id was never seen by the backend: drop it so
+			// sim regIDs stay aligned with platform slot numbers.
+			s.regOwner = s.regOwner[:len(s.regOwner)-1]
+			s.parkWorker(w)
+			return false
+		}
+		// Codes come from the mechanism over the same tree; any other
+		// failure is a bug worth surfacing loudly rather than skewing
+		// metrics.
 		panic(fmt.Sprintf("sim: register worker %d: %v", w, err))
 	}
+	wk.regID = regID
 	wk.state = wAvailable
 	s.registrations++
 	if s.check != nil {
 		s.check.register(wk.regID, wk.code)
 	}
+	return true
+}
+
+// parkWorker retires a worker whose lifetime ε budget is exhausted: it is
+// offline for good — no comeback is ever scheduled.
+func (s *sim) parkWorker(w int) {
+	wk := &s.workers[w]
+	if wk.state != wOffline {
+		wk.onlineTotal += s.now - wk.onlineSince
+	}
+	wk.state = wOffline
+	wk.parked = true
+	s.parkedCount++
 }
 
 func (s *sim) workerArrive(w int) {
 	wk := &s.workers[w]
-	if wk.state != wOffline {
+	if wk.state != wOffline || wk.parked {
 		return
 	}
 	wk.loc = s.sampleWorker(s.workerLocSrc)
@@ -301,7 +348,9 @@ func (s *sim) workerArrive(w int) {
 	} else {
 		s.returns++
 	}
-	s.registerWorker(w)
+	if !s.registerWorker(w) {
+		return // parked: the arrival happened, the registration was refused
+	}
 	if s.sc.MeanOnline > 0 {
 		s.push(event{at: s.now + s.lifeSrc.Exponential(1/s.sc.MeanOnline), kind: evWorkerDepart, worker: w})
 	}
@@ -375,7 +424,13 @@ func (s *sim) taskComplete(w, ti int) {
 	wk.loc = s.tasks[ti].loc
 	snapped := s.tree.CodeOf(s.grid.Snap(wk.loc))
 	wk.code = s.mech.ObfuscateWalk(snapped, s.obfSrc)
-	if err := s.backend.release(wk.regID, wk.code); err != nil {
+	if err := s.backend.release(wk.regID, w, wk.code); err != nil {
+		if errors.Is(err, epoch.ErrBudgetExhausted) {
+			// The post-task re-report is unaffordable: the worker is parked
+			// instead of re-entering the pool.
+			s.parkWorker(w)
+			return
+		}
 		panic(fmt.Sprintf("sim: release worker %d: %v", w, err))
 	}
 	s.registrations++
@@ -421,6 +476,78 @@ func (s *sim) batchTick() {
 	if next := s.now + s.sc.BatchWindow; next <= s.sc.Duration {
 		s.push(event{at: next, kind: evBatchTick})
 	}
+}
+
+// rotate swaps the serving epoch: the backend publishes a fresh tree and
+// every available worker re-reports under it with a freshly obfuscated
+// code (and a fresh registration id — a new stint in the new epoch), with
+// each re-report spending lifetime budget; exhausted workers are parked.
+// Busy workers keep serving their assignment and re-report under the new
+// tree at completion. Pending tasks re-obfuscate lazily: their old-epoch
+// codes are meaningless under the new tree.
+func (s *sim) rotate() {
+	var order []int
+	for i := range s.workers {
+		if s.workers[i].state == wAvailable {
+			order = append(order, i)
+		}
+	}
+	var newMech *privacy.HSTMechanism
+	res, err := s.backend.rotate(order,
+		func(w int, tree *hst.Tree) hst.Code {
+			if newMech == nil || newMech.Tree() != tree {
+				m, err := privacy.NewHSTMechanism(tree, s.sc.Epsilon)
+				if err != nil {
+					panic(fmt.Sprintf("sim: rotate mechanism: %v", err))
+				}
+				newMech = m
+			}
+			wk := &s.workers[w]
+			return newMech.ObfuscateWalk(tree.CodeOf(s.grid.Snap(wk.loc)), s.obfSrc)
+		},
+		func(w int) int {
+			id := len(s.regOwner)
+			s.regOwner = append(s.regOwner, w)
+			return id
+		})
+	if err != nil {
+		panic(fmt.Sprintf("sim: rotate: %v", err))
+	}
+	for i, w := range order {
+		wk := &s.workers[w]
+		if s.check != nil {
+			s.check.withdraw(wk.regID)
+		}
+		if res.parked[i] {
+			s.parkWorker(w)
+			continue
+		}
+		wk.regID = res.newID[i]
+		wk.code = res.codes[i]
+		s.rotatedRep++
+		if s.check != nil {
+			s.check.register(wk.regID, wk.code)
+		}
+	}
+	s.tree = res.tree
+	if newMech == nil || newMech.Tree() != res.tree {
+		// No available worker reported (empty pool): build the new epoch's
+		// mechanism now for future reports and tasks.
+		m, err := privacy.NewHSTMechanism(res.tree, s.sc.Epsilon)
+		if err != nil {
+			panic(fmt.Sprintf("sim: rotate mechanism: %v", err))
+		}
+		newMech = m
+	}
+	s.mech = newMech
+	if s.check != nil {
+		s.check.retree(res.tree)
+	}
+	for _, ti := range s.pending {
+		s.tasks[ti].code = "" // re-draw under the new tree at the next attempt
+	}
+	s.rotations++
+	s.drainPending()
 }
 
 // obfuscateTask draws the task's reported code. Each task reports once; in
@@ -470,6 +597,9 @@ func (s *sim) completeAssignment(ti int, taskCode hst.Code, regID int) {
 	wk.busySince = s.now
 
 	lvl := s.tree.LCALevel(taskCode, wk.code)
+	for lvl >= len(s.levelCounts) {
+		s.levelCounts = append(s.levelCounts, 0) // a rotated tree may be deeper
+	}
 	s.levelCounts[lvl]++
 	s.levelSum += lvl
 	s.treeDistSum += hst.LevelDist(lvl)
@@ -573,6 +703,18 @@ func (s *sim) report(cfg Config, shards int) *Report {
 	}
 	if onlineTotal > 0 {
 		r.Workers.Utilisation = busyTotal / onlineTotal
+	}
+
+	if s.sc.RotateEvery > 0 || s.sc.LifetimeEps > 0 {
+		finalEpoch, spent, limit := s.backend.epochInfo()
+		r.Epochs = &EpochMetrics{
+			Rotations:      s.rotations,
+			FinalEpoch:     finalEpoch,
+			RotatedReports: s.rotatedRep,
+			ParkedWorkers:  s.parkedCount,
+			BudgetLimit:    limit,
+			BudgetSpent:    spent,
+		}
 	}
 
 	if s.check != nil {

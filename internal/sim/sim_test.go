@@ -52,7 +52,7 @@ func TestWithDuration(t *testing.T) {
 
 func TestPresetsValidate(t *testing.T) {
 	names := Scenarios()
-	want := []string{"chengdu-day", "churn-heavy", "flash-crowd", "rush-hour", "steady"}
+	want := []string{"chengdu-day", "churn-heavy", "epoch-rotate", "flash-crowd", "rush-hour", "steady"}
 	if len(names) != len(want) {
 		t.Fatalf("Scenarios() = %v, want %v", names, want)
 	}
@@ -91,6 +91,10 @@ func TestValidateRejectsBadScenarios(t *testing.T) {
 		{"empty task rate", func(sc *Scenario) { sc.TaskRate = nil }},
 		{"unknown spatial", func(sc *Scenario) { sc.Spatial = "hyperbolic" }},
 		{"normal without sigma", func(sc *Scenario) { sc.Spatial = SpatialNormal; sc.Sigma = 0 }},
+		{"negative rotate interval", func(sc *Scenario) { sc.RotateEvery = -1 }},
+		{"negative lifetime budget", func(sc *Scenario) { sc.LifetimeEps = -1 }},
+		{"lifetime below epsilon", func(sc *Scenario) { sc.LifetimeEps = sc.Epsilon / 2 }},
+		{"refit without rotation", func(sc *Scenario) { sc.RotateRefit = true }},
 	}
 	for _, tc := range cases {
 		sc := base
@@ -273,6 +277,108 @@ func TestBatchWindowMode(t *testing.T) {
 	}
 	if r.Check.Violations != 0 {
 		t.Errorf("batch mode violations: %v", r.Check.Samples)
+	}
+}
+
+// TestEpochRotatePreset runs the epoch-rotate preset far enough to cross
+// two rotations on both drivers, cross-checked: rotation must leave the
+// sequential nearest-worker contract intact, actually rotate and park, and
+// conserve budget — the accountant total equals ε times every fresh report
+// (registrations, post-task re-reports, rotation re-obfuscations).
+func TestEpochRotatePreset(t *testing.T) {
+	for _, driver := range []Driver{DriverEngine, DriverPlatform} {
+		driver := driver
+		t.Run(string(driver), func(t *testing.T) {
+			sc := shortPreset(t, "epoch-rotate", 660) // rotations at 300 and 600
+			r, _, err := Run(Config{Scenario: sc, Seed: 1, Driver: driver, CrossCheck: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Check.Violations != 0 {
+				t.Errorf("%d violations: %v", r.Check.Violations, r.Check.Samples)
+			}
+			if !r.Check.PoolConsistent {
+				t.Error("pool diverged from the sequential reference across rotations")
+			}
+			if r.Epochs == nil {
+				t.Fatal("epoch metrics missing")
+			}
+			if r.Epochs.Rotations != 2 || r.Epochs.FinalEpoch != 3 {
+				t.Errorf("rotations = %d, final epoch %d", r.Epochs.Rotations, r.Epochs.FinalEpoch)
+			}
+			if r.Epochs.RotatedReports == 0 {
+				t.Error("no worker ever re-reported across a rotation")
+			}
+			if r.Epochs.ParkedWorkers == 0 {
+				t.Error("lifetime budgets never exhausted — the preset is not stressing accounting")
+			}
+			if r.Epochs.BudgetLimit != sc.LifetimeEps {
+				t.Errorf("budget limit %v, want %v", r.Epochs.BudgetLimit, sc.LifetimeEps)
+			}
+			// Budget conservation: every accepted fresh report spends ε
+			// exactly once — registrations (incl. post-task re-reports) plus
+			// rotation re-obfuscations.
+			want := sc.Epsilon * float64(r.Workers.Registrations+r.Epochs.RotatedReports)
+			if diff := r.Epochs.BudgetSpent - want; diff < -1e-6 || diff > 1e-6 {
+				t.Errorf("budget spent %v, fresh reports say %v", r.Epochs.BudgetSpent, want)
+			}
+			if r.Tasks.Assigned == 0 {
+				t.Error("no assignments across rotations")
+			}
+		})
+	}
+}
+
+// TestRotationChangesTree asserts a rotation actually republishes: with
+// everything else fixed, enabling rotation changes downstream assignment
+// outcomes (the tree the codes live in is different after t=300).
+func TestRotationChangesTree(t *testing.T) {
+	base := shortPreset(t, "steady", 450)
+	rotated := base
+	rotated.RotateEvery = 300
+	r1, _, err := Run(Config{Scenario: base, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := Run(Config{Scenario: rotated, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Epochs == nil || r2.Epochs.Rotations != 1 {
+		t.Fatalf("rotated run: %+v", r2.Epochs)
+	}
+	if r1.Epochs != nil {
+		t.Error("non-rotating run emitted epoch metrics")
+	}
+	b1, _ := r1.JSON()
+	b2, _ := r2.JSON()
+	if bytes.Equal(b1, b2) {
+		t.Error("enabling rotation changed nothing")
+	}
+}
+
+// TestLifetimeBudgetWithoutRotation exercises accounting alone: short
+// lifetimes park workers through the ordinary register/release path even
+// when no rotation ever happens.
+func TestLifetimeBudgetWithoutRotation(t *testing.T) {
+	sc := shortPreset(t, "churn-heavy", 300)
+	sc.LifetimeEps = 2 * sc.Epsilon // two reports per worker, ever
+	r, _, err := Run(Config{Scenario: sc, Seed: 1, CrossCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Check.Violations != 0 {
+		t.Errorf("violations: %v", r.Check.Samples)
+	}
+	if r.Epochs == nil || r.Epochs.ParkedWorkers == 0 {
+		t.Fatal("tight lifetime budget parked nobody")
+	}
+	if r.Epochs.Rotations != 0 {
+		t.Errorf("rotations = %d without RotateEvery", r.Epochs.Rotations)
+	}
+	want := sc.Epsilon * float64(r.Workers.Registrations)
+	if diff := r.Epochs.BudgetSpent - want; diff < -1e-6 || diff > 1e-6 {
+		t.Errorf("budget spent %v, registrations say %v", r.Epochs.BudgetSpent, want)
 	}
 }
 

@@ -46,6 +46,19 @@ type (
 	TaskBatchRequest = platform.TaskBatchRequest
 	// TaskBatchResponse carries per-task decisions in submission order.
 	TaskBatchResponse = platform.TaskBatchResponse
+	// PrepareRotateRequest stages the next epoch's tree while the current
+	// one keeps serving.
+	PrepareRotateRequest = platform.PrepareRotateRequest
+	// PrepareRotateResponse returns the staged epoch and tree for
+	// client-side re-obfuscation.
+	PrepareRotateResponse = platform.PrepareRotateResponse
+	// WorkerReport is one worker's fresh report under a staged epoch.
+	WorkerReport = platform.WorkerReport
+	// RotateRequest commits a staged rotation with the collected reports.
+	RotateRequest = platform.RotateRequest
+	// RotateResponse summarises a rotation commit (rotated / parked /
+	// dropped workers).
+	RotateResponse = platform.RotateResponse
 )
 
 // ServerOption customises server construction (e.g. WithShards).
@@ -54,6 +67,14 @@ type ServerOption = platform.ServerOption
 // WithShards sets the server's assignment-engine shard count (0 = engine
 // default).
 func WithShards(n int) ServerOption { return platform.WithShards(n) }
+
+// WithLifetimeBudget enforces a per-worker lifetime ε budget under
+// sequential composition: every fresh report spends the publication's ε,
+// and a worker that cannot afford another is parked instead of silently
+// re-noised past its guarantee.
+func WithLifetimeBudget(lifetime float64) ServerOption {
+	return platform.WithLifetimeBudget(lifetime)
+}
 
 // NewServer builds a platform server over a region: grid, HST, and the
 // privacy budget agents must use.
