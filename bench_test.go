@@ -339,6 +339,68 @@ func BenchmarkEngineAssignBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkPolicyGreedy drives the explicit Greedy policy through the
+// policy seam: its figures must match BenchmarkEngineAssign's, pinning that
+// the seam adds nothing to the hot path.
+func BenchmarkPolicyGreedy(b *testing.B) {
+	benchPolicy(b, engine.Greedy(), 1)
+}
+
+// BenchmarkPolicyCapacityGreedy is the capacitated sequential rule: every
+// worker slot carries four units, so pops mostly decrement in place instead
+// of repairing the trie.
+func BenchmarkPolicyCapacityGreedy(b *testing.B) {
+	benchPolicy(b, engine.CapacityGreedy(), 4)
+}
+
+func benchPolicy(b *testing.B, pol engine.Policy, capacity int) {
+	benchAssignSetup(b)
+	benchAssignConcurrent(b, 1, benchTaskSlice, func() func([]hst.Code) {
+		e, err := engine.NewWithOptions(benchTree, 0, engine.WithPolicy(pol))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, c := range benchWorkerPool {
+			if err := e.InsertCapEpoch(c, i, capacity, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return func(tasks []hst.Code) {
+			for _, t := range tasks {
+				e.Assign(t)
+			}
+		}
+	})
+}
+
+// BenchmarkPolicyBatchOptimal serves the task stream in windows of 256
+// through the restricted min-cost matching (candidate mining + flow solve
+// per window).
+func BenchmarkPolicyBatchOptimal(b *testing.B) {
+	benchAssignSetup(b)
+	benchAssignConcurrent(b, 1, benchTaskSlice, func() func([]hst.Code) {
+		e, err := engine.NewWithOptions(benchTree, 0, engine.WithPolicy(engine.BatchOptimal(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, c := range benchWorkerPool {
+			if err := e.Insert(c, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return func(tasks []hst.Code) {
+			const window = 256
+			for lo := 0; lo < len(tasks); lo += window {
+				hi := lo + window
+				if hi > len(tasks) {
+					hi = len(tasks)
+				}
+				e.AssignBatch(tasks[lo:hi])
+			}
+		}
+	})
+}
+
 func BenchmarkTBFPipeline(b *testing.B) {
 	env, err := pombm.NewEnv(workload.SyntheticRegion, 32, 32, 1)
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -59,7 +60,11 @@ func TestGateEndToEnd(t *testing.T) {
 		t.Fatalf("build: %v\n%s", err, out)
 	}
 
-	clean := exec.Command(bin, "-base", baseline, "-new", baseline, "-normalize", "scan/goroutines=1")
+	// The full gate list CI runs: the greedy engine plus the extended-
+	// schema policy rows.
+	gated := "engine/goroutines=1,policy-capacity/goroutines=1,policy-batchopt/goroutines=1"
+	clean := exec.Command(bin, "-base", baseline, "-new", baseline,
+		"-bench", gated, "-normalize", "scan/goroutines=1")
 	if out, err := clean.CombinedOutput(); err != nil {
 		t.Fatalf("self-comparison failed: %v\n%s", err, out)
 	}
@@ -68,22 +73,44 @@ func TestGateEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Make the engine benchmark 10× slower in the doctored snapshot.
-	doctored := strings.Replace(string(blob), `"ns_per_op": 741`, `"ns_per_op": 7410`, 1)
-	if doctored == string(blob) {
-		t.Skip("baseline layout changed; update the doctored substitution")
+	// Make the gated engine benchmark 10× slower in a doctored snapshot.
+	doctor := func(t *testing.T, bench string) string {
+		t.Helper()
+		var r benchfmt.Report
+		if err := json.Unmarshal(blob, &r); err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for i := range r.Results {
+			if r.Results[i].Benchmark == bench {
+				r.Results[i].NsPerOp *= 10
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("baseline lacks %q", bench)
+		}
+		out, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "doctored.json")
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
 	}
-	bad := filepath.Join(t.TempDir(), "bad.json")
-	if err := os.WriteFile(bad, []byte(doctored), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	gate := exec.Command(bin, "-base", baseline, "-new", bad, "-normalize", "scan/goroutines=1")
-	out, err := gate.CombinedOutput()
-	if err == nil {
-		t.Fatalf("10× regression passed the gate:\n%s", out)
-	}
-	if !strings.Contains(string(out), "FAIL") {
-		t.Fatalf("gate failed without explanation:\n%s", out)
+	for _, bench := range []string{"engine/goroutines=1", "policy-batchopt/goroutines=1"} {
+		bad := doctor(t, bench)
+		gate := exec.Command(bin, "-base", baseline, "-new", bad,
+			"-bench", gated, "-normalize", "scan/goroutines=1")
+		out, err := gate.CombinedOutput()
+		if err == nil {
+			t.Fatalf("10× regression of %s passed the gate:\n%s", bench, out)
+		}
+		if !strings.Contains(string(out), "FAIL") {
+			t.Fatalf("gate failed without explanation:\n%s", out)
+		}
 	}
 
 	// A snapshot of a different workload must be refused outright: the scan
@@ -96,7 +123,7 @@ func TestGateEndToEnd(t *testing.T) {
 	if err := os.WriteFile(mis, []byte(mismatched), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out, err = exec.Command(bin, "-base", baseline, "-new", mis).CombinedOutput()
+	out, err := exec.Command(bin, "-base", baseline, "-new", mis).CombinedOutput()
 	if err == nil {
 		t.Fatalf("workload mismatch passed the gate:\n%s", out)
 	}

@@ -301,8 +301,9 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 
 	// setup builds the worker pool (untimed); the returned run assigns the
 	// task batch and is the only region measured. Heap allocations are
-	// sampled around the best-timed region via MemStats deltas.
-	report := func(impl string, g, sh int, setup func() (func() error, error)) error {
+	// sampled around the best-timed region via MemStats deltas. policy
+	// tags the rows produced by a non-default assignment policy.
+	report := func(impl string, g, sh int, policy string, setup func() (func() error, error)) error {
 		best := time.Duration(0)
 		allocs := 0.0
 		var ms0, ms1 runtime.MemStats
@@ -333,6 +334,7 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 			Benchmark:   fmt.Sprintf("%s/goroutines=%d", impl, g),
 			Goroutines:  g,
 			Shards:      sh,
+			Policy:      policy,
 			NsPerOp:     nsPerOp,
 			AllocsPerOp: allocs,
 			TasksPerSec: tasksPerSec,
@@ -341,7 +343,7 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 	}
 
 	// Paper-faithful scan, single-threaded reference.
-	if err := report("scan", 1, 0, func() (func() error, error) {
+	if err := report("scan", 1, 0, "", func() (func() error, error) {
 		g := match.NewHSTGreedyScan(tree, workerCodes)
 		return func() error {
 			for _, t := range taskCodes {
@@ -361,7 +363,7 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 
 	for _, g := range gors {
 		// Single global lock around the O(D) trie: the old server path.
-		if err := report("trie-lock", g, 0, func() (func() error, error) {
+		if err := report("trie-lock", g, 0, "", func() (func() error, error) {
 			idx := hst.NewLeafIndexDegree(tree.Depth(), tree.Degree())
 			for i, c := range workerCodes {
 				if err := idx.Insert(c, i); err != nil {
@@ -389,7 +391,7 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 			return err
 		}
 		// Sharded engine, batch API split across goroutines.
-		if err := report("engine", g, shardCount, func() (func() error, error) {
+		if err := report("engine", g, shardCount, "", func() (func() error, error) {
 			e, err := engine.New(tree, shards)
 			if err != nil {
 				return nil, err
@@ -420,6 +422,63 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 		}); err != nil {
 			return err
 		}
+	}
+	// Assignment-policy rows: the capacitated sequential rule (one slot
+	// serving four tasks) at every goroutine count, and the batch-optimal
+	// window solver (windows of 256 tasks; it locks the whole shard set
+	// per window, so only the single-goroutine figure is meaningful).
+	for _, g := range gors {
+		if err := report("policy-capacity", g, shardCount, "capacity-greedy", func() (func() error, error) {
+			e, err := engine.NewWithOptions(tree, shards, engine.WithPolicy(engine.CapacityGreedy()))
+			if err != nil {
+				return nil, err
+			}
+			for i, c := range workerCodes {
+				if err := e.InsertCapEpoch(c, i, 4, 0); err != nil {
+					return nil, err
+				}
+			}
+			return func() error {
+				var wg sync.WaitGroup
+				chunk := (len(taskCodes) + g - 1) / g
+				for k := 0; k < g; k++ {
+					lo := k * chunk
+					hi := min(lo+chunk, len(taskCodes))
+					if lo >= hi {
+						break
+					}
+					wg.Add(1)
+					go func(batch []hst.Code) {
+						defer wg.Done()
+						e.AssignBatch(batch)
+					}(taskCodes[lo:hi])
+				}
+				wg.Wait()
+				return nil
+			}, nil
+		}); err != nil {
+			return err
+		}
+	}
+	if err := report("policy-batchopt", 1, shardCount, "batch-optimal:k=8", func() (func() error, error) {
+		e, err := engine.NewWithOptions(tree, shards, engine.WithPolicy(engine.BatchOptimal(0)))
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range workerCodes {
+			if err := e.Insert(c, i); err != nil {
+				return nil, err
+			}
+		}
+		return func() error {
+			const window = 256
+			for lo := 0; lo < len(taskCodes); lo += window {
+				e.AssignBatch(taskCodes[lo:min(lo+window, len(taskCodes))])
+			}
+			return nil
+		}, nil
+	}); err != nil {
+		return err
 	}
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(out, "", "  ")

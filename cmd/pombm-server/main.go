@@ -7,6 +7,8 @@
 //
 //	pombm-server -addr :8080 -grid 32 -eps 0.6
 //	pombm-server -addr :8080 -demo 200
+//	pombm-server -policy capacity-greedy -capacity 4
+//	pombm-server -policy batch-optimal:k=16
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/geo"
 	"github.com/pombm/pombm/internal/platform"
 	"github.com/pombm/pombm/internal/rng"
@@ -32,13 +35,25 @@ func main() {
 		seed     = flag.Uint64("seed", 2020, "server random seed")
 		shards   = flag.Int("shards", 0, "assignment engine shard count (0 = engine default)")
 		lifetime = flag.Float64("lifetime", 0, "per-worker lifetime ε budget; every fresh report spends ε and exhausted workers are parked (0 = unlimited)")
+		policy   = flag.String("policy", "greedy", "assignment policy: greedy, capacity-greedy, or batch-optimal[:k=<n>]")
+		capacity = flag.Int("capacity", 0, "default per-worker task capacity (0 = 1); above 1 needs a capacity-aware -policy")
 		demo     = flag.Int("demo", 0, "run a self-demo with this many workers (0 = serve only)")
 	)
 	flag.Parse()
 
+	pol, err := engine.PolicyByName(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pombm-server:", err)
+		os.Exit(1)
+	}
+	opts := []platform.ServerOption{
+		platform.WithShards(*shards), platform.WithLifetimeBudget(*lifetime), platform.WithPolicy(pol),
+	}
+	if *capacity != 0 {
+		opts = append(opts, platform.WithDefaultCapacity(*capacity))
+	}
 	region := geo.NewRect(geo.Pt(0, 0), geo.Pt(*side, *side))
-	srv, err := platform.NewServer(region, *grid, *grid, *eps, *seed,
-		platform.WithShards(*shards), platform.WithLifetimeBudget(*lifetime))
+	srv, err := platform.NewServer(region, *grid, *grid, *eps, *seed, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pombm-server:", err)
 		os.Exit(1)
@@ -48,8 +63,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pombm-server:", err)
 		os.Exit(1)
 	}
-	log.Printf("serving on %s (grid %dx%d, ε=%g, tree depth %d, %d engine shards)",
-		ln.Addr(), *grid, *grid, *eps, srv.Publication().Tree.Depth(), srv.Engine().Shards())
+	log.Printf("serving on %s (grid %dx%d, ε=%g, tree depth %d, %d engine shards, policy %s)",
+		ln.Addr(), *grid, *grid, *eps, srv.Publication().Tree.Depth(), srv.Engine().Shards(), pol.Name())
 
 	if *demo > 0 {
 		go runDemo(ln.Addr().String(), *demo, *seed)

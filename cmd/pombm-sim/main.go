@@ -8,6 +8,8 @@
 //	pombm-sim -scenario churn-heavy -seed 1 -json        # canonical report on stdout
 //	pombm-sim -scenario all -crosscheck                  # verify vs the sequential rule
 //	pombm-sim -scenario chengdu-day -driver platform     # exercise the server wrapper
+//	pombm-sim -preset capacity-heavy -crosscheck         # capacitated sequential rule
+//	pombm-sim -scenario all -policy batch-optimal        # override the assignment policy
 //
 // The -json report is a pure function of (scenario, seed, driver, shards):
 // two runs with the same flags emit byte-identical output. Wall-clock
@@ -23,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/sim"
 )
 
@@ -35,10 +38,20 @@ func main() {
 		driver   = flag.String("driver", "engine", "system under test: engine or platform")
 		shards   = flag.Int("shards", 0, "engine shard count (0 = engine default)")
 		duration = flag.Float64("duration", 0, "override the preset's simulated duration (seconds)")
-		check    = flag.Bool("crosscheck", false, "verify every assignment against the sequential brute-force rule; violations exit non-zero")
+		policy   = flag.String("policy", "", "override the preset's assignment policy (greedy, capacity-greedy, batch-optimal[:k=<n>]); a non-capacity-aware override resets the preset's worker capacity to 1")
+		check    = flag.Bool("crosscheck", false, "verify every assignment against the sequential brute-force rule (feasibility-only under window-solving policies); violations exit non-zero")
 		asJSON   = flag.Bool("json", false, "emit the canonical deterministic JSON report on stdout")
 	)
 	flag.Parse()
+
+	var policyOverride engine.Policy
+	if *policy != "" {
+		p, err := engine.PolicyByName(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		policyOverride = p
+	}
 
 	if *list {
 		for _, name := range sim.Scenarios() {
@@ -74,6 +87,12 @@ func main() {
 		}
 		if *duration > 0 {
 			sc = sc.WithDuration(*duration)
+		}
+		if policyOverride != nil {
+			sc.Policy = *policy
+			if !policyOverride.CapacityAware() {
+				sc.Capacity = 0 // capacities above 1 need a capacity-aware policy
+			}
 		}
 		report, stats, err := sim.Run(sim.Config{
 			Scenario:   sc,
@@ -135,6 +154,17 @@ func marshalReports(reports []*sim.Report) ([]byte, error) {
 func printSummary(r *sim.Report) {
 	fmt.Printf("scenario %s  seed %d  driver %s  shards %d  (grid %d², D=%d, c=%d, ε=%g)\n",
 		r.Scenario, r.Seed, r.Driver, r.Shards, r.GridCols, r.Depth, r.Degree, r.Epsilon)
+	if r.Policy != "" || r.Capacity > 1 {
+		capacity := r.Capacity
+		if capacity == 0 {
+			capacity = 1
+		}
+		policy := r.Policy
+		if policy == "" {
+			policy = "greedy"
+		}
+		fmt.Printf("  policy   %s, worker capacity %d\n", policy, capacity)
+	}
 	fmt.Printf("  tasks    %d arrived, %d assigned (%.1f%%), %d expired, %d pending at end, mean wait %.2fs\n",
 		r.Tasks.Arrived, r.Tasks.Assigned, 100*r.Tasks.AssignmentRate, r.Tasks.Expired, r.Tasks.PendingAtEnd, r.Tasks.MeanWait)
 	fmt.Printf("  match    mean level %.3f, mean tree dist %.2f, true dist mean %.2f p50 %.2f p90 %.2f p99 %.2f\n",

@@ -9,6 +9,7 @@ type Record struct {
 	Benchmark   string  `json:"benchmark"` // e.g. "engine/goroutines=4"
 	Goroutines  int     `json:"goroutines"`
 	Shards      int     `json:"shards,omitempty"`
+	Policy      string  `json:"policy,omitempty"` // assignment policy for the BenchmarkPolicy* rows
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	TasksPerSec float64 `json:"tasks_per_sec"`

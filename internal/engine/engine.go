@@ -69,6 +69,12 @@ const DefaultShards = 8
 
 // Engine is a sharded concurrent assignment engine over one published HST
 // per epoch. All methods are safe for concurrent use.
+//
+// The assignment decision itself is pluggable: a Policy owns the rule that
+// pairs each task with a worker (see policy.go). The default Greedy policy
+// is the paper's rule exactly; capacity-aware policies let one worker slot
+// carry several capacity units, and the batch-optimal policy serves whole
+// windows through a restricted min-cost matching.
 type Engine struct {
 	// state holds everything that swaps atomically at an epoch rotation.
 	// Reads are lock-free; mutators validate the pointer again under their
@@ -77,6 +83,14 @@ type Engine struct {
 	state atomic.Pointer[epochState]
 	// swapMu serialises SwapEpoch calls only; serving ops never take it.
 	swapMu sync.Mutex
+
+	// policy and defaultCap are fixed at construction: the assignment rule
+	// and the capacity an Insert without an explicit capacity receives.
+	policy     Policy
+	defaultCap int
+	// windows counts the batch windows served through a window-solving
+	// policy (monitoring only; greedy batch serving does not count).
+	windows atomic.Int64
 }
 
 // epochState is one epoch's immutable identity (id, tree) plus its mutable
@@ -117,15 +131,54 @@ func newEpochState(epoch int64, tree *hst.Tree, shards int) *epochState {
 	return st
 }
 
+// Option customises engine construction beyond the tree and shard count.
+type Option func(*engineConfig)
+
+type engineConfig struct {
+	policy     Policy
+	defaultCap int
+}
+
+// WithPolicy selects the assignment policy (nil keeps the default Greedy).
+func WithPolicy(p Policy) Option {
+	return func(c *engineConfig) { c.policy = p }
+}
+
+// WithDefaultCapacity sets the capacity an Insert without an explicit
+// capacity receives (default 1). Values above 1 require a capacity-aware
+// policy.
+func WithDefaultCapacity(n int) Option {
+	return func(c *engineConfig) { c.defaultCap = n }
+}
+
 // New returns an engine for the published tree with the given shard count,
-// serving FirstEpoch. Shards ≤ 0 selects DefaultShards; the count is
-// clamped to the tree's degree (more shards than top-level branches cannot
-// help) and to 1 for trees of depth 0.
+// serving FirstEpoch under the Greedy policy. Shards ≤ 0 selects
+// DefaultShards; the count is clamped to the tree's degree (more shards
+// than top-level branches cannot help) and to 1 for trees of depth 0.
 func New(tree *hst.Tree, shards int) (*Engine, error) {
+	return NewWithOptions(tree, shards)
+}
+
+// NewWithOptions is New with a policy and capacity configuration.
+func NewWithOptions(tree *hst.Tree, shards int, opts ...Option) (*Engine, error) {
 	if tree == nil {
 		return nil, errors.New("engine: nil tree")
 	}
-	e := &Engine{}
+	cfg := engineConfig{defaultCap: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.policy == nil {
+		cfg.policy = Greedy()
+	}
+	if cfg.defaultCap < 1 {
+		return nil, fmt.Errorf("engine: default capacity %d must be positive", cfg.defaultCap)
+	}
+	if cfg.defaultCap > 1 && !cfg.policy.CapacityAware() {
+		return nil, fmt.Errorf("engine: default capacity %d needs a capacity-aware policy, have %s",
+			cfg.defaultCap, cfg.policy.Name())
+	}
+	e := &Engine{policy: cfg.policy, defaultCap: cfg.defaultCap}
 	e.state.Store(newEpochState(FirstEpoch, tree, shards))
 	return e, nil
 }
@@ -139,17 +192,50 @@ func (e *Engine) Shards() int { return len(e.state.Load().shards) }
 // Epoch returns the id of the epoch currently being served.
 func (e *Engine) Epoch() int64 { return e.state.Load().epoch }
 
-func (st *epochState) shardOf(code hst.Code) *engineShard {
-	if st.depth == 0 || len(st.shards) == 1 {
-		return &st.shards[0]
+// Policy returns the engine's assignment policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// DefaultCapacity returns the capacity an Insert without an explicit
+// capacity receives.
+func (e *Engine) DefaultCapacity() int { return e.defaultCap }
+
+// Windows returns the number of batch windows served through a
+// window-solving policy.
+func (e *Engine) Windows() int64 { return e.windows.Load() }
+
+// effCap resolves an insert's effective capacity: non-positive selects the
+// engine default, and any value is clamped to 1 unless the policy is
+// capacity-aware — the greedy contract is that every slot serves one task.
+func (e *Engine) effCap(capacity int) int {
+	if !e.policy.CapacityAware() {
+		return 1
 	}
-	return &st.shards[int(code[0])%len(st.shards)]
+	if capacity <= 0 {
+		return e.defaultCap
+	}
+	return capacity
+}
+
+func (st *epochState) shardIdx(code hst.Code) int {
+	if st.depth == 0 || len(st.shards) == 1 {
+		return 0
+	}
+	return int(code[0]) % len(st.shards)
+}
+
+func (st *epochState) shardOf(code hst.Code) *engineShard {
+	return &st.shards[st.shardIdx(code)]
 }
 
 // EpochInsert seeds one worker of a new epoch's population for SwapEpoch.
+// Cap is the worker's remaining capacity; ≤ 0 selects the engine default
+// (and, like every insert, it is clamped to 1 under a non-capacity-aware
+// policy), so a capacitated worker carries its unconsumed units across a
+// rotation.
 type EpochInsert struct {
 	Code hst.Code
 	ID   int
+	Cap  int
 }
 
 // SwapEpoch atomically replaces the serving state: a fresh shard set over
@@ -181,7 +267,7 @@ func (e *Engine) SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []Ep
 		if err := tree.CheckCode(in.Code); err != nil {
 			return fmt.Errorf("engine: swap insert %d: %w", in.ID, err)
 		}
-		if err := st.shardOf(in.Code).index.Insert(in.Code, in.ID); err != nil {
+		if err := st.shardOf(in.Code).index.InsertCap(in.Code, in.ID, e.effCap(in.Cap)); err != nil {
 			return fmt.Errorf("engine: swap insert %d: %w", in.ID, err)
 		}
 	}
@@ -200,15 +286,23 @@ func (e *Engine) SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []Ep
 }
 
 // Insert registers an available worker id at its obfuscated leaf code in
-// the current epoch.
+// the current epoch, with the engine's default capacity.
 func (e *Engine) Insert(code hst.Code, id int) error {
-	return e.InsertEpoch(code, id, 0)
+	return e.InsertCapEpoch(code, id, 0, 0)
 }
 
 // InsertEpoch is Insert pinned to an epoch: when epoch is non-zero and the
 // engine has rotated past it, the insert is refused with ErrStaleEpoch
 // instead of landing a stale-tree code in the new index.
 func (e *Engine) InsertEpoch(code hst.Code, id int, epoch int64) error {
+	return e.InsertCapEpoch(code, id, 0, epoch)
+}
+
+// InsertCapEpoch is InsertEpoch with an explicit per-worker capacity:
+// the slot serves that many tasks before leaving the pool. Capacity ≤ 0
+// selects the engine default; any capacity is clamped to 1 unless the
+// engine's policy is capacity-aware.
+func (e *Engine) InsertCapEpoch(code hst.Code, id, capacity int, epoch int64) error {
 	for {
 		st := e.state.Load()
 		if epoch != 0 && st.epoch != epoch {
@@ -223,7 +317,42 @@ func (e *Engine) InsertEpoch(code hst.Code, id int, epoch int64) error {
 			s.mu.Unlock()
 			continue // swapped while waiting for the lock; retry on the new state
 		}
-		err := s.index.Insert(code, id)
+		err := s.index.InsertCap(code, id, e.effCap(capacity))
+		s.mu.Unlock()
+		return err
+	}
+}
+
+// AddCapacity returns one capacity unit to the worker id at the given code
+// in the current epoch: the inverse of a single pop. A slot still in the
+// pool gains a unit in place; a fully consumed (hence removed) slot is
+// re-inserted with one unit. The serving layer uses it to undo stale pops
+// and to return a capacitated worker's unit when a task completes.
+func (e *Engine) AddCapacity(code hst.Code, id int) error {
+	return e.AddCapacityEpoch(code, id, 0)
+}
+
+// AddCapacityEpoch is AddCapacity pinned to an epoch (0 accepts whatever is
+// being served).
+func (e *Engine) AddCapacityEpoch(code hst.Code, id int, epoch int64) error {
+	for {
+		st := e.state.Load()
+		if epoch != 0 && st.epoch != epoch {
+			return fmt.Errorf("%w (capacity return for epoch %d, serving %d)", ErrStaleEpoch, epoch, st.epoch)
+		}
+		if err := st.tree.CheckCode(code); err != nil {
+			return err
+		}
+		s := st.shardOf(code)
+		s.mu.Lock()
+		if e.state.Load() != st {
+			s.mu.Unlock()
+			continue
+		}
+		var err error
+		if !s.index.AddCap(code, id, 1) {
+			err = s.index.InsertCap(code, id, 1)
+		}
 		s.mu.Unlock()
 		return err
 	}
@@ -232,10 +361,21 @@ func (e *Engine) InsertEpoch(code hst.Code, id int, epoch int64) error {
 // Remove withdraws a worker previously inserted at the given code. It
 // reports whether the worker was still available in the current epoch.
 func (e *Engine) Remove(code hst.Code, id int) bool {
+	_, ok := e.RemoveUnits(code, id)
+	return ok
+}
+
+// RemoveUnits is Remove reporting the capacity units the worker still had
+// pooled. Callers relocating a live worker (a Release re-reporting a fresh
+// leaf) must size the re-insert from this ground truth, not from their own
+// accounting: a concurrent Assign may have consumed a unit whose pop has
+// not been recorded yet, and re-inserting it would let the worker serve
+// beyond its capacity.
+func (e *Engine) RemoveUnits(code hst.Code, id int) (units int, ok bool) {
 	for {
 		st := e.state.Load()
 		if st.tree.CheckCode(code) != nil {
-			return false
+			return 0, false
 		}
 		s := st.shardOf(code)
 		s.mu.Lock()
@@ -243,9 +383,9 @@ func (e *Engine) Remove(code hst.Code, id int) bool {
 			s.mu.Unlock()
 			continue
 		}
-		ok := s.index.Remove(code, id)
+		units, ok = s.index.RemoveUnits(code, id)
 		s.mu.Unlock()
-		return ok
+		return units, ok
 	}
 }
 
@@ -257,6 +397,20 @@ func (e *Engine) Len() int {
 		s := &st.shards[i]
 		s.mu.Lock()
 		n += s.index.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CapacityUnits returns the total remaining capacity across available
+// workers in the current epoch. Equal to Len for a capacity-1 population.
+func (e *Engine) CapacityUnits() int {
+	st := e.state.Load()
+	n := 0
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		n += s.index.Units()
 		s.mu.Unlock()
 	}
 	return n
@@ -280,19 +434,26 @@ func (e *Engine) Occupancy() []int {
 // shard at a time. The view is consistent only when writers are quiesced;
 // it exists for snapshots and monitoring, not for serving decisions.
 func (e *Engine) Walk(fn func(code hst.Code, id int)) {
+	e.WalkCap(func(code hst.Code, id, _ int) { fn(code, id) })
+}
+
+// WalkCap is Walk carrying each worker's remaining capacity, so snapshots
+// of capacitated populations restore with their unconsumed units intact.
+func (e *Engine) WalkCap(fn func(code hst.Code, id, capacity int)) {
 	st := e.state.Load()
 	for i := range st.shards {
 		s := &st.shards[i]
 		s.mu.Lock()
-		s.index.Walk(fn)
+		s.index.WalkCap(fn)
 		s.mu.Unlock()
 	}
 }
 
-// Assign atomically finds, removes, and returns the tree-nearest available
-// worker for a task's obfuscated leaf code, together with the LCA level of
-// the match. ok is false when the code is malformed or no worker is
-// available.
+// Assign atomically finds, consumes, and returns an available worker for a
+// task's obfuscated leaf code according to the engine's policy, together
+// with the LCA level of the match. Under the default Greedy policy this is
+// the tree-nearest available worker. ok is false when the code is malformed
+// or no worker is available.
 func (e *Engine) Assign(code hst.Code) (id, lcaLevel int, ok bool) {
 	id, lcaLevel, _, ok = e.AssignEpoch(code)
 	return id, lcaLevel, ok
@@ -303,6 +464,12 @@ func (e *Engine) Assign(code hst.Code) (id, lcaLevel int, ok bool) {
 // under compares the stamp and treats a mismatch as stale — the engine
 // rotated between the task's obfuscation and its assignment.
 func (e *Engine) AssignEpoch(code hst.Code) (id, lcaLevel int, epoch int64, ok bool) {
+	return e.policy.assignOne(e, code)
+}
+
+// greedyAssignOne is the Greedy policy's one-task path: pop the
+// tree-nearest available worker, fast-pathing the task's own shard.
+func (e *Engine) greedyAssignOne(code hst.Code) (id, lcaLevel int, epoch int64, ok bool) {
 	for {
 		st := e.state.Load()
 		if st.tree.CheckCode(code) != nil {
@@ -369,13 +536,21 @@ func (e *Engine) assignAcross(st *epochState, code hst.Code) (id, lcaLevel int, 
 	return id, st.depth, true, false
 }
 
-// AssignBatch assigns a batch of task codes in order, amortising shard
-// locking across runs of tasks that hit the same shard. The results hold
-// one worker id (or None) per task together with the LCA level of each
-// match (0 for unassigned tasks), so batch callers can keep the same
-// match-quality statistics as the one-by-one path. The outcome is exactly
-// the outcome of calling Assign sequentially on each code.
+// AssignBatch assigns a batch of task codes through the engine's policy.
+// The results hold one worker id (or None) per task together with the LCA
+// level of each match (0 for unassigned tasks), so batch callers can keep
+// the same match-quality statistics as the one-by-one path. Under the
+// greedy policies the outcome is exactly the outcome of calling Assign
+// sequentially on each code, with shard locking amortised across runs of
+// tasks that hit the same shard; a window-solving policy (batch-optimal)
+// instead serves the whole batch as one restricted min-cost matching.
 func (e *Engine) AssignBatch(codes []hst.Code) (ids, lcaLevels []int) {
+	return e.policy.assignWindow(e, codes)
+}
+
+// greedyAssignWindow is the greedy policies' batch path: sequential pops
+// with shard locks amortised across same-shard runs.
+func (e *Engine) greedyAssignWindow(codes []hst.Code) (ids, lcaLevels []int) {
 	ids = make([]int, len(codes))
 	lcaLevels = make([]int, len(codes))
 	var held *engineShard

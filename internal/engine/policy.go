@@ -1,0 +1,321 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/pombm/pombm/internal/flow"
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// Policy is the pluggable assignment rule: it decides which available
+// worker serves each task, against the engine's sharded trie state. The
+// decision methods are unexported — implementations need the engine's
+// shard-locking internals, so policies live in this package and callers
+// select one with Greedy, CapacityGreedy, BatchOptimal, or PolicyByName.
+type Policy interface {
+	// Name identifies the policy in stats, reports, and flags.
+	Name() string
+	// CapacityAware reports whether worker capacities above one are
+	// honoured. The engine clamps every insert to capacity 1 otherwise, so
+	// a non-capacity-aware policy always sees the paper's one-task-per-
+	// worker pool.
+	CapacityAware() bool
+
+	assignOne(e *Engine, code hst.Code) (id, lcaLevel int, epoch int64, ok bool)
+	assignWindow(e *Engine, codes []hst.Code) (ids, lcaLevels []int)
+}
+
+// greedyPolicy is the sequential nearest-worker rule of Alg. 4: each task
+// pops the tree-nearest available worker, ties to the smallest id. With
+// capacity enabled a pop consumes one capacity unit instead of the whole
+// slot — the capacitated sequential rule — and with it disabled the policy
+// is bit-identical to the engine's historical hardwired greedy.
+type greedyPolicy struct {
+	capacity bool
+}
+
+var (
+	greedySingleton    = &greedyPolicy{capacity: false}
+	capGreedySingleton = &greedyPolicy{capacity: true}
+)
+
+// Greedy returns the paper-faithful assignment policy: one task per worker
+// slot, nearest worker in tree distance, ties to the smallest id. It is the
+// default, and its serving path preserves the engine's zero-allocation
+// steady-state contract.
+func Greedy() Policy { return greedySingleton }
+
+// CapacityGreedy returns the capacitated sequential rule: the same
+// nearest-worker decision, but a worker with remaining capacity k serves up
+// to k tasks, leaving the pool only when its last unit is consumed.
+func CapacityGreedy() Policy { return capGreedySingleton }
+
+func (p *greedyPolicy) Name() string {
+	if p.capacity {
+		return "capacity-greedy"
+	}
+	return "greedy"
+}
+
+func (p *greedyPolicy) CapacityAware() bool { return p.capacity }
+
+func (p *greedyPolicy) assignOne(e *Engine, code hst.Code) (int, int, int64, bool) {
+	return e.greedyAssignOne(code)
+}
+
+func (p *greedyPolicy) assignWindow(e *Engine, codes []hst.Code) ([]int, []int) {
+	return e.greedyAssignWindow(codes)
+}
+
+// DefaultBatchTopK is the candidate pool mined per task by the
+// batch-optimal policy when no explicit k is configured.
+const DefaultBatchTopK = 8
+
+// batchOptimalPolicy serves each batch window as one restricted bipartite
+// matching: every task mines its top-k nearest candidates from the trie
+// (non-destructively), and the window is solved cost-optimally over the
+// candidate union with the shared min-cost max-flow solver, worker
+// capacities becoming sink-edge capacities. One-task serving degenerates to
+// the greedy rule (the cost-optimal choice for a single task is its nearest
+// candidate), so only batch submissions pay the solve.
+type batchOptimalPolicy struct {
+	k int
+}
+
+// BatchOptimal returns the window-solving policy with a per-task candidate
+// pool of k (≤ 0 selects DefaultBatchTopK). It is capacity-aware.
+func BatchOptimal(k int) Policy {
+	if k <= 0 {
+		k = DefaultBatchTopK
+	}
+	return &batchOptimalPolicy{k: k}
+}
+
+func (p *batchOptimalPolicy) Name() string {
+	return fmt.Sprintf("batch-optimal:k=%d", p.k)
+}
+
+func (p *batchOptimalPolicy) CapacityAware() bool { return true }
+
+func (p *batchOptimalPolicy) assignOne(e *Engine, code hst.Code) (int, int, int64, bool) {
+	return e.greedyAssignOne(code)
+}
+
+func (p *batchOptimalPolicy) assignWindow(e *Engine, codes []hst.Code) ([]int, []int) {
+	ids := make([]int, len(codes))
+	lvls := make([]int, len(codes))
+	for i := range ids {
+		ids[i] = None
+	}
+	for {
+		st := e.state.Load()
+		if p.solveWindow(e, st, codes, ids, lvls) {
+			e.windows.Add(1)
+			return ids, lvls
+		}
+	}
+}
+
+// batchArc records one task→candidate edge of the window's flow graph.
+type batchArc struct {
+	edge int // forward edge id in the solver
+	w    int // candidate index
+	lvl  int // LCA level of the pairing
+}
+
+// solveWindow serves one window under every shard lock (a window is a
+// global decision; per-shard locking cannot express it). It reports false
+// when an epoch swap won the lock race, in which case the caller retries
+// against the new state.
+func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.Code, ids, lvls []int) bool {
+	for i := range st.shards {
+		st.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range st.shards {
+			st.shards[i].mu.Unlock()
+		}
+	}()
+	if e.state.Load() != st {
+		return false
+	}
+
+	// Valid tasks only; malformed codes answer None without touching state.
+	valid := make([]int, 0, len(codes))
+	for i, code := range codes {
+		ids[i], lvls[i] = None, 0
+		if st.tree.CheckCode(code) == nil {
+			valid = append(valid, i)
+		}
+	}
+	pool := 0
+	for i := range st.shards {
+		pool += st.shards[i].index.Len()
+	}
+	if len(valid) == 0 || pool == 0 {
+		return true
+	}
+
+	// Mine each task's candidates: the k nearest from its own shard (every
+	// worker sharing the task's top branch lives there), padded — when the
+	// own shard runs short — with the smallest-id workers from the other
+	// shards, all of which sit at the maximal LCA level and are therefore
+	// equidistant. The pad pool is snapshotted once per window.
+	type wkey struct {
+		id   int
+		code hst.Code
+	}
+	workerNode := map[wkey]int{}
+	var workers []hst.Candidate // unique candidates, first-seen order
+	cands := make([][]hst.Candidate, len(valid))
+	var pad padPool
+	var scratch []hst.Candidate
+	for ti, i := range valid {
+		code := codes[i]
+		own := st.shardIdx(code)
+		scratch = st.shards[own].index.NearestK(code, p.k, scratch[:0])
+		if len(scratch) < p.k && len(st.shards) > 1 {
+			pad.init(st, st.depth)
+			scratch = pad.fill(own, p.k-len(scratch), scratch)
+		}
+		for _, c := range scratch {
+			key := wkey{c.ID, c.Code}
+			if _, seen := workerNode[key]; !seen {
+				workerNode[key] = len(workers)
+				workers = append(workers, c)
+			}
+			cands[ti] = append(cands[ti], c)
+		}
+	}
+
+	// Restricted bipartite min-cost matching over the candidate union:
+	// source → task (1 unit) → candidate (cost = tree distance of the LCA
+	// level) → sink (the candidate's remaining capacity). Successive
+	// shortest paths yield a maximum-cardinality assignment of minimum
+	// total tree distance within the mined graph.
+	T, W := len(valid), len(workers)
+	src, sink := 0, T+W+1
+	f := flow.NewMinCostFlow(T + W + 2)
+	for ti := 0; ti < T; ti++ {
+		f.AddEdge(src, 1+ti, 1, 0)
+	}
+	arcs := make([][]batchArc, T)
+	for ti := range cands {
+		for _, c := range cands[ti] {
+			w := workerNode[wkey{c.ID, c.Code}]
+			edge := f.AddEdge(1+ti, 1+T+w, 1, hst.LevelDist(c.Level))
+			arcs[ti] = append(arcs[ti], batchArc{edge: edge, w: w, lvl: c.Level})
+		}
+	}
+	for w, c := range workers {
+		capacity := c.Cap
+		if capacity > T {
+			capacity = T
+		}
+		f.AddEdge(1+T+w, sink, capacity, 0)
+	}
+	f.Run(src, sink, T)
+
+	// Extract and commit: consume one capacity unit per saturated arc.
+	for ti, i := range valid {
+		for _, a := range arcs[ti] {
+			if f.Residual(a.edge) != 0 {
+				continue
+			}
+			c := workers[a.w]
+			if !st.shardOf(c.Code).index.Consume(c.Code, c.ID) {
+				// Unreachable: the candidate was mined under the same locks
+				// the commit holds. Surfacing beats silently double-booking.
+				panic(fmt.Sprintf("engine: batch-optimal commit lost candidate %d at %q", c.ID, c.Code))
+			}
+			ids[i], lvls[i] = c.ID, a.lvl
+			break
+		}
+	}
+	return true
+}
+
+// padPool picks the smallest-id workers across a window's foreign shards —
+// all at the maximal LCA level — by merging per-shard id-sorted snapshots.
+// Built lazily: windows whose tasks find k candidates in their own shard
+// never pay for it.
+type padPool struct {
+	shards [][]hst.Candidate // id-sorted snapshot per shard
+	heads  []int             // per-task merge cursors, reset by fill
+}
+
+func (p *padPool) init(st *epochState, depth int) {
+	if p.shards != nil {
+		return
+	}
+	p.shards = make([][]hst.Candidate, len(st.shards))
+	for i := range st.shards {
+		var items []hst.Candidate
+		st.shards[i].index.WalkCap(func(code hst.Code, id, capacity int) {
+			items = append(items, hst.Candidate{ID: id, Code: code, Level: depth, Cap: capacity})
+		})
+		sortCandidatesByID(items)
+		p.shards[i] = items
+	}
+	p.heads = make([]int, len(st.shards))
+}
+
+// fill appends up to need smallest-id candidates from every shard except
+// exclude.
+func (p *padPool) fill(exclude, need int, out []hst.Candidate) []hst.Candidate {
+	for i := range p.heads {
+		p.heads[i] = 0
+	}
+	for ; need > 0; need-- {
+		best := -1
+		for s := range p.shards {
+			if s == exclude || p.heads[s] >= len(p.shards[s]) {
+				continue
+			}
+			if best < 0 || p.shards[s][p.heads[s]].ID < p.shards[best][p.heads[best]].ID {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, p.shards[best][p.heads[best]])
+		p.heads[best]++
+	}
+	return out
+}
+
+// sortCandidatesByID orders a snapshot by id.
+func sortCandidatesByID(items []hst.Candidate) {
+	sort.Slice(items, func(a, b int) bool { return items[a].ID < items[b].ID })
+}
+
+// PolicyNames lists the selectable policy specs for flag help.
+func PolicyNames() []string {
+	return []string{"greedy", "capacity-greedy", "batch-optimal", "batch-optimal:k=<n>"}
+}
+
+// PolicyByName resolves a policy spec: "greedy", "capacity-greedy",
+// "batch-optimal", or "batch-optimal:k=<n>" for an explicit per-task
+// candidate pool.
+func PolicyByName(spec string) (Policy, error) {
+	switch spec {
+	case "", "greedy":
+		return Greedy(), nil
+	case "capacity-greedy":
+		return CapacityGreedy(), nil
+	case "batch-optimal":
+		return BatchOptimal(0), nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "batch-optimal:k="); ok {
+		k, err := strconv.Atoi(rest)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("engine: bad batch-optimal candidate pool %q", rest)
+		}
+		return BatchOptimal(k), nil
+	}
+	return nil, fmt.Errorf("engine: unknown policy %q (have %s)", spec, strings.Join(PolicyNames(), ", "))
+}

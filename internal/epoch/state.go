@@ -20,43 +20,60 @@ type State struct {
 	Workers []WorkerEntry `json:"workers"`
 }
 
-// WorkerEntry is one available worker in a snapshot.
+// WorkerEntry is one available worker in a snapshot. Cap is its remaining
+// capacity; 0 (the historical wire form) means 1.
 type WorkerEntry struct {
 	ID   int    `json:"id"`
 	Code []byte `json:"code"`
+	Cap  int    `json:"cap,omitempty"`
 }
 
 // Snapshot captures the engine's current epoch. The engine is walked shard
 // by shard, so the caller must have quiesced writers; entries are sorted
 // by id, making the snapshot — and its JSON — deterministic regardless of
-// shard layout.
+// shard layout. Capacity-1 workers serialise without a cap field, so
+// snapshots of uncapacitated populations are byte-identical to the
+// historical form.
 func Snapshot(eng *engine.Engine) *State {
 	st := &State{Epoch: eng.Epoch(), Tree: eng.Tree()}
-	eng.Walk(func(code hst.Code, id int) {
-		st.Workers = append(st.Workers, WorkerEntry{ID: id, Code: []byte(code)})
+	eng.WalkCap(func(code hst.Code, id, capacity int) {
+		w := WorkerEntry{ID: id, Code: []byte(code)}
+		if capacity > 1 {
+			w.Cap = capacity
+		}
+		st.Workers = append(st.Workers, w)
 	})
 	sort.Slice(st.Workers, func(a, b int) bool { return st.Workers[a].ID < st.Workers[b].ID })
 	return st
 }
 
 // Engine rebuilds a serving engine from the snapshot with the given shard
-// count (0 = engine default). The restored engine serves the snapshot's
-// epoch id and answers every assignment exactly as the snapshotted one
-// would.
-func (s *State) Engine(shards int) (*engine.Engine, error) {
+// count (0 = engine default) and engine options (e.g. a capacity-aware
+// policy for capacitated snapshots). The restored engine serves the
+// snapshot's epoch id and answers every assignment exactly as the
+// snapshotted one would.
+func (s *State) Engine(shards int, opts ...engine.Option) (*engine.Engine, error) {
 	if s.Tree == nil {
 		return nil, fmt.Errorf("epoch: state %d has no tree", s.Epoch)
 	}
-	eng, err := engine.New(s.Tree, shards)
+	eng, err := engine.NewWithOptions(s.Tree, shards, opts...)
 	if err != nil {
 		return nil, err
 	}
 	if s.Epoch < engine.FirstEpoch {
 		return nil, fmt.Errorf("epoch: state has invalid epoch %d", s.Epoch)
 	}
+	// A missing cap field is exactly capacity 1 (not the engine default):
+	// restoring must reproduce the snapshotted pool unit for unit.
+	capOf := func(w WorkerEntry) int {
+		if w.Cap <= 0 {
+			return 1
+		}
+		return w.Cap
+	}
 	if s.Epoch == engine.FirstEpoch {
 		for _, w := range s.Workers {
-			if err := eng.Insert(hst.Code(w.Code), w.ID); err != nil {
+			if err := eng.InsertCapEpoch(hst.Code(w.Code), w.ID, capOf(w), 0); err != nil {
 				return nil, fmt.Errorf("epoch: restore worker %d: %w", w.ID, err)
 			}
 		}
@@ -66,7 +83,7 @@ func (s *State) Engine(shards int) (*engine.Engine, error) {
 	// takes, stamping the engine with the snapshot's epoch id.
 	inserts := make([]engine.EpochInsert, len(s.Workers))
 	for i, w := range s.Workers {
-		inserts[i] = engine.EpochInsert{Code: hst.Code(w.Code), ID: w.ID}
+		inserts[i] = engine.EpochInsert{Code: hst.Code(w.Code), ID: w.ID, Cap: capOf(w)}
 	}
 	if err := eng.SwapEpoch(s.Epoch, s.Tree, shards, inserts); err != nil {
 		return nil, fmt.Errorf("epoch: restore: %w", err)

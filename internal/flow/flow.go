@@ -1,0 +1,108 @@
+// Package flow implements a successive-shortest-path min-cost max-flow
+// solver over a directed graph with integer capacities and float64 costs.
+// It is the shared matching back-end: internal/match builds its offline
+// optimal and capacity-constrained assignments on it, and the engine's
+// batch-optimal assignment policy solves each window's restricted bipartite
+// problem with it.
+package flow
+
+import "math"
+
+// MinCostFlow is the solver. Build the graph with AddEdge, then Run.
+type MinCostFlow struct {
+	n    int
+	head [][]int // adjacency: node → edge ids
+	to   []int
+	capa []int
+	cost []float64
+}
+
+// NewMinCostFlow returns a solver over n nodes (0..n−1).
+func NewMinCostFlow(n int) *MinCostFlow {
+	return &MinCostFlow{n: n, head: make([][]int, n)}
+}
+
+// NumEdges returns the number of edge slots added so far (two per AddEdge:
+// the forward edge and its residual reverse).
+func (f *MinCostFlow) NumEdges() int { return len(f.to) }
+
+// AddEdge adds a directed edge u→v with the given capacity and per-unit
+// cost, plus its residual reverse edge. It returns the forward edge's id,
+// usable with Residual after Run to read how much of the edge was used.
+func (f *MinCostFlow) AddEdge(u, v, capacity int, cost float64) int {
+	e := len(f.to)
+	f.head[u] = append(f.head[u], e)
+	f.to = append(f.to, v)
+	f.capa = append(f.capa, capacity)
+	f.cost = append(f.cost, cost)
+
+	f.head[v] = append(f.head[v], len(f.to))
+	f.to = append(f.to, u)
+	f.capa = append(f.capa, 0)
+	f.cost = append(f.cost, -cost)
+	return e
+}
+
+// Residual returns the remaining capacity of edge e (a forward edge id from
+// AddEdge): 0 means the edge is saturated, its original capacity means it
+// carries no flow.
+func (f *MinCostFlow) Residual(e int) int { return f.capa[e] }
+
+// Run pushes up to maxFlow units from s to t along successive
+// shortest-cost augmenting paths (SPFA, which tolerates the negative
+// residual arcs). It returns the flow achieved and its total cost.
+func (f *MinCostFlow) Run(s, t, maxFlow int) (int, float64) {
+	flow := 0
+	var total float64
+	dist := make([]float64, f.n)
+	inQueue := make([]bool, f.n)
+	prevEdge := make([]int, f.n)
+	for flow < maxFlow {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for _, e := range f.head[u] {
+				if f.capa[e] <= 0 {
+					continue
+				}
+				v := f.to[e]
+				if nd := dist[u] + f.cost[e]; nd < dist[v]-1e-12 {
+					dist[v] = nd
+					prevEdge[v] = e
+					if !inQueue[v] {
+						inQueue[v] = true
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break // no augmenting path remains
+		}
+		// Bottleneck along the path.
+		push := maxFlow - flow
+		for v := t; v != s; {
+			e := prevEdge[v]
+			if f.capa[e] < push {
+				push = f.capa[e]
+			}
+			v = f.to[e^1]
+		}
+		for v := t; v != s; {
+			e := prevEdge[v]
+			f.capa[e] -= push
+			f.capa[e^1] += push
+			v = f.to[e^1]
+		}
+		flow += push
+		total += dist[t] * float64(push)
+	}
+	return flow, total
+}

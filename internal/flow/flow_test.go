@@ -1,0 +1,51 @@
+package flow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	f := NewMinCostFlow(3)
+	e0 := f.AddEdge(0, 1, 3, 1)
+	e1 := f.AddEdge(1, 2, 3, 2)
+	if e0 != 0 || e1 != 2 {
+		t.Fatalf("edge ids %d, %d — forward edges must sit at even slots", e0, e1)
+	}
+	if f.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", f.NumEdges())
+	}
+	flow, cost := f.Run(0, 2, 10)
+	if flow != 3 || math.Abs(cost-9) > 1e-9 {
+		t.Errorf("flow=%d cost=%v, want 3, 9", flow, cost)
+	}
+	if f.Residual(e0) != 0 || f.Residual(e1) != 0 {
+		t.Errorf("residuals %d, %d after saturation", f.Residual(e0), f.Residual(e1))
+	}
+}
+
+func TestPrefersCheapPathAndReportsResiduals(t *testing.T) {
+	// Two parallel 0→1 edges; the cheap one has capacity 1.
+	f := NewMinCostFlow(2)
+	cheap := f.AddEdge(0, 1, 1, 1)
+	dear := f.AddEdge(0, 1, 5, 10)
+	flow, cost := f.Run(0, 1, 3)
+	if flow != 3 || math.Abs(cost-21) > 1e-9 {
+		t.Errorf("flow=%d cost=%v, want 3, 21 (1 + 2×10)", flow, cost)
+	}
+	if f.Residual(cheap) != 0 {
+		t.Errorf("cheap edge residual %d, want 0", f.Residual(cheap))
+	}
+	if f.Residual(dear) != 3 {
+		t.Errorf("dear edge residual %d, want 3", f.Residual(dear))
+	}
+}
+
+func TestDisconnectedSinkStopsEarly(t *testing.T) {
+	f := NewMinCostFlow(3)
+	f.AddEdge(0, 1, 4, 1)
+	flow, cost := f.Run(0, 2, 4)
+	if flow != 0 || cost != 0 {
+		t.Errorf("flow=%d cost=%v on a disconnected sink", flow, cost)
+	}
+}

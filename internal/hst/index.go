@@ -3,6 +3,7 @@ package hst
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // LeafIndex is a trie over leaf codes supporting O(D) insertion, removal,
@@ -28,13 +29,21 @@ import (
 // root-to-leaf path scratch is owned by the index, so in steady state
 // (inserts balancing removals) no operation allocates.
 //
+// Items carry a remaining capacity (Insert seeds 1, InsertCap more): the
+// pop operations consume one unit and remove the item only when its last
+// unit goes, so a multi-capacity worker keeps answering nearest-queries
+// until exhausted. Remove always takes the whole item (a withdrawal), and
+// AddCap/Consume adjust a live item's units in place. Len counts items;
+// Units counts remaining capacity.
+//
 // Like its map-based predecessor, LeafIndex is not safe for concurrent use;
 // callers serialise access (the sharded engine drives one index per shard
 // under that shard's lock, which also makes the shared path scratch safe).
 type LeafIndex struct {
 	depth  int
 	degree int // dense child-block width; 0 = sparse sibling lists
-	size   int
+	size   int // live items
+	units  int // Σ remaining capacity over live items
 
 	nodes []flatNode // node arena; index 0 is the root
 	kids  []int32    // dense child arena: blocks of degree slots, nilIdx = absent
@@ -45,6 +54,7 @@ type LeafIndex struct {
 	freeBlock []int32 // freed dense child-block offsets
 
 	path []int32 // reusable root-to-leaf descent scratch
+	cbuf []byte  // reusable candidate-code scratch (cap depth, so collect never grows it)
 }
 
 // flatNode is one trie position in the arena. 24 bytes; a realistic shard
@@ -61,6 +71,7 @@ type flatNode struct {
 type itemSlot struct {
 	id   int32
 	next int32
+	cap  int32 // remaining capacity units
 }
 
 const (
@@ -93,6 +104,7 @@ func NewLeafIndexDegree(depth, degree int) *LeafIndex {
 		degree: degree,
 		nodes:  make([]flatNode, 1, 64),
 		path:   make([]int32, 0, depth+1),
+		cbuf:   make([]byte, 0, depth),
 
 		freeNode: nilIdx,
 		freeItem: nilIdx,
@@ -104,10 +116,26 @@ func NewLeafIndexDegree(depth, degree int) *LeafIndex {
 // Len returns the number of items currently indexed.
 func (x *LeafIndex) Len() int { return x.size }
 
-// Insert adds an item id at the given leaf code. Ids must be non-negative
-// and fit in an int32. With a dense child layout every digit must be below
-// the declared degree.
+// Units returns the total remaining capacity across all items. For a
+// capacity-1 population it equals Len.
+func (x *LeafIndex) Units() int { return x.units }
+
+// Insert adds an item id with capacity 1 at the given leaf code. Ids must
+// be non-negative and fit in an int32. With a dense child layout every
+// digit must be below the declared degree.
 func (x *LeafIndex) Insert(code Code, id int) error {
+	return x.InsertCap(code, id, 1)
+}
+
+// InsertCap is Insert with an explicit remaining capacity (≥ 1): the item
+// answers nearest-queries until capacity pops have consumed it.
+func (x *LeafIndex) InsertCap(code Code, id, capacity int) error {
+	if capacity < 1 {
+		return fmt.Errorf("hst: item capacity must be positive, got %d", capacity)
+	}
+	if capacity > math.MaxInt32 {
+		return fmt.Errorf("hst: item capacity %d exceeds the index's int32 range", capacity)
+	}
 	if len(code) != x.depth {
 		return fmt.Errorf("hst: code length %d, index depth %d", len(code), x.depth)
 	}
@@ -137,10 +165,11 @@ func (x *LeafIndex) Insert(code Code, id int) error {
 		x.bump(ci, id32)
 		ni = ci
 	}
-	si := x.allocItem(id32)
+	si := x.allocItem(id32, int32(capacity))
 	x.items[si].next = x.nodes[ni].items
 	x.nodes[ni].items = si
 	x.size++
+	x.units += capacity
 	return nil
 }
 
@@ -221,7 +250,7 @@ func (x *LeafIndex) allocBlock() int32 {
 	return off
 }
 
-func (x *LeafIndex) allocItem(id int32) int32 {
+func (x *LeafIndex) allocItem(id, capacity int32) int32 {
 	var si int32
 	if x.freeItem != nilIdx {
 		si = x.freeItem
@@ -230,7 +259,7 @@ func (x *LeafIndex) allocItem(id int32) int32 {
 		si = int32(len(x.items))
 		x.items = append(x.items, itemSlot{})
 	}
-	x.items[si] = itemSlot{id: id, next: nilIdx}
+	x.items[si] = itemSlot{id: id, next: nilIdx, cap: capacity}
 	return si
 }
 
@@ -267,13 +296,115 @@ func (x *LeafIndex) unlinkChild(pi, ci int32) {
 	}
 }
 
-// Remove deletes one occurrence of id at the given leaf code. It reports
+// Remove deletes one occurrence of id at the given leaf code — the whole
+// item, whatever capacity it has left (a withdrawal, not a pop). It reports
 // whether the item was present.
 func (x *LeafIndex) Remove(code Code, id int) bool {
+	_, ok := x.RemoveUnits(code, id)
+	return ok
+}
+
+// RemoveUnits is Remove reporting how many capacity units the removed item
+// still carried — the ground truth a caller relocating a live item needs,
+// since concurrent pops may have consumed units its own accounting has not
+// seen yet.
+func (x *LeafIndex) RemoveUnits(code Code, id int) (units int, ok bool) {
+	if len(code) != x.depth || id < 0 || id > math.MaxInt32 {
+		return 0, false
+	}
+	// Locate the leaf first so failed removals do not corrupt counts.
+	path := x.path[:0]
+	ni := int32(0)
+	path = append(path, ni)
+	for j := 0; j < x.depth; j++ {
+		ni = x.child(ni, code[j])
+		if ni == nilIdx {
+			return 0, false
+		}
+		path = append(path, ni)
+	}
+	removed, ok := x.removeItem(ni, int32(id))
+	if !ok {
+		return 0, false
+	}
+	x.repair(path, int32(id))
+	x.size--
+	x.units -= int(removed)
+	return int(removed), true
+}
+
+// removeItem unlinks one occurrence of id from the leaf's item list,
+// returning the capacity it still carried.
+func (x *LeafIndex) removeItem(ni, id int32) (capacity int32, ok bool) {
+	prev := nilIdx
+	for si := x.nodes[ni].items; si != nilIdx; si = x.items[si].next {
+		if x.items[si].id == id {
+			if prev == nilIdx {
+				x.nodes[ni].items = x.items[si].next
+			} else {
+				x.items[prev].next = x.items[si].next
+			}
+			capacity = x.items[si].cap
+			x.items[si].next = x.freeItem
+			x.freeItem = si
+			return capacity, true
+		}
+		prev = si
+	}
+	return 0, false
+}
+
+// consumeItem takes one capacity unit from id's item at leaf ni, unlinking
+// the item when its last unit goes. removed reports a structural removal
+// (the caller must then repair counts along the path).
+func (x *LeafIndex) consumeItem(ni, id int32) (removed, ok bool) {
+	for si := x.nodes[ni].items; si != nilIdx; si = x.items[si].next {
+		if x.items[si].id == id {
+			if x.items[si].cap > 1 {
+				x.items[si].cap--
+				x.units--
+				return false, true
+			}
+			x.removeItem(ni, id)
+			x.units--
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// AddCap returns delta (≥ 1) capacity units to the live item id at the
+// given leaf code, reporting whether the item was found. Callers restoring
+// a fully consumed (hence removed) item use InsertCap instead.
+func (x *LeafIndex) AddCap(code Code, id, delta int) bool {
+	if len(code) != x.depth || id < 0 || id > math.MaxInt32 || delta < 1 {
+		return false
+	}
+	ni := int32(0)
+	for j := 0; j < x.depth; j++ {
+		ni = x.child(ni, code[j])
+		if ni == nilIdx {
+			return false
+		}
+	}
+	for si := x.nodes[ni].items; si != nilIdx; si = x.items[si].next {
+		if x.items[si].id == int32(id) {
+			x.items[si].cap += int32(delta)
+			x.units += delta
+			return true
+		}
+	}
+	return false
+}
+
+// Consume takes one capacity unit from the item id at the given leaf code,
+// removing the item when its last unit goes. It reports whether the item
+// was present. Policies that enumerate candidates non-destructively
+// (NearestK, CollectWithin) commit their chosen assignments through it.
+func (x *LeafIndex) Consume(code Code, id int) bool {
 	if len(code) != x.depth || id < 0 || id > math.MaxInt32 {
 		return false
 	}
-	// Locate the leaf first so failed removals do not corrupt counts.
 	path := x.path[:0]
 	ni := int32(0)
 	path = append(path, ni)
@@ -284,31 +415,15 @@ func (x *LeafIndex) Remove(code Code, id int) bool {
 		}
 		path = append(path, ni)
 	}
-	if !x.removeItem(ni, int32(id)) {
+	removed, ok := x.consumeItem(ni, int32(id))
+	if !ok {
 		return false
 	}
-	x.repair(path, int32(id))
-	x.size--
-	return true
-}
-
-// removeItem unlinks one occurrence of id from the leaf's item list.
-func (x *LeafIndex) removeItem(ni, id int32) bool {
-	prev := nilIdx
-	for si := x.nodes[ni].items; si != nilIdx; si = x.items[si].next {
-		if x.items[si].id == id {
-			if prev == nilIdx {
-				x.nodes[ni].items = x.items[si].next
-			} else {
-				x.items[prev].next = x.items[si].next
-			}
-			x.items[si].next = x.freeItem
-			x.freeItem = si
-			return true
-		}
-		prev = si
+	if removed {
+		x.repair(path, int32(id))
+		x.size--
 	}
-	return false
+	return true
 }
 
 // repair walks a root-anchored path bottom-up after the removal of id:
@@ -462,8 +577,10 @@ func (x *LeafIndex) PopMin() (int, bool) {
 	return x.popMinFrom(path), true
 }
 
-// popMinFrom removes the minID item under the last node of path (a
-// root-anchored trie path) and repairs counts and minIDs along the way.
+// popMinFrom consumes one capacity unit of the minID item under the last
+// node of path (a root-anchored trie path). Items usually carry one unit,
+// in which case the item is removed and counts and minIDs repaired along
+// the way; a multi-capacity item just loses a unit and stays in place.
 func (x *LeafIndex) popMinFrom(path []int32) int {
 	ni := path[len(path)-1]
 	target := x.nodes[ni].minID
@@ -473,9 +590,11 @@ func (x *LeafIndex) popMinFrom(path []int32) int {
 		ni = x.childWithMin(ni, target)
 		path = append(path, ni)
 	}
-	x.removeItem(ni, target)
-	x.repair(path, target)
-	x.size--
+	removed, _ := x.consumeItem(ni, target)
+	if removed {
+		x.repair(path, target)
+		x.size--
+	}
 	return int(target)
 }
 
@@ -501,6 +620,12 @@ func (x *LeafIndex) childWithMin(ni, target int32) int32 {
 
 // Walk visits every indexed item (code, id). Order is unspecified.
 func (x *LeafIndex) Walk(fn func(code Code, id int)) {
+	x.WalkCap(func(code Code, id, _ int) { fn(code, id) })
+}
+
+// WalkCap visits every indexed item (code, id, remaining capacity). Order
+// is unspecified.
+func (x *LeafIndex) WalkCap(fn func(code Code, id, capacity int)) {
 	if x.size == 0 {
 		return
 	}
@@ -508,10 +633,10 @@ func (x *LeafIndex) Walk(fn func(code Code, id int)) {
 	x.walk(0, prefix, fn)
 }
 
-func (x *LeafIndex) walk(ni int32, prefix []byte, fn func(code Code, id int)) {
+func (x *LeafIndex) walk(ni int32, prefix []byte, fn func(code Code, id, capacity int)) {
 	n := x.nodes[ni]
 	for si := n.items; si != nilIdx; si = x.items[si].next {
-		fn(Code(prefix), int(x.items[si].id))
+		fn(Code(prefix), int(x.items[si].id), int(x.items[si].cap))
 	}
 	if x.degree > 0 {
 		if n.kids == nilIdx {
@@ -527,4 +652,205 @@ func (x *LeafIndex) walk(ni int32, prefix []byte, fn func(code Code, id int)) {
 			x.walk(ci, append(prefix, x.nodes[ci].digit), fn)
 		}
 	}
+}
+
+// Candidate is one live item surfaced by the non-destructive enumeration
+// queries (NearestK, CollectWithin): everything an assignment policy needs
+// to rank candidates and later commit a decision through Consume.
+type Candidate struct {
+	ID    int  // item id
+	Code  Code // the item's leaf code (for the Consume commit)
+	Level int  // LCA level with the query code
+	Cap   int  // remaining capacity units
+}
+
+// NearestK appends to out the (up to) k nearest items to the query code in
+// tree distance — ordered by ascending LCA level, smallest id first within
+// a level — without removing anything. Policies inspect the candidates and
+// commit chosen assignments with Consume. The returned slice is out
+// extended in place; each level segment is scanned through a bounded
+// selection buffer, so only candidates that make the top k materialise a
+// Code string — a huge segment (the whole shard, at the root level) costs
+// comparisons, not allocations.
+func (x *LeafIndex) NearestK(code Code, k int, out []Candidate) []Candidate {
+	return x.enumerate(code, x.depth, k, true, out)
+}
+
+// CollectWithin appends to out every item whose LCA with the query code
+// sits at level ≤ maxLevel, ordered by ascending level and then id, without
+// removing anything.
+func (x *LeafIndex) CollectWithin(code Code, maxLevel int, out []Candidate) []Candidate {
+	return x.enumerate(code, maxLevel, x.size, false, out)
+}
+
+// enumerate is the shared engine of NearestK and CollectWithin: it descends
+// the query's exact branch as deep as it goes, then climbs back towards the
+// root, emitting at each step the items that sit under the current ancestor
+// but not under the already-emitted child branch — exactly the items whose
+// LCA with the query is at that ancestor's level. Level segments come out
+// sorted by id, so truncating at k keeps the smallest ids; in bounded mode
+// each segment is gathered through a keep-k-smallest buffer instead of a
+// collect-then-sort.
+func (x *LeafIndex) enumerate(code Code, maxLevel, k int, bounded bool, out []Candidate) []Candidate {
+	if x.size == 0 || len(code) != x.depth || k <= 0 {
+		return out
+	}
+	path := x.path[:0]
+	ni := int32(0)
+	path = append(path, ni)
+	j := 0
+	for j < x.depth {
+		ci := x.child(ni, code[j])
+		if ci == nilIdx {
+			break
+		}
+		ni = ci
+		path = append(path, ni)
+		j++
+	}
+	base := len(out)
+	for i := j; i >= 0; i-- {
+		lvl := x.depth - i
+		if lvl > maxLevel {
+			break
+		}
+		except := nilIdx
+		if i < j {
+			except = path[i+1]
+		}
+		start := len(out)
+		buf := append(x.cbuf[:0], code[:i]...)
+		if bounded {
+			out = x.collectK(path[i], except, buf, lvl, k-(len(out)-base), start, out)
+		} else {
+			out = x.collect(path[i], except, buf, lvl, out)
+			sortCandidates(out[start:])
+		}
+		if len(out)-base >= k {
+			out = out[:base+k]
+			break
+		}
+	}
+	return out
+}
+
+// collectK walks the subtree under ni — except the except branch — keeping
+// in out[start:] only the need smallest items by (id, code), in sorted
+// order. Codes are materialised when an item enters the buffer; losers are
+// rejected on a comparison against the buffer's current maximum, so a
+// segment of m items costs O(m·need) in the worst case and allocates
+// nothing for the discarded ones.
+func (x *LeafIndex) collectK(ni, except int32, buf []byte, lvl, need, start int, out []Candidate) []Candidate {
+	if ni == except || need <= 0 {
+		return out
+	}
+	n := x.nodes[ni]
+	for si := n.items; si != nilIdx; si = x.items[si].next {
+		out = x.offerK(out, start, need, x.items[si].id, x.items[si].cap, buf, lvl)
+	}
+	if x.degree > 0 {
+		if n.kids == nilIdx {
+			return out
+		}
+		for d := 0; d < x.degree; d++ {
+			if ci := x.kids[n.kids+int32(d)]; ci != nilIdx {
+				out = x.collectK(ci, except, append(buf, byte(d)), lvl, need, start, out)
+			}
+		}
+	} else {
+		for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
+			out = x.collectK(ci, except, append(buf, x.nodes[ci].digit), lvl, need, start, out)
+		}
+	}
+	return out
+}
+
+// offerK inserts one item into the bounded sorted buffer out[start:] if it
+// ranks among the need smallest seen so far.
+func (x *LeafIndex) offerK(out []Candidate, start, need int, id, capacity int32, buf []byte, lvl int) []Candidate {
+	seg := out[start:]
+	full := len(seg) >= need
+	if full && !beforeCandidate(id, buf, seg[len(seg)-1]) {
+		return out
+	}
+	pos := len(seg)
+	for pos > 0 && beforeCandidate(id, buf, seg[pos-1]) {
+		pos--
+	}
+	c := Candidate{ID: int(id), Code: Code(buf), Level: lvl, Cap: int(capacity)}
+	if full {
+		copy(seg[pos+1:], seg[pos:len(seg)-1])
+		seg[pos] = c
+		return out
+	}
+	out = append(out, Candidate{})
+	seg = out[start:]
+	copy(seg[pos+1:], seg[pos:len(seg)-1])
+	seg[pos] = c
+	return out
+}
+
+// beforeCandidate reports whether (id, buf) orders strictly before c by
+// (id, code), comparing the raw digit buffer so no string materialises for
+// the comparison.
+func beforeCandidate(id int32, buf []byte, c Candidate) bool {
+	if int(id) != c.ID {
+		return int(id) < c.ID
+	}
+	n := len(buf)
+	if len(c.Code) < n {
+		n = len(c.Code)
+	}
+	for i := 0; i < n; i++ {
+		if buf[i] != c.Code[i] {
+			return buf[i] < c.Code[i]
+		}
+	}
+	return len(buf) < len(c.Code)
+}
+
+// collect appends every item under ni — except the except subtree — as a
+// candidate at the given level, extending buf with the digits walked so the
+// leaf code can be materialised once per leaf.
+func (x *LeafIndex) collect(ni, except int32, buf []byte, lvl int, out []Candidate) []Candidate {
+	if ni == except {
+		return out
+	}
+	n := x.nodes[ni]
+	if n.items != nilIdx {
+		leaf := Code(buf) // one string per candidate leaf
+		for si := n.items; si != nilIdx; si = x.items[si].next {
+			out = append(out, Candidate{
+				ID:    int(x.items[si].id),
+				Code:  leaf,
+				Level: lvl,
+				Cap:   int(x.items[si].cap),
+			})
+		}
+	}
+	if x.degree > 0 {
+		if n.kids == nilIdx {
+			return out
+		}
+		for d := 0; d < x.degree; d++ {
+			if ci := x.kids[n.kids+int32(d)]; ci != nilIdx {
+				out = x.collect(ci, except, append(buf, byte(d)), lvl, out)
+			}
+		}
+	} else {
+		for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
+			out = x.collect(ci, except, append(buf, x.nodes[ci].digit), lvl, out)
+		}
+	}
+	return out
+}
+
+// sortCandidates orders one level segment by (id, code).
+func sortCandidates(seg []Candidate) {
+	sort.Slice(seg, func(a, b int) bool {
+		if seg[a].ID != seg[b].ID {
+			return seg[a].ID < seg[b].ID
+		}
+		return seg[a].Code < seg[b].Code
+	})
 }

@@ -1,0 +1,111 @@
+package match
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// bruteForceAssign enumerates every injective row→column assignment of an
+// n×m cost matrix (n ≤ m) and returns the minimum total cost — the oracle
+// both solvers must agree with on small instances.
+func bruteForceAssign(cost [][]float64) float64 {
+	n := len(cost)
+	if n == 0 {
+		return 0
+	}
+	m := len(cost[0])
+	used := make([]bool, m)
+	best := math.Inf(1)
+	var rec func(row int, total float64)
+	rec = func(row int, total float64) {
+		if total >= best {
+			return
+		}
+		if row == n {
+			best = total
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			rec(row+1, total+cost[row][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// TestAssignmentSolversAgree is the differential test: Hungarian, the flow
+// solver, and brute-force enumeration must report the same minimum total
+// cost on random small instances. Seeded and table-driven so a failure
+// reproduces exactly.
+func TestAssignmentSolversAgree(t *testing.T) {
+	cases := []struct {
+		name string
+		n, m int
+		seed uint64
+		reps int
+	}{
+		{"square-2", 2, 2, 101, 50},
+		{"square-3", 3, 3, 202, 50},
+		{"square-4", 4, 4, 303, 30},
+		{"square-5", 5, 5, 404, 20},
+		{"rect-2x4", 2, 4, 505, 50},
+		{"rect-3x5", 3, 5, 606, 30},
+		{"rect-4x6", 4, 6, 707, 20},
+		{"rect-1x7", 1, 7, 808, 50},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			src := rng.New(tc.seed)
+			for rep := 0; rep < tc.reps; rep++ {
+				cost := make([][]float64, tc.n)
+				for i := range cost {
+					cost[i] = make([]float64, tc.m)
+					for j := range cost[i] {
+						// Mixed magnitudes, including exact ties (small
+						// integer grid), to stress tie handling.
+						cost[i][j] = float64(src.Intn(8)) + 0.25*float64(src.Intn(4))
+					}
+				}
+				hAssign, hTotal, err := Hungarian(cost)
+				if err != nil {
+					t.Fatalf("rep %d: Hungarian: %v", rep, err)
+				}
+				fAssign, fTotal, err := AssignViaFlow(cost)
+				if err != nil {
+					t.Fatalf("rep %d: AssignViaFlow: %v", rep, err)
+				}
+				bTotal := bruteForceAssign(cost)
+				if math.Abs(hTotal-bTotal) > 1e-9 {
+					t.Fatalf("rep %d: Hungarian total %v, brute force %v (cost %v)", rep, hTotal, bTotal, cost)
+				}
+				if math.Abs(fTotal-bTotal) > 1e-9 {
+					t.Fatalf("rep %d: flow total %v, brute force %v (cost %v)", rep, fTotal, bTotal, cost)
+				}
+				// Each solver's own assignment must be injective and cost
+				// what it claims.
+				for name, assign := range map[string][]int{"hungarian": hAssign, "flow": fAssign} {
+					seen := make(map[int]bool, tc.n)
+					total := 0.0
+					for i, j := range assign {
+						if j < 0 || j >= tc.m || seen[j] {
+							t.Fatalf("rep %d: %s assignment invalid: %v", rep, name, assign)
+						}
+						seen[j] = true
+						total += cost[i][j]
+					}
+					if math.Abs(total-bTotal) > 1e-9 {
+						t.Fatalf("rep %d: %s assignment costs %v, claims optimal %v", rep, name, total, bTotal)
+					}
+				}
+			}
+		})
+	}
+}

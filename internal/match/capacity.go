@@ -3,6 +3,7 @@ package match
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/pombm/pombm/internal/hst"
 )
@@ -93,10 +94,14 @@ func OptimalCapacitated(nTasks int, capacity []int, dist func(task, worker int) 
 	for i := 0; i < nTasks; i++ {
 		f.AddEdge(src, 1+i, 1, 0)
 	}
-	base := len(f.to)
+	base := f.NumEdges()
 	for i := 0; i < nTasks; i++ {
 		for j := 0; j < nWorkers; j++ {
-			f.AddEdge(1+i, 1+nTasks+j, 1, dist(i, j))
+			d := dist(i, j)
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				return nil, 0, fmt.Errorf("match: non-finite cost %v for task %d, worker %d", d, i, j)
+			}
+			f.AddEdge(1+i, 1+nTasks+j, 1, d)
 		}
 	}
 	for j := 0; j < nWorkers; j++ {
@@ -111,7 +116,7 @@ func OptimalCapacitated(nTasks int, capacity []int, dist func(task, worker int) 
 		assign[i] = NoWorker
 		for j := 0; j < nWorkers; j++ {
 			e := base + 2*(i*nWorkers+j)
-			if f.capa[e] == 0 {
+			if f.Residual(e) == 0 {
 				assign[i] = j
 				break
 			}

@@ -2,11 +2,27 @@ package match
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
 // ErrShape is returned when a cost matrix has more rows than columns.
 var ErrShape = errors.New("match: cost matrix needs rows ≤ columns")
+
+// checkFinite rejects NaN and ±Inf cost entries: the Hungarian potential
+// updates and the flow solver's shortest-path search both propagate
+// non-finite values silently into nonsense assignments, so the matchers
+// refuse them up front.
+func checkFinite(cost [][]float64) error {
+	for i := range cost {
+		for j, c := range cost[i] {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("match: non-finite cost %v at [%d][%d]", c, i, j)
+			}
+		}
+	}
+	return nil
+}
 
 // Hungarian solves the rectangular assignment problem: given cost[i][j] for
 // assigning row i (task) to column j (worker), with rows ≤ columns, it
@@ -15,6 +31,8 @@ var ErrShape = errors.New("match: cost matrix needs rows ≤ columns")
 //
 // The experiments use it to compute MOPT, the offline optimal matching on
 // true locations, against which empirical competitive ratios are measured.
+// Cost entries must be finite: NaN or ±Inf costs are rejected with an error
+// rather than corrupting the potentials.
 func Hungarian(cost [][]float64) ([]int, float64, error) {
 	n := len(cost)
 	if n == 0 {
@@ -28,6 +46,9 @@ func Hungarian(cost [][]float64) ([]int, float64, error) {
 		if len(cost[i]) != m {
 			return nil, 0, errors.New("match: ragged cost matrix")
 		}
+	}
+	if err := checkFinite(cost); err != nil {
+		return nil, 0, err
 	}
 
 	inf := math.Inf(1)

@@ -2,103 +2,28 @@ package match
 
 import (
 	"errors"
-	"math"
+
+	"github.com/pombm/pombm/internal/flow"
 )
 
-// MinCostFlow is a successive-shortest-path min-cost max-flow solver over a
-// directed graph with integer capacities and float64 costs. It provides an
-// independent oracle for the Hungarian algorithm in tests and supports
+// MinCostFlow is the successive-shortest-path min-cost max-flow solver the
+// matchers build on, re-exported from internal/flow (shared with the
+// engine's batch-optimal assignment policy). It provides an independent
+// oracle for the Hungarian algorithm in tests and supports
 // capacity-constrained assignment variants (e.g. workers that may serve
 // several tasks).
-type MinCostFlow struct {
-	n    int
-	head [][]int // adjacency: node → edge ids
-	to   []int
-	capa []int
-	cost []float64
-}
+type MinCostFlow = flow.MinCostFlow
 
 // NewMinCostFlow returns a solver over n nodes (0..n−1).
 func NewMinCostFlow(n int) *MinCostFlow {
-	return &MinCostFlow{n: n, head: make([][]int, n)}
-}
-
-// AddEdge adds a directed edge u→v with the given capacity and per-unit
-// cost, plus its residual reverse edge.
-func (f *MinCostFlow) AddEdge(u, v, capacity int, cost float64) {
-	f.head[u] = append(f.head[u], len(f.to))
-	f.to = append(f.to, v)
-	f.capa = append(f.capa, capacity)
-	f.cost = append(f.cost, cost)
-
-	f.head[v] = append(f.head[v], len(f.to))
-	f.to = append(f.to, u)
-	f.capa = append(f.capa, 0)
-	f.cost = append(f.cost, -cost)
-}
-
-// Run pushes up to maxFlow units from s to t along successive
-// shortest-cost augmenting paths (SPFA, which tolerates the negative
-// residual arcs). It returns the flow achieved and its total cost.
-func (f *MinCostFlow) Run(s, t, maxFlow int) (int, float64) {
-	flow := 0
-	var total float64
-	dist := make([]float64, f.n)
-	inQueue := make([]bool, f.n)
-	prevEdge := make([]int, f.n)
-	for flow < maxFlow {
-		for i := range dist {
-			dist[i] = math.Inf(1)
-			prevEdge[i] = -1
-		}
-		dist[s] = 0
-		queue := []int{s}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			inQueue[u] = false
-			for _, e := range f.head[u] {
-				if f.capa[e] <= 0 {
-					continue
-				}
-				v := f.to[e]
-				if nd := dist[u] + f.cost[e]; nd < dist[v]-1e-12 {
-					dist[v] = nd
-					prevEdge[v] = e
-					if !inQueue[v] {
-						inQueue[v] = true
-						queue = append(queue, v)
-					}
-				}
-			}
-		}
-		if math.IsInf(dist[t], 1) {
-			break // no augmenting path remains
-		}
-		// Bottleneck along the path.
-		push := maxFlow - flow
-		for v := t; v != s; {
-			e := prevEdge[v]
-			if f.capa[e] < push {
-				push = f.capa[e]
-			}
-			v = f.to[e^1]
-		}
-		for v := t; v != s; {
-			e := prevEdge[v]
-			f.capa[e] -= push
-			f.capa[e^1] += push
-			v = f.to[e^1]
-		}
-		flow += push
-		total += dist[t] * float64(push)
-	}
-	return flow, total
+	return flow.NewMinCostFlow(n)
 }
 
 // AssignViaFlow solves the same rectangular assignment problem as
 // Hungarian through min-cost max-flow, returning the column per row and the
 // total cost. Used as a cross-check and for instances with side constraints.
+// Cost entries must be finite: NaN or ±Inf costs are rejected with an error
+// rather than silently corrupting the shortest-path search.
 func AssignViaFlow(cost [][]float64) ([]int, float64, error) {
 	n := len(cost)
 	if n == 0 {
@@ -113,13 +38,16 @@ func AssignViaFlow(cost [][]float64) ([]int, float64, error) {
 			return nil, 0, errors.New("match: ragged cost matrix")
 		}
 	}
+	if err := checkFinite(cost); err != nil {
+		return nil, 0, err
+	}
 	// Nodes: 0 = source, 1..n = rows, n+1..n+m = columns, n+m+1 = sink.
 	src, sink := 0, n+m+1
 	f := NewMinCostFlow(n + m + 2)
 	for i := 0; i < n; i++ {
 		f.AddEdge(src, 1+i, 1, 0)
 	}
-	rowColBase := len(f.to)
+	rowColBase := f.NumEdges()
 	for i := 0; i < n; i++ {
 		for j := 0; j < m; j++ {
 			f.AddEdge(1+i, 1+n+j, 1, cost[i][j])
@@ -128,8 +56,8 @@ func AssignViaFlow(cost [][]float64) ([]int, float64, error) {
 	for j := 0; j < m; j++ {
 		f.AddEdge(1+n+j, sink, 1, 0)
 	}
-	flow, total := f.Run(src, sink, n)
-	if flow < n {
+	flown, total := f.Run(src, sink, n)
+	if flown < n {
 		return nil, 0, errors.New("match: flow could not saturate all rows")
 	}
 	assign := make([]int, n)
@@ -137,7 +65,7 @@ func AssignViaFlow(cost [][]float64) ([]int, float64, error) {
 		assign[i] = NoWorker
 		for j := 0; j < m; j++ {
 			e := rowColBase + 2*(i*m+j)
-			if f.capa[e] == 0 { // forward edge saturated
+			if f.Residual(e) == 0 { // forward edge saturated
 				assign[i] = j
 				break
 			}

@@ -37,6 +37,10 @@ type RegisterRequest struct {
 	// Epoch tags the publication the code was obfuscated under; 0 accepts
 	// whatever epoch is being served (pre-rotation clients).
 	Epoch int64 `json:"epoch,omitempty"`
+	// Capacity is how many tasks the worker can serve concurrently before
+	// leaving the pool. 0 selects the server default; every value is
+	// clamped to 1 unless the server runs a capacity-aware policy.
+	Capacity int `json:"capacity,omitempty"`
 }
 
 // RegisterResponse acknowledges a registration.
@@ -132,6 +136,21 @@ type StatsResponse struct {
 	BudgetLimit      float64 `json:"budget_limit,omitempty"`
 	BudgetSpentTotal float64 `json:"budget_spent_total,omitempty"`
 	BudgetedAgents   int     `json:"budgeted_agents,omitempty"`
+	// Policy names the server's assignment policy; PolicyCounters counts
+	// the assignments it served, keyed by policy name. A server runs one
+	// policy for its lifetime, so today the map holds a single entry
+	// mirroring AssignedTasks — the keyed shape exists so dashboards keep
+	// working if servers ever serve multiple policies side by side.
+	// DefaultCapacity is
+	// the per-worker capacity a registration without one receives,
+	// CapacityUnits the total remaining units across available workers
+	// (equal to AvailableWorkers for capacity-1 pools), and BatchWindows
+	// the windows served by a window-solving policy (batch-optimal).
+	Policy          string         `json:"policy,omitempty"`
+	PolicyCounters  map[string]int `json:"policy_counters,omitempty"`
+	DefaultCapacity int            `json:"default_capacity,omitempty"`
+	CapacityUnits   int            `json:"capacity_units,omitempty"`
+	BatchWindows    int64          `json:"batch_windows,omitempty"`
 }
 
 // PrepareRotateRequest stages the next epoch: a fresh HST built in the

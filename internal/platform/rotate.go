@@ -84,12 +84,19 @@ func (s *Server) Rotate(req RotateRequest) RotateResponse {
 
 	// Stage the new population with slot numbers pre-allocated in report
 	// order, swap the engine, and only then mutate the tables — a failed
-	// swap must leave the old epoch fully intact.
+	// swap must leave the old epoch fully intact. A capacitated worker
+	// carries its remaining units (capacity − active) into the new epoch;
+	// its outstanding tasks keep running and release against the new slot.
 	base := len(s.workerIDs)
 	inserts := make([]engine.EpochInsert, 0, len(plan.Outcomes))
 	for i := range plan.Outcomes {
 		if !plan.Outcomes[i].Parked {
-			inserts = append(inserts, engine.EpochInsert{Code: plan.Outcomes[i].Code, ID: base + len(inserts)})
+			old := s.byID[plan.Outcomes[i].Worker]
+			inserts = append(inserts, engine.EpochInsert{
+				Code: plan.Outcomes[i].Code,
+				ID:   base + len(inserts),
+				Cap:  s.capacity[old] - s.active[old],
+			})
 		}
 	}
 	if err := s.eng.SwapEpoch(plan.Epoch, plan.Tree, 0, inserts); err != nil {
@@ -112,6 +119,11 @@ func (s *Server) Rotate(req RotateRequest) RotateResponse {
 		s.codes = append(s.codes, o.Code)
 		s.states = append(s.states, stateAvailable)
 		s.slotEpoch = append(s.slotEpoch, plan.Epoch)
+		// The new slot inherits the stint's capacity accounting: tasks
+		// assigned before the rotation release against it.
+		s.capacity = append(s.capacity, s.capacity[old])
+		s.active = append(s.active, s.active[old])
+		s.active[old] = 0
 		s.byID[o.Worker] = slot
 		s.states[old] = stateRetired
 		resp.Rotated++
@@ -123,7 +135,14 @@ func (s *Server) Rotate(req RotateRequest) RotateResponse {
 	// withdrawal, so the worker may register back later with a fresh spend.
 	for slot := 0; slot < base; slot++ {
 		if s.states[slot] == stateAvailable {
-			s.states[slot] = stateGone
+			if s.active[slot] > 0 {
+				// A capacitated dropped worker still owes completions: it
+				// finishes them offline and goes fully gone at its last
+				// Release, exactly like a withdrawal.
+				s.states[slot] = stateAssignedGone
+			} else {
+				s.states[slot] = stateGone
+			}
 			s.dropped++
 			resp.Dropped = append(resp.Dropped, s.workerIDs[slot])
 		}

@@ -3,6 +3,7 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"github.com/pombm/pombm/internal/engine"
@@ -42,6 +43,12 @@ type Server struct {
 	codes     []hst.Code // slot → reported leaf
 	states    []workerState
 	slotEpoch []int64 // slot → epoch the slot's code was obfuscated under
+	// capacity is the slot's declared task capacity and active its
+	// outstanding assignments. The engine holds the slot exactly while
+	// active < capacity (with capacity−active remaining units), so a pop
+	// maps to active++ and a completed task hands one unit back.
+	capacity  []int
+	active    []int
 	byID      map[string]int
 	assigned  int
 	rejected  int
@@ -56,17 +63,18 @@ type Server struct {
 }
 
 // workerState tracks a slot's lifecycle. A worker is in the engine exactly
-// when its state is stateAvailable. Slots are registration epochs: a
-// worker that withdraws and registers back gets a fresh slot, and the old
-// one is retired for good — so a Submit holding a popped slot can always
-// tell whether the stint that slot belongs to is still the live one.
+// when its state is stateAvailable (with capacity−active remaining units).
+// Slots are registration epochs: a worker that withdraws and registers back
+// gets a fresh slot, and the old one is retired for good — so a Submit
+// holding a popped slot can always tell whether the stint that slot belongs
+// to is still the live one.
 type workerState uint8
 
 const (
 	stateAvailable    workerState = iota
-	stateAssigned                 // popped by a task, awaiting Release
+	stateAssigned                 // at full capacity, awaiting a Release
 	stateGone                     // withdrew; stint over, id may Register back
-	stateAssignedGone             // withdrew mid-assignment; stint ends at Release
+	stateAssignedGone             // withdrew mid-assignment; stint ends at the last Release
 	stateRetired                  // superseded by a newer registration of the same id
 	stateParked                   // lifetime ε budget exhausted; terminal
 )
@@ -76,21 +84,50 @@ const (
 // re-registration) while the pop was in flight: the pop is stale and must
 // be retried — the worker was told it is offline (or got a fresh slot in
 // the new epoch), and acting on the pop could double-assign it.
+// stateAssignedGone closes the stint too: a capacitated worker's spare
+// units were withdrawn from the pool while its assignments run out, so a
+// pop that raced the withdrawal must not hand it new work.
 func stintOver(st workerState) bool {
-	return st == stateGone || st == stateRetired || st == stateParked
+	return st == stateGone || st == stateRetired || st == stateParked || st == stateAssignedGone
 }
 
 // ServerOption customises server construction.
 type ServerOption func(*serverConfig)
 
 type serverConfig struct {
-	shards   int
-	lifetime float64
+	shards     int
+	lifetime   float64
+	policy     engine.Policy
+	defaultCap int
+	tree       *hst.Tree
 }
 
 // WithShards sets the assignment engine's shard count (0 = engine default).
 func WithShards(n int) ServerOption {
 	return func(c *serverConfig) { c.shards = n }
+}
+
+// WithPolicy selects the assignment policy the server's engine runs (nil
+// keeps the paper-faithful greedy default).
+func WithPolicy(p engine.Policy) ServerOption {
+	return func(c *serverConfig) { c.policy = p }
+}
+
+// WithDefaultCapacity sets the per-worker capacity a registration without
+// an explicit one receives (default 1). Values above 1 require a
+// capacity-aware policy.
+func WithDefaultCapacity(n int) ServerOption {
+	return func(c *serverConfig) { c.defaultCap = n }
+}
+
+// WithTree publishes the given pre-built HST instead of deriving one from
+// the server seed. The tree must cover exactly the predefined grid
+// (cols×rows points). Deployments restoring a persisted epoch — and
+// harnesses that must share one published tree across stacks, like the
+// simulator's cross-driver comparisons — inject it here; epoch rotations
+// still derive their fresh trees from the server seed.
+func WithTree(t *hst.Tree) ServerOption {
+	return func(c *serverConfig) { c.tree = t }
 }
 
 // WithLifetimeBudget enforces a per-worker lifetime ε budget: every fresh
@@ -115,14 +152,27 @@ func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64, opts .
 	if err != nil {
 		return nil, err
 	}
-	tree, err := hst.Build(grid.Points(), rng.New(seed).Derive("server-hst"))
-	if err != nil {
-		return nil, err
+	tree := cfg.tree
+	if tree == nil {
+		tree, err = hst.Build(grid.Points(), rng.New(seed).Derive("server-hst"))
+		if err != nil {
+			return nil, err
+		}
+	} else if tree.NumPoints() != grid.Len() {
+		return nil, fmt.Errorf("platform: injected tree covers %d points, grid has %d",
+			tree.NumPoints(), grid.Len())
 	}
 	if eps <= 0 {
 		return nil, errors.New("platform: epsilon must be positive")
 	}
-	eng, err := engine.New(tree, cfg.shards)
+	var engOpts []engine.Option
+	if cfg.policy != nil {
+		engOpts = append(engOpts, engine.WithPolicy(cfg.policy))
+	}
+	if cfg.defaultCap != 0 {
+		engOpts = append(engOpts, engine.WithDefaultCapacity(cfg.defaultCap))
+	}
+	eng, err := engine.NewWithOptions(tree, cfg.shards, engOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -212,11 +262,25 @@ func (s *Server) Register(req RegisterRequest) RegisterResponse {
 			return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already registered", req.WorkerID)}
 		}
 	}
+	// Resolve the slot's capacity exactly as the engine will: the server's
+	// accounting (active vs capacity) must agree with the engine's units.
+	// Range validation happens before the budget spend below — a refused
+	// registration must not burn lifetime ε.
+	if req.Capacity < 0 || req.Capacity > math.MaxInt32 {
+		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: capacity %d out of range", req.Capacity)}
+	}
+	capacity := req.Capacity
+	if capacity == 0 {
+		capacity = s.eng.DefaultCapacity()
+	}
+	if !s.eng.Policy().CapacityAware() {
+		capacity = 1
+	}
 	if err := s.rot.Spend(req.WorkerID); err != nil {
 		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
 	}
 	slot := len(s.workerIDs)
-	if err := s.eng.InsertEpoch(code, slot, s.epoch); err != nil {
+	if err := s.eng.InsertCapEpoch(code, slot, capacity, s.epoch); err != nil {
 		return RegisterResponse{OK: false, Reason: err.Error()}
 	}
 	// A concurrent Submit can pop the new slot as soon as Insert returns,
@@ -225,6 +289,8 @@ func (s *Server) Register(req RegisterRequest) RegisterResponse {
 	s.codes = append(s.codes, code)
 	s.states = append(s.states, stateAvailable)
 	s.slotEpoch = append(s.slotEpoch, s.epoch)
+	s.capacity = append(s.capacity, capacity)
+	s.active = append(s.active, 0)
 	s.byID[req.WorkerID] = slot
 	if revive >= 0 {
 		s.states[revive] = stateRetired
@@ -255,8 +321,8 @@ func (s *Server) Submit(req TaskRequest) TaskResponse {
 		// closed in flight, in which case there is nothing to restore.
 		if ok && !stintOver(s.states[slot]) {
 			// The slot was popped live, so its code is valid for the
-			// serving epoch; the re-insert cannot fail.
-			s.eng.InsertEpoch(s.codes[slot], slot, s.epoch)
+			// serving epoch; returning the unit cannot fail.
+			s.eng.AddCapacityEpoch(s.codes[slot], slot, s.epoch)
 		}
 		s.rejected++
 		return TaskResponse{Assigned: false, Reason: staleEpochReason(req.Epoch, s.epoch)}
@@ -272,9 +338,13 @@ func (s *Server) Submit(req TaskRequest) TaskResponse {
 		s.rejected++
 		return TaskResponse{Assigned: false, Reason: "platform: no available workers"}
 	}
-	// The retry loop above guarantees the stint is live, and a popped slot
-	// cannot be in any other live state than stateAvailable.
-	s.states[slot] = stateAssigned
+	// The retry loop above guarantees the stint is live; a popped slot is
+	// stateAvailable and leaves the pool only when this pop consumed its
+	// last capacity unit.
+	s.active[slot]++
+	if s.active[slot] >= s.capacity[slot] {
+		s.states[slot] = stateAssigned
+	}
 	s.assigned++
 	s.bumpLevel(lvl)
 	return TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot], Epoch: s.slotEpoch[slot]}
@@ -330,7 +400,7 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 		// refused and their pop undone, exactly as in Submit.
 		if e := req.Tasks[i].Epoch; e != 0 && e != s.epoch {
 			if slot != engine.None && !stintOver(s.states[slot]) {
-				s.eng.InsertEpoch(s.codes[slot], slot, s.epoch)
+				s.eng.AddCapacityEpoch(s.codes[slot], slot, s.epoch)
 			}
 			s.rejected++
 			out.Results[i] = TaskResponse{Assigned: false, Reason: staleEpochReason(e, s.epoch)}
@@ -349,7 +419,10 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 			out.Results[i] = TaskResponse{Assigned: false, Reason: "platform: no available workers"}
 			continue
 		}
-		s.states[slot] = stateAssigned
+		s.active[slot]++
+		if s.active[slot] >= s.capacity[slot] {
+			s.states[slot] = stateAssigned
+		}
 		s.assigned++
 		s.bumpLevel(lvl)
 		out.Results[i] = TaskResponse{Assigned: true, WorkerID: s.workerIDs[slot], Epoch: s.slotEpoch[slot]}
@@ -357,15 +430,17 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 	return out
 }
 
-// Release returns an assigned worker to the available pool, optionally at
-// a freshly obfuscated leaf. Re-reporting the previous code costs no extra
-// privacy budget (it is post-processing of an already-released report),
-// but is only possible while the epoch it was obfuscated under is still
-// being served; after a rotation the worker must supply a fresh code drawn
-// under the new publication, which — like every fresh report — spends ε
-// against its lifetime budget and can park it. The paper's one-shot model
-// has no releases; a deployed platform needs them for workers that
-// complete tasks.
+// Release records a completed task: one capacity unit returns to the pool,
+// optionally at a freshly obfuscated leaf. Re-reporting the previous code
+// costs no extra privacy budget (it is post-processing of an already-
+// released report), but is only possible while the epoch it was obfuscated
+// under is still being served; after a rotation the worker must supply a
+// fresh code drawn under the new publication, which — like every fresh
+// report — spends ε against its lifetime budget and can park it. A
+// capacitated worker that still has units in the pool and re-reports a new
+// code moves wholesale: its remaining units follow the fresh leaf. The
+// paper's one-shot model has no releases; a deployed platform needs them
+// for workers that complete tasks.
 func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 	var newCode hst.Code
 	s.mu.Lock()
@@ -385,24 +460,42 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 	}
 	switch s.states[slot] {
 	case stateAvailable:
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q is not assigned", req.WorkerID)}
+		if s.active[slot] == 0 {
+			return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q is not assigned", req.WorkerID)}
+		}
+		// A capacitated worker with spare units completing one of its tasks:
+		// fall through to the completion path below.
 	case stateGone:
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)}
 	case stateParked:
 		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
 	case stateAssignedGone:
-		// The task is done but the worker had withdrawn mid-assignment: it
-		// does not return to the pool, yet the completion means it is now
-		// simply offline — free to Register back later.
-		s.states[slot] = stateGone
+		// The task is done but the worker had withdrawn mid-assignment: the
+		// unit does not return to the pool, and once the last outstanding
+		// task completes the worker is simply offline — free to Register
+		// back later.
+		if s.active[slot] > 0 {
+			s.active[slot]--
+		}
+		if s.active[slot] == 0 {
+			s.states[slot] = stateGone
+		}
 		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)}
 	}
 	code := s.codes[slot]
+	inPool := s.states[slot] == stateAvailable // spare units live in the engine
 	if newCode != "" {
 		code = newCode
 		if err := s.rot.Spend(req.WorkerID); err != nil {
 			// The worker finished its task but cannot afford the fresh
-			// report: park it rather than re-noise past its guarantee.
+			// report: park it rather than re-noise past its guarantee,
+			// pulling any spare units out of the pool.
+			if inPool {
+				s.eng.Remove(s.codes[slot], slot)
+			}
+			if s.active[slot] > 0 {
+				s.active[slot]--
+			}
 			s.states[slot] = stateParked
 			return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
 		}
@@ -411,9 +504,27 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 			"platform: worker %q report is from epoch %d (serving %d); a fresh report is required",
 			req.WorkerID, s.slotEpoch[slot], s.epoch)}
 	}
-	if err := s.eng.InsertEpoch(code, slot, s.epoch); err != nil {
-		return RegisterResponse{OK: false, Reason: err.Error()}
+	// Hand the completed unit back. Same code: one unit rejoins in place
+	// (re-inserting the slot when this was its last active task). New code:
+	// the worker moves wholesale, spare units included — sized by what the
+	// engine actually still pooled, not by capacity−active: a concurrent
+	// Submit may have popped a unit it has not recorded under mu yet, and
+	// re-deriving the count here would resurrect that unit and let the
+	// worker serve beyond its capacity.
+	if inPool && code == s.codes[slot] {
+		if err := s.eng.AddCapacityEpoch(code, slot, s.epoch); err != nil {
+			return RegisterResponse{OK: false, Reason: err.Error()}
+		}
+	} else {
+		pooled := 0
+		if inPool {
+			pooled, _ = s.eng.RemoveUnits(s.codes[slot], slot)
+		}
+		if err := s.eng.InsertCapEpoch(code, slot, pooled+1, s.epoch); err != nil {
+			return RegisterResponse{OK: false, Reason: err.Error()}
+		}
 	}
+	s.active[slot]--
 	s.codes[slot] = code
 	s.slotEpoch[slot] = s.epoch
 	s.states[slot] = stateAvailable
@@ -449,9 +560,15 @@ func (s *Server) Withdraw(req WithdrawRequest) RegisterResponse {
 		// so the withdrawal must win every race: when a concurrent Submit
 		// popped the worker but has not recorded the assignment yet
 		// (eng.Remove fails), marking the stint over makes that pop stale
-		// and the Submit retries another worker.
+		// and the Submit retries another worker. A capacitated worker with
+		// outstanding tasks keeps serving them (its spare units leave the
+		// pool now) and goes fully offline at its last Release.
 		s.eng.Remove(s.codes[slot], slot)
-		s.states[slot] = stateGone
+		if s.active[slot] > 0 {
+			s.states[slot] = stateAssignedGone
+		} else {
+			s.states[slot] = stateGone
+		}
 	}
 	s.withdrawn++
 	return RegisterResponse{OK: true}
@@ -466,11 +583,17 @@ func (s *Server) Stats() StatsResponse {
 		mean = float64(s.levelSum) / float64(s.assigned)
 	}
 	rs := s.rot.Stats()
+	policy := s.eng.Policy().Name()
 	return StatsResponse{
 		// Distinct worker ids, not slots: re-registrations after a
 		// withdrawal retire the old slot rather than reuse it.
 		RegisteredWorkers: len(s.byID),
 		AvailableWorkers:  s.eng.Len(),
+		Policy:            policy,
+		PolicyCounters:    map[string]int{policy: s.assigned},
+		DefaultCapacity:   s.eng.DefaultCapacity(),
+		CapacityUnits:     s.eng.CapacityUnits(),
+		BatchWindows:      s.eng.Windows(),
 		AssignedTasks:     s.assigned,
 		RejectedTasks:     s.rejected,
 		ReleasedWorkers:   s.released,

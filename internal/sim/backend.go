@@ -46,19 +46,28 @@ const (
 // when the worker's lifetime budget cannot afford the fresh report; the
 // simulator then parks the worker.
 type backend interface {
-	register(id, worker int, code hst.Code) error
-	release(id, worker int, code hst.Code) error
+	// register brings a fresh stint online with the given capacity units.
+	register(id, worker int, code hst.Code, capacity int) error
+	// release records a completed task whose unit returns to the pool at a
+	// freshly obfuscated code (a fresh report, so a fresh spend). capLeft
+	// is the stint's remaining units after this completion — a capacitated
+	// worker with spare units in the pool moves wholesale to the new code.
+	release(id, worker int, oldCode, newCode hst.Code, capLeft int) error
+	// finish records a completed task whose unit does not return: the
+	// worker withdrew (or was parked/dropped) while the task was running.
+	finish(id, worker int)
 	withdraw(id int, code hst.Code) bool
 	assign(code hst.Code) (id int, ok bool)
 	assignBatch(codes []hst.Code) []int // engine.None where unassigned
 	poolSize() int
 	// rotate swaps the backend to a fresh epoch. workers lists the
-	// available population in the simulator's deterministic order; report
-	// draws each one's fresh obfuscated code under the new tree (called
-	// exactly once per worker, in order — the rng contract); alloc hands
-	// out a fresh registration id, called exactly once per non-parked
-	// worker, in order. The returned outcome is aligned with workers.
-	rotate(workers []int, report func(worker int, tree *hst.Tree) hst.Code, alloc func(worker int) int) (*rotateResult, error)
+	// available population in the simulator's deterministic order, capLeft
+	// their remaining units (aligned); report draws each one's fresh
+	// obfuscated code under the new tree (called exactly once per worker,
+	// in order — the rng contract); alloc hands out a fresh registration
+	// id, called exactly once per non-parked worker, in order. The
+	// returned outcome is aligned with workers.
+	rotate(workers []int, capLeft []int, report func(worker int, tree *hst.Tree) hst.Code, alloc func(worker int) int) (*rotateResult, error)
 	// epochInfo reports the serving epoch and the budget accounting
 	// totals (zeros when no lifetime budget is configured).
 	epochInfo() (epoch int64, spent, limit float64)
@@ -86,23 +95,41 @@ type engineBackend struct {
 
 func workerName(worker int) string { return "w" + strconv.Itoa(worker) }
 
-func (b *engineBackend) register(id, worker int, code hst.Code) error {
+func (b *engineBackend) register(id, worker int, code hst.Code, capacity int) error {
 	if err := b.ctrl.Spend(workerName(worker)); err != nil {
 		return err
 	}
-	if err := b.eng.Insert(code, id); err != nil {
+	if err := b.eng.InsertCapEpoch(code, id, capacity, 0); err != nil {
 		return err
 	}
 	b.ctrl.Observe(code)
 	return nil
 }
 
-// release re-reports at a freshly obfuscated code — a fresh spend and an
-// insert, exactly the register protocol under the same stint id (matching
-// the platform's Release-with-code path), so it delegates.
-func (b *engineBackend) release(id, worker int, code hst.Code) error {
-	return b.register(id, worker, code)
+// release re-reports at a freshly obfuscated code — a fresh spend, then the
+// completed unit (and any spare units, moved wholesale from the old code)
+// re-enters at the new leaf, mirroring the platform's Release-with-code
+// path. A refused spend pulls the spare units out of the pool: the worker
+// is being parked, exactly as the platform does server-side.
+func (b *engineBackend) release(id, worker int, oldCode, newCode hst.Code, capLeft int) error {
+	if err := b.ctrl.Spend(workerName(worker)); err != nil {
+		if capLeft > 1 {
+			b.eng.Remove(oldCode, id)
+		}
+		return err
+	}
+	if capLeft > 1 {
+		// The stint still had capLeft−1 units pooled at the old code.
+		b.eng.Remove(oldCode, id)
+	}
+	if err := b.eng.InsertCapEpoch(newCode, id, capLeft, 0); err != nil {
+		return err
+	}
+	b.ctrl.Observe(newCode)
+	return nil
 }
+
+func (b *engineBackend) finish(int, int) {} // nothing pooled to update
 
 func (b *engineBackend) withdraw(id int, code hst.Code) bool { return b.eng.Remove(code, id) }
 
@@ -118,7 +145,7 @@ func (b *engineBackend) assignBatch(codes []hst.Code) []int {
 
 func (b *engineBackend) poolSize() int { return b.eng.Len() }
 
-func (b *engineBackend) rotate(workers []int, report func(int, *hst.Tree) hst.Code, alloc func(int) int) (*rotateResult, error) {
+func (b *engineBackend) rotate(workers []int, capLeft []int, report func(int, *hst.Tree) hst.Code, alloc func(int) int) (*rotateResult, error) {
 	staged, err := b.ctrl.Prepare(0, b.refit)
 	if err != nil {
 		return nil, err
@@ -152,7 +179,7 @@ func (b *engineBackend) rotate(workers []int, report func(int, *hst.Tree) hst.Co
 		}
 		id := alloc(workers[i])
 		res.codes[i], res.newID[i] = o.Code, id
-		inserts = append(inserts, engine.EpochInsert{Code: o.Code, ID: id})
+		inserts = append(inserts, engine.EpochInsert{Code: o.Code, ID: id, Cap: capLeft[i]})
 	}
 	if err := b.eng.SwapEpoch(plan.Epoch, plan.Tree, 0, inserts); err != nil {
 		return nil, err
@@ -198,8 +225,10 @@ func budgetErr(op string, resp platform.RegisterResponse) error {
 	return fmt.Errorf("sim: platform %s: %s", op, resp.Reason)
 }
 
-func (b *platformBackend) register(id, worker int, code hst.Code) error {
-	resp := b.srv.Register(platform.RegisterRequest{WorkerID: workerName(worker), Code: []byte(code), Epoch: b.epoch})
+func (b *platformBackend) register(id, worker int, code hst.Code, capacity int) error {
+	resp := b.srv.Register(platform.RegisterRequest{
+		WorkerID: workerName(worker), Code: []byte(code), Epoch: b.epoch, Capacity: capacity,
+	})
 	if !resp.OK {
 		return budgetErr("register", resp)
 	}
@@ -208,12 +237,26 @@ func (b *platformBackend) register(id, worker int, code hst.Code) error {
 	return nil
 }
 
-func (b *platformBackend) release(id, worker int, code hst.Code) error {
-	resp := b.srv.Release(platform.ReleaseRequest{WorkerID: workerName(worker), Code: []byte(code), Epoch: b.epoch})
+// release hands the completed unit back through the server's Release; the
+// server owns the move-spare-units bookkeeping, so oldCode and capLeft are
+// the engine driver's concern only.
+func (b *platformBackend) release(id, worker int, _, newCode hst.Code, _ int) error {
+	resp := b.srv.Release(platform.ReleaseRequest{WorkerID: workerName(worker), Code: []byte(newCode), Epoch: b.epoch})
 	if !resp.OK {
 		return budgetErr("release", resp)
 	}
 	return nil
+}
+
+// finish acknowledges a withdrawn (or parked) worker's completed task: the
+// server decrements the outstanding count and refuses the pool re-entry,
+// which is exactly what the simulator expects — the refusal is the
+// protocol, not an error.
+func (b *platformBackend) finish(id, worker int) {
+	resp := b.srv.Release(platform.ReleaseRequest{WorkerID: workerName(worker)})
+	if resp.OK {
+		panic(fmt.Sprintf("sim: platform finish of worker %d re-entered the pool", worker))
+	}
 }
 
 func (b *platformBackend) withdraw(id int, code hst.Code) bool {
@@ -256,7 +299,7 @@ func (b *platformBackend) assignBatch(codes []hst.Code) []int {
 
 func (b *platformBackend) poolSize() int { return b.srv.Stats().AvailableWorkers }
 
-func (b *platformBackend) rotate(workers []int, report func(int, *hst.Tree) hst.Code, alloc func(int) int) (*rotateResult, error) {
+func (b *platformBackend) rotate(workers []int, _ []int, report func(int, *hst.Tree) hst.Code, alloc func(int) int) (*rotateResult, error) {
 	names := make([]string, len(workers))
 	for i, w := range workers {
 		names[i] = workerName(w)

@@ -6,29 +6,52 @@ import (
 	"github.com/pombm/pombm/internal/hst"
 )
 
-// crossCheck is the sequential reference: it mirrors the available pool in
-// a plain map and re-derives every assignment by brute-force scan, exactly
-// the paper-faithful rule (minimal LCA level, ties to the smallest id —
-// match.HSTGreedyScan's order). Because the simulator drives the engine
-// from a single goroutine, the engine's answers must agree decision for
-// decision; any divergence is a correctness violation, not a tie-break
-// artefact.
+// crossCheck is the sequential reference: it mirrors the available pool —
+// worker codes and remaining capacity units — in a plain map and verifies
+// every assignment against it.
+//
+// In strict mode (the greedy policies) it re-derives each decision by
+// brute-force scan, exactly the capacitated sequential rule: the minimal
+// LCA level among workers with remaining capacity, ties to the smallest
+// registration id — match.HSTGreedyScan's order, generalised so a worker
+// leaves the pool only when its last unit is consumed. Because the
+// simulator drives the engine from a single goroutine, the engine's answers
+// must agree decision for decision; any divergence is a correctness
+// violation, not a tie-break artefact.
+//
+// In feasibility mode (window-solving policies like batch-optimal, whose
+// decisions are deliberately not the sequential rule) it still verifies
+// that every assigned worker was genuinely available with spare capacity
+// and consumes units from the mirror, so pool-consistency and
+// never-assign-a-gone-worker keep holding.
 type crossCheck struct {
 	tree        *hst.Tree
-	avail       map[int]hst.Code // registration id → reported code
+	strict      bool
+	avail       map[int]refWorker // registration id → reported code + units
 	checked     int
 	nViolations int
 	samples     []string // first few violation descriptions
 }
 
+// refWorker is one mirrored pool entry.
+type refWorker struct {
+	code hst.Code
+	cap  int
+}
+
 // maxSamples bounds the retained violation details.
 const maxSamples = 5
 
-func newCrossCheck(tree *hst.Tree) *crossCheck {
-	return &crossCheck{tree: tree, avail: map[int]hst.Code{}}
+func newCrossCheck(tree *hst.Tree, strict bool) *crossCheck {
+	return &crossCheck{tree: tree, strict: strict, avail: map[int]refWorker{}}
 }
 
-func (c *crossCheck) register(id int, code hst.Code) { c.avail[id] = code }
+// register mirrors a fresh report: a worker enters (or re-enters) the pool
+// at the given code with the given remaining capacity. Releases re-use it
+// to overwrite the entry with the post-completion code and units.
+func (c *crossCheck) register(id int, code hst.Code, capacity int) {
+	c.avail[id] = refWorker{code: code, cap: capacity}
+}
 
 func (c *crossCheck) withdraw(id int) { delete(c.avail, id) }
 
@@ -37,34 +60,44 @@ func (c *crossCheck) withdraw(id int) { delete(c.avail, id) }
 // old epoch are meaningless under the new tree.
 func (c *crossCheck) retree(tree *hst.Tree) { c.tree = tree }
 
-// observe verifies one assignment decision and consumes the chosen worker
-// from the mirror pool.
+// observe verifies one assignment decision and consumes one capacity unit
+// of the chosen worker from the mirror pool.
 func (c *crossCheck) observe(taskCode hst.Code, gotID int, ok bool) {
 	c.checked++
 	if !ok {
-		if len(c.avail) > 0 {
+		// Under the sequential rule an assignment fails only on an empty
+		// pool; a window-solving policy may leave a task unassigned when
+		// its mined candidate graph cannot cover it.
+		if c.strict && len(c.avail) > 0 {
 			c.fail(fmt.Sprintf("task %q unassigned with %d workers available", taskCode, len(c.avail)))
 		}
 		return
 	}
-	code, present := c.avail[gotID]
+	w, present := c.avail[gotID]
 	if !present {
 		c.fail(fmt.Sprintf("task %q assigned to worker %d, which is not available", taskCode, gotID))
 		return
 	}
-	bestLvl, bestID := c.tree.Depth()+1, -1
-	for id, wc := range c.avail {
-		lvl := c.tree.LCALevel(taskCode, wc)
-		if lvl < bestLvl || (lvl == bestLvl && id < bestID) {
-			bestLvl, bestID = lvl, id
+	if c.strict {
+		bestLvl, bestID := c.tree.Depth()+1, -1
+		for id, rw := range c.avail {
+			lvl := c.tree.LCALevel(taskCode, rw.code)
+			if lvl < bestLvl || (lvl == bestLvl && id < bestID) {
+				bestLvl, bestID = lvl, id
+			}
+		}
+		if got := c.tree.LCALevel(taskCode, w.code); got != bestLvl {
+			c.fail(fmt.Sprintf("task %q matched at level %d, nearest available is level %d", taskCode, got, bestLvl))
+		} else if gotID != bestID {
+			c.fail(fmt.Sprintf("task %q matched worker %d, sequential rule picks %d", taskCode, gotID, bestID))
 		}
 	}
-	if got := c.tree.LCALevel(taskCode, code); got != bestLvl {
-		c.fail(fmt.Sprintf("task %q matched at level %d, nearest available is level %d", taskCode, got, bestLvl))
-	} else if gotID != bestID {
-		c.fail(fmt.Sprintf("task %q matched worker %d, sequential rule picks %d", taskCode, gotID, bestID))
+	w.cap--
+	if w.cap <= 0 {
+		delete(c.avail, gotID)
+	} else {
+		c.avail[gotID] = w
 	}
-	delete(c.avail, gotID)
 }
 
 func (c *crossCheck) fail(msg string) {

@@ -16,6 +16,11 @@ type Report struct {
 	Seed     uint64 `json:"seed"`
 	Driver   string `json:"driver"`
 	Shards   int    `json:"shards"`
+	// Policy is the resolved assignment-policy name and Capacity the
+	// per-worker task capacity; omitted for the historical default
+	// (greedy, capacity 1) so pre-policy reports are byte-unchanged.
+	Policy   string `json:"policy,omitempty"`
+	Capacity int    `json:"capacity,omitempty"`
 
 	GridCols int     `json:"grid_cols"`
 	Epsilon  float64 `json:"epsilon"`

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/geo"
 	"github.com/pombm/pombm/internal/workload"
 )
@@ -58,6 +59,13 @@ type Scenario struct {
 	RotateEvery float64 `json:"rotate_every,omitempty"`
 	RotateRefit bool    `json:"rotate_refit,omitempty"`
 	LifetimeEps float64 `json:"lifetime_eps,omitempty"`
+
+	// Assignment rule. Policy selects the engine's assignment policy by
+	// spec ("" = "greedy"; see engine.PolicyByName); Capacity is the task
+	// capacity every worker registers with (0 = 1). Capacities above 1
+	// need a capacity-aware policy.
+	Policy   string `json:"policy,omitempty"`
+	Capacity int    `json:"capacity,omitempty"`
 }
 
 // Validate reports the first structural problem with the scenario.
@@ -90,6 +98,15 @@ func (sc *Scenario) Validate() error {
 			sc.LifetimeEps, sc.Epsilon)
 	case sc.RotateRefit && sc.RotateEvery <= 0:
 		return fmt.Errorf("sim: rotate refit needs a positive rotate interval")
+	case sc.Capacity < 0:
+		return fmt.Errorf("sim: negative worker capacity %d", sc.Capacity)
+	}
+	pol, err := engine.PolicyByName(sc.Policy)
+	if err != nil {
+		return err
+	}
+	if sc.Capacity > 1 && !pol.CapacityAware() {
+		return fmt.Errorf("sim: capacity %d needs a capacity-aware policy, have %s", sc.Capacity, pol.Name())
 	}
 	switch sc.Spatial {
 	case SpatialUniform, SpatialChengdu:
@@ -258,6 +275,31 @@ var presets = map[string]Scenario{
 		RotateEvery:       300,
 		RotateRefit:       true,
 		LifetimeEps:       3.0,
+	},
+	// capacity-heavy: multi-task couriers — every worker registers with
+	// capacity 3 under the capacitated sequential rule, demand high enough
+	// that workers routinely juggle several tasks, and the tree rotates
+	// mid-run so capacitated stints cross epochs with their remaining
+	// units. The acceptance preset for the policy layer: zero cross-check
+	// violations and bit-identical reports on both drivers.
+	"capacity-heavy": {
+		Name:              "capacity-heavy",
+		Duration:          600,
+		GridCols:          32,
+		Epsilon:           0.6,
+		InitialWorkers:    120,
+		WorkerArrivalRate: 0.5,
+		MeanOnline:        300,
+		ReturnProb:        0.5,
+		MeanAway:          90,
+		TaskRate:          workload.Constant(5, 600),
+		MeanService:       60,
+		Deadline:          30,
+		Spatial:           SpatialUniform,
+		Policy:            "capacity-greedy",
+		Capacity:          3,
+		RotateEvery:       240,
+		RotateRefit:       true,
 	},
 	// chengdu-day: the Chengdu hotspot mixture under time-sliced batch
 	// assignment (5 s windows), long ride-like service times.

@@ -49,17 +49,20 @@ const (
 )
 
 // simWorker is one worker's ground truth: the true location and lifecycle
-// the server never sees.
+// the server never sees. active counts its outstanding assignments; the
+// worker is in the pool (wAvailable) exactly while online, not leaving, and
+// active < capacity.
 type simWorker struct {
 	loc     geo.Point
 	state   workerState
-	leaving bool // depart at next completion instead of re-registering
+	active  int  // outstanding assignments
+	leaving bool // stop taking work; go offline at the last completion
 	parked  bool // lifetime ε budget exhausted; offline for good
 	regID   int  // current registration id; fresh per online stint
 	code    hst.Code
 
 	onlineSince float64
-	busySince   float64
+	busySince   float64 // start of the current active ≥ 1 stretch
 	onlineTotal float64
 	busyTotal   float64
 }
@@ -87,6 +90,8 @@ type sim struct {
 	grid    *geo.Grid
 	mech    *privacy.HSTMechanism
 	check   *crossCheck
+	policy  engine.Policy
+	cap     int // per-worker capacity units (≥ 1)
 
 	heap eventHeap
 	seq  int64
@@ -138,24 +143,35 @@ func Run(cfg Config) (*Report, *RunStats, error) {
 	sc := cfg.Scenario
 	root := rng.New(cfg.Seed)
 
+	pol, err := engine.PolicyByName(sc.Policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	capacity := sc.Capacity
+	if capacity == 0 {
+		capacity = 1
+	}
+
 	grid, err := geo.NewGrid(sc.region(), sc.GridCols, sc.GridCols)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	// The tree comes from the system under test: built directly for the
-	// engine driver, taken from the server's publication for the platform
-	// driver (the platform builds its own over the same grid geometry).
-	var tree *hst.Tree
+	// One tree serves both drivers: built from the run seed and injected
+	// into the platform server, so a scenario's assignment decisions — and
+	// its report bytes, driver tag aside — coincide across the stack.
+	// Rotated epochs coincide too: both drivers' rotation controllers
+	// derive staged trees from the same (seed, epoch) stream.
+	tree, err := hst.Build(grid.Points(), root.Derive("sim-hst"))
+	if err != nil {
+		return nil, nil, err
+	}
 	var be backend
 	var shards int
 	switch cfg.Driver {
 	case DriverEngine:
-		tree, err = hst.Build(grid.Points(), root.Derive("sim-hst"))
-		if err != nil {
-			return nil, nil, err
-		}
-		eng, err := engine.New(tree, cfg.Shards)
+		eng, err := engine.NewWithOptions(tree, cfg.Shards,
+			engine.WithPolicy(pol), engine.WithDefaultCapacity(capacity))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -171,11 +187,12 @@ func Run(cfg Config) (*Report, *RunStats, error) {
 		be, shards = &engineBackend{eng: eng, ctrl: ctrl, refit: sc.RotateRefit}, eng.Shards()
 	case DriverPlatform:
 		srv, err := platform.NewServer(sc.region(), sc.GridCols, sc.GridCols, sc.Epsilon, cfg.Seed,
-			platform.WithShards(cfg.Shards), platform.WithLifetimeBudget(sc.LifetimeEps))
+			platform.WithShards(cfg.Shards), platform.WithLifetimeBudget(sc.LifetimeEps),
+			platform.WithPolicy(pol), platform.WithDefaultCapacity(capacity),
+			platform.WithTree(tree))
 		if err != nil {
 			return nil, nil, err
 		}
-		tree = srv.Publication().Tree
 		be, shards = newPlatformBackend(srv, sc.RotateRefit), srv.Engine().Shards()
 	default:
 		return nil, nil, fmt.Errorf("sim: unknown driver %q", cfg.Driver)
@@ -191,6 +208,8 @@ func Run(cfg Config) (*Report, *RunStats, error) {
 		tree:         tree,
 		grid:         grid,
 		mech:         mech,
+		policy:       pol,
+		cap:          capacity,
 		workerLocSrc: root.Derive("worker-loc"),
 		taskLocSrc:   root.Derive("task-loc"),
 		obfSrc:       root.Derive("obfuscate"),
@@ -201,7 +220,11 @@ func Run(cfg Config) (*Report, *RunStats, error) {
 	}
 	s.sampleWorker, s.sampleTask = sc.samplers()
 	if cfg.CrossCheck {
-		s.check = newCrossCheck(tree)
+		// The greedy policies follow the (capacitated) sequential rule and
+		// are checked strictly; window-solving policies diverge from it by
+		// design, so only feasibility and pool consistency are asserted.
+		strict := pol.Name() == engine.Greedy().Name() || pol.Name() == engine.CapacityGreedy().Name()
+		s.check = newCrossCheck(tree, strict)
 	}
 
 	if err := s.schedule(root); err != nil {
@@ -292,16 +315,16 @@ func (s *sim) loop() {
 }
 
 // registerWorker brings worker w online at its current true location under
-// a fresh registration id and a freshly obfuscated code. It reports false
-// — and parks the worker — when the lifetime budget cannot afford the
-// fresh report.
+// a fresh registration id, a freshly obfuscated code, and a full capacity.
+// It reports false — and parks the worker — when the lifetime budget cannot
+// afford the fresh report.
 func (s *sim) registerWorker(w int) bool {
 	wk := &s.workers[w]
 	snapped := s.tree.CodeOf(s.grid.Snap(wk.loc))
 	wk.code = s.mech.ObfuscateWalk(snapped, s.obfSrc)
 	regID := len(s.regOwner)
 	s.regOwner = append(s.regOwner, w)
-	if err := s.backend.register(regID, w, wk.code); err != nil {
+	if err := s.backend.register(regID, w, wk.code, s.cap); err != nil {
 		if errors.Is(err, epoch.ErrBudgetExhausted) {
 			// The registration id was never seen by the backend: drop it so
 			// sim regIDs stay aligned with platform slot numbers.
@@ -316,9 +339,10 @@ func (s *sim) registerWorker(w int) bool {
 	}
 	wk.regID = regID
 	wk.state = wAvailable
+	wk.active = 0
 	s.registrations++
 	if s.check != nil {
-		s.check.register(wk.regID, wk.code)
+		s.check.register(wk.regID, wk.code, s.cap)
 	}
 	return true
 }
@@ -357,24 +381,34 @@ func (s *sim) workerArrive(w int) {
 	s.drainPending()
 }
 
-// workerDepart ends worker w's online stint. A busy worker departs at its
-// next completion; an available one leaves immediately and may come back.
+// workerDepart ends worker w's online stint. An idle worker leaves
+// immediately and may come back; a worker with outstanding tasks stops
+// taking new work now — its pooled spare units are withdrawn — finishes
+// what it carries, and goes fully offline at its last completion.
 func (s *sim) workerDepart(w int) {
 	wk := &s.workers[w]
-	switch wk.state {
-	case wOffline:
+	if wk.state == wOffline {
 		return // already left (e.g. completed its last task while leaving)
-	case wBusy:
-		wk.leaving = true
+	}
+	if wk.active == 0 {
+		if !s.backend.withdraw(wk.regID, wk.code) {
+			panic(fmt.Sprintf("sim: withdraw of available worker %d (reg %d) failed", w, wk.regID))
+		}
+		if s.check != nil {
+			s.check.withdraw(wk.regID)
+		}
+		s.goOffline(w)
 		return
 	}
-	if !s.backend.withdraw(wk.regID, wk.code) {
-		panic(fmt.Sprintf("sim: withdraw of available worker %d (reg %d) failed", w, wk.regID))
-	}
+	wk.leaving = true
+	// The withdrawal pulls any spare pooled units out immediately (for a
+	// fully busy worker there is nothing pooled, and the engine driver's
+	// removal is a no-op — both drivers converge on the same pool).
+	s.backend.withdraw(wk.regID, wk.code)
 	if s.check != nil {
 		s.check.withdraw(wk.regID)
 	}
-	s.goOffline(w)
+	wk.state = wBusy
 }
 
 // goOffline finalises a departure and possibly schedules a comeback.
@@ -412,40 +446,47 @@ func (s *sim) taskExpire(ti int) {
 	s.expired++
 }
 
-// taskComplete frees the worker: it has travelled to the task, so its true
-// location is now the task's, and it re-enters the pool through the
-// release path — a re-report at a freshly obfuscated code under the same
-// stint id. A leaving worker withdraws right after its release, so the
-// backend (in particular the platform's slot table) sees every stint end
-// through a well-defined operation instead of a silent disappearance.
+// taskComplete hands one capacity unit back: the worker has travelled to
+// the task, so its true location is now the task's, and the unit re-enters
+// the pool through the release path — a re-report at a freshly obfuscated
+// code under the same stint id, moving any spare pooled units along with
+// it. A leaving (or parked, or rotation-dropped) worker's units do not
+// return: each completion is acknowledged through the backend's finish
+// path, and the worker goes fully offline at its last one.
 func (s *sim) taskComplete(w, ti int) {
 	wk := &s.workers[w]
-	wk.busyTotal += s.now - wk.busySince
+	wk.active--
+	if wk.active == 0 {
+		wk.busyTotal += s.now - wk.busySince
+	}
 	wk.loc = s.tasks[ti].loc
+	if wk.parked || wk.leaving {
+		s.backend.finish(wk.regID, w)
+		if wk.leaving && wk.active == 0 {
+			s.goOffline(w)
+		}
+		return
+	}
+	oldCode := wk.code
 	snapped := s.tree.CodeOf(s.grid.Snap(wk.loc))
-	wk.code = s.mech.ObfuscateWalk(snapped, s.obfSrc)
-	if err := s.backend.release(wk.regID, w, wk.code); err != nil {
+	code := s.mech.ObfuscateWalk(snapped, s.obfSrc)
+	capLeft := s.cap - wk.active
+	if err := s.backend.release(wk.regID, w, oldCode, code, capLeft); err != nil {
 		if errors.Is(err, epoch.ErrBudgetExhausted) {
 			// The post-task re-report is unaffordable: the worker is parked
-			// instead of re-entering the pool.
+			// instead of re-entering the pool, its spare units withdrawn.
+			if s.check != nil {
+				s.check.withdraw(wk.regID)
+			}
 			s.parkWorker(w)
 			return
 		}
 		panic(fmt.Sprintf("sim: release worker %d: %v", w, err))
 	}
+	wk.code = code
 	s.registrations++
 	if s.check != nil {
-		s.check.register(wk.regID, wk.code)
-	}
-	if wk.leaving {
-		if !s.backend.withdraw(wk.regID, wk.code) {
-			panic(fmt.Sprintf("sim: withdraw of leaving worker %d failed", w))
-		}
-		if s.check != nil {
-			s.check.withdraw(wk.regID)
-		}
-		s.goOffline(w)
-		return
+		s.check.register(wk.regID, wk.code, capLeft)
 	}
 	wk.state = wAvailable
 	if s.sc.BatchWindow == 0 {
@@ -487,13 +528,15 @@ func (s *sim) batchTick() {
 // codes are meaningless under the new tree.
 func (s *sim) rotate() {
 	var order []int
+	var capLeft []int
 	for i := range s.workers {
 		if s.workers[i].state == wAvailable {
 			order = append(order, i)
+			capLeft = append(capLeft, s.cap-s.workers[i].active)
 		}
 	}
 	var newMech *privacy.HSTMechanism
-	res, err := s.backend.rotate(order,
+	res, err := s.backend.rotate(order, capLeft,
 		func(w int, tree *hst.Tree) hst.Code {
 			if newMech == nil || newMech.Tree() != tree {
 				m, err := privacy.NewHSTMechanism(tree, s.sc.Epsilon)
@@ -526,7 +569,7 @@ func (s *sim) rotate() {
 		wk.code = res.codes[i]
 		s.rotatedRep++
 		if s.check != nil {
-			s.check.register(wk.regID, wk.code)
+			s.check.register(wk.regID, wk.code, capLeft[i])
 		}
 	}
 	s.tree = res.tree
@@ -587,14 +630,21 @@ func (s *sim) drainPending() {
 	}
 }
 
-// completeAssignment records the match and schedules the completion.
+// completeAssignment records the match and schedules the completion. The
+// worker leaves the pool only when the assignment consumed its last
+// capacity unit.
 func (s *sim) completeAssignment(ti int, taskCode hst.Code, regID int) {
 	t := &s.tasks[ti]
 	t.status = tAssigned
 	w := s.regOwner[regID]
 	wk := &s.workers[w]
-	wk.state = wBusy
-	wk.busySince = s.now
+	if wk.active == 0 {
+		wk.busySince = s.now
+	}
+	wk.active++
+	if wk.active >= s.cap {
+		wk.state = wBusy
+	}
 
 	lvl := s.tree.LCALevel(taskCode, wk.code)
 	for lvl >= len(s.levelCounts) {
@@ -628,10 +678,10 @@ func (s *sim) closeBooks() {
 	s.now = s.sc.Duration
 	for i := range s.workers {
 		wk := &s.workers[i]
-		if wk.state == wBusy {
-			wk.busyTotal += s.now - wk.busySince
-		}
 		if wk.state != wOffline {
+			if wk.active > 0 {
+				wk.busyTotal += s.now - wk.busySince
+			}
 			wk.onlineTotal += s.now - wk.onlineSince
 		}
 	}
@@ -644,11 +694,15 @@ func (s *sim) report(cfg Config, shards int) *Report {
 		Driver:      string(cfg.Driver),
 		Shards:      shards,
 		GridCols:    s.sc.GridCols,
+		Capacity:    s.sc.Capacity,
 		Epsilon:     s.sc.Epsilon,
 		Depth:       s.tree.Depth(),
 		Degree:      s.tree.Degree(),
 		SimDuration: s.sc.Duration,
 		Events:      s.events,
+	}
+	if s.policy.Name() != engine.Greedy().Name() {
+		r.Policy = s.policy.Name()
 	}
 
 	arrived := len(s.tasks)

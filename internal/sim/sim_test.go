@@ -52,7 +52,7 @@ func TestWithDuration(t *testing.T) {
 
 func TestPresetsValidate(t *testing.T) {
 	names := Scenarios()
-	want := []string{"chengdu-day", "churn-heavy", "epoch-rotate", "flash-crowd", "rush-hour", "steady"}
+	want := []string{"capacity-heavy", "chengdu-day", "churn-heavy", "epoch-rotate", "flash-crowd", "rush-hour", "steady"}
 	if len(names) != len(want) {
 		t.Fatalf("Scenarios() = %v, want %v", names, want)
 	}
@@ -95,6 +95,9 @@ func TestValidateRejectsBadScenarios(t *testing.T) {
 		{"negative lifetime budget", func(sc *Scenario) { sc.LifetimeEps = -1 }},
 		{"lifetime below epsilon", func(sc *Scenario) { sc.LifetimeEps = sc.Epsilon / 2 }},
 		{"refit without rotation", func(sc *Scenario) { sc.RotateRefit = true }},
+		{"negative capacity", func(sc *Scenario) { sc.Capacity = -1 }},
+		{"capacity without capacity-aware policy", func(sc *Scenario) { sc.Capacity = 2 }},
+		{"unknown policy", func(sc *Scenario) { sc.Policy = "telepathy" }},
 	}
 	for _, tc := range cases {
 		sc := base
@@ -379,6 +382,81 @@ func TestLifetimeBudgetWithoutRotation(t *testing.T) {
 	want := sc.Epsilon * float64(r.Workers.Registrations)
 	if diff := r.Epochs.BudgetSpent - want; diff < -1e-6 || diff > 1e-6 {
 		t.Errorf("budget spent %v, registrations say %v", r.Epochs.BudgetSpent, want)
+	}
+}
+
+// TestCapacityHeavyPreset is the policy layer's acceptance test: the
+// capacitated sequential rule survives the full churn + rotation gauntlet
+// with zero cross-check violations, and the engine and platform drivers
+// produce bit-identical assignment outcomes.
+func TestCapacityHeavyPreset(t *testing.T) {
+	sc := shortPreset(t, "capacity-heavy", 300) // crosses the rotation at 240
+	var blobs [][]byte
+	for _, driver := range []Driver{DriverEngine, DriverPlatform} {
+		r, _, err := Run(Config{Scenario: sc, Seed: 1, Driver: driver, CrossCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Check.Violations != 0 {
+			t.Fatalf("%s: %d violations of %d checked: %v",
+				driver, r.Check.Violations, r.Check.Checked, r.Check.Samples)
+		}
+		if !r.Check.PoolConsistent {
+			t.Fatalf("%s: pool diverged from the capacitated reference", driver)
+		}
+		if r.Policy != "capacity-greedy" || r.Capacity != 3 {
+			t.Fatalf("%s: report policy %q capacity %d", driver, r.Policy, r.Capacity)
+		}
+		if r.Epochs == nil || r.Epochs.Rotations != 1 {
+			t.Fatalf("%s: epochs %+v, want one rotation", driver, r.Epochs)
+		}
+		if r.Tasks.Assigned == 0 {
+			t.Fatalf("%s: no assignments", driver)
+		}
+		// Capacity must actually matter: more tasks assigned than distinct
+		// worker stints would allow under the one-task rule at peak.
+		if r.Tasks.Assigned <= r.Workers.Registrations && r.Workers.Utilisation == 0 {
+			t.Fatalf("%s: capacity never exercised: %+v", driver, r.Tasks)
+		}
+		// Neutralise the driver tag: everything else must be byte-identical
+		// across drivers.
+		r.Driver = ""
+		blob, err := r.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Errorf("capacity-heavy reports differ across drivers:\n%s\n---\n%s", blobs[0], blobs[1])
+	}
+}
+
+// TestBatchOptimalScenario runs the windowed chengdu-day preset under the
+// batch-optimal policy with the feasibility cross-check: every assignment
+// must consume a genuinely available unit and the pool must stay
+// consistent, even though the decisions deviate from the sequential rule.
+func TestBatchOptimalScenario(t *testing.T) {
+	sc := shortPreset(t, "chengdu-day", 200)
+	sc.Policy = "batch-optimal"
+	sc.Capacity = 2
+	for _, driver := range []Driver{DriverEngine, DriverPlatform} {
+		r, _, err := Run(Config{Scenario: sc, Seed: 9, Driver: driver, CrossCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Check.Violations != 0 {
+			t.Errorf("%s: feasibility violations: %v", driver, r.Check.Samples)
+		}
+		if !r.Check.PoolConsistent {
+			t.Errorf("%s: pool diverged", driver)
+		}
+		if r.Tasks.Assigned == 0 {
+			t.Errorf("%s: batch-optimal assigned nothing", driver)
+		}
+		if r.Policy != "batch-optimal:k=8" {
+			t.Errorf("%s: report policy %q", driver, r.Policy)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package pombm
 import (
 	"net/http"
 
+	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/platform"
 	"github.com/pombm/pombm/internal/rng"
 )
@@ -75,6 +76,36 @@ func WithShards(n int) ServerOption { return platform.WithShards(n) }
 func WithLifetimeBudget(lifetime float64) ServerOption {
 	return platform.WithLifetimeBudget(lifetime)
 }
+
+// Policy is the pluggable assignment rule the server's engine runs: which
+// available worker serves each task. Built-ins: GreedyPolicy (the paper's
+// rule, default), CapacityGreedyPolicy (multi-task workers), and
+// BatchOptimalPolicy (window-optimal restricted matching).
+type Policy = engine.Policy
+
+// GreedyPolicy is the paper-faithful rule: one task per worker slot,
+// nearest worker in tree distance, ties to the smallest id.
+func GreedyPolicy() Policy { return engine.Greedy() }
+
+// CapacityGreedyPolicy is the capacitated sequential rule: a worker with
+// capacity k serves up to k concurrent tasks.
+func CapacityGreedyPolicy() Policy { return engine.CapacityGreedy() }
+
+// BatchOptimalPolicy serves each batch window as a restricted min-cost
+// matching over per-task top-k trie candidates (k ≤ 0 = default 8).
+func BatchOptimalPolicy(k int) Policy { return engine.BatchOptimal(k) }
+
+// PolicyByName resolves a policy spec: "greedy", "capacity-greedy",
+// "batch-optimal", or "batch-optimal:k=<n>".
+func PolicyByName(spec string) (Policy, error) { return engine.PolicyByName(spec) }
+
+// WithPolicy selects the server's assignment policy (nil keeps greedy).
+func WithPolicy(p Policy) ServerOption { return platform.WithPolicy(p) }
+
+// WithDefaultCapacity sets the per-worker capacity a registration without
+// an explicit one receives (default 1); above 1 needs a capacity-aware
+// policy.
+func WithDefaultCapacity(n int) ServerOption { return platform.WithDefaultCapacity(n) }
 
 // NewServer builds a platform server over a region: grid, HST, and the
 // privacy budget agents must use.
