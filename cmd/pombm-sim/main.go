@@ -91,7 +91,10 @@ func main() {
 		if policyOverride != nil {
 			sc.Policy = *policy
 			if !policyOverride.CapacityAware() {
-				sc.Capacity = 0 // capacities above 1 need a capacity-aware policy
+				// Capacities above 1 (and any skew mix) need a
+				// capacity-aware policy.
+				sc.Capacity = 0
+				sc.CapacitySkew = 0
 			}
 		}
 		report, stats, err := sim.Run(sim.Config{

@@ -1,0 +1,66 @@
+package engine_test
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// TestBatchOptimalAllocsSteadyState pins the batch-optimal window path's
+// allocation contract: once the pooled window scratch, the solver arena,
+// and the shard freelists have reached their high-water marks, a window
+// costs single-digit heap allocations per task (the budget the enginebench
+// gate enforces is ≤ 9/task; steady state runs far below it — the result
+// slices plus the per-shard mining goroutines, amortised over the window).
+func TestBatchOptimalAllocsSteadyState(t *testing.T) {
+	tree := buildTree(t, 16, 9)
+	e, err := engine.NewWithOptions(tree, 0, engine.WithPolicy(engine.BatchOptimal(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(33)
+	const n = 1024
+	codes := make([]hst.Code, n)
+	for i := range codes {
+		codes[i] = randCode(tree, src)
+		if err := e.Insert(codes[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const window = 256
+	batch := make([]hst.Code, window)
+	fill := func() {
+		for i := range batch {
+			batch[i] = codes[src.Intn(n)]
+		}
+	}
+	runWindow := func() {
+		ids, _ := e.AssignBatch(batch)
+		for _, id := range ids {
+			if id >= 0 {
+				if err := e.Insert(codes[id], id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Warm the scratch pool, solver slabs, warm-potential map, and shard
+	// freelists to their steady-state high-water marks.
+	for i := 0; i < 40; i++ {
+		fill()
+		runWindow()
+	}
+	fill()
+	perWindow := testing.AllocsPerRun(200, runWindow)
+	if perTask := perWindow / window; perTask > 9 {
+		t.Errorf("batch-optimal window allocates %.1f/window = %.2f/task, want ≤ 9/task", perWindow, perTask)
+	}
+	// The steady-state figure should in fact be far below the gate: a
+	// regression to per-candidate or per-worker allocation shows up as
+	// hundreds per window.
+	if perWindow > 64 {
+		t.Errorf("batch-optimal window allocates %.1f/window, want ≤ 64", perWindow)
+	}
+}

@@ -1,0 +1,54 @@
+package engine_test
+
+import (
+	"testing"
+
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// BenchmarkBatchOptimalWindow measures one steady-state batch-optimal
+// window end to end (mine, pad, solve, commit, reinsert), per task. It is
+// the in-repo twin of the enginebench policy-batchopt rows: profile this
+// to see where a window's time goes.
+func BenchmarkBatchOptimalWindow(b *testing.B) {
+	tree := buildTree(b, 64, 9)
+	e, err := engine.NewWithOptions(tree, 0, engine.WithPolicy(engine.BatchOptimal(8)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(33)
+	const n = 16384
+	codes := make([]hst.Code, n)
+	for i := range codes {
+		codes[i] = randCode(tree, src)
+		if err := e.Insert(codes[i], i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const window = 256
+	batch := make([]hst.Code, window)
+	runWindow := func() {
+		for i := range batch {
+			batch[i] = codes[src.Intn(n)]
+		}
+		ids, _ := e.AssignBatch(batch)
+		for _, id := range ids {
+			if id >= 0 {
+				if err := e.Insert(codes[id], id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	for i := 0; i < 20; i++ {
+		runWindow() // reach the scratch pool's high-water mark
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runWindow()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*window), "ns/task")
+}

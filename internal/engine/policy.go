@@ -2,9 +2,9 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/pombm/pombm/internal/flow"
 	"github.com/pombm/pombm/internal/hst"
@@ -74,15 +74,32 @@ func (p *greedyPolicy) assignWindow(e *Engine, codes []hst.Code) ([]int, []int) 
 // batch-optimal policy when no explicit k is configured.
 const DefaultBatchTopK = 8
 
+// parallelMineMin is the window size below which candidate mining stays
+// sequential: fanning goroutines across shards only pays once a window
+// carries enough probes to amortise the spawn cost.
+const parallelMineMin = 32
+
 // batchOptimalPolicy serves each batch window as one restricted bipartite
 // matching: every task mines its top-k nearest candidates from the trie
-// (non-destructively), and the window is solved cost-optimally over the
-// candidate union with the shared min-cost max-flow solver, worker
-// capacities becoming sink-edge capacities. One-task serving degenerates to
-// the greedy rule (the cost-optimal choice for a single task is its nearest
+// (non-destructively, by arena ref — no code string ever materialises),
+// and the window is solved cost-optimally over the candidate union with
+// the warm-started flow.Bipartite solver, worker capacities bounding how
+// many tasks one candidate absorbs. One-task serving degenerates to the
+// greedy rule (the cost-optimal choice for a single task is its nearest
 // candidate), so only batch submissions pay the solve.
+//
+// The hot path is arena-backed end to end: all window scratch — candidate
+// regions, pad lists, the dedup table, the solver — lives in a pooled
+// windowScratch that reaches its high-water mark after a few windows and
+// then serves steady state at single-digit allocations per window. Worker
+// potentials (the solver's dual prices) carry from window to window keyed
+// by worker id, so a typical task's augmenting search pops its final
+// worker immediately; an epoch swap invalidates the warm state wholesale —
+// the check is pointer identity on the epoch's state, so a scratch that
+// last served another epoch (or another engine) always starts cold.
 type batchOptimalPolicy struct {
-	k int
+	k    int
+	pool sync.Pool // *windowScratch
 }
 
 // BatchOptimal returns the window-solving policy with a per-task candidate
@@ -91,7 +108,15 @@ func BatchOptimal(k int) Policy {
 	if k <= 0 {
 		k = DefaultBatchTopK
 	}
-	return &batchOptimalPolicy{k: k}
+	p := &batchOptimalPolicy{k: k}
+	p.pool.New = func() any {
+		return &windowScratch{
+			dedup:  map[refKey]int32{},
+			warm:   map[int32]float64{},
+			solver: flow.NewBipartite(),
+		}
+	}
+	return p
 }
 
 func (p *batchOptimalPolicy) Name() string {
@@ -119,11 +144,62 @@ func (p *batchOptimalPolicy) assignWindow(e *Engine, codes []hst.Code) ([]int, [
 	}
 }
 
-// batchArc records one task→candidate edge of the window's flow graph.
-type batchArc struct {
-	edge int // forward edge id in the solver
-	w    int // candidate index
-	lvl  int // LCA level of the pairing
+// refKey identifies one candidate across a window: the same worker mined
+// by several tasks (or padded in from a foreign shard) must collapse to
+// one solver column so its capacity is respected window-wide.
+type refKey struct {
+	shard int32
+	node  int32
+	id    int32
+}
+
+// shardWorker is a deduplicated candidate: the shard owning it plus its
+// arena ref.
+type shardWorker struct {
+	shard int32
+	ref   hst.CandidateRef
+}
+
+// windowScratch is the reusable arena behind one window solve. It lives in
+// the policy's sync.Pool; every slice grows to the policy's (window × k)
+// envelope once and is then reused, and the two maps are cleared, not
+// reallocated. warm and lastState survive between windows — they are the
+// warm-start seam.
+type windowScratch struct {
+	valid      []int32            // positions of well-formed tasks in the window
+	taskShard  []int32            // own shard per valid task
+	shardOff   []int32            // per-shard offsets into shardTasks (len S+1)
+	shardTasks []int32            // valid-task positions grouped by own shard
+	cands      []hst.CandidateRef // per-task candidate regions, k slots each
+	candSh     []int32            // source shard per candidate slot
+	candCnt    []int32            // live candidates per task
+	padBuf     []hst.CandidateRef // per-shard smallest-k pad lists, k slots each
+	padLen     []int32            // live pads per shard (-1 = not yet built)
+	padHeads   []int32            // per-task pad merge cursors
+	dedup      map[refKey]int32   // candidate → solver worker column
+	workers    []shardWorker      // unique candidates, first-seen order
+	arcLvl     []int32            // LCA level per solver arc
+	solver     *flow.Bipartite
+	wg         sync.WaitGroup
+
+	// Warm state: worker potentials carried across windows, valid only for
+	// the epoch state they were learned under.
+	warm      map[int32]float64
+	lastState *epochState
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growRef(s []hst.CandidateRef, n int) []hst.CandidateRef {
+	if cap(s) < n {
+		return make([]hst.CandidateRef, n)
+	}
+	return s[:n]
 }
 
 // solveWindow serves one window under every shard lock (a window is a
@@ -143,154 +219,204 @@ func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.
 		return false
 	}
 
+	ws := p.pool.Get().(*windowScratch)
+	defer p.pool.Put(ws)
+	// Warm potentials are duals learned against one epoch's population; a
+	// different state pointer — a rotation, or a scratch migrating between
+	// engines — invalidates them wholesale.
+	if ws.lastState != st {
+		clear(ws.warm)
+		ws.lastState = st
+	}
+
 	// Valid tasks only; malformed codes answer None without touching state.
-	valid := make([]int, 0, len(codes))
+	ws.valid = ws.valid[:0]
 	for i, code := range codes {
 		ids[i], lvls[i] = None, 0
 		if st.tree.CheckCode(code) == nil {
-			valid = append(valid, i)
+			ws.valid = append(ws.valid, int32(i))
 		}
 	}
 	pool := 0
 	for i := range st.shards {
 		pool += st.shards[i].index.Len()
 	}
-	if len(valid) == 0 || pool == 0 {
+	nt, S := len(ws.valid), len(st.shards)
+	if nt == 0 || pool == 0 {
 		return true
 	}
+	k := p.k
 
-	// Mine each task's candidates: the k nearest from its own shard (every
-	// worker sharing the task's top branch lives there), padded — when the
-	// own shard runs short — with the smallest-id workers from the other
-	// shards, all of which sit at the maximal LCA level and are therefore
-	// equidistant. The pad pool is snapshotted once per window.
-	type wkey struct {
-		id   int
-		code hst.Code
+	// Group tasks by their own shard (every worker sharing the task's top
+	// branch lives there), so each shard's probes run as one batch.
+	ws.taskShard = growI32(ws.taskShard, nt)
+	ws.shardOff = growI32(ws.shardOff, S+1)
+	ws.shardTasks = growI32(ws.shardTasks, nt)
+	for i := range ws.shardOff {
+		ws.shardOff[i] = 0
 	}
-	workerNode := map[wkey]int{}
-	var workers []hst.Candidate // unique candidates, first-seen order
-	cands := make([][]hst.Candidate, len(valid))
-	var pad padPool
-	var scratch []hst.Candidate
-	for ti, i := range valid {
-		code := codes[i]
-		own := st.shardIdx(code)
-		scratch = st.shards[own].index.NearestK(code, p.k, scratch[:0])
-		if len(scratch) < p.k && len(st.shards) > 1 {
-			pad.init(st, st.depth)
-			scratch = pad.fill(own, p.k-len(scratch), scratch)
-		}
-		for _, c := range scratch {
-			key := wkey{c.ID, c.Code}
-			if _, seen := workerNode[key]; !seen {
-				workerNode[key] = len(workers)
-				workers = append(workers, c)
+	for ti, i := range ws.valid {
+		s := int32(st.shardIdx(codes[i]))
+		ws.taskShard[ti] = s
+		ws.shardOff[s+1]++
+	}
+	for s := 0; s < S; s++ {
+		ws.shardOff[s+1] += ws.shardOff[s]
+	}
+	fill := ws.shardOff // reuse as cursors; restore below
+	for ti := range ws.taskShard {
+		s := ws.taskShard[ti]
+		ws.shardTasks[fill[s]] = int32(ti)
+		fill[s]++
+	}
+	for s := S; s > 0; s-- {
+		ws.shardOff[s] = ws.shardOff[s-1]
+	}
+	ws.shardOff[0] = 0
+
+	// Mine each task's own-shard top-k, one batch per shard. The probes
+	// are independent across shards — each touches only its shard's index
+	// (whose scratch buffers make NearestKRef exclusive per shard), and
+	// every shard lock is already held — so large windows fan out across
+	// goroutines.
+	ws.cands = growRef(ws.cands, nt*k)
+	ws.candSh = growI32(ws.candSh, nt*k)
+	ws.candCnt = growI32(ws.candCnt, nt)
+	mineShard := func(s int) {
+		for _, ti := range ws.shardTasks[ws.shardOff[s]:ws.shardOff[s+1]] {
+			code := codes[ws.valid[ti]]
+			region := ws.cands[int(ti)*k : int(ti)*k : (int(ti)+1)*k]
+			got := st.shards[s].index.NearestKRef(code, k, region)
+			ws.candCnt[ti] = int32(len(got))
+			for j := range got {
+				ws.candSh[int(ti)*k+j] = int32(s)
 			}
-			cands[ti] = append(cands[ti], c)
 		}
 	}
-
-	// Restricted bipartite min-cost matching over the candidate union:
-	// source → task (1 unit) → candidate (cost = tree distance of the LCA
-	// level) → sink (the candidate's remaining capacity). Successive
-	// shortest paths yield a maximum-cardinality assignment of minimum
-	// total tree distance within the mined graph.
-	T, W := len(valid), len(workers)
-	src, sink := 0, T+W+1
-	f := flow.NewMinCostFlow(T + W + 2)
-	for ti := 0; ti < T; ti++ {
-		f.AddEdge(src, 1+ti, 1, 0)
-	}
-	arcs := make([][]batchArc, T)
-	for ti := range cands {
-		for _, c := range cands[ti] {
-			w := workerNode[wkey{c.ID, c.Code}]
-			edge := f.AddEdge(1+ti, 1+T+w, 1, hst.LevelDist(c.Level))
-			arcs[ti] = append(arcs[ti], batchArc{edge: edge, w: w, lvl: c.Level})
-		}
-	}
-	for w, c := range workers {
-		capacity := c.Cap
-		if capacity > T {
-			capacity = T
-		}
-		f.AddEdge(1+T+w, sink, capacity, 0)
-	}
-	f.Run(src, sink, T)
-
-	// Extract and commit: consume one capacity unit per saturated arc.
-	for ti, i := range valid {
-		for _, a := range arcs[ti] {
-			if f.Residual(a.edge) != 0 {
+	if nt >= parallelMineMin && S > 1 {
+		for s := 0; s < S; s++ {
+			if ws.shardOff[s] == ws.shardOff[s+1] {
 				continue
 			}
-			c := workers[a.w]
-			if !st.shardOf(c.Code).index.Consume(c.Code, c.ID) {
-				// Unreachable: the candidate was mined under the same locks
-				// the commit holds. Surfacing beats silently double-booking.
-				panic(fmt.Sprintf("engine: batch-optimal commit lost candidate %d at %q", c.ID, c.Code))
-			}
-			ids[i], lvls[i] = c.ID, a.lvl
-			break
+			ws.wg.Add(1)
+			go func(s int) {
+				defer ws.wg.Done()
+				mineShard(s)
+			}(s)
 		}
+		ws.wg.Wait()
+	} else {
+		for s := 0; s < S; s++ {
+			mineShard(s)
+		}
+	}
+
+	// Pad tasks whose own shard ran short with the smallest-id workers
+	// from the other shards, all of which sit at the maximal LCA level and
+	// are therefore equidistant. Instead of snapshotting whole shards, each
+	// foreign shard contributes a keep-k list (a task needs at most k pads
+	// even if one shard supplies them all), built lazily once per window
+	// and merge-scanned per task — no padded rows ever materialise.
+	if S > 1 {
+		ws.padLen = growI32(ws.padLen, S)
+		ws.padHeads = growI32(ws.padHeads, S)
+		for s := range ws.padLen {
+			ws.padLen[s] = -1 // unbuilt
+		}
+		ws.padBuf = growRef(ws.padBuf, S*k)
+		for ti := 0; ti < nt; ti++ {
+			need := k - int(ws.candCnt[ti])
+			if need <= 0 {
+				continue
+			}
+			own := ws.taskShard[ti]
+			for s := 0; s < S; s++ {
+				ws.padHeads[s] = 0
+				if ws.padLen[s] < 0 && int32(s) != own {
+					region := ws.padBuf[s*k : s*k : (s+1)*k]
+					got := st.shards[s].index.SmallestKRef(k, st.depth, region)
+					ws.padLen[s] = int32(len(got))
+				}
+			}
+			region := ws.cands[int(ti)*k : int(ti)*k+int(ws.candCnt[ti]) : (int(ti)+1)*k]
+			for ; need > 0; need-- {
+				best := -1
+				for s := 0; s < S; s++ {
+					if int32(s) == own || ws.padHeads[s] >= ws.padLen[s] {
+						continue
+					}
+					if best < 0 || ws.padBuf[s*k+int(ws.padHeads[s])].ID < ws.padBuf[best*k+int(ws.padHeads[best])].ID {
+						best = s
+					}
+				}
+				if best < 0 {
+					break
+				}
+				ws.candSh[int(ti)*k+len(region)] = int32(best)
+				region = append(region, ws.padBuf[best*k+int(ws.padHeads[best])])
+				ws.padHeads[best]++
+			}
+			ws.candCnt[ti] = int32(len(region))
+		}
+	}
+
+	// Deduplicate candidates into solver columns (first-seen order) and
+	// build the restricted bipartite problem: one arc per mined pairing at
+	// cost = tree distance of its LCA level, one column per worker bounded
+	// by its remaining capacity, potentials seeded warm.
+	clear(ws.dedup)
+	ws.workers = ws.workers[:0]
+	ws.arcLvl = ws.arcLvl[:0]
+	for ti := 0; ti < nt; ti++ {
+		for j := 0; j < int(ws.candCnt[ti]); j++ {
+			c := ws.cands[ti*k+j]
+			key := refKey{shard: ws.candSh[ti*k+j], node: c.Node, id: c.ID}
+			if _, seen := ws.dedup[key]; !seen {
+				ws.dedup[key] = int32(len(ws.workers))
+				ws.workers = append(ws.workers, shardWorker{shard: key.shard, ref: c})
+			}
+		}
+	}
+	sol := ws.solver
+	sol.Reset(nt, len(ws.workers))
+	for w, sw := range ws.workers {
+		sol.SetWorker(w, int(sw.ref.Cap), ws.warm[sw.ref.ID])
+	}
+	for ti := 0; ti < nt; ti++ {
+		for j := 0; j < int(ws.candCnt[ti]); j++ {
+			c := ws.cands[ti*k+j]
+			key := refKey{shard: ws.candSh[ti*k+j], node: c.Node, id: c.ID}
+			w := ws.dedup[key]
+			if err := sol.AddArc(ti, int(w), hst.LevelDist(int(c.Level))); err != nil {
+				// Unreachable: arcs are built from mined refs in task order
+				// with finite level distances. Surfacing beats a silently
+				// wrong matching.
+				panic(fmt.Sprintf("engine: batch-optimal arc build: %v", err))
+			}
+			ws.arcLvl = append(ws.arcLvl, c.Level)
+		}
+	}
+	sol.Run()
+
+	// Extract and commit: consume one capacity unit per matched arc, then
+	// bank the closing potentials for the next window's warm start.
+	for ti, i := range ws.valid {
+		a := sol.MatchedArc(ti)
+		if a < 0 {
+			continue
+		}
+		sw := ws.workers[sol.MatchedWorker(ti)]
+		if !st.shards[sw.shard].index.ConsumeRef(sw.ref) {
+			// Unreachable: the candidate was mined under the same locks
+			// the commit holds. Surfacing beats silently double-booking.
+			panic(fmt.Sprintf("engine: batch-optimal commit lost candidate %d", sw.ref.ID))
+		}
+		ids[i], lvls[i] = int(sw.ref.ID), int(ws.arcLvl[a])
+	}
+	for w, sw := range ws.workers {
+		ws.warm[sw.ref.ID] = sol.WorkerPot(w)
 	}
 	return true
-}
-
-// padPool picks the smallest-id workers across a window's foreign shards —
-// all at the maximal LCA level — by merging per-shard id-sorted snapshots.
-// Built lazily: windows whose tasks find k candidates in their own shard
-// never pay for it.
-type padPool struct {
-	shards [][]hst.Candidate // id-sorted snapshot per shard
-	heads  []int             // per-task merge cursors, reset by fill
-}
-
-func (p *padPool) init(st *epochState, depth int) {
-	if p.shards != nil {
-		return
-	}
-	p.shards = make([][]hst.Candidate, len(st.shards))
-	for i := range st.shards {
-		var items []hst.Candidate
-		st.shards[i].index.WalkCap(func(code hst.Code, id, capacity int) {
-			items = append(items, hst.Candidate{ID: id, Code: code, Level: depth, Cap: capacity})
-		})
-		sortCandidatesByID(items)
-		p.shards[i] = items
-	}
-	p.heads = make([]int, len(st.shards))
-}
-
-// fill appends up to need smallest-id candidates from every shard except
-// exclude.
-func (p *padPool) fill(exclude, need int, out []hst.Candidate) []hst.Candidate {
-	for i := range p.heads {
-		p.heads[i] = 0
-	}
-	for ; need > 0; need-- {
-		best := -1
-		for s := range p.shards {
-			if s == exclude || p.heads[s] >= len(p.shards[s]) {
-				continue
-			}
-			if best < 0 || p.shards[s][p.heads[s]].ID < p.shards[best][p.heads[best]].ID {
-				best = s
-			}
-		}
-		if best < 0 {
-			break
-		}
-		out = append(out, p.shards[best][p.heads[best]])
-		p.heads[best]++
-	}
-	return out
-}
-
-// sortCandidatesByID orders a snapshot by id.
-func sortCandidatesByID(items []hst.Candidate) {
-	sort.Slice(items, func(a, b int) bool { return items[a].ID < items[b].ID })
 }
 
 // PolicyNames lists the selectable policy specs for flag help.

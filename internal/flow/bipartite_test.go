@@ -1,0 +1,202 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bipInstance is one random restricted-assignment problem.
+type bipInstance struct {
+	nTasks int
+	caps   []int       // worker capacities
+	arcs   [][]int     // per task: candidate worker ids
+	costs  [][]float64 // per task: candidate costs (parallel to arcs)
+}
+
+func randBip(r *rand.Rand) bipInstance {
+	in := bipInstance{nTasks: 1 + r.Intn(12)}
+	nW := 1 + r.Intn(10)
+	in.caps = make([]int, nW)
+	for w := range in.caps {
+		in.caps[w] = 1 + r.Intn(3)
+	}
+	in.arcs = make([][]int, in.nTasks)
+	in.costs = make([][]float64, in.nTasks)
+	for t := 0; t < in.nTasks; t++ {
+		k := r.Intn(5) // possibly no candidates at all
+		seen := map[int]bool{}
+		for j := 0; j < k; j++ {
+			w := r.Intn(nW)
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			in.arcs[t] = append(in.arcs[t], w)
+			in.costs[t] = append(in.costs[t], float64(r.Intn(25)))
+		}
+	}
+	return in
+}
+
+// solveBip runs the Bipartite solver on the instance with the given warm
+// potentials (nil = cold) and returns cardinality and total cost.
+func solveBip(t *testing.T, b *Bipartite, in bipInstance, warm []float64) (int, float64) {
+	t.Helper()
+	b.Reset(in.nTasks, len(in.caps))
+	for w, c := range in.caps {
+		pot := 0.0
+		if warm != nil {
+			pot = warm[w]
+		}
+		b.SetWorker(w, c, pot)
+	}
+	for task := range in.arcs {
+		for j, w := range in.arcs[task] {
+			if err := b.AddArc(task, w, in.costs[task][j]); err != nil {
+				t.Fatalf("AddArc(%d, %d, %v): %v", task, w, in.costs[task][j], err)
+			}
+		}
+	}
+	matched := b.Run()
+	return matched, b.MatchedCost()
+}
+
+// oracleBip solves the same instance with the min-cost max-flow solver.
+func oracleBip(t *testing.T, in bipInstance) (int, float64) {
+	t.Helper()
+	nW := len(in.caps)
+	src, sink := 0, in.nTasks+nW+1
+	f := NewMinCostFlow(in.nTasks + nW + 2)
+	add := func(u, v, c int, cost float64) {
+		t.Helper()
+		if _, err := f.AddEdge(u, v, c, cost); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for task := 0; task < in.nTasks; task++ {
+		add(src, 1+task, 1, 0)
+	}
+	for task := range in.arcs {
+		for j, w := range in.arcs[task] {
+			add(1+task, 1+in.nTasks+w, 1, in.costs[task][j])
+		}
+	}
+	for w, c := range in.caps {
+		add(1+in.nTasks+w, sink, c, 0)
+	}
+	return f.Run(src, sink, in.nTasks)
+}
+
+// TestBipartiteMatchesFlowOracle pins the window solver's optimum against
+// the shared min-cost max-flow solver on random instances: identical
+// cardinality and identical total cost, with the solver arena reused
+// across every instance.
+func TestBipartiteMatchesFlowOracle(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		r := rand.New(rand.NewSource(seed))
+		b := NewBipartite()
+		for cycle := 0; cycle < 120; cycle++ {
+			in := randBip(r)
+			gotN, gotC := solveBip(t, b, in, nil)
+			wantN, wantC := oracleBip(t, in)
+			if gotN != wantN || math.Abs(gotC-wantC) > 1e-9 {
+				t.Fatalf("seed %d cycle %d: Bipartite (%d, %v), flow oracle (%d, %v)",
+					seed, cycle, gotN, gotC, wantN, wantC)
+			}
+		}
+	}
+}
+
+// TestBipartiteWarmStartPreservesOptimum pins the warm-start contract: at
+// window start no arc carries flow, so ANY seeded potentials — random,
+// negative, wildly inconsistent — must leave the optimum untouched. Only
+// the choice among equal-cost optima may move.
+func TestBipartiteWarmStartPreservesOptimum(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	b := NewBipartite()
+	for cycle := 0; cycle < 150; cycle++ {
+		in := randBip(r)
+		warm := make([]float64, len(in.caps))
+		for w := range warm {
+			warm[w] = float64(r.Intn(101) - 50)
+		}
+		gotN, gotC := solveBip(t, b, in, warm)
+		wantN, wantC := oracleBip(t, in)
+		if gotN != wantN || math.Abs(gotC-wantC) > 1e-9 {
+			t.Fatalf("cycle %d warm %v: Bipartite (%d, %v), flow oracle (%d, %v)",
+				cycle, warm, gotN, gotC, wantN, wantC)
+		}
+	}
+}
+
+// TestBipartiteDeterministic pins tie-breaking: replaying the same window
+// with the same potentials yields the identical assignment, arc for arc.
+func TestBipartiteDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	in := randBip(r)
+	a, b := NewBipartite(), NewBipartite()
+	solveBip(t, a, in, nil)
+	solveBip(t, b, in, nil)
+	for task := 0; task < in.nTasks; task++ {
+		if a.MatchedWorker(task) != b.MatchedWorker(task) || a.MatchedArc(task) != b.MatchedArc(task) {
+			t.Fatalf("task %d: worker %d/arc %d vs worker %d/arc %d",
+				task, a.MatchedWorker(task), a.MatchedArc(task), b.MatchedWorker(task), b.MatchedArc(task))
+		}
+	}
+}
+
+// TestBipartiteRematchesThroughChain pins the augmenting-path machinery
+// with a case that forces a rematch: worker 0 is best for both tasks but
+// has one unit, so task 1's arrival must push task 0 onto its alternative.
+func TestBipartiteRematchesThroughChain(t *testing.T) {
+	b := NewBipartite()
+	b.Reset(2, 2)
+	b.SetWorker(0, 1, 0)
+	b.SetWorker(1, 1, 0)
+	mustArc := func(task, w int, cost float64) {
+		if err := b.AddArc(task, w, cost); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustArc(0, 0, 1) // task 0: cheap on 0, dear on 1
+	mustArc(0, 1, 5)
+	mustArc(1, 0, 1) // task 1: only worker 0
+	if got := b.Run(); got != 2 {
+		t.Fatalf("matched %d, want 2", got)
+	}
+	if b.MatchedWorker(0) != 1 || b.MatchedWorker(1) != 0 {
+		t.Fatalf("assignment (%d, %d), want (1, 0)", b.MatchedWorker(0), b.MatchedWorker(1))
+	}
+	if c := b.MatchedCost(); math.Abs(c-6) > 1e-9 {
+		t.Fatalf("cost %v, want 6", c)
+	}
+}
+
+// TestBipartiteAddArcRejectsBadInput pins the validation surface.
+func TestBipartiteAddArcRejectsBadInput(t *testing.T) {
+	b := NewBipartite()
+	b.Reset(2, 2)
+	cases := []struct {
+		name string
+		t, w int
+		cost float64
+	}{
+		{"task out of range", 2, 0, 1},
+		{"worker out of range", 0, 2, 1},
+		{"negative cost", 0, 0, -1},
+		{"nan cost", 0, 0, math.NaN()},
+		{"inf cost", 0, 0, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		if err := b.AddArc(tc.t, tc.w, tc.cost); err == nil {
+			t.Errorf("%s: AddArc(%d, %d, %v) accepted", tc.name, tc.t, tc.w, tc.cost)
+		}
+	}
+	if err := b.AddArc(1, 0, 1); err != nil {
+		t.Fatalf("valid arc rejected: %v", err)
+	}
+	if err := b.AddArc(0, 0, 1); err == nil {
+		t.Error("out-of-order arc accepted")
+	}
+}

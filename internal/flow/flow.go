@@ -1,25 +1,74 @@
-// Package flow implements a successive-shortest-path min-cost max-flow
-// solver over a directed graph with integer capacities and float64 costs.
-// It is the shared matching back-end: internal/match builds its offline
-// optimal and capacity-constrained assignments on it, and the engine's
-// batch-optimal assignment policy solves each window's restricted bipartite
-// problem with it.
+// Package flow implements the matching back-ends shared across the repo:
+// a successive-shortest-path min-cost max-flow solver over a directed graph
+// with integer capacities and float64 costs (MinCostFlow), and a
+// warm-startable restricted bipartite assignment solver (Bipartite) tuned
+// for the engine's batch-optimal window serving. internal/match builds its
+// offline optimal and capacity-constrained assignments on MinCostFlow; the
+// engine's batch-optimal policy solves each window with Bipartite and uses
+// MinCostFlow as its correctness oracle in tests.
 package flow
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
-// MinCostFlow is the solver. Build the graph with AddEdge, then Run.
+// nilEdge terminates the per-node adjacency chains.
+const nilEdge = int32(-1)
+
+// MinCostFlow is the solver. Build the graph with AddEdge, then Run. The
+// struct is an arena: Reset reuses every internal slab for the next
+// problem, so a solver held across problems reaches a high-water mark and
+// then stops allocating — NewMinCostFlow per problem is never required.
 type MinCostFlow struct {
-	n    int
-	head [][]int // adjacency: node → edge ids
-	to   []int
+	n int
+
+	// Adjacency in insertion order: first/last anchor each node's edge
+	// chain, next threads it. Insertion order is part of the solver's
+	// deterministic behaviour (equal-cost augmenting paths are explored in
+	// the order edges were added), so the chains append rather than prepend.
+	first []int32
+	last  []int32
+	next  []int32
+
+	to   []int32
 	capa []int
 	cost []float64
+
+	// Run scratch, owned so repeated runs do not allocate.
+	dist     []float64
+	inQueue  []bool
+	prevEdge []int32
+	queue    []int32
 }
 
 // NewMinCostFlow returns a solver over n nodes (0..n−1).
 func NewMinCostFlow(n int) *MinCostFlow {
-	return &MinCostFlow{n: n, head: make([][]int, n)}
+	f := &MinCostFlow{}
+	f.Reset(n)
+	return f
+}
+
+// Reset discards the current graph and prepares the solver for a fresh
+// problem over n nodes, reusing every internal slab. Edge ids restart at 0.
+func (f *MinCostFlow) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	f.n = n
+	if cap(f.first) < n {
+		f.first = make([]int32, n)
+		f.last = make([]int32, n)
+	}
+	f.first = f.first[:n]
+	f.last = f.last[:n]
+	for i := range f.first {
+		f.first[i] = nilEdge
+	}
+	f.next = f.next[:0]
+	f.to = f.to[:0]
+	f.capa = f.capa[:0]
+	f.cost = f.cost[:0]
 }
 
 // NumEdges returns the number of edge slots added so far (two per AddEdge:
@@ -29,17 +78,37 @@ func (f *MinCostFlow) NumEdges() int { return len(f.to) }
 // AddEdge adds a directed edge u→v with the given capacity and per-unit
 // cost, plus its residual reverse edge. It returns the forward edge's id,
 // usable with Residual after Run to read how much of the edge was used.
-func (f *MinCostFlow) AddEdge(u, v, capacity int, cost float64) int {
-	e := len(f.to)
-	f.head[u] = append(f.head[u], e)
-	f.to = append(f.to, v)
+// Endpoints must be valid nodes, capacity must be non-negative, and the
+// cost must be finite (negative is fine — the SPFA search tolerates it);
+// anything else is rejected before it can corrupt the search.
+func (f *MinCostFlow) AddEdge(u, v, capacity int, cost float64) (int, error) {
+	if u < 0 || u >= f.n || v < 0 || v >= f.n {
+		return 0, fmt.Errorf("flow: edge %d→%d outside the %d-node graph", u, v, f.n)
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("flow: edge %d→%d has negative capacity %d", u, v, capacity)
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return 0, fmt.Errorf("flow: edge %d→%d has non-finite cost %v", u, v, cost)
+	}
+	e := f.append(u, v, capacity, cost)
+	f.append(v, u, 0, -cost)
+	return int(e), nil
+}
+
+// append links one raw edge slot onto u's chain, preserving insertion order.
+func (f *MinCostFlow) append(u, v, capacity int, cost float64) int32 {
+	e := int32(len(f.to))
+	f.to = append(f.to, int32(v))
 	f.capa = append(f.capa, capacity)
 	f.cost = append(f.cost, cost)
-
-	f.head[v] = append(f.head[v], len(f.to))
-	f.to = append(f.to, u)
-	f.capa = append(f.capa, 0)
-	f.cost = append(f.cost, -cost)
+	f.next = append(f.next, nilEdge)
+	if f.first[u] == nilEdge {
+		f.first[u] = e
+	} else {
+		f.next[f.last[u]] = e
+	}
+	f.last[u] = e
 	return e
 }
 
@@ -54,21 +123,25 @@ func (f *MinCostFlow) Residual(e int) int { return f.capa[e] }
 func (f *MinCostFlow) Run(s, t, maxFlow int) (int, float64) {
 	flow := 0
 	var total float64
-	dist := make([]float64, f.n)
-	inQueue := make([]bool, f.n)
-	prevEdge := make([]int, f.n)
+	if cap(f.dist) < f.n {
+		f.dist = make([]float64, f.n)
+		f.inQueue = make([]bool, f.n)
+		f.prevEdge = make([]int32, f.n)
+	}
+	dist := f.dist[:f.n]
+	inQueue := f.inQueue[:f.n]
+	prevEdge := f.prevEdge[:f.n]
 	for flow < maxFlow {
 		for i := range dist {
 			dist[i] = math.Inf(1)
-			prevEdge[i] = -1
+			prevEdge[i] = nilEdge
 		}
 		dist[s] = 0
-		queue := []int{s}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
+		queue := append(f.queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
 			inQueue[u] = false
-			for _, e := range f.head[u] {
+			for e := f.first[u]; e != nilEdge; e = f.next[e] {
 				if f.capa[e] <= 0 {
 					continue
 				}
@@ -83,19 +156,20 @@ func (f *MinCostFlow) Run(s, t, maxFlow int) (int, float64) {
 				}
 			}
 		}
+		f.queue = queue[:0]
 		if math.IsInf(dist[t], 1) {
 			break // no augmenting path remains
 		}
 		// Bottleneck along the path.
 		push := maxFlow - flow
-		for v := t; v != s; {
+		for v := int32(t); v != int32(s); {
 			e := prevEdge[v]
 			if f.capa[e] < push {
 				push = f.capa[e]
 			}
 			v = f.to[e^1]
 		}
-		for v := t; v != s; {
+		for v := int32(t); v != int32(s); {
 			e := prevEdge[v]
 			f.capa[e] -= push
 			f.capa[e^1] += push

@@ -5,10 +5,19 @@ import (
 	"testing"
 )
 
+func mustEdge(t *testing.T, f *MinCostFlow, u, v, capacity int, cost float64) int {
+	t.Helper()
+	e, err := f.AddEdge(u, v, capacity, cost)
+	if err != nil {
+		t.Fatalf("AddEdge(%d, %d, %d, %v): %v", u, v, capacity, cost, err)
+	}
+	return e
+}
+
 func TestSimplePath(t *testing.T) {
 	f := NewMinCostFlow(3)
-	e0 := f.AddEdge(0, 1, 3, 1)
-	e1 := f.AddEdge(1, 2, 3, 2)
+	e0 := mustEdge(t, f, 0, 1, 3, 1)
+	e1 := mustEdge(t, f, 1, 2, 3, 2)
 	if e0 != 0 || e1 != 2 {
 		t.Fatalf("edge ids %d, %d — forward edges must sit at even slots", e0, e1)
 	}
@@ -27,8 +36,8 @@ func TestSimplePath(t *testing.T) {
 func TestPrefersCheapPathAndReportsResiduals(t *testing.T) {
 	// Two parallel 0→1 edges; the cheap one has capacity 1.
 	f := NewMinCostFlow(2)
-	cheap := f.AddEdge(0, 1, 1, 1)
-	dear := f.AddEdge(0, 1, 5, 10)
+	cheap := mustEdge(t, f, 0, 1, 1, 1)
+	dear := mustEdge(t, f, 0, 1, 5, 10)
 	flow, cost := f.Run(0, 1, 3)
 	if flow != 3 || math.Abs(cost-21) > 1e-9 {
 		t.Errorf("flow=%d cost=%v, want 3, 21 (1 + 2×10)", flow, cost)
@@ -43,9 +52,59 @@ func TestPrefersCheapPathAndReportsResiduals(t *testing.T) {
 
 func TestDisconnectedSinkStopsEarly(t *testing.T) {
 	f := NewMinCostFlow(3)
-	f.AddEdge(0, 1, 4, 1)
+	mustEdge(t, f, 0, 1, 4, 1)
 	flow, cost := f.Run(0, 2, 4)
 	if flow != 0 || cost != 0 {
 		t.Errorf("flow=%d cost=%v on a disconnected sink", flow, cost)
+	}
+}
+
+func TestAddEdgeRejectsBadInput(t *testing.T) {
+	f := NewMinCostFlow(2)
+	cases := []struct {
+		name    string
+		u, v, c int
+		cost    float64
+	}{
+		{"negative capacity", 0, 1, -1, 0},
+		{"nan cost", 0, 1, 1, math.NaN()},
+		{"+inf cost", 0, 1, 1, math.Inf(1)},
+		{"-inf cost", 0, 1, 1, math.Inf(-1)},
+		{"u out of range", -1, 1, 1, 0},
+		{"v out of range", 0, 2, 1, 0},
+	}
+	for _, tc := range cases {
+		if _, err := f.AddEdge(tc.u, tc.v, tc.c, tc.cost); err == nil {
+			t.Errorf("%s: AddEdge accepted (%d, %d, %d, %v)", tc.name, tc.u, tc.v, tc.c, tc.cost)
+		}
+	}
+	if f.NumEdges() != 0 {
+		t.Errorf("rejected edges left %d slots behind", f.NumEdges())
+	}
+	// Negative finite cost stays legal: residual arcs and shortcut edges
+	// need it.
+	if _, err := f.AddEdge(0, 1, 1, -8); err != nil {
+		t.Errorf("negative finite cost rejected: %v", err)
+	}
+}
+
+func TestResetReusesArena(t *testing.T) {
+	f := NewMinCostFlow(3)
+	mustEdge(t, f, 0, 1, 3, 1)
+	mustEdge(t, f, 1, 2, 3, 2)
+	if flow, _ := f.Run(0, 2, 10); flow != 3 {
+		t.Fatalf("pre-reset flow %d, want 3", flow)
+	}
+	f.Reset(2)
+	if f.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d after Reset", f.NumEdges())
+	}
+	e := mustEdge(t, f, 0, 1, 2, 5)
+	if e != 0 {
+		t.Fatalf("first post-reset edge id %d, want 0", e)
+	}
+	flow, cost := f.Run(0, 1, 10)
+	if flow != 2 || math.Abs(cost-10) > 1e-9 {
+		t.Errorf("post-reset flow=%d cost=%v, want 2, 10", flow, cost)
 	}
 }

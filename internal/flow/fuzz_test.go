@@ -1,0 +1,83 @@
+package flow
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFlowReset drives one reused solver through a multi-problem tape
+// decoded from the fuzz input and cross-checks every problem against a
+// fresh solver: identical flow, cost, and forward-edge residuals, no
+// matter how the previous problem shaped the arena. Wired into the
+// nightly fuzz lane alongside the trie and obfuscation fuzzers.
+func FuzzFlowReset(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 3, 0, 1, 5, 3, 1, 2, 4, 9, 2, 3, 1})
+	f.Add([]byte{2, 1, 0, 1, 200, 7, 6, 2, 0, 1, 3, 2, 1, 2, 9, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reused := NewMinCostFlow(0)
+		pos := 0
+		next := func() (byte, bool) {
+			if pos >= len(data) {
+				return 0, false
+			}
+			b := data[pos]
+			pos++
+			return b, true
+		}
+		for cycle := 0; cycle < 8; cycle++ {
+			nb, ok := next()
+			if !ok {
+				return
+			}
+			n := 2 + int(nb%14)
+			mb, _ := next()
+			m := int(mb % 24)
+			reused.Reset(n)
+			fresh := NewMinCostFlow(n)
+			type edge struct{ a, b int }
+			var fwd []edge // forward ids in (reused, fresh); identical by contract
+			for i := 0; i < m; i++ {
+				ub, ok1 := next()
+				vb, ok2 := next()
+				cb, ok3 := next()
+				wb, ok4 := next()
+				if !ok1 || !ok2 || !ok3 || !ok4 {
+					break
+				}
+				// Forward-only (u < v) keeps the graph a DAG, so negative
+				// costs can't form a negative cycle (which successive
+				// shortest paths does not handle and the engine never
+				// produces).
+				u := int(ub) % (n - 1)
+				v := u + 1 + int(vb)%(n-1-u)
+				capa := int(cb % 6)
+				cost := float64(int(wb%16) - 4)
+				ra, errA := reused.AddEdge(u, v, capa, cost)
+				rb, errB := fresh.AddEdge(u, v, capa, cost)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("cycle %d: AddEdge error divergence: %v vs %v", cycle, errA, errB)
+				}
+				if errA != nil {
+					continue
+				}
+				if ra != rb {
+					t.Fatalf("cycle %d: edge id %d (reused) vs %d (fresh)", cycle, ra, rb)
+				}
+				fwd = append(fwd, edge{ra, rb})
+			}
+			fb, _ := next()
+			maxFlow := 1 + int(fb%9)
+			gf, gc := reused.Run(0, n-1, maxFlow)
+			wf, wc := fresh.Run(0, n-1, maxFlow)
+			if gf != wf || math.Abs(gc-wc) > 1e-9 {
+				t.Fatalf("cycle %d: reused (flow %d, cost %v), fresh (flow %d, cost %v)", cycle, gf, gc, wf, wc)
+			}
+			for _, e := range fwd {
+				if reused.Residual(e.a) != fresh.Residual(e.b) {
+					t.Fatalf("cycle %d: residual %d vs %d on edge %d", cycle, reused.Residual(e.a), fresh.Residual(e.b), e.a)
+				}
+			}
+		}
+	})
+}

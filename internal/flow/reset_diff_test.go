@@ -1,0 +1,83 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tapeEdge is one AddEdge op of a differential tape.
+type tapeEdge struct {
+	u, v, cap int
+	cost      float64
+}
+
+// randTape draws a random graph: node count, edge list, and a flow demand.
+// Edges always point forward (u < v) so the graph is a DAG: negative costs
+// stay exercised without ever forming a negative cycle, which successive
+// shortest paths does not handle (and the engine never produces — negative
+// costs only appear on residual arcs under the potential invariant).
+func randTape(r *rand.Rand) (n int, edges []tapeEdge, maxFlow int) {
+	n = 2 + r.Intn(14)
+	m := r.Intn(40)
+	edges = make([]tapeEdge, m)
+	for i := range edges {
+		u := r.Intn(n - 1)
+		edges[i] = tapeEdge{
+			u:   u,
+			v:   u + 1 + r.Intn(n-1-u),
+			cap: r.Intn(6),
+			// Integer costs, negative included: exact arithmetic, no
+			// epsilon ambiguity between the two solvers.
+			cost: float64(r.Intn(13) - 3),
+		}
+	}
+	return n, edges, 1 + r.Intn(10)
+}
+
+// runTape replays a tape on f (already Reset/fresh for n nodes).
+func runTape(t *testing.T, f *MinCostFlow, edges []tapeEdge, maxFlow int) (flow int, cost float64, residuals []int) {
+	t.Helper()
+	fwd := make([]int, 0, len(edges))
+	for _, e := range edges {
+		id, err := f.AddEdge(e.u, e.v, e.cap, e.cost)
+		if err != nil {
+			t.Fatalf("AddEdge(%+v): %v", e, err)
+		}
+		fwd = append(fwd, id)
+	}
+	flow, cost = f.Run(0, f.n-1, maxFlow)
+	residuals = make([]int, len(fwd))
+	for i, id := range fwd {
+		residuals[i] = f.Residual(id)
+	}
+	return flow, cost, residuals
+}
+
+// TestResetDifferential pins the arena life-cycle: one solver Reset across
+// many random problems must report exactly the flow, cost, and per-edge
+// residuals of a fresh NewMinCostFlow per problem. Any slab state leaking
+// across Reset shows up as a divergence.
+func TestResetDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 21, 99} {
+		r := rand.New(rand.NewSource(seed))
+		reused := NewMinCostFlow(0)
+		for cycle := 0; cycle < 60; cycle++ {
+			n, edges, maxFlow := randTape(r)
+			reused.Reset(n)
+			gotFlow, gotCost, gotRes := runTape(t, reused, edges, maxFlow)
+			fresh := NewMinCostFlow(n)
+			wantFlow, wantCost, wantRes := runTape(t, fresh, edges, maxFlow)
+			if gotFlow != wantFlow || math.Abs(gotCost-wantCost) > 1e-9 {
+				t.Fatalf("seed %d cycle %d: reused (flow %d, cost %v), fresh (flow %d, cost %v)",
+					seed, cycle, gotFlow, gotCost, wantFlow, wantCost)
+			}
+			for i := range gotRes {
+				if gotRes[i] != wantRes[i] {
+					t.Fatalf("seed %d cycle %d: edge %d residual %d (reused) vs %d (fresh)",
+						seed, cycle, i, gotRes[i], wantRes[i])
+				}
+			}
+		}
+	}
+}

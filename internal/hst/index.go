@@ -57,15 +57,16 @@ type LeafIndex struct {
 	cbuf []byte  // reusable candidate-code scratch (cap depth, so collect never grows it)
 }
 
-// flatNode is one trie position in the arena. 24 bytes; a realistic shard
+// flatNode is one trie position in the arena. 28 bytes; a realistic shard
 // of the index fits in L2.
 type flatNode struct {
-	count int32 // live items in this subtree (≥ 1 for every allocated non-root node)
-	minID int32 // smallest live item id in this subtree (noItem32 when none)
-	kids  int32 // dense: child-block offset into LeafIndex.kids; sparse: first child node
-	sib   int32 // sparse: next sibling node; freed nodes: freelist link
-	items int32 // head of this leaf's item-slot list
-	digit uint8 // child digit under the parent (unused for the root)
+	count  int32 // live items in this subtree (≥ 1 for every allocated non-root node)
+	minID  int32 // smallest live item id in this subtree (noItem32 when none)
+	kids   int32 // dense: child-block offset into LeafIndex.kids; sparse: first child node
+	sib    int32 // sparse: next sibling node; freed nodes: freelist link
+	items  int32 // head of this leaf's item-slot list
+	parent int32 // parent node (nilIdx for the root), for ref-based commits
+	digit  uint8 // child digit under the parent (unused for the root)
 }
 
 type itemSlot struct {
@@ -109,7 +110,7 @@ func NewLeafIndexDegree(depth, degree int) *LeafIndex {
 		freeNode: nilIdx,
 		freeItem: nilIdx,
 	}
-	x.nodes[0] = flatNode{minID: noItem32, kids: nilIdx, sib: nilIdx, items: nilIdx}
+	x.nodes[0] = flatNode{minID: noItem32, kids: nilIdx, sib: nilIdx, items: nilIdx, parent: nilIdx}
 	return x
 }
 
@@ -205,6 +206,7 @@ func (x *LeafIndex) child(ni int32, digit byte) int32 {
 // addChild allocates a child of ni for the given digit and links it in.
 func (x *LeafIndex) addChild(ni int32, digit byte) int32 {
 	ci := x.allocNode(digit)
+	x.nodes[ci].parent = ni
 	if x.degree > 0 {
 		blk := x.nodes[ni].kids
 		if blk == nilIdx {

@@ -92,7 +92,9 @@ func OptimalCapacitated(nTasks int, capacity []int, dist func(task, worker int) 
 	src, sink := 0, nTasks+nWorkers+1
 	f := NewMinCostFlow(nTasks + nWorkers + 2)
 	for i := 0; i < nTasks; i++ {
-		f.AddEdge(src, 1+i, 1, 0)
+		if _, err := f.AddEdge(src, 1+i, 1, 0); err != nil {
+			return nil, 0, err
+		}
 	}
 	base := f.NumEdges()
 	for i := 0; i < nTasks; i++ {
@@ -101,11 +103,15 @@ func OptimalCapacitated(nTasks int, capacity []int, dist func(task, worker int) 
 			if math.IsNaN(d) || math.IsInf(d, 0) {
 				return nil, 0, fmt.Errorf("match: non-finite cost %v for task %d, worker %d", d, i, j)
 			}
-			f.AddEdge(1+i, 1+nTasks+j, 1, d)
+			if _, err := f.AddEdge(1+i, 1+nTasks+j, 1, d); err != nil {
+				return nil, 0, err
+			}
 		}
 	}
 	for j := 0; j < nWorkers; j++ {
-		f.AddEdge(1+nTasks+j, sink, capacity[j], 0)
+		if _, err := f.AddEdge(1+nTasks+j, sink, capacity[j], 0); err != nil {
+			return nil, 0, err
+		}
 	}
 	flow, cost := f.Run(src, sink, nTasks)
 	if flow < nTasks {

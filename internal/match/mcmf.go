@@ -45,16 +45,22 @@ func AssignViaFlow(cost [][]float64) ([]int, float64, error) {
 	src, sink := 0, n+m+1
 	f := NewMinCostFlow(n + m + 2)
 	for i := 0; i < n; i++ {
-		f.AddEdge(src, 1+i, 1, 0)
+		if _, err := f.AddEdge(src, 1+i, 1, 0); err != nil {
+			return nil, 0, err
+		}
 	}
 	rowColBase := f.NumEdges()
 	for i := 0; i < n; i++ {
 		for j := 0; j < m; j++ {
-			f.AddEdge(1+i, 1+n+j, 1, cost[i][j])
+			if _, err := f.AddEdge(1+i, 1+n+j, 1, cost[i][j]); err != nil {
+				return nil, 0, err
+			}
 		}
 	}
 	for j := 0; j < m; j++ {
-		f.AddEdge(1+n+j, sink, 1, 0)
+		if _, err := f.AddEdge(1+n+j, sink, 1, 0); err != nil {
+			return nil, 0, err
+		}
 	}
 	flown, total := f.Run(src, sink, n)
 	if flown < n {

@@ -16,11 +16,13 @@ type Report struct {
 	Seed     uint64 `json:"seed"`
 	Driver   string `json:"driver"`
 	Shards   int    `json:"shards"`
-	// Policy is the resolved assignment-policy name and Capacity the
-	// per-worker task capacity; omitted for the historical default
-	// (greedy, capacity 1) so pre-policy reports are byte-unchanged.
-	Policy   string `json:"policy,omitempty"`
-	Capacity int    `json:"capacity,omitempty"`
+	// Policy is the resolved assignment-policy name, Capacity the
+	// per-worker task capacity, and CapacitySkew the deterministic
+	// capacity-mix modulus; omitted for the historical defaults (greedy,
+	// capacity 1, no skew) so pre-policy reports are byte-unchanged.
+	Policy       string `json:"policy,omitempty"`
+	Capacity     int    `json:"capacity,omitempty"`
+	CapacitySkew int    `json:"capacity_skew,omitempty"`
 
 	GridCols int     `json:"grid_cols"`
 	Epsilon  float64 `json:"epsilon"`

@@ -63,9 +63,14 @@ type Scenario struct {
 	// Assignment rule. Policy selects the engine's assignment policy by
 	// spec ("" = "greedy"; see engine.PolicyByName); Capacity is the task
 	// capacity every worker registers with (0 = 1). Capacities above 1
-	// need a capacity-aware policy.
-	Policy   string `json:"policy,omitempty"`
-	Capacity int    `json:"capacity,omitempty"`
+	// need a capacity-aware policy. CapacitySkew > 0 spreads capacities
+	// deterministically across the population instead of registering every
+	// worker at Capacity: worker w gets 1 + (w mod CapacitySkew), never
+	// above Capacity — a fixed mix of light and heavy workers, the regime
+	// where a window solver's capacity bounds actually bind.
+	Policy       string `json:"policy,omitempty"`
+	Capacity     int    `json:"capacity,omitempty"`
+	CapacitySkew int    `json:"capacity_skew,omitempty"`
 }
 
 // Validate reports the first structural problem with the scenario.
@@ -100,6 +105,8 @@ func (sc *Scenario) Validate() error {
 		return fmt.Errorf("sim: rotate refit needs a positive rotate interval")
 	case sc.Capacity < 0:
 		return fmt.Errorf("sim: negative worker capacity %d", sc.Capacity)
+	case sc.CapacitySkew < 0:
+		return fmt.Errorf("sim: negative capacity skew %d", sc.CapacitySkew)
 	}
 	pol, err := engine.PolicyByName(sc.Policy)
 	if err != nil {
@@ -107,6 +114,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Capacity > 1 && !pol.CapacityAware() {
 		return fmt.Errorf("sim: capacity %d needs a capacity-aware policy, have %s", sc.Capacity, pol.Name())
+	}
+	if sc.CapacitySkew > 0 && sc.Capacity <= 1 {
+		return fmt.Errorf("sim: capacity skew %d needs a worker capacity above 1, got %d", sc.CapacitySkew, sc.Capacity)
 	}
 	switch sc.Spatial {
 	case SpatialUniform, SpatialChengdu:
@@ -300,6 +310,32 @@ var presets = map[string]Scenario{
 		Capacity:          3,
 		RotateEvery:       240,
 		RotateRefit:       true,
+	},
+	// batch-heavy: the window solver under load — every assignment decision
+	// is a 10 s batched window solved cost-optimally with k=16 candidate
+	// pools over a capacity-skewed courier mix (capacities cycle 1..4), and
+	// the tree rotates mid-run so warm-started windows cross an epoch swap.
+	// The acceptance preset for the optimized batch path: zero feasibility
+	// violations and bit-identical reports on both drivers.
+	"batch-heavy": {
+		Name:              "batch-heavy",
+		Duration:          600,
+		GridCols:          32,
+		Epsilon:           0.6,
+		InitialWorkers:    500,
+		WorkerArrivalRate: 0.5,
+		MeanOnline:        300,
+		ReturnProb:        0.5,
+		MeanAway:          90,
+		TaskRate:          workload.Constant(8, 600),
+		MeanService:       60,
+		Deadline:          40,
+		BatchWindow:       10,
+		Spatial:           SpatialUniform,
+		Policy:            "batch-optimal:k=16",
+		Capacity:          4,
+		CapacitySkew:      4,
+		RotateEvery:       240,
 	},
 	// chengdu-day: the Chengdu hotspot mixture under time-sliced batch
 	// assignment (5 s windows), long ride-like service times.

@@ -314,6 +314,22 @@ func (s *sim) loop() {
 	s.closeBooks()
 }
 
+// capOf returns worker w's registration capacity: the scenario's uniform
+// Capacity, or — under CapacitySkew — the deterministic per-worker mix
+// 1 + (w mod CapacitySkew), never above Capacity. Keying on the stable
+// worker index keeps a worker's capacity fixed across re-registrations,
+// rotations, and drivers.
+func (s *sim) capOf(w int) int {
+	if s.sc.CapacitySkew <= 0 {
+		return s.cap
+	}
+	c := 1 + w%s.sc.CapacitySkew
+	if c > s.cap {
+		c = s.cap
+	}
+	return c
+}
+
 // registerWorker brings worker w online at its current true location under
 // a fresh registration id, a freshly obfuscated code, and a full capacity.
 // It reports false — and parks the worker — when the lifetime budget cannot
@@ -324,7 +340,7 @@ func (s *sim) registerWorker(w int) bool {
 	wk.code = s.mech.ObfuscateWalk(snapped, s.obfSrc)
 	regID := len(s.regOwner)
 	s.regOwner = append(s.regOwner, w)
-	if err := s.backend.register(regID, w, wk.code, s.cap); err != nil {
+	if err := s.backend.register(regID, w, wk.code, s.capOf(w)); err != nil {
 		if errors.Is(err, epoch.ErrBudgetExhausted) {
 			// The registration id was never seen by the backend: drop it so
 			// sim regIDs stay aligned with platform slot numbers.
@@ -342,7 +358,7 @@ func (s *sim) registerWorker(w int) bool {
 	wk.active = 0
 	s.registrations++
 	if s.check != nil {
-		s.check.register(wk.regID, wk.code, s.cap)
+		s.check.register(wk.regID, wk.code, s.capOf(w))
 	}
 	return true
 }
@@ -470,7 +486,7 @@ func (s *sim) taskComplete(w, ti int) {
 	oldCode := wk.code
 	snapped := s.tree.CodeOf(s.grid.Snap(wk.loc))
 	code := s.mech.ObfuscateWalk(snapped, s.obfSrc)
-	capLeft := s.cap - wk.active
+	capLeft := s.capOf(w) - wk.active
 	if err := s.backend.release(wk.regID, w, oldCode, code, capLeft); err != nil {
 		if errors.Is(err, epoch.ErrBudgetExhausted) {
 			// The post-task re-report is unaffordable: the worker is parked
@@ -532,7 +548,7 @@ func (s *sim) rotate() {
 	for i := range s.workers {
 		if s.workers[i].state == wAvailable {
 			order = append(order, i)
-			capLeft = append(capLeft, s.cap-s.workers[i].active)
+			capLeft = append(capLeft, s.capOf(i)-s.workers[i].active)
 		}
 	}
 	var newMech *privacy.HSTMechanism
@@ -642,7 +658,7 @@ func (s *sim) completeAssignment(ti int, taskCode hst.Code, regID int) {
 		wk.busySince = s.now
 	}
 	wk.active++
-	if wk.active >= s.cap {
+	if wk.active >= s.capOf(w) {
 		wk.state = wBusy
 	}
 
@@ -689,17 +705,18 @@ func (s *sim) closeBooks() {
 
 func (s *sim) report(cfg Config, shards int) *Report {
 	r := &Report{
-		Scenario:    s.sc.Name,
-		Seed:        cfg.Seed,
-		Driver:      string(cfg.Driver),
-		Shards:      shards,
-		GridCols:    s.sc.GridCols,
-		Capacity:    s.sc.Capacity,
-		Epsilon:     s.sc.Epsilon,
-		Depth:       s.tree.Depth(),
-		Degree:      s.tree.Degree(),
-		SimDuration: s.sc.Duration,
-		Events:      s.events,
+		Scenario:     s.sc.Name,
+		Seed:         cfg.Seed,
+		Driver:       string(cfg.Driver),
+		Shards:       shards,
+		GridCols:     s.sc.GridCols,
+		Capacity:     s.sc.Capacity,
+		CapacitySkew: s.sc.CapacitySkew,
+		Epsilon:      s.sc.Epsilon,
+		Depth:        s.tree.Depth(),
+		Degree:       s.tree.Degree(),
+		SimDuration:  s.sc.Duration,
+		Events:       s.events,
 	}
 	if s.policy.Name() != engine.Greedy().Name() {
 		r.Policy = s.policy.Name()

@@ -52,7 +52,7 @@ func TestWithDuration(t *testing.T) {
 
 func TestPresetsValidate(t *testing.T) {
 	names := Scenarios()
-	want := []string{"capacity-heavy", "chengdu-day", "churn-heavy", "epoch-rotate", "flash-crowd", "rush-hour", "steady"}
+	want := []string{"batch-heavy", "capacity-heavy", "chengdu-day", "churn-heavy", "epoch-rotate", "flash-crowd", "rush-hour", "steady"}
 	if len(names) != len(want) {
 		t.Fatalf("Scenarios() = %v, want %v", names, want)
 	}
