@@ -16,10 +16,18 @@
 //     new allocation on the hot path shows up here long before it shows up
 //     in timings.
 //
+// A gated row that ran with fewer schedulable cores than goroutines
+// (capped, or per-row gomaxprocs < goroutines) is not a parallel
+// measurement at all — comparing it would gate scheduler interleaving, not
+// throughput. Such rows are refused outright; -allow-capped downgrades the
+// refusal to a warning and skips the row, for runners with fewer cores
+// than the widest gated fan-out.
+//
 // Usage:
 //
 //	benchdiff -base BENCH_engine.json -new BENCH_engine.ci.json
 //	benchdiff -base ... -new ... -bench engine/goroutines=1 -normalize scan/goroutines=1
+//	benchdiff -base ... -new ... -bench engine/goroutines=8 -allow-capped
 package main
 
 import (
@@ -56,12 +64,13 @@ func compare(base, fresh benchfmt.Record, baseNorm, freshNorm float64, maxRegres
 
 func main() {
 	var (
-		basePath   = flag.String("base", "BENCH_engine.json", "checked-in baseline snapshot")
-		newPath    = flag.String("new", "BENCH_engine.ci.json", "freshly produced snapshot")
-		benchList  = flag.String("bench", "engine/goroutines=1", "comma-separated benchmarks to gate")
-		normalize  = flag.String("normalize", "", "divide ns/op by this benchmark's ns/op on each side (hardware yardstick, e.g. scan/goroutines=1)")
-		maxRegress = flag.Float64("max-regress", 0.30, "maximum allowed relative ns/op regression")
-		allocSlack = flag.Float64("alloc-slack", 0.05, "maximum allowed allocs/op rise above the pinned baseline")
+		basePath    = flag.String("base", "BENCH_engine.json", "checked-in baseline snapshot")
+		newPath     = flag.String("new", "BENCH_engine.ci.json", "freshly produced snapshot")
+		benchList   = flag.String("bench", "engine/goroutines=1", "comma-separated benchmarks to gate")
+		normalize   = flag.String("normalize", "", "divide ns/op by this benchmark's ns/op on each side (hardware yardstick, e.g. scan/goroutines=1)")
+		maxRegress  = flag.Float64("max-regress", 0.30, "maximum allowed relative ns/op regression")
+		allocSlack  = flag.Float64("alloc-slack", 0.05, "maximum allowed allocs/op rise above the pinned baseline")
+		allowCapped = flag.Bool("allow-capped", false, "warn and skip (instead of refusing) gated rows that ran with fewer cores than goroutines")
 	)
 	flag.Parse()
 
@@ -108,6 +117,12 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("benchmark %q missing from %s", name, *newPath))
 		}
+		if skip, err := cappedRow(b, f, *allowCapped); err != nil {
+			fatal(err)
+		} else if skip != "" {
+			fmt.Fprintln(os.Stderr, "benchdiff: WARN:", skip)
+			continue
+		}
 		fmt.Printf("%-24s ns/op %8.1f → %8.1f   allocs/op %.4f → %.4f\n",
 			name, b.NsPerOp, f.NsPerOp, b.AllocsPerOp, f.AllocsPerOp)
 		fails = append(fails, compare(b, f, baseNorm, freshNorm, *maxRegress, *allocSlack)...)
@@ -120,6 +135,31 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: no regressions")
+}
+
+// cappedRow inspects a gated benchmark pair for under-provisioned rows
+// (fewer schedulable cores than goroutines). It returns a non-empty skip
+// message when allowCapped permits skipping the row, and an error when it
+// does not.
+func cappedRow(base, fresh benchfmt.Record, allowCapped bool) (skip string, err error) {
+	side := ""
+	switch {
+	case base.Underprovisioned() && fresh.Underprovisioned():
+		side = "both snapshots"
+	case base.Underprovisioned():
+		side = "the baseline"
+	case fresh.Underprovisioned():
+		side = "the fresh snapshot"
+	default:
+		return "", nil
+	}
+	msg := fmt.Sprintf("%s ran with fewer cores than goroutines in %s — not a parallel measurement",
+		base.Benchmark, side)
+	if allowCapped {
+		return msg + "; skipping", nil
+	}
+	return "", fmt.Errorf("%s (re-run on a machine with ≥ %d cores, or pass -allow-capped to skip)",
+		msg, base.Goroutines)
 }
 
 func load(path string) (*benchfmt.Report, error) {

@@ -48,6 +48,29 @@ func TestCompareNormalizedAbsorbsHardwareDelta(t *testing.T) {
 	}
 }
 
+func TestCappedRowRefusedWithoutEscape(t *testing.T) {
+	honest := benchfmt.Record{Benchmark: "engine/goroutines=8", Goroutines: 8, GOMAXPROCS: 8}
+	capped := benchfmt.Record{Benchmark: "engine/goroutines=8", Goroutines: 8, GOMAXPROCS: 4, Capped: true}
+	under := benchfmt.Record{Benchmark: "engine/goroutines=8", Goroutines: 8, GOMAXPROCS: 2}
+	legacy := benchfmt.Record{Benchmark: "engine/goroutines=8", Goroutines: 8} // pre-gomaxprocs snapshot
+
+	if skip, err := cappedRow(honest, honest, false); err != nil || skip != "" {
+		t.Errorf("honest pair flagged: skip=%q err=%v", skip, err)
+	}
+	if skip, err := cappedRow(legacy, legacy, false); err != nil || skip != "" {
+		t.Errorf("legacy pair without per-row procs flagged: skip=%q err=%v", skip, err)
+	}
+	for _, pair := range [][2]benchfmt.Record{{honest, capped}, {capped, honest}, {under, under}} {
+		if _, err := cappedRow(pair[0], pair[1], false); err == nil {
+			t.Errorf("capped pair %+v not refused", pair)
+		}
+		skip, err := cappedRow(pair[0], pair[1], true)
+		if err != nil || !strings.Contains(skip, "skipping") {
+			t.Errorf("-allow-capped did not downgrade to a skip: skip=%q err=%v", skip, err)
+		}
+	}
+}
+
 // TestGateEndToEnd runs the built gate against the checked-in baseline
 // compared with itself (trivially clean) and with a doctored regression.
 func TestGateEndToEnd(t *testing.T) {
@@ -110,6 +133,42 @@ func TestGateEndToEnd(t *testing.T) {
 		}
 		if !strings.Contains(string(out), "FAIL") {
 			t.Fatalf("gate failed without explanation:\n%s", out)
+		}
+	}
+
+	// A gated row marked capped must be refused, and -allow-capped must
+	// downgrade the refusal to a warn-and-skip.
+	{
+		var r benchfmt.Report
+		if err := json.Unmarshal(blob, &r); err != nil {
+			t.Fatal(err)
+		}
+		for i := range r.Results {
+			if r.Results[i].Benchmark == "engine/goroutines=1" {
+				r.Results[i].Capped = true
+			}
+		}
+		out, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capped := filepath.Join(t.TempDir(), "capped.json")
+		if err := os.WriteFile(capped, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		refuse := exec.Command(bin, "-base", baseline, "-new", capped, "-bench", gated,
+			"-normalize", "scan/goroutines=1")
+		if msg, err := refuse.CombinedOutput(); err == nil {
+			t.Fatalf("capped gated row passed without -allow-capped:\n%s", msg)
+		}
+		allow := exec.Command(bin, "-base", baseline, "-new", capped, "-bench", gated,
+			"-normalize", "scan/goroutines=1", "-allow-capped")
+		msg, err := allow.CombinedOutput()
+		if err != nil {
+			t.Fatalf("-allow-capped still refused: %v\n%s", err, msg)
+		}
+		if !strings.Contains(string(msg), "WARN") {
+			t.Fatalf("-allow-capped skipped silently:\n%s", msg)
 		}
 	}
 

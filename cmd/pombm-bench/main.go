@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -62,6 +63,13 @@ func main() {
 		procs  = flag.Int("procs", 0, "pin GOMAXPROCS to this value (0 = runtime default)")
 		repeat = flag.Int("repeat", 1, "repeat each run this many times, reporting per-run wall time and the best")
 
+		// Profilers, for digging into where a regression lives. Mutex and
+		// block sampling carry overhead: profile runs are for attribution,
+		// not for the numbers that land in a snapshot.
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		mutexProf = flag.String("mutexprofile", "", "write a mutex-contention profile to this file (enables mutex sampling)")
+		blockProf = flag.String("blockprofile", "", "write a goroutine-blocking profile to this file (enables block sampling)")
+
 		// Engine throughput benchmark (scan vs locked trie vs sharded engine).
 		engBench   = flag.Bool("enginebench", false, "run the assignment-engine throughput benchmark and exit")
 		engWorkers = flag.Int("workers", 16384, "enginebench: available workers per run")
@@ -78,6 +86,11 @@ func main() {
 	if *repeat < 1 {
 		*repeat = 1
 	}
+	stopProfiles, err := startProfiles(*cpuProf, *mutexProf, *blockProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	if *engBench {
 		if err := runEngineBench(*grid, *engWorkers, *engTasks, *engShards, *repeat, *engGors, *seed, *engJSON); err != nil {
@@ -287,13 +300,15 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 	workerCodes := randCodes(workers, src.Derive("workers"))
 	taskCodes := randCodes(tasks, src.Derive("tasks"))
 
-	fmt.Printf("enginebench: N=%d D=%d c=%d, %d workers, %d tasks, GOMAXPROCS=%d, best of %d\n\n",
-		tree.NumPoints(), tree.Depth(), tree.Degree(), workers, tasks, runtime.GOMAXPROCS(0), repeat)
-	fmt.Printf("%-12s %11s %9s %12s %12s %14s\n", "impl", "goroutines", "shards", "ns/op", "allocs/op", "tasks/sec")
+	baseProcs := runtime.GOMAXPROCS(0)
+	fmt.Printf("enginebench: N=%d D=%d c=%d, %d workers, %d tasks, GOMAXPROCS=%d, NumCPU=%d, best of %d\n\n",
+		tree.NumPoints(), tree.Depth(), tree.Degree(), workers, tasks, baseProcs, runtime.NumCPU(), repeat)
+	fmt.Printf("%-16s %11s %9s %6s %12s %12s %14s\n", "impl", "goroutines", "shards", "procs", "ns/op", "allocs/op", "tasks/sec")
 
 	out := benchfmt.Report{
 		GitSHA:     gitSHA(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: baseProcs,
+		NumCPU:     runtime.NumCPU(),
 		Workers:    workers,
 		Tasks:      tasks,
 		Repeat:     repeat,
@@ -303,7 +318,26 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 	// task batch and is the only region measured. Heap allocations are
 	// sampled around the best-timed region via MemStats deltas. policy
 	// tags the rows produced by a non-default assignment policy.
+	//
+	// A row claiming g goroutines is only a parallel measurement when g
+	// cores are actually schedulable, so GOMAXPROCS is raised to g for the
+	// row when the machine has the cores, and the row is marked capped
+	// when it does not — a capped multi-goroutine row measures scheduler
+	// interleaving, and downstream tooling must not read it as a scaling
+	// number.
 	report := func(impl string, g, sh int, policy string, setup func() (func() error, error)) error {
+		rowProcs := baseProcs
+		if g > rowProcs && runtime.NumCPU() > rowProcs {
+			rowProcs = min(g, runtime.NumCPU())
+		}
+		// A -procs pin can push GOMAXPROCS past the physical core count;
+		// oversubscription is still not parallelism, so capped considers
+		// both.
+		capped := g > min(rowProcs, runtime.NumCPU())
+		if rowProcs != baseProcs {
+			runtime.GOMAXPROCS(rowProcs)
+			defer runtime.GOMAXPROCS(baseProcs)
+		}
 		best := time.Duration(0)
 		allocs := 0.0
 		var ms0, ms1 runtime.MemStats
@@ -329,12 +363,19 @@ func runEngineBench(gridCols, workers, tasks, shards, repeat int, goroutines str
 		if sh > 0 {
 			shCol = strconv.Itoa(sh)
 		}
-		fmt.Printf("%-12s %11d %9s %12.0f %12.2f %14.0f\n", impl, g, shCol, nsPerOp, allocs, tasksPerSec)
+		note := ""
+		if capped {
+			note = "  (capped)"
+		}
+		fmt.Printf("%-16s %11d %9s %6d %12.0f %12.2f %14.0f%s\n",
+			impl, g, shCol, rowProcs, nsPerOp, allocs, tasksPerSec, note)
 		out.Results = append(out.Results, benchfmt.Record{
 			Benchmark:   fmt.Sprintf("%s/goroutines=%d", impl, g),
 			Goroutines:  g,
 			Shards:      sh,
 			Policy:      policy,
+			GOMAXPROCS:  rowProcs,
+			Capped:      capped,
 			NsPerOp:     nsPerOp,
 			AllocsPerOp: allocs,
 			TasksPerSec: tasksPerSec,
@@ -531,6 +572,62 @@ func parseInts(csv string) ([]int, error) {
 		return nil, fmt.Errorf("no goroutine counts")
 	}
 	return out, nil
+}
+
+// startProfiles turns on the requested runtime profilers and returns a
+// stop func that writes every profile out; call it once, after the
+// measured work. Mutex and block sampling are enabled only when their
+// output file is requested, so plain benchmark runs stay overhead-free.
+func startProfiles(cpu, mutex, block string) (stop func(), err error) {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "# wrote %s\n", cpu)
+		})
+	}
+	dump := func(profile, path string) func() {
+		return func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pombm-bench:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "pombm-bench:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "# wrote %s\n", path)
+		}
+	}
+	if mutex != "" {
+		// Sample roughly one in five contended mutex events: cheap enough
+		// to leave on for a whole bench run, dense enough to rank the
+		// engine's shard locks.
+		runtime.SetMutexProfileFraction(5)
+		stops = append(stops, dump("mutex", mutex))
+	}
+	if block != "" {
+		// One sample per ~µs of blocking: catches lock convoys and
+		// channel waits without drowning the run in samples.
+		runtime.SetBlockProfileRate(1000)
+		stops = append(stops, dump("block", block))
+	}
+	return func() {
+		for _, s := range stops {
+			s()
+		}
+	}, nil
 }
 
 func fatal(err error) {

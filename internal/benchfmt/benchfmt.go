@@ -10,15 +10,26 @@ type Record struct {
 	Goroutines  int     `json:"goroutines"`
 	Shards      int     `json:"shards,omitempty"`
 	Policy      string  `json:"policy,omitempty"` // assignment policy for the BenchmarkPolicy* rows
+	GOMAXPROCS  int     `json:"gomaxprocs,omitempty"`
+	Capped      bool    `json:"capped,omitempty"` // fewer schedulable cores than goroutines: not a parallel measurement
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	TasksPerSec float64 `json:"tasks_per_sec"`
+}
+
+// Underprovisioned reports whether the row ran with fewer schedulable
+// cores than goroutines, so its multi-goroutine timing measures scheduler
+// interleaving rather than parallel speedup. Rows from snapshots predating
+// the per-row gomaxprocs field (zero value) are not flagged.
+func (r Record) Underprovisioned() bool {
+	return r.Capped || (r.GOMAXPROCS > 0 && r.GOMAXPROCS < r.Goroutines)
 }
 
 // Report is the file-level envelope.
 type Report struct {
 	GitSHA     string   `json:"git_sha"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
 	Workers    int      `json:"workers"`
 	Tasks      int      `json:"tasks"`
 	Repeat     int      `json:"repeat"`

@@ -1,6 +1,9 @@
 package engine_test
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"github.com/pombm/pombm/internal/engine"
@@ -51,4 +54,80 @@ func BenchmarkBatchOptimalWindow(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*window), "ns/task")
+}
+
+// BenchmarkAssignBatchParallel measures greedy AssignBatch throughput at
+// several submitter counts and reports each multi-goroutine run's speedup
+// over the 1-goroutine run of the same invocation. The gomaxprocs metric
+// records how many cores the row actually had: when it is below the
+// goroutine count the row is an interleaving measurement, not a scaling
+// one, and no speedup is reported (the honest counterpart of the capped
+// rows in BENCH_engine.json).
+func BenchmarkAssignBatchParallel(b *testing.B) {
+	tree := buildTree(b, 64, 10)
+	src := rng.New(55)
+	const nWorkers = 16384
+	const nTasks = 4096
+	workerCodes := make([]hst.Code, nWorkers)
+	for i := range workerCodes {
+		workerCodes[i] = randCode(tree, src)
+	}
+	taskCodes := make([]hst.Code, nTasks)
+	for i := range taskCodes {
+		taskCodes[i] = randCode(tree, src)
+	}
+
+	baseline := 0.0 // 1-goroutine ns/task, cached across the sub-benchmarks
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			e, err := engine.New(tree, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, c := range workerCodes {
+				if err := e.Insert(c, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			chunk := (nTasks + g - 1) / g
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for k := 0; k < g; k++ {
+					lo := k * chunk
+					hi := min(lo+chunk, nTasks)
+					if lo >= hi {
+						break
+					}
+					wg.Add(1)
+					go func(batch []hst.Code) {
+						defer wg.Done()
+						e.AssignBatch(batch)
+					}(taskCodes[lo:hi])
+				}
+				wg.Wait()
+				b.StopTimer()
+				// Refill the pool so every iteration assigns from the same
+				// 16384-worker state.
+				for id := 0; id < nWorkers; id++ {
+					e.Remove(workerCodes[id], id)
+				}
+				for id, c := range workerCodes {
+					if err := e.Insert(c, id); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			nsPerTask := float64(b.Elapsed().Nanoseconds()) / float64(b.N*nTasks)
+			b.ReportMetric(nsPerTask, "ns/task")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			if g == 1 {
+				baseline = nsPerTask
+			} else if baseline > 0 && runtime.GOMAXPROCS(0) >= g && nsPerTask > 0 {
+				b.ReportMetric(baseline/nsPerTask, "speedup")
+			}
+		})
+	}
 }

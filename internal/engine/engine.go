@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"github.com/pombm/pombm/internal/hst"
 )
@@ -64,8 +65,13 @@ var ErrStaleEpoch = errors.New("engine: epoch rotated")
 
 // DefaultShards is the shard count used when a caller passes 0: enough to
 // spread top-level branches without making the cross-shard fallback scan
-// long. New clamps it to the tree's degree.
+// long. New rounds it to the sharding scheme's grid (see newEpochState).
 const DefaultShards = 8
+
+// cacheLine is the padding quantum for per-shard state: one shard must
+// never share a line with its neighbour, or the shard locks ping-pong the
+// line between cores and "independent" shards contend anyway.
+const cacheLine = 64
 
 // Engine is a sharded concurrent assignment engine over one published HST
 // per epoch. All methods are safe for concurrent use.
@@ -89,8 +95,19 @@ type Engine struct {
 	policy     Policy
 	defaultCap int
 	// windows counts the batch windows served through a window-solving
-	// policy (monitoring only; greedy batch serving does not count).
-	windows atomic.Int64
+	// policy (monitoring only; greedy batch serving does not count). It is
+	// padded onto its own cache line: the state pointer above is read on
+	// every operation by every goroutine, and a counter bump sharing that
+	// line would invalidate it fleet-wide once per window.
+	windows paddedCounter
+}
+
+// paddedCounter is an atomic counter alone on its cache line, so bumping
+// it cannot steal the line under a hot read-mostly neighbour.
+type paddedCounter struct {
+	_ [cacheLine]byte
+	n atomic.Int64
+	_ [cacheLine - 8]byte
 }
 
 // epochState is one epoch's immutable identity (id, tree) plus its mutable
@@ -99,36 +116,89 @@ type epochState struct {
 	epoch  int64
 	tree   *hst.Tree
 	depth  int
+	degree int
+	// sub is the second-digit split factor: shard (d0, t) holds the workers
+	// whose codes start with digit d0 and whose second digit is ≡ t mod sub,
+	// at index d0 + degree·t. sub == 1 is plain top-branch sharding.
+	sub    int
 	shards []engineShard
 }
 
-type engineShard struct {
+// shardData is one shard's payload: its lock, its trie, and monitoring
+// counters that are only ever touched under mu (plain fields, not atomics,
+// so bumping them costs nothing beyond the lock already held).
+type shardData struct {
 	mu    sync.Mutex
 	index *hst.LeafIndex
+
+	// assigns counts pops served from this shard's trie; fallbacks counts
+	// tasks homed here whose own-shard probe came up empty and went to the
+	// cross-shard path. A high fallback share on one shard is the load-
+	// imbalance signal that says re-shard (or re-noise) that branch.
+	assigns   int64
+	fallbacks int64
 }
 
-// newEpochState builds a shard set for the tree, clamping the shard count
+// engineShard pads shardData to a cache-line multiple. The bare struct is
+// well under one line, so an unpadded []engineShard packs several shard
+// locks per 64-byte line and "independent" shards false-share: every lock
+// acquisition bounces its neighbours' line. The pad is computed, not
+// hand-counted, so a field added to shardData cannot silently misalign the
+// array.
+type engineShard struct {
+	shardData
+	_ [(cacheLine - unsafe.Sizeof(shardData{})%cacheLine) % cacheLine]byte
+}
+
+// newEpochState builds a shard set for the tree, rounding the shard count
 // exactly as New documents.
 func newEpochState(epoch int64, tree *hst.Tree, shards int) *epochState {
 	if shards <= 0 {
 		shards = DefaultShards
 	}
-	if d := tree.Degree(); shards > d && d > 0 {
-		shards = d
-	}
-	if tree.Depth() == 0 {
+	d, depth := tree.Degree(), tree.Depth()
+	if depth == 0 || d == 0 {
 		shards = 1
+	}
+	sub := 1
+	if d > 0 && depth > 0 && shards > d {
+		// More shards requested than top branches: split every top branch
+		// into sub second-digit groups (needs two digits to exist). sub is
+		// capped at the degree — beyond that a third digit would be needed —
+		// and the count rounds down to the full degree×sub grid so every
+		// (first digit, second-digit group) pair owns exactly one shard.
+		if depth >= 2 {
+			sub = shards / d
+			if sub > d {
+				sub = d
+			}
+		}
+		shards = d * sub
 	}
 	st := &epochState{
 		epoch:  epoch,
 		tree:   tree,
-		depth:  tree.Depth(),
+		depth:  depth,
+		degree: d,
+		sub:    sub,
 		shards: make([]engineShard, shards),
 	}
 	for i := range st.shards {
 		st.shards[i].index = hst.NewLeafIndexDegree(st.depth, tree.Degree())
 	}
 	return st
+}
+
+// ownLimit is the deepest LCA level a query's own shard can fully resolve:
+// every worker within this level of any query lives in the query's shard.
+// Plain top-branch sharding owns everything below the root; a sub-sharded
+// state owns everything below the second level, because workers sharing
+// only the first digit may sit in a sibling sub-shard.
+func (st *epochState) ownLimit() int {
+	if st.sub > 1 {
+		return st.depth - 2
+	}
+	return st.depth - 1
 }
 
 // Option customises engine construction beyond the tree and shard count.
@@ -153,8 +223,11 @@ func WithDefaultCapacity(n int) Option {
 
 // New returns an engine for the published tree with the given shard count,
 // serving FirstEpoch under the Greedy policy. Shards ≤ 0 selects
-// DefaultShards; the count is clamped to the tree's degree (more shards
-// than top-level branches cannot help) and to 1 for trees of depth 0.
+// DefaultShards. Counts up to the tree's degree shard by top-level branch;
+// a count beyond the degree splits hot top branches by their second digit
+// (rounded down to a full degree×sub grid, capped at degree², and requiring
+// depth ≥ 2), so shard count can exceed tree degree on deep trees. Trees of
+// depth 0 always serve from a single shard.
 func New(tree *hst.Tree, shards int) (*Engine, error) {
 	return NewWithOptions(tree, shards)
 }
@@ -201,7 +274,32 @@ func (e *Engine) DefaultCapacity() int { return e.defaultCap }
 
 // Windows returns the number of batch windows served through a
 // window-solving policy.
-func (e *Engine) Windows() int64 { return e.windows.Load() }
+func (e *Engine) Windows() int64 { return e.windows.n.Load() }
+
+// ShardStat is one shard's monitoring counters.
+type ShardStat struct {
+	// Assigns counts pops served from the shard's trie (fast path, batch,
+	// and cross-shard resolutions that landed here).
+	Assigns int64
+	// Fallbacks counts tasks homed on this shard whose own-shard probe came
+	// up empty and escalated to the cross-shard path.
+	Fallbacks int64
+}
+
+// ShardStats returns per-shard assign/fallback counters for the current
+// epoch, for monitoring and load inspection. Counters reset at an epoch
+// swap (they live with the epoch's shard set).
+func (e *Engine) ShardStats() []ShardStat {
+	st := e.state.Load()
+	out := make([]ShardStat, len(st.shards))
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		out[i] = ShardStat{Assigns: s.assigns, Fallbacks: s.fallbacks}
+		s.mu.Unlock()
+	}
+	return out
+}
 
 // effCap resolves an insert's effective capacity: non-positive selects the
 // engine default, and any value is clamped to 1 unless the policy is
@@ -219,6 +317,9 @@ func (e *Engine) effCap(capacity int) int {
 func (st *epochState) shardIdx(code hst.Code) int {
 	if st.depth == 0 || len(st.shards) == 1 {
 		return 0
+	}
+	if st.sub > 1 {
+		return int(code[0]) + st.degree*(int(code[1])%st.sub)
 	}
 	return int(code[0]) % len(st.shards)
 }
@@ -482,7 +583,12 @@ func (e *Engine) greedyAssignOne(code hst.Code) (id, lcaLevel int, epoch int64, 
 				s.mu.Unlock()
 				continue
 			}
-			id, lvl, ok := s.index.PopNearestWithin(code, st.depth-1)
+			id, lvl, ok := s.index.PopNearestWithin(code, st.ownLimit())
+			if ok {
+				s.assigns++
+			} else {
+				s.fallbacks++
+			}
 			s.mu.Unlock()
 			if ok {
 				return id, lvl, st.epoch, true
@@ -497,12 +603,20 @@ func (e *Engine) greedyAssignOne(code hst.Code) (id, lcaLevel int, epoch int64, 
 }
 
 // assignAcross is the slow path: the query's own shard holds no worker
-// below the root LCA, so every available worker (in any shard) is at the
-// maximal level and the globally smallest id wins. All shard locks are
-// taken in index order — the single lock order in the package, so the fast
-// path (one shard) and slow path (all shards, ascending) cannot deadlock.
-// swapped reports that an epoch swap beat the lock acquisition and the
-// caller must retry against the new state.
+// within its ownLimit, so the nearest worker sits at a level the shard
+// cannot resolve alone. All shard locks are taken in index order — the
+// single lock order in the package, so the fast path (one shard) and slow
+// path (all shards, ascending) cannot deadlock. swapped reports that an
+// epoch swap beat the lock acquisition and the caller must retry against
+// the new state.
+//
+// Under plain sharding there is one escalation tier: every worker outside
+// the own shard's reach is at the maximal level and the globally smallest
+// id wins. Under sub-sharding there are two: workers sharing the query's
+// top digit live spread across the sub sibling sub-shards — all at level
+// depth−1 exactly, since anything deeper would be in the own shard — and
+// only when that whole group is empty does the root tier (level depth,
+// global minimum id) decide.
 func (e *Engine) assignAcross(st *epochState, code hst.Code) (id, lcaLevel int, ok, swapped bool) {
 	for i := range st.shards {
 		st.shards[i].mu.Lock()
@@ -518,12 +632,33 @@ func (e *Engine) assignAcross(st *epochState, code hst.Code) (id, lcaLevel int, 
 	// The own shard may have gained a closer worker since the fast path
 	// gave up; re-check it now that the state is frozen.
 	if st.depth > 0 {
-		if id, lvl, ok := st.shardOf(code).index.PopNearestWithin(code, st.depth-1); ok {
+		own := &st.shards[st.shardIdx(code)]
+		if id, lvl, ok := own.index.PopNearestWithin(code, st.ownLimit()); ok {
+			own.assigns++
 			return id, lvl, true, false
 		}
 	}
-	best := -1
-	bestID := int(^uint(0) >> 1) // max int
+	maxInt := int(^uint(0) >> 1)
+	if st.sub > 1 {
+		// Top-digit tier: the sibling sub-shards of the query's top branch
+		// hold exactly the workers whose codes start with the query's first
+		// digit, every one of them at level depth−1 (a deeper match would
+		// have been popped by the own-shard re-check above).
+		d0 := int(code[0])
+		best, bestID := -1, maxInt
+		for t := 0; t < st.sub; t++ {
+			si := d0 + st.degree*t
+			if m, ok := st.shards[si].index.MinID(); ok && m < bestID {
+				best, bestID = si, m
+			}
+		}
+		if best >= 0 {
+			id, _ := st.shards[best].index.PopMin()
+			st.shards[best].assigns++
+			return id, st.depth - 1, true, false
+		}
+	}
+	best, bestID := -1, maxInt
 	for i := range st.shards {
 		if m, ok := st.shards[i].index.MinID(); ok && m < bestID {
 			best, bestID = i, m
@@ -533,6 +668,7 @@ func (e *Engine) assignAcross(st *epochState, code hst.Code) (id, lcaLevel int, 
 		return None, 0, false, false
 	}
 	id, _ = st.shards[best].index.PopMin()
+	st.shards[best].assigns++
 	return id, st.depth, true, false
 }
 
@@ -548,9 +684,20 @@ func (e *Engine) AssignBatch(codes []hst.Code) (ids, lcaLevels []int) {
 	return e.policy.assignWindow(e, codes)
 }
 
-// greedyAssignWindow is the greedy policies' batch path: sequential pops
-// with shard locks amortised across same-shard runs.
+// greedyAssignWindow is the greedy policies' batch path. Batches large
+// enough to amortise grouping go through the shard-routed parallel path
+// (batch.go), which serves each shard's tasks under one lock acquisition
+// — on separate goroutines when cores allow — and resolves cross-shard
+// fallbacks to the exact sequential outcome. Small batches (and engines
+// with no routing structure) keep the sequential walk below, with shard
+// locks amortised across same-shard runs. Both paths return bit-identical
+// results when writers are quiesced.
 func (e *Engine) greedyAssignWindow(codes []hst.Code) (ids, lcaLevels []int) {
+	if len(codes) >= batchRouteThreshold {
+		if st := e.state.Load(); len(st.shards) > 1 && st.depth > 0 {
+			return e.routedAssignWindow(codes)
+		}
+	}
 	ids = make([]int, len(codes))
 	lcaLevels = make([]int, len(codes))
 	var held *engineShard
@@ -582,10 +729,12 @@ func (e *Engine) greedyAssignWindow(codes []hst.Code) (ids, lcaLevels []int) {
 				release()
 				goto retry
 			}
-			if id, lvl, ok := held.index.PopNearestWithin(code, st.depth-1); ok {
+			if id, lvl, ok := held.index.PopNearestWithin(code, st.ownLimit()); ok {
+				held.assigns++
 				ids[i], lcaLevels[i] = id, lvl
 				continue
 			}
+			held.fallbacks++
 		}
 		// Fall back without holding any shard lock.
 		release()

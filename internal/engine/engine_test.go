@@ -61,8 +61,17 @@ func TestNewValidation(t *testing.T) {
 	if e.Shards() < 1 {
 		t.Errorf("Shards = %d", e.Shards())
 	}
-	if e, _ := engine.New(tree, 10_000); e.Shards() > tree.Degree() {
-		t.Errorf("Shards = %d exceeds degree %d", e.Shards(), tree.Degree())
+	d := tree.Degree()
+	// Counts beyond the degree sub-shard by second digit: the engine rounds
+	// to a full degree×sub grid, capped at degree² (two digits of routing).
+	if e, _ := engine.New(tree, 10_000); e.Shards() != d*d {
+		t.Errorf("Shards = %d for an oversized request, want the degree² grid %d", e.Shards(), d*d)
+	}
+	if e, _ := engine.New(tree, d+1); e.Shards() != d {
+		t.Errorf("Shards = %d for degree+1, want round-down to %d", e.Shards(), d)
+	}
+	if e, _ := engine.New(tree, 3*d); e.Shards() != 3*d {
+		t.Errorf("Shards = %d, want the requested 3×degree grid %d", e.Shards(), 3*d)
 	}
 }
 
@@ -108,7 +117,9 @@ func TestInsertRemoveLen(t *testing.T) {
 // moment of assignment, for every shard count.
 func TestAssignIsTreeNearest(t *testing.T) {
 	tree := buildTree(t, 16, 3)
-	for _, shards := range []int{1, 2, 3, 8, tree.Degree()} {
+	// Counts past the degree exercise second-digit sub-sharding, up to the
+	// full degree² grid.
+	for _, shards := range []int{1, 2, 3, 8, tree.Degree(), 2 * tree.Degree(), 1000} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 			src := rng.New(uint64(100 + shards))
 			n := 300
@@ -159,7 +170,7 @@ func TestAssignIsTreeNearest(t *testing.T) {
 // scanning matcher assignment for assignment.
 func TestAssignMatchesScan(t *testing.T) {
 	tree := buildTree(t, 16, 4)
-	for _, shards := range []int{1, 4, 7} {
+	for _, shards := range []int{1, 4, 7, 2*tree.Degree() + 1} {
 		src := rng.New(uint64(40 + shards))
 		n := 250
 		codes := make([]hst.Code, n)

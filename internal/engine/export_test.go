@@ -1,0 +1,10 @@
+package engine
+
+// SetBatchRouteThreshold overrides the routed-batch size gate so tests can
+// force (or suppress) the routed path on small batches. It returns a
+// restore func and must not be called while engines are serving.
+func SetBatchRouteThreshold(n int) (restore func()) {
+	old := batchRouteThreshold
+	batchRouteThreshold = n
+	return func() { batchRouteThreshold = old }
+}

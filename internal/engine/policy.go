@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -76,8 +77,14 @@ const DefaultBatchTopK = 8
 
 // parallelMineMin is the window size below which candidate mining stays
 // sequential: fanning goroutines across shards only pays once a window
-// carries enough probes to amortise the spawn cost.
-const parallelMineMin = 32
+// carries enough probes to amortise the spawn cost. Measured crossover on
+// a multi-core host: at 8 shards the fan-out overhead (~2 µs of spawns and
+// a wait) is repaid somewhere between 8 and 32 probes, so 16 keeps the
+// mid-size windows that used to serialise on the parallel path without
+// ever paying fan-out on windows too small to amortise it. Mining also
+// never fans out under GOMAXPROCS=1 — goroutines without a second core are
+// pure scheduling overhead.
+const parallelMineMin = 16
 
 // batchOptimalPolicy serves each batch window as one restricted bipartite
 // matching: every task mines its top-k nearest candidates from the trie
@@ -100,6 +107,21 @@ const parallelMineMin = 32
 type batchOptimalPolicy struct {
 	k    int
 	pool sync.Pool // *windowScratch
+
+	// Warm solver potentials, keyed by worker id, shared by every window
+	// this policy serves. They live on the policy — not in the pooled
+	// scratch — so the warm history a window sees does not depend on which
+	// scratch the pool happened to hand out (the pipeline checks out two at
+	// once); the matching a window picks among cost-equal alternatives can
+	// depend on its seed potentials, and scratch-resident warmth would make
+	// long-batch results depend on pool checkout order. warmMu guards the
+	// map for the shared-policy case (one policy serving several engines);
+	// within one engine every access is already ordered by the all-shards
+	// lock session. warmState pins the potentials to the epoch state they
+	// were learned under — any other state starts cold.
+	warmMu    sync.Mutex
+	warm      map[int32]float64
+	warmState *epochState
 }
 
 // BatchOptimal returns the window-solving policy with a per-task candidate
@@ -108,11 +130,10 @@ func BatchOptimal(k int) Policy {
 	if k <= 0 {
 		k = DefaultBatchTopK
 	}
-	p := &batchOptimalPolicy{k: k}
+	p := &batchOptimalPolicy{k: k, warm: map[int32]float64{}}
 	p.pool.New = func() any {
 		return &windowScratch{
 			dedup:  map[refKey]int32{},
-			warm:   map[int32]float64{},
 			solver: flow.NewBipartite(),
 		}
 	}
@@ -135,10 +156,21 @@ func (p *batchOptimalPolicy) assignWindow(e *Engine, codes []hst.Code) ([]int, [
 	for i := range ids {
 		ids[i] = None
 	}
+	if len(codes) > batchWindowSize {
+		// Long batches split into windows served through the mine/solve
+		// pipeline (pipeline.go): window i's solve overlaps window i+1's
+		// mining.
+		for {
+			st := e.state.Load()
+			if p.solvePipelined(e, st, codes, ids, lvls) {
+				return ids, lvls
+			}
+		}
+	}
 	for {
 		st := e.state.Load()
 		if p.solveWindow(e, st, codes, ids, lvls) {
-			e.windows.Add(1)
+			e.windows.n.Add(1)
 			return ids, lvls
 		}
 	}
@@ -179,13 +211,9 @@ type windowScratch struct {
 	dedup      map[refKey]int32   // candidate → solver worker column
 	workers    []shardWorker      // unique candidates, first-seen order
 	arcLvl     []int32            // LCA level per solver arc
+	genSnap    []uint64           // per-shard InsertGen at mine time (repair proof)
 	solver     *flow.Bipartite
 	wg         sync.WaitGroup
-
-	// Warm state: worker potentials carried across windows, valid only for
-	// the epoch state they were learned under.
-	warm      map[int32]float64
-	lastState *epochState
 }
 
 func growI32(s []int32, n int) []int32 {
@@ -202,10 +230,19 @@ func growRef(s []hst.CandidateRef, n int) []hst.CandidateRef {
 	return s[:n]
 }
 
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
 // solveWindow serves one window under every shard lock (a window is a
 // global decision; per-shard locking cannot express it). It reports false
 // when an epoch swap won the lock race, in which case the caller retries
-// against the new state.
+// against the new state. The body is a straight-line composition of the
+// stage methods below; the pipelined long-batch path (pipeline.go)
+// interleaves the same stages across two windows.
 func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.Code, ids, lvls []int) bool {
 	for i := range st.shards {
 		st.shards[i].mu.Lock()
@@ -221,14 +258,23 @@ func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.
 
 	ws := p.pool.Get().(*windowScratch)
 	defer p.pool.Put(ws)
-	// Warm potentials are duals learned against one epoch's population; a
-	// different state pointer — a rotation, or a scratch migrating between
-	// engines — invalidates them wholesale.
-	if ws.lastState != st {
-		clear(ws.warm)
-		ws.lastState = st
+	if p.mineWindow(ws, st, codes, ids, lvls) == 0 {
+		return true
 	}
+	p.padWindow(ws, st, codes)
+	p.buildAndSolve(ws, st)
+	p.commitWindow(ws, st, ids, lvls, nil)
+	return true
+}
 
+// mineWindow admits the window's well-formed tasks, groups them by their
+// own shard, and mines each task's own-shard top-k candidates (one batch
+// per shard, fanned across goroutines for large windows). It returns the
+// number of tasks needing a solve — 0 when the window or the pool is
+// empty. Per-shard insert generations are snapshotted so a later repair
+// (pipeline speculation) can prove the mined refs were never redirected.
+// Caller holds every shard lock.
+func (p *batchOptimalPolicy) mineWindow(ws *windowScratch, st *epochState, codes []hst.Code, ids, lvls []int) int {
 	// Valid tasks only; malformed codes answer None without touching state.
 	ws.valid = ws.valid[:0]
 	for i, code := range codes {
@@ -243,9 +289,13 @@ func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.
 	}
 	nt, S := len(ws.valid), len(st.shards)
 	if nt == 0 || pool == 0 {
-		return true
+		return 0
 	}
 	k := p.k
+	ws.genSnap = growU64(ws.genSnap, S)
+	for s := 0; s < S; s++ {
+		ws.genSnap[s] = st.shards[s].index.InsertGen()
+	}
 
 	// Group tasks by their own shard (every worker sharing the task's top
 	// branch lives there), so each shard's probes run as one batch.
@@ -293,7 +343,7 @@ func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.
 			}
 		}
 	}
-	if nt >= parallelMineMin && S > 1 {
+	if nt >= parallelMineMin && S > 1 && runtime.GOMAXPROCS(0) > 1 {
 		for s := 0; s < S; s++ {
 			if ws.shardOff[s] == ws.shardOff[s+1] {
 				continue
@@ -310,13 +360,26 @@ func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.
 			mineShard(s)
 		}
 	}
+	return nt
+}
+
+// padWindow tops up tasks whose own shard mined fewer than k candidates
+// with cross-shard pads. Caller holds every shard lock; run it after any
+// repair, never before — pads are built against the live pool.
+func (p *batchOptimalPolicy) padWindow(ws *windowScratch, st *epochState, codes []hst.Code) {
+	nt, S, k := len(ws.valid), len(st.shards), p.k
 
 	// Pad tasks whose own shard ran short with the smallest-id workers
-	// from the other shards, all of which sit at the maximal LCA level and
-	// are therefore equidistant. Instead of snapshotting whole shards, each
-	// foreign shard contributes a keep-k list (a task needs at most k pads
-	// even if one shard supplies them all), built lazily once per window
-	// and merge-scanned per task — no padded rows ever materialise.
+	// from the other shards. Under plain sharding every foreign worker sits
+	// at the maximal LCA level and they are all equidistant; under
+	// sub-sharding the sibling sub-shards of the task's top branch are one
+	// level closer (depth−1: they hold exactly the workers sharing the
+	// task's first digit), so the merge ranks pads by (level, id), sibling
+	// groups first, and restamps their level. Instead of snapshotting whole
+	// shards, each foreign shard contributes a keep-k list (a task needs at
+	// most k pads even if one shard supplies them all), built lazily once
+	// per window and merge-scanned per task — no padded rows ever
+	// materialise.
 	if S > 1 {
 		ws.padLen = growI32(ws.padLen, S)
 		ws.padHeads = growI32(ws.padHeads, S)
@@ -330,6 +393,16 @@ func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.
 				continue
 			}
 			own := ws.taskShard[ti]
+			q0 := -1
+			if st.sub > 1 {
+				q0 = int(codes[ws.valid[ti]][0])
+			}
+			padLvl := func(s int) int32 {
+				if q0 >= 0 && s%st.degree == q0 {
+					return int32(st.depth - 1)
+				}
+				return int32(st.depth)
+			}
 			for s := 0; s < S; s++ {
 				ws.padHeads[s] = 0
 				if ws.padLen[s] < 0 && int32(s) != own {
@@ -345,25 +418,39 @@ func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.
 					if int32(s) == own || ws.padHeads[s] >= ws.padLen[s] {
 						continue
 					}
-					if best < 0 || ws.padBuf[s*k+int(ws.padHeads[s])].ID < ws.padBuf[best*k+int(ws.padHeads[best])].ID {
+					if best < 0 {
+						best = s
+						continue
+					}
+					ls, lb := padLvl(s), padLvl(best)
+					if ls < lb || (ls == lb &&
+						ws.padBuf[s*k+int(ws.padHeads[s])].ID < ws.padBuf[best*k+int(ws.padHeads[best])].ID) {
 						best = s
 					}
 				}
 				if best < 0 {
 					break
 				}
+				c := ws.padBuf[best*k+int(ws.padHeads[best])]
+				c.Level = padLvl(best)
 				ws.candSh[int(ti)*k+len(region)] = int32(best)
-				region = append(region, ws.padBuf[best*k+int(ws.padHeads[best])])
+				region = append(region, c)
 				ws.padHeads[best]++
 			}
 			ws.candCnt[ti] = int32(len(region))
 		}
 	}
+}
 
-	// Deduplicate candidates into solver columns (first-seen order) and
-	// build the restricted bipartite problem: one arc per mined pairing at
-	// cost = tree distance of its LCA level, one column per worker bounded
-	// by its remaining capacity, potentials seeded warm.
+// buildAndSolve deduplicates candidates into solver columns (first-seen
+// order), builds the restricted bipartite problem — one arc per mined
+// pairing at cost = tree distance of its LCA level, one column per worker
+// bounded by its remaining capacity, potentials seeded from the policy's
+// warm map — and runs the solver. It reads only the scratch's mined refs
+// and the warm map (learned under st, else cleared), never the tries, so
+// the pipeline runs it concurrently with the next window's mining.
+func (p *batchOptimalPolicy) buildAndSolve(ws *windowScratch, st *epochState) {
+	nt, k := len(ws.valid), p.k
 	clear(ws.dedup)
 	ws.workers = ws.workers[:0]
 	ws.arcLvl = ws.arcLvl[:0]
@@ -379,9 +466,15 @@ func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.
 	}
 	sol := ws.solver
 	sol.Reset(nt, len(ws.workers))
-	for w, sw := range ws.workers {
-		sol.SetWorker(w, int(sw.ref.Cap), ws.warm[sw.ref.ID])
+	p.warmMu.Lock()
+	if p.warmState != st {
+		clear(p.warm)
+		p.warmState = st
 	}
+	for w, sw := range ws.workers {
+		sol.SetWorker(w, int(sw.ref.Cap), p.warm[sw.ref.ID])
+	}
+	p.warmMu.Unlock()
 	for ti := 0; ti < nt; ti++ {
 		for j := 0; j < int(ws.candCnt[ti]); j++ {
 			c := ws.cands[ti*k+j]
@@ -397,9 +490,18 @@ func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.
 		}
 	}
 	sol.Run()
+}
 
-	// Extract and commit: consume one capacity unit per matched arc, then
-	// bank the closing potentials for the next window's warm start.
+// commitWindow consumes one capacity unit per matched arc, stamps the
+// window's answers, and banks the closing potentials for the next
+// window's warm start. dirty, when non-nil, collects the shards the
+// commit consumed from, so the pipeline's repair pass knows which mined
+// speculation to re-verify. Caller holds every shard lock; between the
+// mine that produced these refs and this commit nothing may have mutated
+// the tries except earlier commits (which repair accounts for), so a
+// missing candidate is a bug, not a race.
+func (p *batchOptimalPolicy) commitWindow(ws *windowScratch, st *epochState, ids, lvls []int, dirty []bool) {
+	sol := ws.solver
 	for ti, i := range ws.valid {
 		a := sol.MatchedArc(ti)
 		if a < 0 {
@@ -411,12 +513,19 @@ func (p *batchOptimalPolicy) solveWindow(e *Engine, st *epochState, codes []hst.
 			// the commit holds. Surfacing beats silently double-booking.
 			panic(fmt.Sprintf("engine: batch-optimal commit lost candidate %d", sw.ref.ID))
 		}
+		st.shards[sw.shard].assigns++
+		if dirty != nil {
+			dirty[sw.shard] = true
+		}
 		ids[i], lvls[i] = int(sw.ref.ID), int(ws.arcLvl[a])
 	}
-	for w, sw := range ws.workers {
-		ws.warm[sw.ref.ID] = sol.WorkerPot(w)
+	p.warmMu.Lock()
+	if p.warmState == st {
+		for w, sw := range ws.workers {
+			p.warm[sw.ref.ID] = sol.WorkerPot(w)
+		}
 	}
-	return true
+	p.warmMu.Unlock()
 }
 
 // PolicyNames lists the selectable policy specs for flag help.

@@ -37,7 +37,9 @@ func (r *refPool) assign(code hst.Code) (id, lvl int, ok bool) {
 // pre-refactor scanning semantics must produce identical assignments,
 // decision for decision, at several shard counts.
 func TestGreedyDifferentialOpTape(t *testing.T) {
-	for _, shards := range []int{1, 3, 8} {
+	// 33 and 1000 land past any grid-16 tree's degree, driving the
+	// sub-sharded (second-digit split) layout through the same tape.
+	for _, shards := range []int{1, 3, 8, 33, 1000} {
 		for seed := uint64(1); seed <= 3; seed++ {
 			tree := buildTree(t, 16, 40+seed)
 			e, err := engine.New(tree, shards)

@@ -55,6 +55,14 @@ type LeafIndex struct {
 
 	path []int32 // reusable root-to-leaf descent scratch
 	cbuf []byte  // reusable candidate-code scratch (cap depth, so collect never grows it)
+
+	// insertGen counts inserts. Inserts are the only mutation that can grow
+	// the arena or reuse freed slots, i.e. the only way a CandidateRef held
+	// across an unlock can come to point at a *different* live item, so a
+	// caller that recorded the generation at mining time can tell "my refs
+	// are at worst consumed" (generation unchanged) from "my refs may be
+	// lies" (generation moved). Removals and pops never bump it.
+	insertGen uint64
 }
 
 // flatNode is one trie position in the arena. 28 bytes; a realistic shard
@@ -171,8 +179,16 @@ func (x *LeafIndex) InsertCap(code Code, id, capacity int) error {
 	x.nodes[ni].items = si
 	x.size++
 	x.units += capacity
+	x.insertGen++
 	return nil
 }
+
+// InsertGen returns the index's insert generation: a counter bumped by
+// every successful insert and by nothing else. Refs mined at generation g
+// are structurally trustworthy while the generation stays g — intervening
+// removals can only have consumed them (RefUnits reports that), never
+// redirected them at another item.
+func (x *LeafIndex) InsertGen() uint64 { return x.insertGen }
 
 // bump increments a node's count and folds id into its subtree minimum.
 func (x *LeafIndex) bump(ni, id int32) {
@@ -567,6 +583,51 @@ func (x *LeafIndex) PopNearestWithin(code Code, maxLevel int) (id, lcaLevel int,
 		return 0, lvl, false
 	}
 	return x.popMinFrom(path), lvl, true
+}
+
+// PopNearestWithinCode is PopNearestWithin that additionally writes the
+// popped item's leaf code into dst[:depth]. The batch engine's speculative
+// shard-parallel path uses it to record an undo token per pop: the (code,
+// id) pair is exactly what AddCap/InsertCap need to put the consumed unit
+// back when a deterministic fallback pass rewinds a shard. dst must have
+// room for depth digits; it is written only on a successful pop.
+func (x *LeafIndex) PopNearestWithinCode(code Code, maxLevel int, dst []byte) (id, lcaLevel int, ok bool) {
+	if x.size == 0 || len(code) != x.depth || len(dst) < x.depth {
+		return 0, 0, false
+	}
+	path := x.path[:0]
+	ni := int32(0)
+	path = append(path, ni)
+	j := 0
+	for j < x.depth {
+		ci := x.child(ni, code[j])
+		if ci == nilIdx {
+			break
+		}
+		ni = ci
+		path = append(path, ni)
+		j++
+	}
+	lvl := x.depth - j
+	if lvl > maxLevel {
+		return 0, lvl, false
+	}
+	// The first j digits of the popped leaf are the query's own (the exact
+	// branch matched that far); the rest come off the descent to the minID
+	// leaf, each node carrying its digit under its parent.
+	copy(dst, code[:j])
+	target := x.nodes[ni].minID
+	for depthAt := j; depthAt < x.depth; depthAt++ {
+		ni = x.childWithMin(ni, target)
+		dst[depthAt] = x.nodes[ni].digit
+		path = append(path, ni)
+	}
+	removed, _ := x.consumeItem(ni, target)
+	if removed {
+		x.repair(path, target)
+		x.size--
+	}
+	return int(target), lvl, true
 }
 
 // PopMin atomically removes and returns the smallest live item id. ok is

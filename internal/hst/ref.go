@@ -98,6 +98,27 @@ func (x *LeafIndex) ConsumeRef(ref CandidateRef) bool {
 	return true
 }
 
+// RefUnits probes a previously mined ref without consuming anything: it
+// returns the capacity units the ref's item currently has at the ref's
+// node, ok false when the item is no longer there (consumed away, or the
+// node emptied and was freed). The pipelined batch policy uses it to
+// revalidate a window mined speculatively before the previous window's
+// commits: with the index's InsertGen unchanged since mining, a ref that
+// still answers here is exactly the item that was mined — intervening
+// removals can consume refs but never redirect them.
+func (x *LeafIndex) RefUnits(ref CandidateRef) (units int, ok bool) {
+	ni := ref.Node
+	if ni < 0 || int(ni) >= len(x.nodes) || ref.ID < 0 {
+		return 0, false
+	}
+	for si := x.nodes[ni].items; si != nilIdx; si = x.items[si].next {
+		if x.items[si].id == ref.ID {
+			return int(x.items[si].cap), true
+		}
+	}
+	return 0, false
+}
+
 // collectKRef walks the subtree under ni — except the except branch —
 // keeping in out[start:] only the need smallest items by (id, node), in
 // sorted order. The ref analogue of collectK, with one structural upgrade:

@@ -1,0 +1,250 @@
+package hst
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// snapshot flattens an index into a sorted (code, id, cap) list for
+// whole-state equality checks.
+func snapshot(x *LeafIndex) []struct {
+	code string
+	id   int
+	cap  int
+} {
+	var out []struct {
+		code string
+		id   int
+		cap  int
+	}
+	x.WalkCap(func(code Code, id, capacity int) {
+		out = append(out, struct {
+			code string
+			id   int
+			cap  int
+		}{string(code), id, capacity})
+	})
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].id != out[b].id {
+			return out[a].id < out[b].id
+		}
+		return out[a].code < out[b].code
+	})
+	return out
+}
+
+func sameSnapshot(t *testing.T, step int, a, b *LeafIndex) {
+	t.Helper()
+	sa, sb := snapshot(a), snapshot(b)
+	if len(sa) != len(sb) {
+		t.Fatalf("step %d: %d items ≠ %d items", step, len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("step %d: item %d: %+v ≠ %+v", step, i, sa[i], sb[i])
+		}
+	}
+}
+
+// TestPopNearestWithinCodeMatchesPop drives PopNearestWithinCode and
+// PopNearestWithin over mirrored indexes with one randomized tape: every
+// return value must agree, and the code written into dst must be a real
+// leaf of the popped item — proven by using it to undo the pop
+// (AddCap/InsertCap) and checking the whole index state round-trips.
+func TestPopNearestWithinCodeMatchesPop(t *testing.T) {
+	for _, degree := range []int{4, 0} { // dense and sparse layouts
+		const depth = 5
+		src := rng.New(uint64(71 + degree))
+		a := NewLeafIndexDegree(depth, degree)
+		b := NewLeafIndexDegree(depth, degree)
+		randCode := func() Code {
+			buf := make([]byte, depth)
+			for i := range buf {
+				buf[i] = byte(src.Intn(4))
+			}
+			return Code(buf)
+		}
+		nextID := 0
+		dst := make([]byte, depth)
+		for step := 0; step < 800; step++ {
+			switch op := src.Intn(10); {
+			case op < 4:
+				c := randCode()
+				capacity := 1 + src.Intn(2)
+				if err := a.InsertCap(c, nextID, capacity); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.InsertCap(c, nextID, capacity); err != nil {
+					t.Fatal(err)
+				}
+				nextID++
+			case op < 8: // pop, and verify dst against the reference pop
+				q := randCode()
+				max := src.Intn(depth + 1)
+				id, lvl, ok := a.PopNearestWithinCode(q, max, dst)
+				wid, wlvl, wok := b.PopNearestWithin(q, max)
+				if id != wid || lvl != wlvl || ok != wok {
+					t.Fatalf("step %d: PopNearestWithinCode (%d,%d,%v) ≠ PopNearestWithin (%d,%d,%v)",
+						step, id, lvl, ok, wid, wlvl, wok)
+				}
+				if !ok {
+					continue
+				}
+				// The recorded code must address the popped item exactly:
+				// returning the unit through it must round-trip the state.
+				if !a.AddCap(Code(dst), id, 1) {
+					if err := a.InsertCap(Code(dst), id, 1); err != nil {
+						t.Fatalf("step %d: undo insert: %v", step, err)
+					}
+				}
+				if !b.AddCap(Code(dst), id, 1) {
+					if err := b.InsertCap(Code(dst), id, 1); err != nil {
+						t.Fatalf("step %d: reference undo: %v", step, err)
+					}
+				}
+				// Redo on both so the tape keeps making progress.
+				a.PopNearestWithinCode(q, max, dst)
+				b.PopNearestWithin(q, max)
+			default: // withdraw someone so freelists churn
+				if a.Len() == 0 {
+					continue
+				}
+				id, _ := a.MinID()
+				var code Code
+				a.Walk(func(c Code, i int) {
+					if i == id && code == "" {
+						code = c
+					}
+				})
+				a.Remove(code, id)
+				b.Remove(code, id)
+			}
+			if step%50 == 0 {
+				sameSnapshot(t, step, a, b)
+			}
+		}
+		sameSnapshot(t, -1, a, b)
+	}
+}
+
+// TestPopNearestWithinCodeUndoRestoresState: a burst of speculative pops
+// undone in reverse order must restore the exact index state — the
+// invariant the shard-parallel batch path's rewind leans on.
+func TestPopNearestWithinCodeUndoRestoresState(t *testing.T) {
+	const depth, degree = 4, 4
+	src := rng.New(99)
+	x := NewLeafIndexDegree(depth, degree)
+	ref := NewLeafIndexDegree(depth, degree)
+	for id := 0; id < 60; id++ {
+		buf := make([]byte, depth)
+		for i := range buf {
+			buf[i] = byte(src.Intn(degree))
+		}
+		capacity := 1 + id%2
+		if err := x.InsertCap(Code(buf), id, capacity); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.InsertCap(Code(buf), id, capacity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type undo struct {
+		code []byte
+		id   int
+	}
+	var log []undo
+	dst := make([]byte, depth)
+	for i := 0; i < 25; i++ {
+		q := make([]byte, depth)
+		for j := range q {
+			q[j] = byte(src.Intn(degree))
+		}
+		if id, _, ok := x.PopNearestWithinCode(Code(q), depth, dst); ok {
+			log = append(log, undo{code: append([]byte(nil), dst...), id: id})
+		}
+	}
+	if len(log) == 0 {
+		t.Fatal("no pops recorded")
+	}
+	for i := len(log) - 1; i >= 0; i-- {
+		u := log[i]
+		if !x.AddCap(Code(u.code), u.id, 1) {
+			if err := x.InsertCap(Code(u.code), u.id, 1); err != nil {
+				t.Fatalf("undo %d: %v", i, err)
+			}
+		}
+	}
+	sameSnapshot(t, -1, x, ref)
+}
+
+// TestRefUnitsProbesMinedRefs: RefUnits must agree with a mined ref's
+// capacity, track ConsumeRef unit by unit, and answer false once the item
+// is gone — without ever mutating anything.
+func TestRefUnitsProbesMinedRefs(t *testing.T) {
+	const depth, degree = 3, 4
+	x := NewLeafIndexDegree(depth, degree)
+	c := Code([]byte{1, 2, 3})
+	if err := x.InsertCap(c, 7, 2); err != nil {
+		t.Fatal(err)
+	}
+	refs := x.NearestKRef(c, 1, nil)
+	if len(refs) != 1 {
+		t.Fatalf("mined %d refs", len(refs))
+	}
+	if units, ok := x.RefUnits(refs[0]); !ok || units != 2 {
+		t.Fatalf("RefUnits = (%d,%v), want (2,true)", units, ok)
+	}
+	if !x.ConsumeRef(refs[0]) {
+		t.Fatal("ConsumeRef failed")
+	}
+	if units, ok := x.RefUnits(refs[0]); !ok || units != 1 {
+		t.Fatalf("RefUnits after one consume = (%d,%v), want (1,true)", units, ok)
+	}
+	if !x.ConsumeRef(refs[0]) {
+		t.Fatal("second ConsumeRef failed")
+	}
+	if _, ok := x.RefUnits(refs[0]); ok {
+		t.Fatal("RefUnits found a fully consumed item")
+	}
+	if _, ok := x.RefUnits(CandidateRef{ID: 7, Node: 1 << 20}); ok {
+		t.Fatal("RefUnits accepted an out-of-range node")
+	}
+}
+
+// TestInsertGenBumpsOnInsertOnly pins the generation contract: inserts
+// (and only inserts) move it. The pipelined batch policy distinguishes
+// "refs possibly consumed" from "refs possibly redirected" with it.
+func TestInsertGenBumpsOnInsertOnly(t *testing.T) {
+	const depth, degree = 3, 4
+	x := NewLeafIndexDegree(depth, degree)
+	if x.InsertGen() != 0 {
+		t.Fatalf("fresh index generation = %d", x.InsertGen())
+	}
+	c := Code([]byte{0, 1, 2})
+	if err := x.InsertCap(c, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Insert(c, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := x.InsertGen()
+	if g != 2 {
+		t.Fatalf("generation after two inserts = %d", g)
+	}
+	x.PopNearest(c)      // consumes a unit of id 1
+	x.AddCap(c, 1, 1)    // and puts it back
+	x.Remove(c, 2)       // structural removal
+	x.CountPrefix(c[:1]) // reads
+	x.NearestKRef(c, 2, nil)
+	if x.InsertGen() != g {
+		t.Fatalf("generation moved to %d on non-inserts", x.InsertGen())
+	}
+	if err := x.Insert(c, 3); err != nil {
+		t.Fatal(err)
+	}
+	if x.InsertGen() != g+1 {
+		t.Fatalf("generation after reinsert = %d, want %d", x.InsertGen(), g+1)
+	}
+}
