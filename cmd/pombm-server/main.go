@@ -3,6 +3,9 @@
 // registrations, and assigns arriving tasks with HST-Greedy. With -demo it
 // also drives a fleet of simulated workers and tasks against itself.
 //
+// Beside the /v1 agent API it exposes the /v2 node API, so the same binary
+// serves standalone or as a backend a pombm-coord shards the engine across.
+//
 // Usage:
 //
 //	pombm-server -addr :8080 -grid 32 -eps 0.6
@@ -20,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/pombm/pombm/internal/cluster"
 	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/geo"
 	"github.com/pombm/pombm/internal/platform"
@@ -64,12 +68,19 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("serving on %s (grid %dx%d, ε=%g, tree depth %d, %d engine shards, policy %s)",
-		ln.Addr(), *grid, *grid, *eps, srv.Publication().Tree.Depth(), srv.Engine().Shards(), pol.Name())
+		ln.Addr(), *grid, *grid, *eps, srv.Publication().Tree.Depth(), srv.Core().Shards(), pol.Name())
 
 	if *demo > 0 {
 		go runDemo(ln.Addr().String(), *demo, *seed)
 	}
-	log.Fatal(http.Serve(ln, platform.Handler(srv)))
+	// Beside the /v1 agent API, expose the /v2 node API: a pombm-coord can
+	// enlist this process as a cluster backend. The node's engine is
+	// separate from the standalone /v1 server's and is built by the
+	// coordinator's Init.
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", platform.Handler(srv))
+	mux.Handle("/v2/", cluster.NodeHandler(cluster.NewNode()))
+	log.Fatal(http.Serve(ln, mux))
 }
 
 // runDemo exercises the server with simulated agents over real HTTP.

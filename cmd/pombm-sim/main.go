@@ -8,6 +8,7 @@
 //	pombm-sim -scenario churn-heavy -seed 1 -json        # canonical report on stdout
 //	pombm-sim -scenario all -crosscheck                  # verify vs the sequential rule
 //	pombm-sim -scenario chengdu-day -driver platform     # exercise the server wrapper
+//	pombm-sim -scenario all -driver cluster -nodes 3     # 3-backend coordinator, same bytes
 //	pombm-sim -preset capacity-heavy -crosscheck         # capacitated sequential rule
 //	pombm-sim -scenario all -policy batch-optimal        # override the assignment policy
 //
@@ -35,8 +36,9 @@ func main() {
 		preset   = flag.String("preset", "", "alias for -scenario")
 		list     = flag.Bool("list", false, "list scenario presets and exit")
 		seed     = flag.Uint64("seed", 1, "root random seed")
-		driver   = flag.String("driver", "engine", "system under test: engine or platform")
+		driver   = flag.String("driver", "engine", "system under test: engine, platform, or cluster (coordinator over in-process nodes)")
 		shards   = flag.Int("shards", 0, "engine shard count (0 = engine default)")
+		nodes    = flag.Int("nodes", 0, "cluster driver backend count (0 = 3)")
 		duration = flag.Float64("duration", 0, "override the preset's simulated duration (seconds)")
 		policy   = flag.String("policy", "", "override the preset's assignment policy (greedy, capacity-greedy, batch-optimal[:k=<n>]); a non-capacity-aware override resets the preset's worker capacity to 1")
 		check    = flag.Bool("crosscheck", false, "verify every assignment against the sequential brute-force rule (feasibility-only under window-solving policies); violations exit non-zero")
@@ -102,6 +104,7 @@ func main() {
 			Seed:       *seed,
 			Driver:     sim.Driver(*driver),
 			Shards:     *shards,
+			Nodes:      *nodes,
 			CrossCheck: *check,
 		})
 		if err != nil {

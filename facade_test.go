@@ -1,0 +1,67 @@
+package pombm_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/pombm/pombm"
+)
+
+// TestDialIsDeploymentShapeAgnostic pins the redesigned facade: Dial
+// returns the same API surface against a single server and against a
+// coordinator-fronted cluster, and an agent driven through it cannot tell
+// the difference.
+func TestDialIsDeploymentShapeAgnostic(t *testing.T) {
+	region := pombm.NewRect(pombm.Pt(0, 0), pombm.Pt(100, 100))
+
+	srv, err := pombm.NewServer(region, 8, 8, 0.6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(pombm.PlatformHandler(srv))
+	defer single.Close()
+
+	coord, err := pombm.NewCluster(pombm.ClusterConfig{
+		Region: region, Cols: 8, Rows: 8, Epsilon: 0.6, Seed: 7,
+		Nodes: []pombm.NodeConn{localTestNode(t), localTestNode(t), localTestNode(t)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := httptest.NewServer(coord.Handler())
+	defer multi.Close()
+
+	for _, url := range []string{single.URL, multi.URL} {
+		api, err := pombm.Dial(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub := api.Publication()
+		obf, err := pombm.NewObfuscator(pub, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := pombm.Worker{ID: "w0", Loc: pombm.Pt(10, 10)}
+		if err := w.Register(api, obf); err != nil {
+			t.Fatal(err)
+		}
+		id, assigned, err := (pombm.Task{ID: "t0", Loc: pombm.Pt(12, 9)}).Submit(api, obf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !assigned || id != "w0" {
+			t.Fatalf("%s: task = (%q,%v), want w0 assigned", url, id, assigned)
+		}
+		if _, err := api.Stats(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// localTestNode builds one in-process cluster backend behind real HTTP.
+func localTestNode(t *testing.T) pombm.NodeConn {
+	t.Helper()
+	ts := httptest.NewServer(pombm.NodeHandler())
+	t.Cleanup(ts.Close)
+	return pombm.DialNode(ts.URL)
+}

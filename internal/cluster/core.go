@@ -1,0 +1,687 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/flow"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/platform"
+)
+
+// fanCore is the coordinator's platform.Core: the same engine surface the
+// serving layer drives single-node, fanned out across NodeConn backends.
+// Put behind platform.WithCore, the whole serving stack — slot tables,
+// budget accounting, rotation planning — runs verbatim above it, which is
+// what pins the cluster bit-identical to the single-node deployment.
+//
+// Concurrency: routed single-worker operations (insert, remove, assign's
+// node-local tiers) run under a shared read lock — they are independent
+// exactly when their codes route to different nodes, mirroring the
+// engine's shard independence. Anything whose answer spans nodes — the
+// greedy root tier's min-of-mins, a batch-optimal window, the two-phase
+// epoch swap — takes the lock exclusively, making it atomic with respect
+// to every other coordinator-driven mutation. Every node mutation flows
+// through this core, so exclusivity here is global mutual exclusion.
+type fanCore struct {
+	nodes      []NodeConn
+	policy     engine.Policy
+	policySpec string
+	defaultCap int
+	shardsCfg  int // requested shard count, passed to every node
+
+	state atomic.Pointer[coreState]
+	opMu  sync.RWMutex
+
+	windows atomic.Int64
+	idemSeq atomic.Int64
+
+	// Batch-window scratch, all touched only under opMu held exclusively:
+	// the solver and the warm worker potentials it carries from window to
+	// window (cleared when the epoch moves, like the single-process
+	// policy's state-pinned warm map).
+	solver    *flow.Bipartite
+	warm      map[int]float64
+	warmEpoch int64
+}
+
+// coreState is the epoch-scoped identity of the cluster: published tree,
+// shard layout (shared by every node), and epoch id. Swapped with one
+// pointer store at rotation commit.
+type coreState struct {
+	tree   *hst.Tree
+	layout engine.Layout
+	epoch  int64
+}
+
+// errNodeDown is wrapped into transport failures by httpNode (and the
+// retry helpers below) so the core can tell a dead backend from an
+// application refusal.
+var errTransport = errors.New("cluster: node transport failed")
+
+// newFanCore builds the core and initialises every node with the shared
+// configuration.
+func newFanCore(nodes []NodeConn, tree *hst.Tree, shards int, policy engine.Policy, policySpec string, defaultCap int) (*fanCore, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	if defaultCap == 0 {
+		defaultCap = 1
+	}
+	c := &fanCore{
+		nodes:      nodes,
+		policy:     policy,
+		policySpec: policySpec,
+		defaultCap: defaultCap,
+		shardsCfg:  shards,
+		solver:     flow.NewBipartite(),
+		warm:       map[int]float64{},
+		warmEpoch:  engine.FirstEpoch,
+	}
+	c.state.Store(&coreState{tree: tree, layout: engine.LayoutFor(tree, shards), epoch: engine.FirstEpoch})
+	for i, n := range nodes {
+		if err := n.Init(InitRequest{
+			Tree: tree, Shards: shards, Policy: policySpec, DefaultCapacity: defaultCap,
+			Idem: c.nextIdem("init-" + strconv.Itoa(i)),
+		}); err != nil {
+			return nil, fmt.Errorf("cluster: init node %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+func (c *fanCore) nextIdem(op string) string {
+	return "op-" + op + "-" + strconv.FormatInt(c.idemSeq.Add(1), 10)
+}
+
+// routeIdx returns the node owning a code's shard group.
+func (c *fanCore) routeIdx(st *coreState, code hst.Code) int {
+	return st.layout.GroupOf(code) % len(c.nodes)
+}
+
+// ownerIdx returns the node owning a shard index.
+func (c *fanCore) ownerIdx(st *coreState, shard int) int {
+	return st.layout.GroupOfShard(shard) % len(c.nodes)
+}
+
+func isStale(err error) bool {
+	return errors.Is(err, engine.ErrStaleEpoch)
+}
+
+func isTransport(err error) bool {
+	return errors.Is(err, errTransport)
+}
+
+// unavailable wraps a twice-failed backend call into the typed taxonomy.
+func unavailable(nd int, err error) error {
+	return &platform.Error{
+		Code:      platform.CodeUnavailable,
+		Message:   fmt.Sprintf("cluster: node %d unavailable: %v", nd, err),
+		Retryable: true,
+	}
+}
+
+// Identity and configuration (platform.Core).
+
+func (c *fanCore) Tree() *hst.Tree       { return c.state.Load().tree }
+func (c *fanCore) Epoch() int64          { return c.state.Load().epoch }
+func (c *fanCore) Shards() int           { return c.state.Load().layout.Shards }
+func (c *fanCore) Policy() engine.Policy { return c.policy }
+func (c *fanCore) DefaultCapacity() int  { return c.defaultCap }
+func (c *fanCore) Windows() int64        { return c.windows.Load() }
+
+// Len sums the available workers across reachable nodes.
+func (c *fanCore) Len() int {
+	c.opMu.RLock()
+	defer c.opMu.RUnlock()
+	n := 0
+	for _, nd := range c.nodes {
+		if s, err := nd.Status(0); err == nil {
+			n += s.Len
+		}
+	}
+	return n
+}
+
+// CapacityUnits sums remaining units across reachable nodes.
+func (c *fanCore) CapacityUnits() int {
+	c.opMu.RLock()
+	defer c.opMu.RUnlock()
+	n := 0
+	for _, nd := range c.nodes {
+		if s, err := nd.Status(0); err == nil {
+			n += s.Units
+		}
+	}
+	return n
+}
+
+// Routed mutations (platform.Core). Each routes by the code's shard group
+// and retries a transport failure once with the same idempotency key — a
+// lost response must not double-apply — before reporting the backend
+// unavailable.
+
+func (c *fanCore) InsertEpoch(code hst.Code, id int, epoch int64) error {
+	return c.InsertCapEpoch(code, id, 0, epoch)
+}
+
+func (c *fanCore) InsertCapEpoch(code hst.Code, id, capacity int, epoch int64) error {
+	c.opMu.RLock()
+	defer c.opMu.RUnlock()
+	st := c.state.Load()
+	if err := st.tree.CheckCode(code); err != nil {
+		return err
+	}
+	nd := c.routeIdx(st, code)
+	idem := c.nextIdem("ins")
+	err := c.nodes[nd].Insert(code, id, capacity, epoch, idem)
+	if isTransport(err) {
+		err = c.nodes[nd].Insert(code, id, capacity, epoch, idem)
+		if isTransport(err) {
+			return unavailable(nd, err)
+		}
+	}
+	return err
+}
+
+func (c *fanCore) AddCapacityEpoch(code hst.Code, id int, epoch int64) error {
+	c.opMu.RLock()
+	defer c.opMu.RUnlock()
+	st := c.state.Load()
+	if err := st.tree.CheckCode(code); err != nil {
+		return err
+	}
+	nd := c.routeIdx(st, code)
+	idem := c.nextIdem("addcap")
+	err := c.nodes[nd].AddCapacity(code, id, epoch, idem)
+	if isTransport(err) {
+		err = c.nodes[nd].AddCapacity(code, id, epoch, idem)
+		if isTransport(err) {
+			return unavailable(nd, err)
+		}
+	}
+	return err
+}
+
+func (c *fanCore) Remove(code hst.Code, id int) bool {
+	_, ok := c.RemoveUnits(code, id)
+	return ok
+}
+
+func (c *fanCore) RemoveUnits(code hst.Code, id int) (int, bool) {
+	c.opMu.RLock()
+	defer c.opMu.RUnlock()
+	st := c.state.Load()
+	if st.tree.CheckCode(code) != nil {
+		return 0, false
+	}
+	nd := c.routeIdx(st, code)
+	idem := c.nextIdem("rm")
+	units, found, err := c.nodes[nd].Remove(code, id, idem)
+	if isTransport(err) {
+		units, found, err = c.nodes[nd].Remove(code, id, idem)
+	}
+	if err != nil {
+		return 0, false
+	}
+	return units, found
+}
+
+// Assign runs the greedy rule across the cluster (platform.Core).
+func (c *fanCore) Assign(code hst.Code) (int, int, bool) {
+	id, lvl, ok, _ := c.AssignErr(code)
+	return id, lvl, ok
+}
+
+// AssignErr is Assign surfacing backend failures, the assignErrer
+// extension platform.Server's Submit uses for typed refusals.
+//
+// Tier structure: the routed node resolves everything below the root tier
+// atomically (own-shard fast path, locked re-check, sibling sub-shards).
+// Only when no worker shares the task's top branch there does the root
+// tier run — a min-of-mins across every node, taken under the exclusive
+// lock so the elect-then-pop pair cannot be split by another assignment.
+func (c *fanCore) AssignErr(code hst.Code) (int, int, bool, error) {
+	c.opMu.RLock()
+	st := c.state.Load()
+	id, lvl, ok, err := c.assignRouted(st, code)
+	c.opMu.RUnlock()
+	if err != nil || ok {
+		return id, lvl, ok, err
+	}
+	if st.tree.CheckCode(code) != nil {
+		return engine.None, 0, false, nil
+	}
+
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	st = c.state.Load()
+	// Re-run the routed tiers under exclusivity: a worker may have landed
+	// on the task's branch between the read-locked miss and here.
+	id, lvl, ok, err = c.assignRouted(st, code)
+	if err != nil || ok {
+		return id, lvl, ok, err
+	}
+	return c.assignRoot(st)
+}
+
+// assignRouted runs the node-local tiers at the routed node, retrying one
+// transport failure with the same idempotency key.
+func (c *fanCore) assignRouted(st *coreState, code hst.Code) (int, int, bool, error) {
+	if st.tree.CheckCode(code) != nil {
+		return engine.None, 0, false, nil
+	}
+	nd := c.routeIdx(st, code)
+	idem := c.nextIdem("as")
+	id, lvl, found, err := c.nodes[nd].AssignSubtree(code, st.epoch, idem)
+	if isTransport(err) {
+		id, lvl, found, err = c.nodes[nd].AssignSubtree(code, st.epoch, idem)
+		if isTransport(err) {
+			return engine.None, 0, false, unavailable(nd, err)
+		}
+	}
+	return id, lvl, found, err
+}
+
+// assignRoot resolves the greedy root tier: every remaining worker is
+// equidistant from the task, so only the global minimum id matters —
+// min-of-mins across nodes, then a pop at the elected node. Caller holds
+// opMu exclusively, so no coordinator-driven mutation can slip between
+// the election and the pop.
+func (c *fanCore) assignRoot(st *coreState) (int, int, bool, error) {
+	best, bestID := -1, int(^uint(0)>>1)
+	for nd := range c.nodes {
+		id, found, err := c.nodes[nd].MinID(st.epoch)
+		if isTransport(err) {
+			id, found, err = c.nodes[nd].MinID(st.epoch)
+			if isTransport(err) {
+				// A dead node may hold the true minimum; electing around it
+				// would silently change the answer.
+				return engine.None, 0, false, unavailable(nd, err)
+			}
+		}
+		if err != nil {
+			return engine.None, 0, false, err
+		}
+		if found && id < bestID {
+			best, bestID = nd, id
+		}
+	}
+	if best < 0 {
+		return engine.None, 0, false, nil
+	}
+	idem := c.nextIdem("popmin")
+	id, lvl, found, err := c.nodes[best].PopMin(st.epoch, idem)
+	if isTransport(err) {
+		id, lvl, found, err = c.nodes[best].PopMin(st.epoch, idem)
+		if isTransport(err) {
+			return engine.None, 0, false, unavailable(best, err)
+		}
+	}
+	return id, lvl, found, err
+}
+
+// AssignBatch serves a batch (platform.Core): sequential greedy for
+// non-window policies (the engine's batch path is defined as bit-identical
+// to one-by-one submission), scatter-gather window solves for
+// batch-optimal.
+func (c *fanCore) AssignBatch(codes []hst.Code) ([]int, []int) {
+	ids := make([]int, len(codes))
+	lvls := make([]int, len(codes))
+	for i := range ids {
+		ids[i] = engine.None
+	}
+	tk, windowed := c.policy.(engine.TopKer)
+	if !windowed {
+		for i, code := range codes {
+			id, lvl, ok, _ := c.AssignErr(code)
+			if ok {
+				ids[i], lvls[i] = id, lvl
+			}
+		}
+		return ids, lvls
+	}
+	// Chunk exactly as the single-process policy does; an empty batch is
+	// still one (empty) window — the counter must agree with the engine's.
+	if len(codes) == 0 {
+		c.solveWindow(codes, ids, lvls, tk.TopK())
+		return ids, lvls
+	}
+	for start := 0; start < len(codes); start += engine.BatchWindowSize {
+		end := min(start+engine.BatchWindowSize, len(codes))
+		c.solveWindow(codes[start:end], ids[start:end], lvls[start:end], tk.TopK())
+	}
+	return ids, lvls
+}
+
+// clusterCand is one merged window candidate: what the single-process
+// policy holds as an arena ref, code-addressed for the cross-node commit.
+type clusterCand struct {
+	id    int
+	code  hst.Code
+	level int
+	cap   int
+}
+
+// solveWindow replicates the single-process batch-optimal window over the
+// cluster: scatter the mining, merge own-shard regions and cross-shard
+// pads by the exact single-process merge rule, solve one restricted
+// matching, commit the matched units at their owning nodes. It holds opMu
+// exclusively, which is what the single-process all-shard-locks hold is to
+// one engine: the window is atomic against every other mutation.
+func (c *fanCore) solveWindow(codes []hst.Code, ids, lvls []int, k int) {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	defer c.windows.Add(1)
+	st := c.state.Load()
+
+	for i := range codes {
+		ids[i], lvls[i] = engine.None, 0
+	}
+	valid := make([]int, 0, len(codes))
+	for i, code := range codes {
+		if st.tree.CheckCode(code) == nil {
+			valid = append(valid, i)
+		}
+	}
+	if len(valid) == 0 {
+		return
+	}
+
+	for attempt := 0; attempt < 3; attempt++ {
+		if done := c.solveWindowOnce(st, codes, valid, ids, lvls, k); done {
+			return
+		}
+		// A commit conflict undid the window; re-mine against the live
+		// pool. Unreachable when every mutation flows through this core
+		// (exclusivity makes the mine-to-commit span atomic), defensive
+		// against an externally mutated backend.
+	}
+}
+
+// solveWindowOnce runs one mine→solve→commit pass; false means a commit
+// conflict rolled the pass back and the window should re-mine.
+func (c *fanCore) solveWindowOnce(st *coreState, codes []hst.Code, valid []int, ids, lvls []int, k int) bool {
+	N := len(c.nodes)
+	S := st.layout.Shards
+
+	// Scatter: each node mines the window tasks routed to it, and every
+	// node contributes its per-shard pad lists (its pool may serve tasks
+	// routed elsewhere).
+	nodeCodes := make([][]hst.Code, N)
+	nodeTis := make([][]int, N)
+	for ti, i := range valid {
+		nd := c.routeIdx(st, codes[i])
+		nodeCodes[nd] = append(nodeCodes[nd], codes[i])
+		nodeTis[nd] = append(nodeTis[nd], ti)
+	}
+	mines := make([]*engine.WindowMine, N)
+	pool := 0
+	for nd := 0; nd < N; nd++ {
+		wm, err := c.nodes[nd].Mine(nodeCodes[nd], k, st.epoch)
+		if isTransport(err) {
+			wm, err = c.nodes[nd].Mine(nodeCodes[nd], k, st.epoch)
+		}
+		if err != nil {
+			// A window cannot be solved around a missing node: its pool
+			// (and its tasks' own regions) would silently vanish from the
+			// matching. Answer the whole window unmatched instead.
+			return true
+		}
+		mines[nd] = wm
+		pool += wm.Pool
+	}
+	if pool == 0 {
+		return true
+	}
+
+	// Merge: per-task own-shard regions from the routed node, global
+	// per-shard pad lists from each shard's owner.
+	regions := make([][]hst.Candidate, len(valid))
+	for nd := 0; nd < N; nd++ {
+		for j, ti := range nodeTis[nd] {
+			if j < len(mines[nd].Own) {
+				regions[ti] = mines[nd].Own[j]
+			}
+		}
+	}
+	pads := make([][]hst.Candidate, S)
+	for s := 0; s < S; s++ {
+		nd := c.ownerIdx(st, s)
+		if mines[nd] != nil && s < len(mines[nd].Pads) {
+			pads[s] = mines[nd].Pads[s]
+		}
+	}
+
+	// Pad tasks whose own shard ran short, by the single-process merge
+	// rule: rank foreign shards by (pad level, head id) — sibling
+	// sub-shards of the task's top branch sit one level closer — and
+	// restamp the level on append.
+	depth, degree, sub := st.layout.Depth, st.layout.Degree, st.layout.Sub
+	if S > 1 {
+		padHeads := make([]int, S)
+		for ti, i := range valid {
+			need := k - len(regions[ti])
+			if need <= 0 {
+				continue
+			}
+			code := codes[i]
+			own := st.layout.ShardIdx(code)
+			q0 := -1
+			if sub > 1 {
+				q0 = int(code[0])
+			}
+			padLvl := func(s int) int {
+				if q0 >= 0 && s%degree == q0 {
+					return depth - 1
+				}
+				return depth
+			}
+			for s := range padHeads {
+				padHeads[s] = 0
+			}
+			region := regions[ti]
+			for ; need > 0; need-- {
+				best := -1
+				for s := 0; s < S; s++ {
+					if s == own || padHeads[s] >= len(pads[s]) {
+						continue
+					}
+					if best < 0 {
+						best = s
+						continue
+					}
+					ls, lb := padLvl(s), padLvl(best)
+					if ls < lb || (ls == lb && pads[s][padHeads[s]].ID < pads[best][padHeads[best]].ID) {
+						best = s
+					}
+				}
+				if best < 0 {
+					break
+				}
+				cc := pads[best][padHeads[best]]
+				cc.Level = padLvl(best)
+				region = append(region, cc)
+				padHeads[best]++
+			}
+			regions[ti] = region
+		}
+	}
+
+	// Build and solve: deduplicate candidates into solver columns in
+	// task-major first-seen order (worker ids are unique pool-wide, so id
+	// dedup is the single-process (shard, arena-node, id) dedup), seed the
+	// warm potentials, arcs in mined order.
+	dedup := make(map[int]int)
+	var workers []clusterCand
+	var arcLvl []int
+	for ti := range valid {
+		for _, cand := range regions[ti] {
+			if _, seen := dedup[cand.ID]; !seen {
+				dedup[cand.ID] = len(workers)
+				workers = append(workers, clusterCand{id: cand.ID, code: cand.Code, level: cand.Level, cap: cand.Cap})
+			}
+		}
+	}
+	sol := c.solver
+	sol.Reset(len(valid), len(workers))
+	if c.warmEpoch != st.epoch {
+		clear(c.warm)
+		c.warmEpoch = st.epoch
+	}
+	for w, cw := range workers {
+		sol.SetWorker(w, cw.cap, c.warm[cw.id])
+	}
+	for ti := range valid {
+		for _, cand := range regions[ti] {
+			if err := sol.AddArc(ti, dedup[cand.ID], hst.LevelDist(cand.Level)); err != nil {
+				panic(fmt.Sprintf("cluster: window arc build: %v", err))
+			}
+			arcLvl = append(arcLvl, cand.Level)
+		}
+	}
+	sol.Run()
+
+	// Commit matched units at their owning nodes, in task order. A
+	// conflict (worker no longer at its mined leaf) rolls back this pass's
+	// consumptions and re-mines.
+	type undoRec struct {
+		code hst.Code
+		id   int
+		nd   int
+	}
+	var committed []undoRec
+	rollback := func() {
+		for j := len(committed) - 1; j >= 0; j-- {
+			u := committed[j]
+			idem := c.nextIdem("undo")
+			err := c.nodes[u.nd].AddCapacity(u.code, u.id, st.epoch, idem)
+			if isTransport(err) {
+				err = c.nodes[u.nd].AddCapacity(u.code, u.id, st.epoch, idem)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("cluster: window rollback lost unit (worker %d): %v", u.id, err))
+			}
+		}
+	}
+	for ti, i := range valid {
+		a := sol.MatchedArc(ti)
+		if a < 0 {
+			continue
+		}
+		cw := workers[sol.MatchedWorker(ti)]
+		nd := c.ownerIdx(st, st.layout.ShardIdx(cw.code))
+		idem := c.nextIdem("consume")
+		err := c.nodes[nd].Consume(cw.code, cw.id, st.epoch, idem)
+		if isTransport(err) {
+			err = c.nodes[nd].Consume(cw.code, cw.id, st.epoch, idem)
+		}
+		if err != nil {
+			rollback()
+			for _, v := range valid {
+				ids[v], lvls[v] = engine.None, 0
+			}
+			return false
+		}
+		committed = append(committed, undoRec{code: cw.code, id: cw.id, nd: nd})
+		ids[i], lvls[i] = cw.id, arcLvl[a]
+	}
+
+	// Bank the closing potentials for every column — matched or not — so
+	// the next window warm-starts exactly as the single-process policy.
+	for w, cw := range workers {
+		c.warm[cw.id] = sol.WorkerPot(w)
+	}
+	return true
+}
+
+// SwapEpoch rotates the cluster (platform.Core): a distributed two-phase
+// commit. Phase one stages every node's partition of the new population
+// under the new tree's layout; any failure aborts all prepared nodes and
+// the old epoch keeps serving everywhere. Phase two commits each node —
+// past the point of no return, a node that cannot commit after preparing
+// is a panic, exactly as a failed single-process swap commit would be.
+func (c *fanCore) SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []engine.EpochInsert) error {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	if tree == nil {
+		return errors.New("cluster: nil tree")
+	}
+	st := c.state.Load()
+	if epoch <= st.epoch {
+		return fmt.Errorf("cluster: swap to epoch %d, already serving %d", epoch, st.epoch)
+	}
+	if shards <= 0 {
+		shards = c.shardsCfg
+	}
+	newLayout := engine.LayoutFor(tree, shards)
+	N := len(c.nodes)
+	parts := make([][]engine.EpochInsert, N)
+	for _, in := range inserts {
+		if err := tree.CheckCode(in.Code); err != nil {
+			return fmt.Errorf("cluster: swap insert %d: %w", in.ID, err)
+		}
+		nd := newLayout.GroupOf(in.Code) % N
+		parts[nd] = append(parts[nd], in)
+	}
+
+	// Phase one: prepare everywhere. The staged states are built and
+	// validated off to the side; the old epoch keeps serving.
+	prepared := make([]bool, N)
+	abortAll := func() {
+		for nd := 0; nd < N; nd++ {
+			if !prepared[nd] {
+				continue
+			}
+			idem := c.nextIdem("abort")
+			if err := c.nodes[nd].Abort(epoch, idem); isTransport(err) {
+				// Best effort: an unreachable node's staged state is inert
+				// (it is never committed) and is dropped by its next
+				// prepare.
+				c.nodes[nd].Abort(epoch, idem)
+			}
+		}
+	}
+	for nd := 0; nd < N; nd++ {
+		idem := c.nextIdem("prepare")
+		err := c.nodes[nd].Prepare(epoch, tree, shards, parts[nd], idem)
+		if isTransport(err) {
+			err = c.nodes[nd].Prepare(epoch, tree, shards, parts[nd], idem)
+			if isTransport(err) {
+				err = unavailable(nd, err)
+			}
+		}
+		if err != nil {
+			abortAll()
+			return fmt.Errorf("cluster: prepare epoch %d on node %d: %w", epoch, nd, err)
+		}
+		prepared[nd] = true
+	}
+
+	// Phase two: commit everywhere. Commits are idempotent (a node already
+	// serving the epoch acks), so transport retries are safe.
+	for nd := 0; nd < N; nd++ {
+		idem := c.nextIdem("commit")
+		var err error
+		for try := 0; try < 3; try++ {
+			if err = c.nodes[nd].Commit(epoch, idem); !isTransport(err) {
+				break
+			}
+		}
+		if err != nil {
+			// Some nodes now serve the new epoch and this one cannot:
+			// there is no consistent epoch to retreat to.
+			panic(fmt.Sprintf("cluster: commit epoch %d on node %d failed after prepare: %v", epoch, nd, err))
+		}
+	}
+	c.state.Store(&coreState{tree: tree, layout: newLayout, epoch: epoch})
+	return nil
+}
+
+var (
+	_ platform.Core = (*fanCore)(nil)
+)

@@ -1,0 +1,720 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/platform"
+)
+
+// NodeConn is the coordinator's handle to one backend: the engine surface
+// a node exposes over /v2, plus the two-phase rotation verbs. LocalNode
+// implements it in-process (tests, the simulator, single-binary
+// deployments); DialNode implements it over HTTP against a pombm-server.
+//
+// The idem argument on mutating calls is the idempotency key: a transport
+// that retries after a lost response sends the same key, and the node
+// replays the recorded answer instead of applying the mutation twice.
+// In-process connections ignore it (calls cannot be duplicated).
+type NodeConn interface {
+	Init(req InitRequest) error
+	Status(epoch int64) (StatusResponse, error)
+	Insert(code hst.Code, id, capacity int, epoch int64, idem string) error
+	AddCapacity(code hst.Code, id int, epoch int64, idem string) error
+	Remove(code hst.Code, id int, idem string) (units int, found bool, err error)
+	AssignSubtree(code hst.Code, epoch int64, idem string) (id, level int, found bool, err error)
+	MinID(epoch int64) (id int, found bool, err error)
+	PopMin(epoch int64, idem string) (id, level int, found bool, err error)
+	Mine(codes []hst.Code, k int, epoch int64) (*engine.WindowMine, error)
+	Consume(code hst.Code, id int, epoch int64, idem string) error
+	Prepare(epoch int64, tree *hst.Tree, shards int, inserts []engine.EpochInsert, idem string) error
+	Commit(epoch int64, idem string) error
+	Abort(epoch int64, idem string) error
+}
+
+// Node is the backend half of a cluster member: a bare assignment engine
+// (built at Init) plus the staged state of an in-flight distributed
+// rotation. It has no slot tables and no budget accountant — those live
+// once, at the coordinator — so a pombm-server hosting a Node serves /v2
+// with nothing but engine state.
+type Node struct {
+	mu     sync.Mutex
+	eng    *engine.Engine
+	staged *engine.PreparedSwap
+}
+
+// NewNode returns an uninitialised node; the coordinator's Init call (or a
+// direct Init) gives it an engine.
+func NewNode() *Node { return &Node{} }
+
+// errNotInitialised is returned by every operation before Init.
+var errNotInitialised = errors.New("cluster: node not initialised")
+
+func (n *Node) engine() (*engine.Engine, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.eng == nil {
+		return nil, errNotInitialised
+	}
+	return n.eng, nil
+}
+
+// Init builds (or replaces) the node's engine from the cluster-shared
+// configuration. Replacing drops any staged rotation.
+func (n *Node) Init(req InitRequest) error {
+	if req.Tree == nil {
+		return errors.New("cluster: init without a tree")
+	}
+	pol, err := engine.PolicyByName(req.Policy)
+	if err != nil {
+		return err
+	}
+	opts := []engine.Option{engine.WithPolicy(pol)}
+	if req.DefaultCapacity != 0 {
+		opts = append(opts, engine.WithDefaultCapacity(req.DefaultCapacity))
+	}
+	eng, err := engine.NewWithOptions(req.Tree, req.Shards, opts...)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.eng = eng
+	n.staged = nil
+	n.mu.Unlock()
+	return nil
+}
+
+// Status reports the serving epoch and pool size. A non-zero epoch pin
+// that mismatches is reported as engine staleness.
+func (n *Node) Status(epoch int64) (StatusResponse, error) {
+	eng, err := n.engine()
+	if err != nil {
+		return StatusResponse{}, err
+	}
+	cur := eng.Epoch()
+	if epoch != 0 && cur != epoch {
+		return StatusResponse{}, fmt.Errorf("%w (status for epoch %d, serving %d)", engine.ErrStaleEpoch, epoch, cur)
+	}
+	return StatusResponse{OK: true, Epoch: cur, Len: eng.Len(), Units: eng.CapacityUnits()}, nil
+}
+
+// Insert lands a worker (see engine.InsertCapEpoch).
+func (n *Node) Insert(code hst.Code, id, capacity int, epoch int64, _ string) error {
+	eng, err := n.engine()
+	if err != nil {
+		return err
+	}
+	return eng.InsertCapEpoch(code, id, capacity, epoch)
+}
+
+// AddCapacity returns one unit (see engine.AddCapacityEpoch).
+func (n *Node) AddCapacity(code hst.Code, id int, epoch int64, _ string) error {
+	eng, err := n.engine()
+	if err != nil {
+		return err
+	}
+	return eng.AddCapacityEpoch(code, id, epoch)
+}
+
+// Remove withdraws a worker's pooled units (see engine.RemoveUnits).
+func (n *Node) Remove(code hst.Code, id int, _ string) (int, bool, error) {
+	eng, err := n.engine()
+	if err != nil {
+		return 0, false, err
+	}
+	units, ok := eng.RemoveUnits(code, id)
+	return units, ok, nil
+}
+
+// AssignSubtree runs the greedy rule's node-local tiers (see
+// engine.AssignSubtreeEpoch).
+func (n *Node) AssignSubtree(code hst.Code, epoch int64, _ string) (int, int, bool, error) {
+	eng, err := n.engine()
+	if err != nil {
+		return engine.None, 0, false, err
+	}
+	return eng.AssignSubtreeEpoch(code, epoch)
+}
+
+// MinID answers the root-tier poll (see engine.MinAvailableID).
+func (n *Node) MinID(epoch int64) (int, bool, error) {
+	eng, err := n.engine()
+	if err != nil {
+		return engine.None, false, err
+	}
+	return eng.MinAvailableID(epoch)
+}
+
+// PopMin commits the root tier on this node (see engine.PopMinID).
+func (n *Node) PopMin(epoch int64, _ string) (int, int, bool, error) {
+	eng, err := n.engine()
+	if err != nil {
+		return engine.None, 0, false, err
+	}
+	return eng.PopMinID(epoch)
+}
+
+// Mine gathers this node's window contribution (see
+// engine.MineWindowCandidates).
+func (n *Node) Mine(codes []hst.Code, k int, epoch int64) (*engine.WindowMine, error) {
+	eng, err := n.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.MineWindowCandidates(codes, k, epoch)
+}
+
+// Consume commits one matched window unit (see engine.ConsumeUnit).
+func (n *Node) Consume(code hst.Code, id int, epoch int64, _ string) error {
+	eng, err := n.engine()
+	if err != nil {
+		return err
+	}
+	return eng.ConsumeUnit(code, id, epoch)
+}
+
+// Prepare stages this node's partition of the next epoch (phase one). A
+// later Prepare for a different epoch replaces the staged state (staging
+// holds no locks, so dropping it is a free abort).
+func (n *Node) Prepare(epoch int64, tree *hst.Tree, shards int, inserts []engine.EpochInsert, _ string) error {
+	eng, err := n.engine()
+	if err != nil {
+		return err
+	}
+	staged, err := eng.PrepareSwap(epoch, tree, shards, inserts)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.staged = staged
+	n.mu.Unlock()
+	return nil
+}
+
+// Commit publishes the staged epoch (phase two). Committing an epoch the
+// engine already serves acks idempotently: the effect landed, only the
+// response was lost.
+func (n *Node) Commit(epoch int64, _ string) error {
+	eng, err := n.engine()
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	staged := n.staged
+	n.mu.Unlock()
+	if staged == nil || staged.Epoch() != epoch {
+		if eng.Epoch() == epoch {
+			return nil
+		}
+		return fmt.Errorf("cluster: commit for epoch %d, nothing staged", epoch)
+	}
+	if err := eng.CommitSwap(staged); err != nil {
+		if eng.Epoch() == epoch {
+			return nil
+		}
+		return err
+	}
+	n.mu.Lock()
+	if n.staged == staged {
+		n.staged = nil
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// Abort drops the staged epoch (a sibling node's prepare failed).
+// Aborting an epoch that is not staged is a no-op: the abort may be a
+// retry, or the prepare it cancels may never have arrived.
+func (n *Node) Abort(epoch int64, _ string) error {
+	n.mu.Lock()
+	if n.staged != nil && n.staged.Epoch() == epoch {
+		n.staged = nil
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+var _ NodeConn = (*Node)(nil)
+
+// LocalNode returns an in-process NodeConn over a Node: the connection the
+// simulator's cluster driver and single-binary deployments use. It is the
+// Node itself — in-process calls cannot be duplicated, so the idempotency
+// layer (which guards HTTP retries) is not in the path.
+func LocalNode(n *Node) NodeConn { return n }
+
+// replayCache remembers the response bytes of recently applied mutations
+// keyed by idempotency key, with two-generation rotation bounding memory:
+// a key survives at least capPerGen further distinct mutations, far longer
+// than any transport retry window.
+type replayCache struct {
+	mu   sync.Mutex
+	cur  map[string][]byte
+	prev map[string][]byte
+}
+
+const replayCapPerGen = 4096
+
+func newReplayCache() *replayCache {
+	return &replayCache{cur: map[string][]byte{}}
+}
+
+func (c *replayCache) get(key string) ([]byte, bool) {
+	if key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.cur[key]; ok {
+		return b, true
+	}
+	b, ok := c.prev[key]
+	return b, ok
+}
+
+func (c *replayCache) put(key string, body []byte) {
+	if key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.cur) >= replayCapPerGen {
+		c.prev = c.cur
+		c.cur = map[string][]byte{}
+	}
+	c.cur[key] = body
+}
+
+// nodeError folds a node-side error into the structured taxonomy for the
+// wire: engine staleness becomes stale_epoch, an uninitialised node is a
+// conflict, anything else a bad request.
+func nodeError(err error, epoch int64) *platform.Error {
+	if errors.Is(err, errNotInitialised) {
+		return &platform.Error{Code: platform.CodeConflict, Message: err.Error(), Retryable: true}
+	}
+	return platform.AsError(err, epoch)
+}
+
+// NodeHandler exposes a Node over the /v2 wire protocol. Mutating
+// endpoints honour idempotency keys: a request whose key was already
+// applied is answered from the replay cache byte-for-byte.
+func NodeHandler(n *Node) http.Handler {
+	cache := newReplayCache()
+	mux := http.NewServeMux()
+
+	// handle wires one POST endpoint: decode, optionally replay, execute,
+	// record. fn returns the response value to encode; responses are
+	// recorded under the request's idempotency key only when the mutation
+	// was actually applied (fn ran).
+	handle := func(path string, fn func(body []byte) (any, string)) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				w.Header().Set("Allow", http.MethodPost)
+				writeNodeJSON(w, http.StatusMethodNotAllowed, &platform.Error{
+					Code:    platform.CodeMethodNotAllowed,
+					Message: fmt.Sprintf("cluster: %s requires POST, got %s", path, r.Method),
+				})
+				return
+			}
+			body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+			if err != nil {
+				writeNodeJSON(w, http.StatusBadRequest, &platform.Error{
+					Code: platform.CodeBadRequest, Message: "cluster: read body: " + err.Error(),
+				})
+				return
+			}
+			// Peek the idempotency key before decoding the full request so
+			// replays skip the work entirely.
+			var keyed struct {
+				Idem string `json:"idem"`
+			}
+			_ = json.Unmarshal(body, &keyed)
+			if cached, ok := cache.get(keyed.Idem); ok {
+				w.Header().Set("Content-Type", "application/json")
+				w.Write(cached)
+				return
+			}
+			resp, idem := fn(body)
+			out, err := json.Marshal(resp)
+			if err != nil {
+				writeNodeJSON(w, http.StatusInternalServerError, &platform.Error{
+					Code: platform.CodeInternal, Message: err.Error(),
+				})
+				return
+			}
+			cache.put(idem, out)
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(out)
+		})
+	}
+
+	handle(PathNodeInit, func(body []byte) (any, string) {
+		var req InitRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nodeAck{Err: badBody(err)}, ""
+		}
+		if err := n.Init(req); err != nil {
+			return nodeAck{Err: nodeError(err, 0)}, ""
+		}
+		return nodeAck{OK: true}, req.Idem
+	})
+	handle(PathNodeStatus, func(body []byte) (any, string) {
+		var req StatusRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return StatusResponse{Err: badBody(err)}, ""
+		}
+		resp, err := n.Status(req.Epoch)
+		if err != nil {
+			return StatusResponse{Err: nodeError(err, 0)}, ""
+		}
+		return resp, ""
+	})
+	handle(PathNodeInsert, func(body []byte) (any, string) {
+		var req InsertRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nodeAck{Err: badBody(err)}, ""
+		}
+		if err := n.Insert(hst.Code(req.Code), req.ID, req.Capacity, req.Epoch, req.Idem); err != nil {
+			return nodeAck{Err: nodeError(err, req.Epoch)}, ""
+		}
+		return nodeAck{OK: true}, req.Idem
+	})
+	handle(PathNodeAddCapacity, func(body []byte) (any, string) {
+		var req AddCapacityRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nodeAck{Err: badBody(err)}, ""
+		}
+		if err := n.AddCapacity(hst.Code(req.Code), req.ID, req.Epoch, req.Idem); err != nil {
+			return nodeAck{Err: nodeError(err, req.Epoch)}, ""
+		}
+		return nodeAck{OK: true}, req.Idem
+	})
+	handle(PathNodeRemove, func(body []byte) (any, string) {
+		var req RemoveRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return RemoveResponse{Err: badBody(err)}, ""
+		}
+		units, found, err := n.Remove(hst.Code(req.Code), req.ID, req.Idem)
+		if err != nil {
+			return RemoveResponse{Err: nodeError(err, 0)}, ""
+		}
+		return RemoveResponse{OK: true, Units: units, Found: found}, req.Idem
+	})
+	handle(PathNodeAssignSubtree, func(body []byte) (any, string) {
+		var req AssignSubtreeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return AssignResponse{Err: badBody(err)}, ""
+		}
+		id, lvl, found, err := n.AssignSubtree(hst.Code(req.Code), req.Epoch, req.Idem)
+		if err != nil {
+			return AssignResponse{Err: nodeError(err, req.Epoch)}, ""
+		}
+		return AssignResponse{OK: true, ID: id, Level: lvl, Found: found}, req.Idem
+	})
+	handle(PathNodeMinID, func(body []byte) (any, string) {
+		var req MinIDRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return MinIDResponse{Err: badBody(err)}, ""
+		}
+		id, found, err := n.MinID(req.Epoch)
+		if err != nil {
+			return MinIDResponse{Err: nodeError(err, req.Epoch)}, ""
+		}
+		return MinIDResponse{OK: true, ID: id, Found: found}, ""
+	})
+	handle(PathNodePopMin, func(body []byte) (any, string) {
+		var req PopMinRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return AssignResponse{Err: badBody(err)}, ""
+		}
+		id, lvl, found, err := n.PopMin(req.Epoch, req.Idem)
+		if err != nil {
+			return AssignResponse{Err: nodeError(err, req.Epoch)}, ""
+		}
+		return AssignResponse{OK: true, ID: id, Level: lvl, Found: found}, req.Idem
+	})
+	handle(PathNodeMine, func(body []byte) (any, string) {
+		var req MineRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return MineResponse{Err: badBody(err)}, ""
+		}
+		codes := make([]hst.Code, len(req.Codes))
+		for i, c := range req.Codes {
+			codes[i] = hst.Code(c)
+		}
+		wm, err := n.Mine(codes, req.K, req.Epoch)
+		if err != nil {
+			return MineResponse{Err: nodeError(err, req.Epoch)}, ""
+		}
+		return MineResponse{
+			OK: true, Epoch: wm.Epoch, Pool: wm.Pool,
+			Own: toWireCands(wm.Own), Pads: toWireCands(wm.Pads),
+		}, ""
+	})
+	handle(PathNodeConsume, func(body []byte) (any, string) {
+		var req ConsumeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nodeAck{Err: badBody(err)}, ""
+		}
+		if err := n.Consume(hst.Code(req.Code), req.ID, req.Epoch, req.Idem); err != nil {
+			return nodeAck{Err: nodeError(err, req.Epoch)}, ""
+		}
+		return nodeAck{OK: true}, req.Idem
+	})
+	handle(PathNodePrepare, func(body []byte) (any, string) {
+		var req PrepareRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nodeAck{Err: badBody(err)}, ""
+		}
+		if err := n.Prepare(req.Epoch, req.Tree, req.Shards, fromWireInserts(req.Inserts), req.Idem); err != nil {
+			return nodeAck{Err: nodeError(err, req.Epoch)}, ""
+		}
+		return nodeAck{OK: true}, req.Idem
+	})
+	handle(PathNodeCommit, func(body []byte) (any, string) {
+		var req CommitRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nodeAck{Err: badBody(err)}, ""
+		}
+		if err := n.Commit(req.Epoch, req.Idem); err != nil {
+			return nodeAck{Err: nodeError(err, req.Epoch)}, ""
+		}
+		return nodeAck{OK: true}, req.Idem
+	})
+	handle(PathNodeAbort, func(body []byte) (any, string) {
+		var req AbortRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nodeAck{Err: badBody(err)}, ""
+		}
+		if err := n.Abort(req.Epoch, req.Idem); err != nil {
+			return nodeAck{Err: nodeError(err, req.Epoch)}, ""
+		}
+		return nodeAck{OK: true}, req.Idem
+	})
+	return mux
+}
+
+func badBody(err error) *platform.Error {
+	return &platform.Error{Code: platform.CodeBadRequest, Message: "cluster: bad request: " + err.Error()}
+}
+
+func writeNodeJSON(w http.ResponseWriter, status int, e *platform.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(e)
+}
+
+// httpNode is a NodeConn over the /v2 wire protocol.
+type httpNode struct {
+	baseURL string
+	client  *http.Client
+}
+
+// DialNode returns a NodeConn for a backend base URL (e.g.
+// "http://node0:8080"). The connection is stateless; no eager handshake
+// happens — the coordinator's Init is the first contact.
+func DialNode(baseURL string) NodeConn {
+	return &httpNode{baseURL: baseURL, client: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// DialNodeClient is DialNode with a caller-supplied HTTP client (tests pin
+// timeouts; deployments pin transports).
+func DialNodeClient(baseURL string, hc *http.Client) NodeConn {
+	return &httpNode{baseURL: baseURL, client: hc}
+}
+
+// post sends one /v2 request and decodes the response envelope. An error
+// status or an envelope Err decodes into a typed error: stale_epoch
+// refusals surface as engine.ErrStaleEpoch so the coordinator's staleness
+// handling does not depend on the transport. Failures of the transport
+// itself — connection refused, truncated reads, undecodable responses —
+// wrap errTransport: the coordinator retries those (with the same
+// idempotency key), never application refusals.
+func (h *httpNode) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s: %w", path, err)
+	}
+	resp, err := h.client.Post(h.baseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("%w: POST %s: %v", errTransport, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("%w: read %s: %v", errTransport, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we platform.Error
+		if json.Unmarshal(bytes.TrimSpace(raw), &we) == nil && we.Code != "" {
+			return &we
+		}
+		return fmt.Errorf("%w: %s returned %s: %s", errTransport, path, resp.Status, bytes.TrimSpace(raw))
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("%w: decode %s: %v", errTransport, path, err)
+	}
+	return nil
+}
+
+// envErr converts a response envelope's Err into a Go error, restoring the
+// engine staleness sentinel for stale_epoch codes.
+func envErr(e *platform.Error) error {
+	if e == nil {
+		return nil
+	}
+	if e.Code == platform.CodeStaleEpoch {
+		return fmt.Errorf("%w: %s", engine.ErrStaleEpoch, e.Message)
+	}
+	return e
+}
+
+func (h *httpNode) Init(req InitRequest) error {
+	var resp nodeAck
+	if err := h.post(PathNodeInit, req, &resp); err != nil {
+		return err
+	}
+	return envErr(resp.Err)
+}
+
+func (h *httpNode) Status(epoch int64) (StatusResponse, error) {
+	var resp StatusResponse
+	if err := h.post(PathNodeStatus, StatusRequest{Epoch: epoch}, &resp); err != nil {
+		return StatusResponse{}, err
+	}
+	return resp, envErr(resp.Err)
+}
+
+func (h *httpNode) Insert(code hst.Code, id, capacity int, epoch int64, idem string) error {
+	var resp nodeAck
+	if err := h.post(PathNodeInsert, InsertRequest{
+		Code: []byte(code), ID: id, Capacity: capacity, Epoch: epoch, Idem: idem,
+	}, &resp); err != nil {
+		return err
+	}
+	return envErr(resp.Err)
+}
+
+func (h *httpNode) AddCapacity(code hst.Code, id int, epoch int64, idem string) error {
+	var resp nodeAck
+	if err := h.post(PathNodeAddCapacity, AddCapacityRequest{
+		Code: []byte(code), ID: id, Epoch: epoch, Idem: idem,
+	}, &resp); err != nil {
+		return err
+	}
+	return envErr(resp.Err)
+}
+
+func (h *httpNode) Remove(code hst.Code, id int, idem string) (int, bool, error) {
+	var resp RemoveResponse
+	if err := h.post(PathNodeRemove, RemoveRequest{Code: []byte(code), ID: id, Idem: idem}, &resp); err != nil {
+		return 0, false, err
+	}
+	return resp.Units, resp.Found, envErr(resp.Err)
+}
+
+func (h *httpNode) AssignSubtree(code hst.Code, epoch int64, idem string) (int, int, bool, error) {
+	var resp AssignResponse
+	if err := h.post(PathNodeAssignSubtree, AssignSubtreeRequest{
+		Code: []byte(code), Epoch: epoch, Idem: idem,
+	}, &resp); err != nil {
+		return engine.None, 0, false, err
+	}
+	if err := envErr(resp.Err); err != nil {
+		return engine.None, 0, false, err
+	}
+	return resp.ID, resp.Level, resp.Found, nil
+}
+
+func (h *httpNode) MinID(epoch int64) (int, bool, error) {
+	var resp MinIDResponse
+	if err := h.post(PathNodeMinID, MinIDRequest{Epoch: epoch}, &resp); err != nil {
+		return engine.None, false, err
+	}
+	if err := envErr(resp.Err); err != nil {
+		return engine.None, false, err
+	}
+	return resp.ID, resp.Found, nil
+}
+
+func (h *httpNode) PopMin(epoch int64, idem string) (int, int, bool, error) {
+	var resp AssignResponse
+	if err := h.post(PathNodePopMin, PopMinRequest{Epoch: epoch, Idem: idem}, &resp); err != nil {
+		return engine.None, 0, false, err
+	}
+	if err := envErr(resp.Err); err != nil {
+		return engine.None, 0, false, err
+	}
+	return resp.ID, resp.Level, resp.Found, nil
+}
+
+func (h *httpNode) Mine(codes []hst.Code, k int, epoch int64) (*engine.WindowMine, error) {
+	wire := make([][]byte, len(codes))
+	for i, c := range codes {
+		wire[i] = []byte(c)
+	}
+	var resp MineResponse
+	if err := h.post(PathNodeMine, MineRequest{Codes: wire, K: k, Epoch: epoch}, &resp); err != nil {
+		return nil, err
+	}
+	if err := envErr(resp.Err); err != nil {
+		return nil, err
+	}
+	wm := &engine.WindowMine{
+		Epoch: resp.Epoch,
+		Pool:  resp.Pool,
+		Own:   fromWireCands(resp.Own),
+		Pads:  fromWireCands(resp.Pads),
+	}
+	// JSON drops empty inner slices to null; re-shape so indexing by task
+	// and shard stays valid.
+	if wm.Own == nil {
+		wm.Own = make([][]hst.Candidate, len(codes))
+	}
+	return wm, nil
+}
+
+func (h *httpNode) Consume(code hst.Code, id int, epoch int64, idem string) error {
+	var resp nodeAck
+	if err := h.post(PathNodeConsume, ConsumeRequest{
+		Code: []byte(code), ID: id, Epoch: epoch, Idem: idem,
+	}, &resp); err != nil {
+		return err
+	}
+	return envErr(resp.Err)
+}
+
+func (h *httpNode) Prepare(epoch int64, tree *hst.Tree, shards int, inserts []engine.EpochInsert, idem string) error {
+	var resp nodeAck
+	if err := h.post(PathNodePrepare, PrepareRequest{
+		Epoch: epoch, Tree: tree, Shards: shards, Inserts: toWireInserts(inserts), Idem: idem,
+	}, &resp); err != nil {
+		return err
+	}
+	return envErr(resp.Err)
+}
+
+func (h *httpNode) Commit(epoch int64, idem string) error {
+	var resp nodeAck
+	if err := h.post(PathNodeCommit, CommitRequest{Epoch: epoch, Idem: idem}, &resp); err != nil {
+		return err
+	}
+	return envErr(resp.Err)
+}
+
+func (h *httpNode) Abort(epoch int64, idem string) error {
+	var resp nodeAck
+	if err := h.post(PathNodeAbort, AbortRequest{Epoch: epoch, Idem: idem}, &resp); err != nil {
+		return err
+	}
+	return envErr(resp.Err)
+}
+
+var _ NodeConn = (*httpNode)(nil)

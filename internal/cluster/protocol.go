@@ -1,0 +1,270 @@
+// Package cluster shards the assignment engine across pombm-server
+// backends behind one coordinator, without changing a single answer.
+//
+// The decomposition leans on the engine's own sharding invariant: every
+// worker sharing a task's top HST branch lives in one shard, and a shard —
+// together, under sub-sharding, with its whole sibling group — can be
+// pinned to one node. The coordinator routes every code-addressed
+// operation (Register, Reregister, Release, Withdraw, Submit) to the node
+// owning the code's shard group; only the greedy rule's root tier (a
+// min-of-mins) and the batch-optimal window solve (a scatter-gather
+// matching over per-node candidate mines) need more than one node, and
+// both recompose the single-process decision exactly. Epoch rotation is a
+// distributed two-phase commit: every node stages the new epoch's
+// partition (engine.PrepareSwap), and only when all prepares succeed does
+// the coordinator commit each — any failure aborts cluster-wide and the
+// old epoch keeps serving everywhere.
+//
+// The node side speaks the /v2 wire protocol below: versioned endpoints,
+// explicit node epochs on every operation, idempotency keys on every
+// mutating call (a coordinator retry after a lost response replays the
+// recorded answer instead of double-applying), and the structured
+// platform.Error taxonomy instead of ad-hoc status strings.
+package cluster
+
+import (
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/platform"
+)
+
+// /v2 node endpoint paths. They live beside the /v1 agent API on a
+// pombm-server: /v1 is what workers and tasks talk to a single-node
+// deployment; /v2/node is what a coordinator drives a backend with.
+const (
+	PathNodeInit          = "/v2/node/init"
+	PathNodeStatus        = "/v2/node/status"
+	PathNodeInsert        = "/v2/node/insert"
+	PathNodeAddCapacity   = "/v2/node/add-capacity"
+	PathNodeRemove        = "/v2/node/remove"
+	PathNodeAssignSubtree = "/v2/node/assign-subtree"
+	PathNodeMinID         = "/v2/node/min-id"
+	PathNodePopMin        = "/v2/node/pop-min"
+	PathNodeMine          = "/v2/node/mine"
+	PathNodeConsume       = "/v2/node/consume"
+	PathNodePrepare       = "/v2/node/rotate/prepare"
+	PathNodeCommit        = "/v2/node/rotate/commit"
+	PathNodeAbort         = "/v2/node/rotate/abort"
+)
+
+// InitRequest (re)builds a node's engine: the shared tree, the shared
+// shard count, and the shared policy spec and default capacity. Every node
+// of a cluster is initialised identically — same layout, same capacity
+// clamping — which is what makes shard indices global and routing exact.
+type InitRequest struct {
+	Tree            *hst.Tree `json:"tree"`
+	Shards          int       `json:"shards,omitempty"`
+	Policy          string    `json:"policy,omitempty"`
+	DefaultCapacity int       `json:"default_capacity,omitempty"`
+	Idem            string    `json:"idem,omitempty"`
+}
+
+// nodeAck is the plain OK/error envelope shared by mutating endpoints.
+type nodeAck struct {
+	OK  bool            `json:"ok"`
+	Err *platform.Error `json:"error,omitempty"`
+}
+
+// StatusRequest polls a node; a non-zero Epoch pins the read.
+type StatusRequest struct {
+	Epoch int64 `json:"epoch,omitempty"`
+}
+
+// StatusResponse reports a node's serving epoch and pool.
+type StatusResponse struct {
+	OK    bool            `json:"ok"`
+	Err   *platform.Error `json:"error,omitempty"`
+	Epoch int64           `json:"epoch"`
+	Len   int             `json:"len"`
+	Units int             `json:"units"`
+}
+
+// InsertRequest lands a worker on its routed node. Capacity ≤ 0 selects
+// the node engine's default (all nodes share it).
+type InsertRequest struct {
+	Code     []byte `json:"code"`
+	ID       int    `json:"id"`
+	Capacity int    `json:"capacity,omitempty"`
+	Epoch    int64  `json:"epoch,omitempty"`
+	Idem     string `json:"idem,omitempty"`
+}
+
+// AddCapacityRequest returns one unit to a worker on its routed node.
+type AddCapacityRequest struct {
+	Code  []byte `json:"code"`
+	ID    int    `json:"id"`
+	Epoch int64  `json:"epoch,omitempty"`
+	Idem  string `json:"idem,omitempty"`
+}
+
+// RemoveRequest withdraws a worker's pooled units from its routed node.
+type RemoveRequest struct {
+	Code []byte `json:"code"`
+	ID   int    `json:"id"`
+	Idem string `json:"idem,omitempty"`
+}
+
+// RemoveResponse reports how many units were pooled (Found false when the
+// worker was not available).
+type RemoveResponse struct {
+	OK    bool            `json:"ok"`
+	Err   *platform.Error `json:"error,omitempty"`
+	Units int             `json:"units,omitempty"`
+	Found bool            `json:"found"`
+}
+
+// AssignSubtreeRequest runs the greedy rule's node-local tiers for a task.
+type AssignSubtreeRequest struct {
+	Code  []byte `json:"code"`
+	Epoch int64  `json:"epoch,omitempty"`
+	Idem  string `json:"idem,omitempty"`
+}
+
+// AssignResponse carries a pop outcome: Found false means no worker on
+// this node can serve the tier(s) asked of it.
+type AssignResponse struct {
+	OK    bool            `json:"ok"`
+	Err   *platform.Error `json:"error,omitempty"`
+	ID    int             `json:"id,omitempty"`
+	Level int             `json:"level,omitempty"`
+	Found bool            `json:"found"`
+}
+
+// MinIDRequest asks for the node's smallest available worker id.
+type MinIDRequest struct {
+	Epoch int64 `json:"epoch,omitempty"`
+}
+
+// MinIDResponse answers the root-tier min-of-mins poll.
+type MinIDResponse struct {
+	OK    bool            `json:"ok"`
+	Err   *platform.Error `json:"error,omitempty"`
+	ID    int             `json:"id,omitempty"`
+	Found bool            `json:"found"`
+}
+
+// PopMinRequest pops the node's smallest available worker id (the root
+// tier commit, after MinID elected this node).
+type PopMinRequest struct {
+	Epoch int64  `json:"epoch,omitempty"`
+	Idem  string `json:"idem,omitempty"`
+}
+
+// WireCandidate is hst.Candidate on the wire (codes as raw digit bytes).
+type WireCandidate struct {
+	ID    int    `json:"id"`
+	Code  []byte `json:"code"`
+	Level int    `json:"level"`
+	Cap   int    `json:"cap"`
+}
+
+// MineRequest scatters a batch window's mining to one node: the window
+// tasks routed here plus the per-shard pad lists every node contributes.
+type MineRequest struct {
+	Codes [][]byte `json:"codes"`
+	K     int      `json:"k"`
+	Epoch int64    `json:"epoch,omitempty"`
+}
+
+// MineResponse is the node's engine.WindowMine on the wire.
+type MineResponse struct {
+	OK    bool              `json:"ok"`
+	Err   *platform.Error   `json:"error,omitempty"`
+	Epoch int64             `json:"epoch"`
+	Pool  int               `json:"pool"`
+	Own   [][]WireCandidate `json:"own,omitempty"`
+	Pads  [][]WireCandidate `json:"pads,omitempty"`
+}
+
+// ConsumeRequest commits one matched unit of a window on the node that
+// mined the candidate.
+type ConsumeRequest struct {
+	Code  []byte `json:"code"`
+	ID    int    `json:"id"`
+	Epoch int64  `json:"epoch,omitempty"`
+	Idem  string `json:"idem,omitempty"`
+}
+
+// WireInsert is engine.EpochInsert on the wire.
+type WireInsert struct {
+	Code []byte `json:"code"`
+	ID   int    `json:"id"`
+	Cap  int    `json:"cap,omitempty"`
+}
+
+// PrepareRequest stages this node's partition of the next epoch: phase one
+// of the distributed rotation. The node builds and validates the staged
+// state off to the side while the old epoch keeps serving.
+type PrepareRequest struct {
+	Epoch   int64        `json:"epoch"`
+	Tree    *hst.Tree    `json:"tree"`
+	Shards  int          `json:"shards,omitempty"`
+	Inserts []WireInsert `json:"inserts"`
+	Idem    string       `json:"idem,omitempty"`
+}
+
+// CommitRequest publishes the staged epoch: phase two. A commit for an
+// epoch the node already serves acks idempotently (the earlier commit's
+// response was lost, not its effect).
+type CommitRequest struct {
+	Epoch int64  `json:"epoch"`
+	Idem  string `json:"idem,omitempty"`
+}
+
+// AbortRequest drops a staged epoch after a sibling node's prepare failed.
+type AbortRequest struct {
+	Epoch int64  `json:"epoch"`
+	Idem  string `json:"idem,omitempty"`
+}
+
+func toWireCands(in [][]hst.Candidate) [][]WireCandidate {
+	if in == nil {
+		return nil
+	}
+	out := make([][]WireCandidate, len(in))
+	for i, cs := range in {
+		if cs == nil {
+			continue
+		}
+		ws := make([]WireCandidate, len(cs))
+		for j, c := range cs {
+			ws[j] = WireCandidate{ID: c.ID, Code: []byte(c.Code), Level: c.Level, Cap: c.Cap}
+		}
+		out[i] = ws
+	}
+	return out
+}
+
+func fromWireCands(in [][]WireCandidate) [][]hst.Candidate {
+	if in == nil {
+		return nil
+	}
+	out := make([][]hst.Candidate, len(in))
+	for i, ws := range in {
+		if ws == nil {
+			continue
+		}
+		cs := make([]hst.Candidate, len(ws))
+		for j, w := range ws {
+			cs[j] = hst.Candidate{ID: w.ID, Code: hst.Code(w.Code), Level: w.Level, Cap: w.Cap}
+		}
+		out[i] = cs
+	}
+	return out
+}
+
+func toWireInserts(in []engine.EpochInsert) []WireInsert {
+	out := make([]WireInsert, len(in))
+	for i, e := range in {
+		out[i] = WireInsert{Code: []byte(e.Code), ID: e.ID, Cap: e.Cap}
+	}
+	return out
+}
+
+func fromWireInserts(in []WireInsert) []engine.EpochInsert {
+	out := make([]engine.EpochInsert, len(in))
+	for i, w := range in {
+		out[i] = engine.EpochInsert{Code: hst.Code(w.Code), ID: w.ID, Cap: w.Cap}
+	}
+	return out
+}

@@ -1,0 +1,367 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// This file is the engine's export surface for a cluster coordinator
+// (internal/cluster): the pieces of the single-process decision rules that
+// must be recomposed across nodes without changing a single answer.
+//
+// The cross-node decomposition leans on the same property the in-process
+// sharding does: every worker sharing a task's top branch lives in one
+// shard, and a shard (plus, under sub-sharding, its whole sibling group)
+// can be pinned to one node. A node can therefore resolve everything up to
+// the root tier of the greedy rule locally (AssignSubtree), while the root
+// tier — where every remaining worker is equidistant and only the global
+// minimum id matters — reduces to a min-of-mins across nodes
+// (MinAvailableID + PopMinID). The batch-optimal window decomposes the
+// same way: each node mines its tasks' own-branch candidates and its
+// shards' smallest-k pad lists (MineWindowCandidates), the coordinator
+// merges and solves exactly the single-process matching, and commits are
+// code-addressed unit consumptions (ConsumeUnit) because an arena ref
+// means nothing across a process boundary.
+
+// BatchWindowSize is the batch-optimal window length: batches longer than
+// this split into consecutive windows, each solved as its own restricted
+// matching. Exported so a cluster coordinator chunks exactly as the
+// single-process policy does.
+const BatchWindowSize = batchWindowSize
+
+// TopKer is implemented by window-solving policies that mine a bounded
+// per-task candidate pool; a coordinator replicating the window solve
+// needs the same k.
+type TopKer interface {
+	TopK() int
+}
+
+// Layout is the engine's shard geometry for a (tree, shard count) pair:
+// how codes map to shards, and how shards group into routable top-branch
+// units. A coordinator uses it to place whole shard groups on nodes so
+// that every decision below the root tier stays node-local.
+type Layout struct {
+	// Shards is the effective shard count after rounding (see New).
+	Shards int
+	// Degree and Depth echo the tree.
+	Degree int
+	Depth  int
+	// Sub is the second-digit split factor (1 = plain top-branch sharding).
+	Sub int
+}
+
+// LayoutFor returns the layout an engine built over tree with the given
+// requested shard count would use.
+func LayoutFor(tree *hst.Tree, shards int) Layout {
+	S, d, sub, depth := layoutFor(tree, shards)
+	return Layout{Shards: S, Degree: d, Depth: depth, Sub: sub}
+}
+
+// ShardIdx returns the shard owning a code, exactly as the engine routes.
+func (l Layout) ShardIdx(code hst.Code) int {
+	if l.Depth == 0 || l.Shards == 1 {
+		return 0
+	}
+	if l.Sub > 1 {
+		return int(code[0]) + l.Degree*(int(code[1])%l.Sub)
+	}
+	return int(code[0]) % l.Shards
+}
+
+// Groups returns the number of routable shard groups: the units that must
+// stay whole on one node for AssignSubtree to be exact. Under sub-sharding
+// a group is a top branch (the own shard plus its sibling sub-shards);
+// under plain sharding each shard is its own group.
+func (l Layout) Groups() int {
+	if l.Depth == 0 || l.Shards == 1 {
+		return 1
+	}
+	if l.Sub > 1 {
+		return l.Degree
+	}
+	return l.Shards
+}
+
+// GroupOf returns the routable group a code belongs to.
+func (l Layout) GroupOf(code hst.Code) int {
+	if l.Depth == 0 || l.Shards == 1 {
+		return 0
+	}
+	if l.Sub > 1 {
+		return int(code[0])
+	}
+	return int(code[0]) % l.Shards
+}
+
+// GroupOfShard returns the routable group a shard index belongs to.
+func (l Layout) GroupOfShard(s int) int {
+	if l.Sub > 1 {
+		return s % l.Degree
+	}
+	return s
+}
+
+// Layout returns the serving epoch's shard geometry.
+func (e *Engine) Layout() Layout {
+	st := e.state.Load()
+	return Layout{Shards: len(st.shards), Degree: st.degree, Depth: st.depth, Sub: st.sub}
+}
+
+// AssignSubtreeEpoch runs the greedy rule's node-local tiers for a task
+// code: the own-shard fast path, the locked own-shard re-check, and (under
+// sub-sharding) the sibling sub-shard tier — everything except the root
+// tier, which needs the global population and belongs to the coordinator.
+// ok is false when no worker shares the task's top branch on this engine;
+// the coordinator then resolves the root tier via MinAvailableID/PopMinID
+// across all nodes. A non-zero epoch pins the pop: ErrStaleEpoch reports
+// the engine has rotated past it.
+func (e *Engine) AssignSubtreeEpoch(code hst.Code, epoch int64) (id, lcaLevel int, ok bool, err error) {
+	for {
+		st := e.state.Load()
+		if epoch != 0 && st.epoch != epoch {
+			return None, 0, false, fmt.Errorf("%w (assign for epoch %d, serving %d)", ErrStaleEpoch, epoch, st.epoch)
+		}
+		if st.tree.CheckCode(code) != nil {
+			return None, 0, false, nil
+		}
+		if st.depth == 0 {
+			// A depth-0 tree has no branches to own: everything is the root
+			// tier.
+			return None, 0, false, nil
+		}
+		s := st.shardOf(code)
+		s.mu.Lock()
+		if e.state.Load() != st {
+			s.mu.Unlock()
+			continue
+		}
+		id, lvl, popped := s.index.PopNearestWithin(code, st.ownLimit())
+		if popped {
+			s.assigns++
+		} else {
+			s.fallbacks++
+		}
+		s.mu.Unlock()
+		if popped {
+			return id, lvl, true, nil
+		}
+		id, lvl, popped, swapped := e.assignSubtreeAcross(st, code)
+		if swapped {
+			continue
+		}
+		return id, lvl, popped, nil
+	}
+}
+
+// assignSubtreeAcross is assignAcross without the root tier: the locked
+// own-shard re-check plus the sibling sub-shard tier. It follows the same
+// all-shards-ascending lock order.
+func (e *Engine) assignSubtreeAcross(st *epochState, code hst.Code) (id, lcaLevel int, ok, swapped bool) {
+	for i := range st.shards {
+		st.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range st.shards {
+			st.shards[i].mu.Unlock()
+		}
+	}()
+	if e.state.Load() != st {
+		return None, 0, false, true
+	}
+	own := &st.shards[st.shardIdx(code)]
+	if id, lvl, ok := own.index.PopNearestWithin(code, st.ownLimit()); ok {
+		own.assigns++
+		return id, lvl, true, false
+	}
+	if st.sub > 1 {
+		maxInt := int(^uint(0) >> 1)
+		d0 := int(code[0])
+		best, bestID := -1, maxInt
+		for t := 0; t < st.sub; t++ {
+			si := d0 + st.degree*t
+			if m, ok := st.shards[si].index.MinID(); ok && m < bestID {
+				best, bestID = si, m
+			}
+		}
+		if best >= 0 {
+			id, _ := st.shards[best].index.PopMin()
+			st.shards[best].assigns++
+			return id, st.depth - 1, true, false
+		}
+	}
+	return None, 0, false, false
+}
+
+// MinAvailableID returns the smallest available worker id on this engine,
+// for the coordinator's root-tier min-of-mins. It reads under every shard
+// lock so the answer is consistent with the epoch check.
+func (e *Engine) MinAvailableID(epoch int64) (id int, ok bool, err error) {
+	for {
+		st := e.state.Load()
+		if epoch != 0 && st.epoch != epoch {
+			return None, false, fmt.Errorf("%w (min-id for epoch %d, serving %d)", ErrStaleEpoch, epoch, st.epoch)
+		}
+		for i := range st.shards {
+			st.shards[i].mu.Lock()
+		}
+		if e.state.Load() != st {
+			for i := range st.shards {
+				st.shards[i].mu.Unlock()
+			}
+			continue
+		}
+		maxInt := int(^uint(0) >> 1)
+		id, ok = None, false
+		bestID := maxInt
+		for i := range st.shards {
+			if m, has := st.shards[i].index.MinID(); has && m < bestID {
+				bestID, ok = m, true
+			}
+		}
+		for i := range st.shards {
+			st.shards[i].mu.Unlock()
+		}
+		if ok {
+			id = bestID
+		}
+		return id, ok, nil
+	}
+}
+
+// PopMinID pops the smallest available worker id on this engine — the
+// root-tier commit, after MinAvailableID elected this node. The match
+// level is the tree depth: every worker reachable only through the root
+// tier is at the maximal LCA level.
+func (e *Engine) PopMinID(epoch int64) (id, lcaLevel int, ok bool, err error) {
+	for {
+		st := e.state.Load()
+		if epoch != 0 && st.epoch != epoch {
+			return None, 0, false, fmt.Errorf("%w (pop-min for epoch %d, serving %d)", ErrStaleEpoch, epoch, st.epoch)
+		}
+		for i := range st.shards {
+			st.shards[i].mu.Lock()
+		}
+		if e.state.Load() != st {
+			for i := range st.shards {
+				st.shards[i].mu.Unlock()
+			}
+			continue
+		}
+		maxInt := int(^uint(0) >> 1)
+		best, bestID := -1, maxInt
+		for i := range st.shards {
+			if m, has := st.shards[i].index.MinID(); has && m < bestID {
+				best, bestID = i, m
+			}
+		}
+		if best >= 0 {
+			id, _ = st.shards[best].index.PopMin()
+			st.shards[best].assigns++
+			ok = true
+		} else {
+			id, ok = None, false
+		}
+		for i := range st.shards {
+			st.shards[i].mu.Unlock()
+		}
+		return id, st.depth, ok, nil
+	}
+}
+
+// ConsumeUnit takes one capacity unit from the worker id at the given leaf
+// code: the code-addressed commit for a candidate mined on this engine by
+// MineWindowCandidates. It fails when the worker is no longer at that leaf
+// with a unit to give — the coordinator undoes the window's earlier
+// consumptions (AddCapacityEpoch) and re-mines.
+func (e *Engine) ConsumeUnit(code hst.Code, id int, epoch int64) error {
+	for {
+		st := e.state.Load()
+		if epoch != 0 && st.epoch != epoch {
+			return fmt.Errorf("%w (consume for epoch %d, serving %d)", ErrStaleEpoch, epoch, st.epoch)
+		}
+		if err := st.tree.CheckCode(code); err != nil {
+			return err
+		}
+		s := st.shardOf(code)
+		s.mu.Lock()
+		if e.state.Load() != st {
+			s.mu.Unlock()
+			continue
+		}
+		ok := s.index.Consume(code, id)
+		if ok {
+			s.assigns++
+		}
+		s.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("engine: consume: worker %d not available at reported leaf", id)
+		}
+		return nil
+	}
+}
+
+// WindowMine is one engine's contribution to a cluster batch window: the
+// node-local pool size, each requested task's own-branch top-k candidates,
+// and per-shard smallest-k pad lists. Everything is gathered under every
+// shard lock in one hold, so the snapshot is internally consistent — and,
+// with the coordinator serialising windows against every other mutation,
+// consistent until the window's commits.
+type WindowMine struct {
+	// Epoch stamps the snapshot.
+	Epoch int64
+	// Pool is the number of available workers on this engine.
+	Pool int
+	// Own[i] holds the own-shard NearestK candidates for the i-th requested
+	// code, exactly the region the single-process mineWindow would mine.
+	Own [][]hst.Candidate
+	// Pads[s] holds shard s's smallest-k list stamped at level depth (the
+	// coordinator restamps sibling-tier pads), nil for empty shards. Shard
+	// indices are global: every node shares the layout, so its local shard
+	// s holds exactly the population of single-process shard s routed here.
+	Pads [][]hst.Candidate
+}
+
+// MineWindowCandidates mines this engine's share of a batch window for the
+// coordinator's scatter-gather solve. codes are the window tasks routed to
+// this node (their own shards live here); k is the policy's per-task pool.
+func (e *Engine) MineWindowCandidates(codes []hst.Code, k int, epoch int64) (*WindowMine, error) {
+	for {
+		st := e.state.Load()
+		if epoch != 0 && st.epoch != epoch {
+			return nil, fmt.Errorf("%w (mine for epoch %d, serving %d)", ErrStaleEpoch, epoch, st.epoch)
+		}
+		for i := range st.shards {
+			st.shards[i].mu.Lock()
+		}
+		if e.state.Load() != st {
+			for i := range st.shards {
+				st.shards[i].mu.Unlock()
+			}
+			continue
+		}
+		wm := &WindowMine{
+			Epoch: st.epoch,
+			Own:   make([][]hst.Candidate, len(codes)),
+			Pads:  make([][]hst.Candidate, len(st.shards)),
+		}
+		for i := range st.shards {
+			wm.Pool += st.shards[i].index.Len()
+		}
+		for i, code := range codes {
+			if st.tree.CheckCode(code) != nil {
+				continue
+			}
+			wm.Own[i] = st.shardOf(code).index.NearestK(code, k, nil)
+		}
+		for s := range st.shards {
+			if st.shards[s].index.Len() > 0 {
+				wm.Pads[s] = st.shards[s].index.SmallestK(k, st.depth, nil)
+			}
+		}
+		for i := range st.shards {
+			st.shards[i].mu.Unlock()
+		}
+		return wm, nil
+	}
+}

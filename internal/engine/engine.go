@@ -150,17 +150,20 @@ type engineShard struct {
 	_ [(cacheLine - unsafe.Sizeof(shardData{})%cacheLine) % cacheLine]byte
 }
 
-// newEpochState builds a shard set for the tree, rounding the shard count
-// exactly as New documents.
-func newEpochState(epoch int64, tree *hst.Tree, shards int) *epochState {
+// layoutFor rounds a requested shard count to the sharding grid the tree
+// supports, exactly as New documents. It is the single source of the
+// scheme's geometry, shared by newEpochState and the exported Layout so a
+// cluster coordinator can mirror shard placement without building a state.
+func layoutFor(tree *hst.Tree, shards int) (S, degree, sub, depth int) {
 	if shards <= 0 {
 		shards = DefaultShards
 	}
-	d, depth := tree.Degree(), tree.Depth()
+	d := tree.Degree()
+	depth = tree.Depth()
 	if depth == 0 || d == 0 {
 		shards = 1
 	}
-	sub := 1
+	sub = 1
 	if d > 0 && depth > 0 && shards > d {
 		// More shards requested than top branches: split every top branch
 		// into sub second-digit groups (needs two digits to exist). sub is
@@ -175,6 +178,13 @@ func newEpochState(epoch int64, tree *hst.Tree, shards int) *epochState {
 		}
 		shards = d * sub
 	}
+	return shards, d, sub, depth
+}
+
+// newEpochState builds a shard set for the tree, rounding the shard count
+// exactly as New documents.
+func newEpochState(epoch int64, tree *hst.Tree, shards int) *epochState {
+	shards, d, sub, depth := layoutFor(tree, shards)
 	st := &epochState{
 		epoch:  epoch,
 		tree:   tree,
@@ -351,14 +361,54 @@ type EpochInsert struct {
 // codes are meaningless under the new tree, and it is the rotation
 // controller's job to have re-obfuscated (or parked) them.
 func (e *Engine) SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []EpochInsert) error {
-	if tree == nil {
-		return errors.New("engine: nil tree")
-	}
 	e.swapMu.Lock()
 	defer e.swapMu.Unlock()
+	p, err := e.prepareSwapLocked(epoch, tree, shards, inserts)
+	if err != nil {
+		return err
+	}
+	return e.commitSwapLocked(p)
+}
+
+// PreparedSwap is a fully built next-epoch state staged by PrepareSwap,
+// waiting for CommitSwap (or to be dropped, which aborts it — it holds no
+// locks and the serving state does not reference it).
+type PreparedSwap struct {
+	st *epochState
+}
+
+// Epoch returns the staged state's epoch id.
+func (p *PreparedSwap) Epoch() int64 { return p.st.epoch }
+
+// PrepareSwap is the build half of SwapEpoch, split out so a cluster
+// coordinator can drive rotation as a distributed two-phase commit: every
+// node prepares its partition of the new population while the old epoch
+// keeps serving, and only when all prepares succeed does the coordinator
+// commit each. A prepare that fails (or is abandoned) leaves the serving
+// state untouched. The epoch check here is advisory — CommitSwap re-checks
+// under the swap lock — so a prepare staged before a competing swap simply
+// fails at commit.
+func (e *Engine) PrepareSwap(epoch int64, tree *hst.Tree, shards int, inserts []EpochInsert) (*PreparedSwap, error) {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	return e.prepareSwapLocked(epoch, tree, shards, inserts)
+}
+
+// CommitSwap publishes a prepared state, atomically replacing the serving
+// epoch exactly as SwapEpoch does.
+func (e *Engine) CommitSwap(p *PreparedSwap) error {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	return e.commitSwapLocked(p)
+}
+
+func (e *Engine) prepareSwapLocked(epoch int64, tree *hst.Tree, shards int, inserts []EpochInsert) (*PreparedSwap, error) {
+	if tree == nil {
+		return nil, errors.New("engine: nil tree")
+	}
 	old := e.state.Load()
 	if epoch <= old.epoch {
-		return fmt.Errorf("engine: swap to epoch %d, already serving %d", epoch, old.epoch)
+		return nil, fmt.Errorf("engine: swap to epoch %d, already serving %d", epoch, old.epoch)
 	}
 	if shards <= 0 {
 		shards = len(old.shards)
@@ -366,11 +416,19 @@ func (e *Engine) SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []Ep
 	st := newEpochState(epoch, tree, shards)
 	for _, in := range inserts {
 		if err := tree.CheckCode(in.Code); err != nil {
-			return fmt.Errorf("engine: swap insert %d: %w", in.ID, err)
+			return nil, fmt.Errorf("engine: swap insert %d: %w", in.ID, err)
 		}
 		if err := st.shardOf(in.Code).index.InsertCap(in.Code, in.ID, e.effCap(in.Cap)); err != nil {
-			return fmt.Errorf("engine: swap insert %d: %w", in.ID, err)
+			return nil, fmt.Errorf("engine: swap insert %d: %w", in.ID, err)
 		}
+	}
+	return &PreparedSwap{st: st}, nil
+}
+
+func (e *Engine) commitSwapLocked(p *PreparedSwap) error {
+	old := e.state.Load()
+	if p.st.epoch <= old.epoch {
+		return fmt.Errorf("engine: swap to epoch %d, already serving %d", p.st.epoch, old.epoch)
 	}
 	// Holding every old shard lock while storing the pointer guarantees
 	// that each in-flight mutator either completed on the old state before
@@ -379,7 +437,7 @@ func (e *Engine) SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []Ep
 	for i := range old.shards {
 		old.shards[i].mu.Lock()
 	}
-	e.state.Store(st)
+	e.state.Store(p.st)
 	for i := range old.shards {
 		old.shards[i].mu.Unlock()
 	}

@@ -146,6 +146,10 @@ func (p *batchOptimalPolicy) Name() string {
 
 func (p *batchOptimalPolicy) CapacityAware() bool { return true }
 
+// TopK returns the per-task candidate pool, satisfying TopKer so a cluster
+// coordinator mines with exactly this policy's k.
+func (p *batchOptimalPolicy) TopK() int { return p.k }
+
 func (p *batchOptimalPolicy) assignOne(e *Engine, code hst.Code) (int, int, int64, bool) {
 	return e.greedyAssignOne(code)
 }

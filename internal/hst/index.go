@@ -746,6 +746,20 @@ func (x *LeafIndex) CollectWithin(code Code, maxLevel int, out []Candidate) []Ca
 	return x.enumerate(code, maxLevel, x.size, false, out)
 }
 
+// SmallestK appends to out the (up to) k smallest-id items of the whole
+// index, stamped with the given LCA level and carrying their leaf codes —
+// the code-addressed analogue of SmallestKRef, for callers (a cluster
+// coordinator gathering cross-shard pads) that commit through Consume on
+// another process where an arena ref is meaningless. Ties between equal
+// ids break by code; engine populations key workers by unique id, where
+// the order agrees with SmallestKRef's.
+func (x *LeafIndex) SmallestK(k, level int, out []Candidate) []Candidate {
+	if x.size == 0 || k <= 0 {
+		return out
+	}
+	return x.collectK(0, nilIdx, x.cbuf[:0], level, k, len(out), out)
+}
+
 // enumerate is the shared engine of NearestK and CollectWithin: it descends
 // the query's exact branch as deep as it goes, then climbs back towards the
 // root, emitting at each step the items that sit under the current ancestor

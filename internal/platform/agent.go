@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/pombm/pombm/internal/geo"
@@ -18,6 +19,22 @@ type Backend interface {
 }
 
 var _ Backend = (*Server)(nil)
+
+// API is the full client surface of a pombm deployment — everything a
+// caller can do against a serving stack, whatever its shape. Client
+// implements it over HTTP against one pombm-server, cluster.Client against
+// a coordinator fronting many; code written against API is
+// deployment-shape agnostic (pombm.Dial hands one out).
+type API interface {
+	Backend
+	Reregister(ReregisterRequest) RegisterResponse
+	Release(ReleaseRequest) RegisterResponse
+	Withdraw(WithdrawRequest) RegisterResponse
+	SubmitBatch(TaskBatchRequest) TaskBatchResponse
+	PrepareRotate(PrepareRotateRequest) PrepareRotateResponse
+	Rotate(RotateRequest) RotateResponse
+	Stats() (StatsResponse, error)
+}
 
 // Obfuscator is the client-side privacy stack: it snaps a true location to
 // the published grid and obfuscates the leaf with the HST mechanism, all on
@@ -103,8 +120,15 @@ type Task struct {
 func (t Task) Submit(b Backend, o *Obfuscator) (workerID string, assigned bool, err error) {
 	resp := b.Submit(TaskRequest{TaskID: t.ID, Code: []byte(o.Obfuscate(t.Loc))})
 	if !resp.Assigned {
-		if resp.Reason == "platform: no available workers" {
+		// "No available workers" is a normal unmatched outcome, not an
+		// error. Match the structured refusal; fall back to the legacy
+		// Reason string for pre-taxonomy servers.
+		if (resp.Err != nil && errors.Is(resp.Err, ErrNoWorkers)) ||
+			(resp.Err == nil && resp.Reason == "platform: no available workers") {
 			return "", false, nil
+		}
+		if resp.Err != nil {
+			return "", false, fmt.Errorf("platform: task %q rejected: %w", t.ID, resp.Err)
 		}
 		if resp.Reason != "" {
 			return "", false, fmt.Errorf("platform: task %q rejected: %s", t.ID, resp.Reason)

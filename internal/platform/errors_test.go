@@ -1,0 +1,194 @@
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestStatsRejectsNonGET is the regression test for the method-check gap:
+// /v1/stats accepted any HTTP method (a POST mutated nothing but was
+// silently served as a read). It must refuse non-GET with 405, an Allow
+// header, and a structured Error body.
+func TestStatsRejectsNonGET(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+PathStats, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST stats = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+		t.Errorf("Allow = %q, want GET", allow)
+	}
+	var e Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("405 body is not an Error: %v", err)
+	}
+	if e.Code != CodeMethodNotAllowed {
+		t.Errorf("code = %q, want %q", e.Code, CodeMethodNotAllowed)
+	}
+}
+
+// TestPostEndpointsValidateContentType is the regression test for the
+// missing media-type check: a declared non-JSON body must be refused with
+// 415 and a structured Error, while an absent Content-Type stays accepted
+// for pre-taxonomy clients.
+func TestPostEndpointsValidateContentType(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+PathTask, "text/plain", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/plain task = %d, want 415", resp.StatusCode)
+	}
+	var e Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("415 body is not an Error: %v", err)
+	}
+	if e.Code != CodeUnsupportedMedia {
+		t.Errorf("code = %q, want %q", e.Code, CodeUnsupportedMedia)
+	}
+
+	// Charset parameters and case must not trip the check.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+PathTask, strings.NewReader(`{"code":[0]}`))
+	req.Header.Set("Content-Type", "Application/JSON; charset=utf-8")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Errorf("application/json with charset = %d, want 200", r2.StatusCode)
+	}
+
+	// No Content-Type at all: legacy clients keep working.
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+PathTask, strings.NewReader(`{"code":[0]}`))
+	r3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusOK {
+		t.Errorf("missing content type = %d, want 200", r3.StatusCode)
+	}
+}
+
+// TestMethodErrorsCarryStructuredBody pins that 405 and 400 refusals on
+// POST endpoints carry the Error taxonomy, not plain text.
+func TestMethodErrorsCarryStructuredBody(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + PathTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET task = %d, want 405", resp.StatusCode)
+	}
+	var e Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != CodeMethodNotAllowed {
+		t.Errorf("405 body %q is not a method_not_allowed Error", body)
+	}
+
+	resp, err = http.Post(ts.URL+PathTask, "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d, want 400", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != CodeBadRequest {
+		t.Errorf("400 body %q is not a bad_request Error", body)
+	}
+}
+
+// TestClientDecodesTypedErrors pins the structured taxonomy end to end
+// over HTTP: refusals decode into *Error values that errors.Is-match the
+// package sentinels, replacing Reason string matching.
+func TestClientDecodesTypedErrors(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+	client, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := []byte(s.Publication().Tree.CodeOf(0))
+
+	// Stale epoch on registration.
+	resp := client.Register(RegisterRequest{WorkerID: "w1", Code: code, Epoch: 99})
+	if resp.OK {
+		t.Fatal("stale-epoch register accepted")
+	}
+	if resp.Err == nil || !errors.Is(resp.Err, ErrStaleEpoch) {
+		t.Errorf("stale register Err = %v, want ErrStaleEpoch match", resp.Err)
+	}
+	if resp.Err != nil && resp.Err.Epoch != s.Publication().Epoch {
+		t.Errorf("stale register Err.Epoch = %d, want serving epoch %d", resp.Err.Epoch, s.Publication().Epoch)
+	}
+
+	// No workers for a task on an empty pool.
+	tr := client.Submit(TaskRequest{TaskID: "t1", Code: code})
+	if tr.Assigned {
+		t.Fatal("task assigned from an empty pool")
+	}
+	if tr.Err == nil || !errors.Is(tr.Err, ErrNoWorkers) {
+		t.Errorf("empty-pool submit Err = %v, want ErrNoWorkers match", tr.Err)
+	}
+	if tr.Err != nil && !tr.Err.Retryable {
+		t.Error("no_workers refusal not marked retryable")
+	}
+
+	// Conflict on duplicate registration.
+	if r := client.Register(RegisterRequest{WorkerID: "w1", Code: code}); !r.OK {
+		t.Fatalf("register failed: %s", r.Reason)
+	}
+	dup := client.Register(RegisterRequest{WorkerID: "w1", Code: code})
+	if dup.OK {
+		t.Fatal("duplicate registration accepted")
+	}
+	if dup.Err == nil || dup.Err.Code != CodeConflict {
+		t.Errorf("duplicate register Err = %v, want conflict code", dup.Err)
+	}
+}
+
+// TestParkedErrorMatchesBudgetSentinels pins the taxonomy's park/budget
+// relationship: a parked refusal matches both ErrParked and
+// ErrBudgetExhausted (parking is budget exhaustion made permanent).
+func TestParkedErrorMatchesBudgetSentinels(t *testing.T) {
+	e := parkedError("w9")
+	if !errors.Is(e, ErrParked) {
+		t.Error("parked Error does not match ErrParked")
+	}
+	if !errors.Is(e, ErrBudgetExhausted) {
+		t.Error("parked Error does not match ErrBudgetExhausted")
+	}
+	var nilErr *Error
+	if errors.Is(nilErr, ErrParked) {
+		t.Error("nil *Error matched a sentinel")
+	}
+	if got := nilErr.Error(); got != "<nil>" {
+		t.Errorf("nil *Error message %q", got)
+	}
+}

@@ -3,9 +3,12 @@ package platform
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
+	"strings"
 	"sync"
 
 	"github.com/pombm/pombm/internal/geo"
@@ -30,8 +33,7 @@ const (
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathPublication, func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		if !requireGet(w, r) {
 			return
 		}
 		pub := s.Publication() // locked read: the tree and epoch rotate
@@ -104,6 +106,9 @@ func Handler(s *Server) http.Handler {
 		writeJSON(w, s.Rotate(req))
 	})
 	mux.HandleFunc(PathStats, func(w http.ResponseWriter, r *http.Request) {
+		if !requireGet(w, r) {
+			return
+		}
 		writeJSON(w, s.Stats())
 	})
 	return mux
@@ -170,11 +175,23 @@ func (c *Client) Publication() Publication {
 	return *c.pub
 }
 
+// clientError folds a transport or server failure into the structured
+// taxonomy: a decoded wire *Error passes through typed, anything else
+// (connection refused, timeout, undecodable body) becomes unavailable.
+func clientError(err error) *Error {
+	var pe *Error
+	if errors.As(err, &pe) {
+		return pe
+	}
+	return unavailableError(err)
+}
+
 // Register implements Backend over HTTP.
 func (c *Client) Register(req RegisterRequest) RegisterResponse {
 	var resp RegisterResponse
 	if err := c.post(PathRegister, req, &resp); err != nil {
-		return RegisterResponse{OK: false, Reason: err.Error()}
+		e := clientError(err)
+		return RegisterResponse{OK: false, Reason: e.Message, Err: e}
 	}
 	return resp
 }
@@ -183,7 +200,8 @@ func (c *Client) Register(req RegisterRequest) RegisterResponse {
 func (c *Client) Reregister(req ReregisterRequest) RegisterResponse {
 	var resp RegisterResponse
 	if err := c.post(PathReregister, req, &resp); err != nil {
-		return RegisterResponse{OK: false, Reason: err.Error()}
+		e := clientError(err)
+		return RegisterResponse{OK: false, Reason: e.Message, Err: e}
 	}
 	return resp
 }
@@ -192,7 +210,8 @@ func (c *Client) Reregister(req ReregisterRequest) RegisterResponse {
 func (c *Client) Release(req ReleaseRequest) RegisterResponse {
 	var resp RegisterResponse
 	if err := c.post(PathRelease, req, &resp); err != nil {
-		return RegisterResponse{OK: false, Reason: err.Error()}
+		e := clientError(err)
+		return RegisterResponse{OK: false, Reason: e.Message, Err: e}
 	}
 	return resp
 }
@@ -201,7 +220,8 @@ func (c *Client) Release(req ReleaseRequest) RegisterResponse {
 func (c *Client) Withdraw(req WithdrawRequest) RegisterResponse {
 	var resp RegisterResponse
 	if err := c.post(PathWithdraw, req, &resp); err != nil {
-		return RegisterResponse{OK: false, Reason: err.Error()}
+		e := clientError(err)
+		return RegisterResponse{OK: false, Reason: e.Message, Err: e}
 	}
 	return resp
 }
@@ -210,7 +230,8 @@ func (c *Client) Withdraw(req WithdrawRequest) RegisterResponse {
 func (c *Client) Submit(req TaskRequest) TaskResponse {
 	var resp TaskResponse
 	if err := c.post(PathTask, req, &resp); err != nil {
-		return TaskResponse{Assigned: false, Reason: err.Error()}
+		e := clientError(err)
+		return TaskResponse{Assigned: false, Reason: e.Message, Err: e}
 	}
 	return resp
 }
@@ -219,9 +240,10 @@ func (c *Client) Submit(req TaskRequest) TaskResponse {
 func (c *Client) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 	var resp TaskBatchResponse
 	if err := c.post(PathTaskBatch, req, &resp); err != nil {
+		e := clientError(err)
 		out := TaskBatchResponse{Results: make([]TaskResponse, len(req.Tasks))}
 		for i := range out.Results {
-			out.Results[i] = TaskResponse{Assigned: false, Reason: err.Error()}
+			out.Results[i] = TaskResponse{Assigned: false, Reason: e.Message, Err: e}
 		}
 		return out
 	}
@@ -234,7 +256,8 @@ func (c *Client) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 func (c *Client) PrepareRotate(req PrepareRotateRequest) PrepareRotateResponse {
 	var resp PrepareRotateResponse
 	if err := c.post(PathRotatePrepare, req, &resp); err != nil {
-		return PrepareRotateResponse{OK: false, Reason: err.Error()}
+		e := clientError(err)
+		return PrepareRotateResponse{OK: false, Reason: e.Message, Err: e}
 	}
 	return resp
 }
@@ -248,7 +271,8 @@ func (c *Client) PrepareRotate(req PrepareRotateRequest) PrepareRotateResponse {
 func (c *Client) Rotate(req RotateRequest) RotateResponse {
 	var resp RotateResponse
 	if err := c.post(PathRotate, req, &resp); err != nil {
-		return RotateResponse{OK: false, Reason: err.Error()}
+		e := clientError(err)
+		return RotateResponse{OK: false, Reason: e.Message, Err: e}
 	}
 	if resp.OK {
 		var wire wirePublication
@@ -274,6 +298,7 @@ func (c *Client) Stats() (StatsResponse, error) {
 }
 
 var _ Backend = (*Client)(nil)
+var _ API = (*Client)(nil)
 
 func (c *Client) get(path string, out any) error {
 	resp, err := c.HTTP.Get(c.BaseURL + path)
@@ -299,7 +324,14 @@ func (c *Client) post(path string, in, out any) error {
 
 func decodeResponse(path string, resp *http.Response, out any) error {
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		// Error statuses carry a structured Error body; surface it typed so
+		// callers can errors.Is against the sentinels. Non-JSON bodies (a
+		// proxy's error page) fall back to a plain error.
+		var we Error
+		if json.Unmarshal(bytes.TrimSpace(msg), &we) == nil && we.Code != "" {
+			return &we
+		}
 		return fmt.Errorf("platform: %s returned %s: %s", path, resp.Status, bytes.TrimSpace(msg))
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -315,13 +347,61 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// writeError answers with an HTTP error status whose body is the structured
+// Error as JSON — the transport-level half of the error taxonomy (refusals
+// with well-formed requests ride inside 200 response envelopes instead).
+func writeError(w http.ResponseWriter, status int, e *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(e)
+}
+
+// requireGet guards a read-only endpoint: non-GET methods are answered with
+// 405 and a structured Error body.
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, &Error{
+			Code:    CodeMethodNotAllowed,
+			Message: fmt.Sprintf("platform: %s requires GET, got %s", r.URL.Path, r.Method),
+		})
+		return false
+	}
+	return true
+}
+
+// checkContentType accepts application/json (with any parameters) and — for
+// pre-taxonomy clients — an absent Content-Type; anything else is refused.
+func checkContentType(r *http.Request) *Error {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return nil
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil || !strings.EqualFold(mt, "application/json") {
+		return &Error{
+			Code:    CodeUnsupportedMedia,
+			Message: fmt.Sprintf("platform: %s requires application/json, got %q", r.URL.Path, ct),
+		}
+	}
+	return nil
+}
+
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, &Error{
+			Code:    CodeMethodNotAllowed,
+			Message: fmt.Sprintf("platform: %s requires POST, got %s", r.URL.Path, r.Method),
+		})
+		return false
+	}
+	if e := checkContentType(r); e != nil {
+		writeError(w, http.StatusUnsupportedMediaType, e)
 		return false
 	}
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(v); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, badRequestError("platform: bad request: "+err.Error()))
 		return false
 	}
 	return true

@@ -45,8 +45,14 @@ type RegisterRequest struct {
 
 // RegisterResponse acknowledges a registration.
 type RegisterResponse struct {
-	OK     bool   `json:"ok"`
+	OK bool `json:"ok"`
+	// Reason is the human-readable refusal.
+	//
+	// Deprecated: match on Err with errors.Is instead of string-matching
+	// Reason; Reason remains populated for older clients.
 	Reason string `json:"reason,omitempty"`
+	// Err is the structured refusal (nil on success).
+	Err *Error `json:"error,omitempty"`
 	// Parked reports that the worker's lifetime ε budget is exhausted: the
 	// platform refuses further fresh reports from it permanently instead
 	// of degrading its guarantee.
@@ -69,7 +75,13 @@ type TaskRequest struct {
 type TaskResponse struct {
 	Assigned bool   `json:"assigned"`
 	WorkerID string `json:"worker_id,omitempty"`
-	Reason   string `json:"reason,omitempty"`
+	// Reason is the human-readable refusal.
+	//
+	// Deprecated: match on Err with errors.Is instead of string-matching
+	// Reason; Reason remains populated for older clients.
+	Reason string `json:"reason,omitempty"`
+	// Err is the structured refusal (nil when assigned).
+	Err *Error `json:"error,omitempty"`
 	// Epoch is the epoch the assigned worker's report was obfuscated
 	// under; it always equals the serving epoch of the assignment (the
 	// epoch-consistency invariant the rotation tests assert).
@@ -168,6 +180,7 @@ type PrepareRotateRequest struct {
 type PrepareRotateResponse struct {
 	OK     bool      `json:"ok"`
 	Reason string    `json:"reason,omitempty"`
+	Err    *Error    `json:"error,omitempty"`
 	Epoch  int64     `json:"epoch,omitempty"`
 	Tree   *hst.Tree `json:"tree,omitempty"`
 }
@@ -193,6 +206,7 @@ type RotateRequest struct {
 type RotateResponse struct {
 	OK      bool     `json:"ok"`
 	Reason  string   `json:"reason,omitempty"`
+	Err     *Error   `json:"error,omitempty"`
 	Epoch   int64    `json:"epoch,omitempty"`
 	Rotated int      `json:"rotated"`
 	Parked  []string `json:"parked,omitempty"`

@@ -34,7 +34,7 @@ import (
 func (s *Server) PrepareRotate(req PrepareRotateRequest) PrepareRotateResponse {
 	staged, err := s.rot.Prepare(req.Seed, req.Refit)
 	if err != nil {
-		return PrepareRotateResponse{OK: false, Reason: err.Error()}
+		return PrepareRotateResponse{OK: false, Reason: err.Error(), Err: conflictError(err.Error())}
 	}
 	return PrepareRotateResponse{OK: true, Epoch: staged.Epoch, Tree: staged.Tree}
 }
@@ -50,10 +50,12 @@ func (s *Server) Rotate(req RotateRequest) RotateResponse {
 	defer s.mu.Unlock()
 	staged := s.rot.StagedRotation()
 	if staged == nil {
-		return RotateResponse{OK: false, Reason: "platform: no rotation staged; call PrepareRotate first"}
+		reason := "platform: no rotation staged; call PrepareRotate first"
+		return RotateResponse{OK: false, Reason: reason, Err: conflictError(reason)}
 	}
 	if req.Epoch != 0 && req.Epoch != staged.Epoch {
-		return RotateResponse{OK: false, Reason: fmt.Sprintf("platform: rotation commit for epoch %d, staged is %d", req.Epoch, staged.Epoch)}
+		reason := fmt.Sprintf("platform: rotation commit for epoch %d, staged is %d", req.Epoch, staged.Epoch)
+		return RotateResponse{OK: false, Reason: reason, Err: conflictError(reason)}
 	}
 
 	// Filter to currently-available workers, first report per worker wins.
@@ -79,7 +81,7 @@ func (s *Server) Rotate(req RotateRequest) RotateResponse {
 		return codeOf[w], nil
 	})
 	if err != nil {
-		return RotateResponse{OK: false, Reason: err.Error()}
+		return RotateResponse{OK: false, Reason: err.Error(), Err: conflictError(err.Error())}
 	}
 
 	// Stage the new population with slot numbers pre-allocated in report
@@ -100,7 +102,9 @@ func (s *Server) Rotate(req RotateRequest) RotateResponse {
 		}
 	}
 	if err := s.eng.SwapEpoch(plan.Epoch, plan.Tree, 0, inserts); err != nil {
-		return RotateResponse{OK: false, Reason: err.Error()}
+		// A cluster core aborts the distributed prepare on every node before
+		// reporting failure, so the old epoch keeps serving intact.
+		return RotateResponse{OK: false, Reason: err.Error(), Err: AsError(err, s.epoch)}
 	}
 
 	// The swap is live: record the new slots and close out the old epoch's
@@ -170,7 +174,7 @@ func (s *Server) Rotate(req RotateRequest) RotateResponse {
 func (s *Server) RotateNow(req PrepareRotateRequest, workers []string, report func(workerID string, tree *hst.Tree) (hst.Code, error)) RotateResponse {
 	prep := s.PrepareRotate(req)
 	if !prep.OK {
-		return RotateResponse{OK: false, Reason: prep.Reason}
+		return RotateResponse{OK: false, Reason: prep.Reason, Err: prep.Err}
 	}
 	if workers == nil {
 		s.mu.Lock()

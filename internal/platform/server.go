@@ -23,8 +23,55 @@ import (
 //
 // Server is safe for concurrent use; Submit calls on disjoint top-level
 // HST branches do not contend.
+// Core is the assignment state a Server fronts: exactly the engine surface
+// the serving layer drives. *engine.Engine satisfies it (the single-node
+// deployment), and a cluster coordinator core fans the same calls out
+// across node backends — the Server's slot tables, budget accounting, and
+// rotation planning run verbatim above either, which is what pins the
+// multi-node stack bit-identical to the single-node one.
+type Core interface {
+	// Identity of the serving epoch.
+	Tree() *hst.Tree
+	Epoch() int64
+	Shards() int
+	// Fixed configuration.
+	Policy() engine.Policy
+	DefaultCapacity() int
+	// Monitoring.
+	Windows() int64
+	Len() int
+	CapacityUnits() int
+	// Serving operations. Semantics (staleness, retries, tie-breaks) are
+	// engine.Engine's; see its method docs.
+	Assign(code hst.Code) (id, lcaLevel int, ok bool)
+	AssignBatch(codes []hst.Code) (ids, lcaLevels []int)
+	InsertEpoch(code hst.Code, id int, epoch int64) error
+	InsertCapEpoch(code hst.Code, id, capacity int, epoch int64) error
+	AddCapacityEpoch(code hst.Code, id int, epoch int64) error
+	Remove(code hst.Code, id int) bool
+	RemoveUnits(code hst.Code, id int) (units int, ok bool)
+	SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []engine.EpochInsert) error
+}
+
+// assignErrer is an optional Core extension: a core whose Assign can fail
+// for reasons beyond "no worker" (a cluster core with an unreachable
+// backend) reports the failure so Submit can answer with a typed error
+// instead of a misleading no-workers refusal.
+type assignErrer interface {
+	AssignErr(code hst.Code) (id, lcaLevel int, ok bool, err error)
+}
+
+// coreAssign runs an assignment through AssignErr when the core offers it.
+func coreAssign(c Core, code hst.Code) (id, lcaLevel int, ok bool, err error) {
+	if ae, has := c.(assignErrer); has {
+		return ae.AssignErr(code)
+	}
+	id, lcaLevel, ok = c.Assign(code)
+	return id, lcaLevel, ok, nil
+}
+
 type Server struct {
-	eng *engine.Engine
+	eng Core
 	// rot owns epoch rotation and per-worker budget accounting. It has its
 	// own lock; the server calls into it under mu where slot-table
 	// consistency matters.
@@ -100,6 +147,7 @@ type serverConfig struct {
 	policy     engine.Policy
 	defaultCap int
 	tree       *hst.Tree
+	core       Core
 }
 
 // WithShards sets the assignment engine's shard count (0 = engine default).
@@ -130,6 +178,17 @@ func WithTree(t *hst.Tree) ServerOption {
 	return func(c *serverConfig) { c.tree = t }
 }
 
+// WithCore serves from the given assignment core instead of constructing
+// an in-process engine. The core's tree becomes the publication (it must
+// cover the server grid); WithShards, WithPolicy, and WithDefaultCapacity
+// are ignored — those knobs were fixed when the core was built. The
+// cluster coordinator uses this to put the whole serving layer (slot
+// tables, budget accounting, rotation planning) in front of a fanned-out
+// node set.
+func WithCore(c Core) ServerOption {
+	return func(cfg *serverConfig) { cfg.core = c }
+}
+
 // WithLifetimeBudget enforces a per-worker lifetime ε budget: every fresh
 // obfuscated report a worker submits (Register, Reregister, Release with a
 // new code, rotation re-reports) spends the publication's ε under
@@ -153,28 +212,36 @@ func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64, opts .
 		return nil, err
 	}
 	tree := cfg.tree
-	if tree == nil {
+	if cfg.core != nil {
+		// An injected core owns the tree (and every engine knob); the server
+		// publishes what the core serves.
+		tree = cfg.core.Tree()
+	} else if tree == nil {
 		tree, err = hst.Build(grid.Points(), rng.New(seed).Derive("server-hst"))
 		if err != nil {
 			return nil, err
 		}
-	} else if tree.NumPoints() != grid.Len() {
+	}
+	if tree.NumPoints() != grid.Len() {
 		return nil, fmt.Errorf("platform: injected tree covers %d points, grid has %d",
 			tree.NumPoints(), grid.Len())
 	}
 	if eps <= 0 {
 		return nil, errors.New("platform: epsilon must be positive")
 	}
-	var engOpts []engine.Option
-	if cfg.policy != nil {
-		engOpts = append(engOpts, engine.WithPolicy(cfg.policy))
-	}
-	if cfg.defaultCap != 0 {
-		engOpts = append(engOpts, engine.WithDefaultCapacity(cfg.defaultCap))
-	}
-	eng, err := engine.NewWithOptions(tree, cfg.shards, engOpts...)
-	if err != nil {
-		return nil, err
+	core := cfg.core
+	if core == nil {
+		var engOpts []engine.Option
+		if cfg.policy != nil {
+			engOpts = append(engOpts, engine.WithPolicy(cfg.policy))
+		}
+		if cfg.defaultCap != 0 {
+			engOpts = append(engOpts, engine.WithDefaultCapacity(cfg.defaultCap))
+		}
+		core, err = engine.NewWithOptions(tree, cfg.shards, engOpts...)
+		if err != nil {
+			return nil, err
+		}
 	}
 	rot, err := epoch.NewController(epoch.Config{
 		Tree:     tree,
@@ -185,6 +252,7 @@ func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64, opts .
 	if err != nil {
 		return nil, err
 	}
+	first := core.Epoch()
 	return &Server{
 		pub: Publication{
 			Tree:    tree,
@@ -192,11 +260,11 @@ func NewServer(region geo.Rect, cols, rows int, eps float64, seed uint64, opts .
 			Cols:    cols,
 			Rows:    rows,
 			Epsilon: eps,
-			Epoch:   engine.FirstEpoch,
+			Epoch:   first,
 		},
-		eng:         eng,
+		eng:         core,
 		rot:         rot,
-		epoch:       engine.FirstEpoch,
+		epoch:       first,
 		byID:        map[string]int{},
 		levelCounts: make([]int, tree.Depth()+1),
 	}, nil
@@ -211,8 +279,17 @@ func (s *Server) Publication() Publication {
 	return s.pub
 }
 
-// Engine returns the underlying assignment engine, for monitoring.
-func (s *Server) Engine() *engine.Engine { return s.eng }
+// Core returns the assignment core the server fronts.
+func (s *Server) Core() Core { return s.eng }
+
+// Engine returns the underlying in-process assignment engine, or nil when
+// the server fronts an injected core (a cluster coordinator) instead.
+//
+// Deprecated: use Core; Engine exists for single-node monitoring callers.
+func (s *Server) Engine() *engine.Engine {
+	e, _ := s.eng.(*engine.Engine)
+	return e
+}
 
 // staleEpochReason formats the refusal for a report or task obfuscated
 // under a rotated-away publication.
@@ -237,16 +314,17 @@ func parkedReason(workerID string) string {
 // id stays free for retry.
 func (s *Server) Register(req RegisterRequest) RegisterResponse {
 	if req.WorkerID == "" {
-		return RegisterResponse{OK: false, Reason: "platform: empty worker id"}
+		return RegisterResponse{OK: false, Reason: "platform: empty worker id", Err: badRequestError("platform: empty worker id")}
 	}
 	code := hst.Code(req.Code)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if req.Epoch != 0 && req.Epoch != s.epoch {
-		return RegisterResponse{OK: false, Reason: staleEpochReason(req.Epoch, s.epoch)}
+		e := staleEpochError(req.Epoch, s.epoch)
+		return RegisterResponse{OK: false, Reason: e.Message, Err: e}
 	}
 	if err := s.pub.Tree.CheckCode(code); err != nil {
-		return RegisterResponse{OK: false, Reason: err.Error()}
+		return RegisterResponse{OK: false, Reason: err.Error(), Err: badRequestError(err.Error())}
 	}
 	// A withdrawn worker coming back online starts a fresh stint in a
 	// fresh slot; the old slot is retired below, once the insert succeeded,
@@ -257,9 +335,10 @@ func (s *Server) Register(req RegisterRequest) RegisterResponse {
 		case stateGone:
 			revive = old
 		case stateParked:
-			return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
+			return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID), Err: parkedError(req.WorkerID)}
 		default:
-			return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already registered", req.WorkerID)}
+			reason := fmt.Sprintf("platform: worker %q already registered", req.WorkerID)
+			return RegisterResponse{OK: false, Reason: reason, Err: conflictError(reason)}
 		}
 	}
 	// Resolve the slot's capacity exactly as the engine will: the server's
@@ -267,7 +346,8 @@ func (s *Server) Register(req RegisterRequest) RegisterResponse {
 	// Range validation happens before the budget spend below — a refused
 	// registration must not burn lifetime ε.
 	if req.Capacity < 0 || req.Capacity > math.MaxInt32 {
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: capacity %d out of range", req.Capacity)}
+		reason := fmt.Sprintf("platform: capacity %d out of range", req.Capacity)
+		return RegisterResponse{OK: false, Reason: reason, Err: badRequestError(reason)}
 	}
 	capacity := req.Capacity
 	if capacity == 0 {
@@ -277,11 +357,11 @@ func (s *Server) Register(req RegisterRequest) RegisterResponse {
 		capacity = 1
 	}
 	if err := s.rot.Spend(req.WorkerID); err != nil {
-		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
+		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID), Err: parkedError(req.WorkerID)}
 	}
 	slot := len(s.workerIDs)
 	if err := s.eng.InsertCapEpoch(code, slot, capacity, s.epoch); err != nil {
-		return RegisterResponse{OK: false, Reason: err.Error()}
+		return RegisterResponse{OK: false, Reason: err.Error(), Err: AsError(err, s.epoch)}
 	}
 	// A concurrent Submit can pop the new slot as soon as Insert returns,
 	// but it reads the tables under mu, which we still hold.
@@ -310,9 +390,9 @@ func (s *Server) Submit(req TaskRequest) TaskResponse {
 	// locked publication may be mid-rotation); the engine re-validates
 	// internally, so a swap between here and the pop cannot corrupt it.
 	if err := s.eng.Tree().CheckCode(code); err != nil {
-		return TaskResponse{Assigned: false, Reason: err.Error()}
+		return TaskResponse{Assigned: false, Reason: err.Error(), Err: badRequestError(err.Error())}
 	}
-	slot, lvl, ok := s.eng.Assign(code)
+	slot, lvl, ok, aerr := coreAssign(s.eng, code)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if req.Epoch != 0 && req.Epoch != s.epoch {
@@ -325,18 +405,27 @@ func (s *Server) Submit(req TaskRequest) TaskResponse {
 			s.eng.AddCapacityEpoch(s.codes[slot], slot, s.epoch)
 		}
 		s.rejected++
-		return TaskResponse{Assigned: false, Reason: staleEpochReason(req.Epoch, s.epoch)}
+		e := staleEpochError(req.Epoch, s.epoch)
+		return TaskResponse{Assigned: false, Reason: e.Message, Err: e}
 	}
 	// A pop whose stint was closed while in flight (the worker withdrew or
 	// was rotated/parked, its slot superseded) is stale: that assignment
 	// was never confirmed to anyone, so retry. Pops under mu cannot go
 	// stale again — stint transitions all happen under mu.
 	for ok && stintOver(s.states[slot]) {
-		slot, lvl, ok = s.eng.Assign(code)
+		slot, lvl, ok, aerr = coreAssign(s.eng, code)
+	}
+	if aerr != nil {
+		// A backend failure is not "no workers": report it as such so the
+		// client can retry rather than give up on the task.
+		s.rejected++
+		e := AsError(aerr, s.epoch)
+		return TaskResponse{Assigned: false, Reason: e.Message, Err: e}
 	}
 	if !ok {
 		s.rejected++
-		return TaskResponse{Assigned: false, Reason: "platform: no available workers"}
+		e := noWorkersError()
+		return TaskResponse{Assigned: false, Reason: e.Message, Err: e}
 	}
 	// The retry loop above guarantees the stint is live; a popped slot is
 	// stateAvailable and leaves the pool only when this pop consumed its
@@ -374,7 +463,7 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 	for i, t := range req.Tasks {
 		code := hst.Code(t.Code)
 		if err := tree.CheckCode(code); err != nil {
-			out.Results[i] = TaskResponse{Assigned: false, Reason: err.Error()}
+			out.Results[i] = TaskResponse{Assigned: false, Reason: err.Error(), Err: badRequestError(err.Error())}
 			continue
 		}
 		// Epoch-stale tasks are refused up front, before the batch pops
@@ -382,7 +471,8 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 		// the batch different workers than sequential Submit calls would.
 		// (A rotation racing the batch is re-checked under mu below.)
 		if t.Epoch != 0 && t.Epoch != engEpoch {
-			out.Results[i] = TaskResponse{Assigned: false, Reason: staleEpochReason(t.Epoch, engEpoch)}
+			e := staleEpochError(t.Epoch, engEpoch)
+			out.Results[i] = TaskResponse{Assigned: false, Reason: e.Message, Err: e}
 			staleEarly++
 			continue
 		}
@@ -403,20 +493,29 @@ func (s *Server) SubmitBatch(req TaskBatchRequest) TaskBatchResponse {
 				s.eng.AddCapacityEpoch(s.codes[slot], slot, s.epoch)
 			}
 			s.rejected++
-			out.Results[i] = TaskResponse{Assigned: false, Reason: staleEpochReason(e, s.epoch)}
+			se := staleEpochError(e, s.epoch)
+			out.Results[i] = TaskResponse{Assigned: false, Reason: se.Message, Err: se}
 			continue
 		}
 		// Stale pops (see Submit) are retried; under mu no retry can go
 		// stale again.
+		var aerr error
 		for slot != engine.None && stintOver(s.states[slot]) {
 			var ok bool
-			if slot, lvl, ok = s.eng.Assign(codes[k]); !ok {
+			if slot, lvl, ok, aerr = coreAssign(s.eng, codes[k]); !ok {
 				slot = engine.None
 			}
 		}
+		if aerr != nil {
+			s.rejected++
+			e := AsError(aerr, s.epoch)
+			out.Results[i] = TaskResponse{Assigned: false, Reason: e.Message, Err: e}
+			continue
+		}
 		if slot == engine.None {
 			s.rejected++
-			out.Results[i] = TaskResponse{Assigned: false, Reason: "platform: no available workers"}
+			e := noWorkersError()
+			out.Results[i] = TaskResponse{Assigned: false, Reason: e.Message, Err: e}
 			continue
 		}
 		s.active[slot]++
@@ -448,27 +547,31 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 	if len(req.Code) > 0 {
 		newCode = hst.Code(req.Code)
 		if req.Epoch != 0 && req.Epoch != s.epoch {
-			return RegisterResponse{OK: false, Reason: staleEpochReason(req.Epoch, s.epoch)}
+			e := staleEpochError(req.Epoch, s.epoch)
+			return RegisterResponse{OK: false, Reason: e.Message, Err: e}
 		}
 		if err := s.pub.Tree.CheckCode(newCode); err != nil {
-			return RegisterResponse{OK: false, Reason: err.Error()}
+			return RegisterResponse{OK: false, Reason: err.Error(), Err: badRequestError(err.Error())}
 		}
 	}
 	slot, ok := s.byID[req.WorkerID]
 	if !ok {
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q not registered", req.WorkerID)}
+		reason := fmt.Sprintf("platform: worker %q not registered", req.WorkerID)
+		return RegisterResponse{OK: false, Reason: reason, Err: badRequestError(reason)}
 	}
 	switch s.states[slot] {
 	case stateAvailable:
 		if s.active[slot] == 0 {
-			return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q is not assigned", req.WorkerID)}
+			reason := fmt.Sprintf("platform: worker %q is not assigned", req.WorkerID)
+			return RegisterResponse{OK: false, Reason: reason, Err: conflictError(reason)}
 		}
 		// A capacitated worker with spare units completing one of its tasks:
 		// fall through to the completion path below.
 	case stateGone:
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)}
+		reason := fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)
+		return RegisterResponse{OK: false, Reason: reason, Err: conflictError(reason)}
 	case stateParked:
-		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
+		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID), Err: parkedError(req.WorkerID)}
 	case stateAssignedGone:
 		// The task is done but the worker had withdrawn mid-assignment: the
 		// unit does not return to the pool, and once the last outstanding
@@ -480,7 +583,8 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 		if s.active[slot] == 0 {
 			s.states[slot] = stateGone
 		}
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)}
+		reason := fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)
+		return RegisterResponse{OK: false, Reason: reason, Err: conflictError(reason)}
 	}
 	code := s.codes[slot]
 	inPool := s.states[slot] == stateAvailable // spare units live in the engine
@@ -497,12 +601,14 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 				s.active[slot]--
 			}
 			s.states[slot] = stateParked
-			return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
+			return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID), Err: parkedError(req.WorkerID)}
 		}
 	} else if s.slotEpoch[slot] != s.epoch {
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf(
+		reason := fmt.Sprintf(
 			"platform: worker %q report is from epoch %d (serving %d); a fresh report is required",
-			req.WorkerID, s.slotEpoch[slot], s.epoch)}
+			req.WorkerID, s.slotEpoch[slot], s.epoch)
+		return RegisterResponse{OK: false, Reason: reason,
+			Err: &Error{Code: CodeStaleEpoch, Message: reason, Epoch: s.epoch, Retryable: true}}
 	}
 	// Hand the completed unit back. Same code: one unit rejoins in place
 	// (re-inserting the slot when this was its last active task). New code:
@@ -513,7 +619,7 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 	// worker serve beyond its capacity.
 	if inPool && code == s.codes[slot] {
 		if err := s.eng.AddCapacityEpoch(code, slot, s.epoch); err != nil {
-			return RegisterResponse{OK: false, Reason: err.Error()}
+			return RegisterResponse{OK: false, Reason: err.Error(), Err: AsError(err, s.epoch)}
 		}
 	} else {
 		pooled := 0
@@ -521,7 +627,7 @@ func (s *Server) Release(req ReleaseRequest) RegisterResponse {
 			pooled, _ = s.eng.RemoveUnits(s.codes[slot], slot)
 		}
 		if err := s.eng.InsertCapEpoch(code, slot, pooled+1, s.epoch); err != nil {
-			return RegisterResponse{OK: false, Reason: err.Error()}
+			return RegisterResponse{OK: false, Reason: err.Error(), Err: AsError(err, s.epoch)}
 		}
 	}
 	s.active[slot]--
@@ -546,13 +652,15 @@ func (s *Server) Withdraw(req WithdrawRequest) RegisterResponse {
 	defer s.mu.Unlock()
 	slot, ok := s.byID[req.WorkerID]
 	if !ok {
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q not registered", req.WorkerID)}
+		reason := fmt.Sprintf("platform: worker %q not registered", req.WorkerID)
+		return RegisterResponse{OK: false, Reason: reason, Err: badRequestError(reason)}
 	}
 	switch s.states[slot] {
 	case stateGone, stateAssignedGone:
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has already withdrawn", req.WorkerID)}
+		reason := fmt.Sprintf("platform: worker %q has already withdrawn", req.WorkerID)
+		return RegisterResponse{OK: false, Reason: reason, Err: conflictError(reason)}
 	case stateParked:
-		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
+		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID), Err: parkedError(req.WorkerID)}
 	case stateAssigned:
 		s.states[slot] = stateAssignedGone
 	default: // stateAvailable

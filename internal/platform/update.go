@@ -35,27 +35,32 @@ func (s *Server) Reregister(req ReregisterRequest) RegisterResponse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if req.Epoch != 0 && req.Epoch != s.epoch {
-		return RegisterResponse{OK: false, Reason: staleEpochReason(req.Epoch, s.epoch)}
+		e := staleEpochError(req.Epoch, s.epoch)
+		return RegisterResponse{OK: false, Reason: e.Message, Err: e}
 	}
 	if err := s.pub.Tree.CheckCode(code); err != nil {
-		return RegisterResponse{OK: false, Reason: err.Error()}
+		return RegisterResponse{OK: false, Reason: err.Error(), Err: badRequestError(err.Error())}
 	}
 	slot, ok := s.byID[req.WorkerID]
 	if !ok {
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q not registered", req.WorkerID)}
+		reason := fmt.Sprintf("platform: worker %q not registered", req.WorkerID)
+		return RegisterResponse{OK: false, Reason: reason, Err: badRequestError(reason)}
 	}
 	switch s.states[slot] {
 	case stateGone, stateAssignedGone:
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)}
+		reason := fmt.Sprintf("platform: worker %q has withdrawn", req.WorkerID)
+		return RegisterResponse{OK: false, Reason: reason, Err: conflictError(reason)}
 	case stateParked:
-		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
+		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID), Err: parkedError(req.WorkerID)}
 	case stateAssigned:
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already assigned", req.WorkerID)}
+		reason := fmt.Sprintf("platform: worker %q already assigned", req.WorkerID)
+		return RegisterResponse{OK: false, Reason: reason, Err: conflictError(reason)}
 	}
 	if !s.eng.Remove(s.codes[slot], slot) {
 		// A concurrent Submit popped the worker between its engine pop and
 		// its table update (which waits on mu): the assignment wins.
-		return RegisterResponse{OK: false, Reason: fmt.Sprintf("platform: worker %q already assigned", req.WorkerID)}
+		reason := fmt.Sprintf("platform: worker %q already assigned", req.WorkerID)
+		return RegisterResponse{OK: false, Reason: reason, Err: conflictError(reason)}
 	}
 	if err := s.rot.Spend(req.WorkerID); err != nil {
 		// The fresh report is unaffordable. The old report was already
@@ -63,13 +68,13 @@ func (s *Server) Reregister(req ReregisterRequest) RegisterResponse {
 		// worker is parked — out of the pool for good — instead of being
 		// re-noised past its guarantee.
 		s.states[slot] = stateParked
-		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID)}
+		return RegisterResponse{OK: false, Parked: true, Reason: parkedReason(req.WorkerID), Err: parkedError(req.WorkerID)}
 	}
 	if err := s.eng.InsertEpoch(code, slot, s.epoch); err != nil {
 		// Unreachable given CheckCode above; restore the old report so the
 		// worker is not lost from the pool.
 		s.eng.InsertEpoch(s.codes[slot], slot, s.epoch)
-		return RegisterResponse{OK: false, Reason: err.Error()}
+		return RegisterResponse{OK: false, Reason: err.Error(), Err: AsError(err, s.epoch)}
 	}
 	s.codes[slot] = code
 	s.slotEpoch[slot] = s.epoch

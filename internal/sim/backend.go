@@ -14,12 +14,15 @@ import (
 // Driver selects which layer of the stack the simulator exercises.
 type Driver string
 
-// The available drivers. Both sit on the same sharded engine, so a
-// scenario produces the same assignments under either; the platform driver
-// additionally covers the server's slot bookkeeping and wire types.
+// The available drivers. All sit on the same sharded engine, so a
+// scenario produces the same assignments under any of them; the platform
+// driver additionally covers the server's slot bookkeeping and wire
+// types, and the cluster driver the coordinator's fan-out (routing,
+// scatter-gather windows, distributed rotation) across in-process nodes.
 const (
 	DriverEngine   Driver = "engine"   // internal/engine directly
 	DriverPlatform Driver = "platform" // platform.Server (in-process, no HTTP)
+	DriverCluster  Driver = "cluster"  // cluster.Coordinator over in-process nodes
 )
 
 // backend is the simulator's view of the system under test. Registration

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/pombm/pombm/internal/cluster"
 	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/epoch"
 	"github.com/pombm/pombm/internal/geo"
@@ -37,6 +38,7 @@ type Config struct {
 	Seed       uint64
 	Driver     Driver // DriverEngine when empty
 	Shards     int    // engine shard count; 0 = engine default
+	Nodes      int    // cluster driver backend count; 0 = 3
 	CrossCheck bool   // verify every assignment against the sequential rule
 }
 
@@ -193,7 +195,31 @@ func Run(cfg Config) (*Report, *RunStats, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		be, shards = newPlatformBackend(srv, sc.RotateRefit), srv.Engine().Shards()
+		be, shards = newPlatformBackend(srv, sc.RotateRefit), srv.Core().Shards()
+	case DriverCluster:
+		// The coordinator's server is a platform.Server over a fanned-out
+		// core, so the platform backend drives it verbatim: identical slot,
+		// budget, and rotation bookkeeping, with every engine operation
+		// sharded across in-process nodes.
+		nNodes := cfg.Nodes
+		if nNodes == 0 {
+			nNodes = 3
+		}
+		nodes := make([]cluster.NodeConn, nNodes)
+		for i := range nodes {
+			nodes[i] = cluster.LocalNode(cluster.NewNode())
+		}
+		coord, err := cluster.New(cluster.Config{
+			Region: sc.region(), Cols: sc.GridCols, Rows: sc.GridCols,
+			Epsilon: sc.Epsilon, Seed: cfg.Seed,
+			Nodes: nodes, Shards: cfg.Shards,
+			Policy: sc.Policy, DefaultCapacity: capacity,
+			Lifetime: sc.LifetimeEps, Tree: tree,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		be, shards = newPlatformBackend(coord.Server(), sc.RotateRefit), coord.Server().Core().Shards()
 	default:
 		return nil, nil, fmt.Errorf("sim: unknown driver %q", cfg.Driver)
 	}

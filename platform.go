@@ -3,6 +3,7 @@ package pombm
 import (
 	"net/http"
 
+	"github.com/pombm/pombm/internal/cluster"
 	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/platform"
 	"github.com/pombm/pombm/internal/rng"
@@ -18,6 +19,22 @@ type (
 	ServerClient = platform.Client
 	// Backend abstracts in-process and HTTP access to a Server.
 	Backend = platform.Backend
+	// API is the full client surface of any pombm deployment — one server
+	// or a coordinator-fronted cluster. Dial hands one out; code written
+	// against API is deployment-shape agnostic.
+	API = platform.API
+	// Error is the structured wire error every refusal carries; match it
+	// with errors.Is against ErrStaleEpoch and friends instead of string
+	// matching on Reason.
+	Error = platform.Error
+	// ClusterConfig describes a coordinator deployment: the published
+	// infrastructure plus the backends the engine is sharded across.
+	ClusterConfig = cluster.Config
+	// Coordinator is the multi-node serving tier: the full serving stack
+	// over backends, answering byte-identically to a single server.
+	Coordinator = cluster.Coordinator
+	// NodeConn is the coordinator's handle to one backend.
+	NodeConn = cluster.NodeConn
 	// Publication is the infrastructure the server makes public.
 	Publication = platform.Publication
 	// Obfuscator is the client-side snap-and-obfuscate stack.
@@ -113,7 +130,47 @@ func NewServer(region Rect, cols, rows int, eps float64, seed uint64, opts ...Se
 	return platform.NewServer(region, cols, rows, eps, seed, opts...)
 }
 
+// Typed refusal sentinels for errors.Is against a response's Err.
+var (
+	// ErrStaleEpoch reports a request built under a rotated-away epoch.
+	ErrStaleEpoch = platform.ErrStaleEpoch
+	// ErrBudgetExhausted reports a worker whose lifetime ε budget cannot
+	// afford another fresh report.
+	ErrBudgetExhausted = platform.ErrBudgetExhausted
+	// ErrParked reports a terminally parked worker.
+	ErrParked = platform.ErrParked
+	// ErrNoWorkers reports a task refused for lack of available workers.
+	ErrNoWorkers = platform.ErrNoWorkers
+	// ErrUnavailable reports a backend or transport failure.
+	ErrUnavailable = platform.ErrUnavailable
+)
+
+// Dial connects to any pombm deployment — a pombm-server or a pombm-coord
+// — and returns the deployment-shape-agnostic client surface. Both speak
+// the same /v1 agent protocol, so the caller cannot (and need not) tell
+// which it reached.
+func Dial(baseURL string) (API, error) {
+	return platform.NewClient(baseURL)
+}
+
+// NewCluster builds the coordinator tier: the full serving stack sharded
+// across the configured backends (see DialNode / pombm-coord).
+func NewCluster(cfg ClusterConfig) (*Coordinator, error) {
+	return cluster.New(cfg)
+}
+
+// DialNode returns a backend handle for a pombm-server's /v2 node API.
+func DialNode(baseURL string) NodeConn { return cluster.DialNode(baseURL) }
+
+// NodeHandler serves a fresh cluster backend over the /v2 node API — what
+// pombm-server mounts beside /v1 so a coordinator can enlist it.
+func NodeHandler() http.Handler { return cluster.NodeHandler(cluster.NewNode()) }
+
 // NewServerClient connects to a platform server's HTTP API.
+//
+// Deprecated: use Dial, which returns the deployment-shape-agnostic API
+// surface. NewServerClient keeps working for callers that need the
+// concrete *ServerClient type.
 func NewServerClient(baseURL string) (*ServerClient, error) {
 	return platform.NewClient(baseURL)
 }
