@@ -92,15 +92,14 @@ func main() {
 
 	var baseNorm, freshNorm float64
 	if *normalize != "" {
-		b, ok := base.Find(*normalize)
-		if !ok {
-			fatal(fmt.Errorf("normalizer %q missing from %s", *normalize, *basePath))
+		baseNorm, err = normalizerNs(base, *normalize, *basePath)
+		if err != nil {
+			fatal(err)
 		}
-		f, ok := fresh.Find(*normalize)
-		if !ok {
-			fatal(fmt.Errorf("normalizer %q missing from %s", *normalize, *newPath))
+		freshNorm, err = normalizerNs(fresh, *normalize, *newPath)
+		if err != nil {
+			fatal(err)
 		}
-		baseNorm, freshNorm = b.NsPerOp, f.NsPerOp
 	}
 
 	var fails []string
@@ -135,6 +134,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: no regressions")
+}
+
+// normalizerNs extracts the hardware yardstick's ns/op from a snapshot.
+// A missing row or a non-positive ns/op is a hard error: compare() would
+// otherwise fall back to raw ns/op silently, and a gate that silently
+// stops normalizing passes regressions on slow runners and fails honest
+// runs on fast ones — the worst kind of flaky.
+func normalizerNs(r *benchfmt.Report, name, path string) (float64, error) {
+	rec, ok := r.Find(name)
+	if !ok {
+		return 0, fmt.Errorf("normalizer %q missing from %s", name, path)
+	}
+	if rec.NsPerOp <= 0 {
+		return 0, fmt.Errorf("normalizer %q in %s has ns/op %g — cannot normalize; re-produce the snapshot or drop -normalize",
+			name, path, rec.NsPerOp)
+	}
+	return rec.NsPerOp, nil
 }
 
 // cappedRow inspects a gated benchmark pair for under-provisioned rows

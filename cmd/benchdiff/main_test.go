@@ -190,3 +190,28 @@ func TestGateEndToEnd(t *testing.T) {
 		t.Fatalf("mismatch refused without explanation:\n%s", out)
 	}
 }
+
+// TestNormalizerMissingOrZeroFatal pins the yardstick contract: a missing
+// normalizer row and a zero (or negative) ns/op both fail loudly instead
+// of silently disabling normalization.
+func TestNormalizerMissingOrZeroFatal(t *testing.T) {
+	report := &benchfmt.Report{Results: []benchfmt.Record{
+		{Benchmark: "scan/goroutines=1", NsPerOp: 80000},
+		{Benchmark: "scan/goroutines=2", NsPerOp: 0},
+		{Benchmark: "scan/goroutines=4", NsPerOp: -5},
+	}}
+	ns, err := normalizerNs(report, "scan/goroutines=1", "BENCH.json")
+	if err != nil || ns != 80000 {
+		t.Fatalf("healthy normalizer: ns=%g err=%v", ns, err)
+	}
+	if _, err := normalizerNs(report, "absent/goroutines=1", "BENCH.json"); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing normalizer row not fatal: %v", err)
+	}
+	for _, name := range []string{"scan/goroutines=2", "scan/goroutines=4"} {
+		if _, err := normalizerNs(report, name, "BENCH.json"); err == nil ||
+			!strings.Contains(err.Error(), "cannot normalize") {
+			t.Fatalf("%s: non-positive normalizer not fatal: %v", name, err)
+		}
+	}
+}

@@ -77,6 +77,11 @@ func main() {
 		engShards  = flag.Int("shards", 0, "engine shard count for -enginebench and -instance -engine runs (0 = engine default)")
 		engGors    = flag.String("goroutines", "1,4,8", "enginebench: comma-separated goroutine counts")
 		engJSON    = flag.String("json", "BENCH_engine.json", "enginebench: write machine-readable results to this file ('' disables)")
+
+		// Scale soak lane (see soak.go): million-worker populations, churn,
+		// snapshot round trips, and rotation peak-memory accounting.
+		soakName = flag.String("soak", "", "run the scale soak lane with this suite (smoke-100k, soak-1m, soak-2m, soak-5m, soak-10m) and exit")
+		soakJSON = flag.String("soakjson", "", "soak: write the machine-readable soak report to this file ('' = SOAK_<suite>.json)")
 	)
 	flag.Parse()
 
@@ -91,6 +96,13 @@ func main() {
 		fatal(err)
 	}
 	defer stopProfiles()
+
+	if *soakName != "" {
+		if err := runSoak(*soakName, *grid, *engShards, *seed, *soakJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *engBench {
 		if err := runEngineBench(*grid, *engWorkers, *engTasks, *engShards, *repeat, *engGors, *seed, *engJSON); err != nil {

@@ -37,14 +37,17 @@ func main() {
 		lifetime = flag.Float64("lifetime", 0, "per-worker lifetime ε budget (0 = unlimited)")
 		policy   = flag.String("policy", "greedy", "assignment policy: greedy, capacity-greedy, or batch-optimal[:k=<n>]")
 		capacity = flag.Int("capacity", 0, "default per-worker task capacity (0 = 1); above 1 needs a capacity-aware -policy")
+		opTO     = flag.Duration("op-timeout", 0, "per-backend deadline for routed operations (0 = default 30s)")
+		prepTO   = flag.Duration("prepare-timeout", 0, "per-backend deadline for rotation prepare; scale with population (0 = default 10m)")
 	)
 	flag.Parse()
 
 	urls := strings.Split(*backends, ",")
 	var nodes []cluster.NodeConn
+	timeouts := cluster.NodeTimeouts{Op: *opTO, Prepare: *prepTO}
 	for _, u := range urls {
 		if u = strings.TrimSpace(u); u != "" {
-			nodes = append(nodes, cluster.DialNode(u))
+			nodes = append(nodes, cluster.DialNodeTimeouts(u, timeouts))
 		}
 	}
 	if len(nodes) == 0 {

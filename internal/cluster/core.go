@@ -620,13 +620,43 @@ func (c *fanCore) SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []e
 	}
 	newLayout := engine.LayoutFor(tree, shards)
 	N := len(c.nodes)
-	parts := make([][]engine.EpochInsert, N)
-	for _, in := range inserts {
-		if err := tree.CheckCode(in.Code); err != nil {
-			return fmt.Errorf("cluster: swap insert %d: %w", in.ID, err)
+	for i := range inserts {
+		if err := tree.CheckCode(inserts[i].Code); err != nil {
+			return fmt.Errorf("cluster: swap insert %d: %w", inserts[i].ID, err)
 		}
-		nd := newLayout.GroupOf(in.Code) % N
-		parts[nd] = append(parts[nd], in)
+	}
+	// Partition lazily: a streaming connection (seqPreparer) pulls its
+	// partition straight off the inserts slice, so the coordinator never
+	// holds a second copy of the population. Only a legacy NodeConn forces
+	// the materialized partitions.
+	var parts [][]engine.EpochInsert
+	partsFor := func(nd int) []engine.EpochInsert {
+		if parts == nil {
+			parts = make([][]engine.EpochInsert, N)
+			for _, in := range inserts {
+				d := newLayout.GroupOf(in.Code) % N
+				parts[d] = append(parts[d], in)
+			}
+		}
+		return parts[nd]
+	}
+	// prepareNode runs one node's phase-one call; replayable, so a
+	// transport retry re-streams the same partition under the same idem.
+	prepareNode := func(nd int, idem string) error {
+		if sp, ok := c.nodes[nd].(seqPreparer); ok {
+			i := 0
+			return sp.PrepareSeq(epoch, tree, shards, func() (engine.EpochInsert, bool, error) {
+				for i < len(inserts) {
+					in := inserts[i]
+					i++
+					if newLayout.GroupOf(in.Code)%N == nd {
+						return in, true, nil
+					}
+				}
+				return engine.EpochInsert{}, false, nil
+			}, idem)
+		}
+		return c.nodes[nd].Prepare(epoch, tree, shards, partsFor(nd), idem)
 	}
 
 	// Phase one: prepare everywhere. The staged states are built and
@@ -648,9 +678,9 @@ func (c *fanCore) SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []e
 	}
 	for nd := 0; nd < N; nd++ {
 		idem := c.nextIdem("prepare")
-		err := c.nodes[nd].Prepare(epoch, tree, shards, parts[nd], idem)
+		err := prepareNode(nd, idem)
 		if isTransport(err) {
-			err = c.nodes[nd].Prepare(epoch, tree, shards, parts[nd], idem)
+			err = prepareNode(nd, idem)
 			if isTransport(err) {
 				err = unavailable(nd, err)
 			}

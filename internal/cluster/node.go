@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,6 +40,18 @@ type NodeConn interface {
 	Prepare(epoch int64, tree *hst.Tree, shards int, inserts []engine.EpochInsert, idem string) error
 	Commit(epoch int64, idem string) error
 	Abort(epoch int64, idem string) error
+}
+
+// seqPreparer is an optional NodeConn extension: a connection that ships
+// the prepare-phase population as a stream instead of a materialized
+// slice. The coordinator prefers it — a 10M-worker rotation otherwise
+// holds the whole partition in memory three times over (the inserts, the
+// wire structs, and the encoded body). next returns one insert at a time
+// and (zero, false, nil) at end; an error aborts the prepare. The
+// coordinator may retry a transport failure with the same idem, so the
+// sequence behind next must be replayable.
+type seqPreparer interface {
+	PrepareSeq(epoch int64, tree *hst.Tree, shards int, next func() (engine.EpochInsert, bool, error), idem string) error
 }
 
 // Node is the backend half of a cluster member: a bare assignment engine
@@ -190,6 +204,25 @@ func (n *Node) Prepare(epoch int64, tree *hst.Tree, shards int, inserts []engine
 		return err
 	}
 	staged, err := eng.PrepareSwap(epoch, tree, shards, inserts)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.staged = staged
+	n.mu.Unlock()
+	return nil
+}
+
+// PrepareSeq stages this node's partition pulled one insert at a time —
+// the staged arenas are the only copy of the population this node ever
+// holds. Semantics are Prepare's: a later prepare for a different epoch
+// replaces the staged state.
+func (n *Node) PrepareSeq(epoch int64, tree *hst.Tree, shards int, next func() (engine.EpochInsert, bool, error), _ string) error {
+	eng, err := n.engine()
+	if err != nil {
+		return err
+	}
+	staged, err := eng.PrepareSwapSeq(epoch, tree, shards, next)
 	if err != nil {
 		return err
 	}
@@ -468,16 +501,11 @@ func NodeHandler(n *Node) http.Handler {
 		}
 		return nodeAck{OK: true}, req.Idem
 	})
-	handle(PathNodePrepare, func(body []byte) (any, string) {
-		var req PrepareRequest
-		if err := json.Unmarshal(body, &req); err != nil {
-			return nodeAck{Err: badBody(err)}, ""
-		}
-		if err := n.Prepare(req.Epoch, req.Tree, req.Shards, fromWireInserts(req.Inserts), req.Idem); err != nil {
-			return nodeAck{Err: nodeError(err, req.Epoch)}, ""
-		}
-		return nodeAck{OK: true}, req.Idem
-	})
+	// Prepare gets a dedicated streaming handler: its body scales with the
+	// population partition, so buffering it through the generic path would
+	// hold the whole partition in memory beside the staged arenas (and the
+	// generic 64MB body cap would refuse large rotations outright).
+	mux.HandleFunc(PathNodePrepare, prepareHandler(n, cache))
 	handle(PathNodeCommit, func(body []byte) (any, string) {
 		var req CommitRequest
 		if err := json.Unmarshal(body, &req); err != nil {
@@ -501,6 +529,185 @@ func NodeHandler(n *Node) http.Handler {
 	return mux
 }
 
+// prepareHandler decodes a prepare body incrementally and feeds the
+// inserts straight into the node's staging pass, so the node's transient
+// memory during a rotation is one staged engine — never the JSON document.
+// It accepts the exact wire form the materialized client sends (the
+// PrepareRequest field order keeps "inserts" last, which is what lets the
+// scalar fields land before the array streams). The idempotency key is
+// honoured when it precedes the inserts — both clients emit it first; a
+// replayed prepare is answered from the cache without re-staging.
+func prepareHandler(n *Node, cache *replayCache) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeNodeJSON(w, http.StatusMethodNotAllowed, &platform.Error{
+				Code:    platform.CodeMethodNotAllowed,
+				Message: fmt.Sprintf("cluster: %s requires POST, got %s", PathNodePrepare, r.Method),
+			})
+			return
+		}
+		var (
+			req      PrepareRequest // scalar fields only; Inserts stays nil
+			dec      = json.NewDecoder(r.Body)
+			staged   bool
+			stageErr error
+		)
+		respond := func(resp nodeAck, idem string) {
+			out, err := json.Marshal(resp)
+			if err != nil {
+				writeNodeJSON(w, http.StatusInternalServerError, &platform.Error{
+					Code: platform.CodeInternal, Message: err.Error(),
+				})
+				return
+			}
+			cache.put(idem, out)
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(out)
+		}
+		fail := func(err error) { respond(nodeAck{Err: badBody(err)}, "") }
+
+		tok, err := dec.Token()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if d, ok := tok.(json.Delim); !ok || d != '{' {
+			fail(fmt.Errorf("expected object, got %v", tok))
+			return
+		}
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				fail(err)
+				return
+			}
+			key, _ := keyTok.(string)
+			switch key {
+			case "idem":
+				if err := dec.Decode(&req.Idem); err != nil {
+					fail(err)
+					return
+				}
+				if cached, ok := cache.get(req.Idem); ok && !staged {
+					// Replay: the mutation already applied; drain the body so
+					// the streaming client's write completes cleanly.
+					io.Copy(io.Discard, r.Body)
+					w.Header().Set("Content-Type", "application/json")
+					w.Write(cached)
+					return
+				}
+			case "epoch":
+				if err := dec.Decode(&req.Epoch); err != nil {
+					fail(err)
+					return
+				}
+			case "shards":
+				if err := dec.Decode(&req.Shards); err != nil {
+					fail(err)
+					return
+				}
+			case "tree":
+				if err := dec.Decode(&req.Tree); err != nil {
+					fail(err)
+					return
+				}
+			case "inserts":
+				if staged {
+					fail(fmt.Errorf("duplicate inserts field"))
+					return
+				}
+				tok, err := dec.Token()
+				if err != nil {
+					fail(err)
+					return
+				}
+				var next func() (engine.EpochInsert, bool, error)
+				switch {
+				case tok == nil: // "inserts":null — an empty partition
+					next = func() (engine.EpochInsert, bool, error) {
+						return engine.EpochInsert{}, false, nil
+					}
+				default:
+					if d, ok := tok.(json.Delim); !ok || d != '[' {
+						fail(fmt.Errorf("inserts field: expected array, got %v", tok))
+						return
+					}
+					next = func() (engine.EpochInsert, bool, error) {
+						if !dec.More() {
+							if _, err := dec.Token(); err != nil { // consume ']'
+								return engine.EpochInsert{}, false, err
+							}
+							return engine.EpochInsert{}, false, nil
+						}
+						var wi WireInsert
+						if err := dec.Decode(&wi); err != nil {
+							return engine.EpochInsert{}, false, err
+						}
+						return engine.EpochInsert{Code: hst.Code(wi.Code), ID: wi.ID, Cap: wi.Cap}, true, nil
+					}
+				}
+				stageErr = n.PrepareSeq(req.Epoch, req.Tree, req.Shards, next, req.Idem)
+				staged = true
+				if stageErr != nil {
+					// The staging pass may have stopped mid-array, leaving
+					// the decoder unusable; answer now rather than parse on.
+					respond(nodeAck{Err: nodeError(stageErr, req.Epoch)}, "")
+					return
+				}
+			default:
+				if err := skipJSONValue(dec); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}
+		if _, err := dec.Token(); err != nil { // consume '}'
+			fail(err)
+			return
+		}
+		if !staged {
+			// No inserts field at all: a legal empty prepare.
+			stageErr = n.PrepareSeq(req.Epoch, req.Tree, req.Shards, func() (engine.EpochInsert, bool, error) {
+				return engine.EpochInsert{}, false, nil
+			}, req.Idem)
+		}
+		if stageErr != nil {
+			respond(nodeAck{Err: nodeError(stageErr, req.Epoch)}, "")
+			return
+		}
+		respond(nodeAck{OK: true}, req.Idem)
+	}
+}
+
+// skipJSONValue consumes one JSON value of any shape off a decoder.
+func skipJSONValue(dec *json.Decoder) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	d, ok := tok.(json.Delim)
+	if !ok || (d != '{' && d != '[') {
+		return nil
+	}
+	depth := 1
+	for depth > 0 {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		if d, ok := tok.(json.Delim); ok {
+			switch d {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+			}
+		}
+	}
+	return nil
+}
+
 func badBody(err error) *platform.Error {
 	return &platform.Error{Code: platform.CodeBadRequest, Message: "cluster: bad request: " + err.Error()}
 }
@@ -513,21 +720,81 @@ func writeNodeJSON(w http.ResponseWriter, status int, e *platform.Error) {
 
 // httpNode is a NodeConn over the /v2 wire protocol.
 type httpNode struct {
-	baseURL string
-	client  *http.Client
+	baseURL  string
+	client   *http.Client
+	timeouts NodeTimeouts
+}
+
+// NodeTimeouts bounds each /v2 round trip by operation class. A single
+// flat client timeout cannot serve both: routed mutations and mining must
+// fail fast (the coordinator holds locks across them), while a rotation
+// prepare ships an entire population partition and legitimately runs for
+// minutes at 10M workers — under a flat 30s budget large rotations time
+// out forever. Zero fields take the defaults.
+type NodeTimeouts struct {
+	// Op bounds every routed call: insert, remove, assign, status, mine,
+	// consume, commit, abort, init.
+	Op time.Duration
+	// Prepare bounds the rotation prepare, whose body and staging time
+	// scale with the population partition.
+	Prepare time.Duration
+}
+
+const (
+	// DefaultOpTimeout is the per-call deadline for routed operations.
+	DefaultOpTimeout = 30 * time.Second
+	// DefaultPrepareTimeout is deliberately generous: a 10M-worker prepare
+	// streams hundreds of megabytes and rebuilds the node's arenas.
+	DefaultPrepareTimeout = 10 * time.Minute
+)
+
+func (t NodeTimeouts) op() time.Duration {
+	if t.Op > 0 {
+		return t.Op
+	}
+	return DefaultOpTimeout
+}
+
+func (t NodeTimeouts) prepare() time.Duration {
+	if t.Prepare > 0 {
+		return t.Prepare
+	}
+	return DefaultPrepareTimeout
 }
 
 // DialNode returns a NodeConn for a backend base URL (e.g.
-// "http://node0:8080"). The connection is stateless; no eager handshake
-// happens — the coordinator's Init is the first contact.
+// "http://node0:8080") with default per-operation deadlines. The
+// connection is stateless; no eager handshake happens — the coordinator's
+// Init is the first contact.
 func DialNode(baseURL string) NodeConn {
-	return &httpNode{baseURL: baseURL, client: &http.Client{Timeout: 30 * time.Second}}
+	return DialNodeTimeouts(baseURL, NodeTimeouts{})
+}
+
+// DialNodeTimeouts is DialNode with explicit per-operation deadlines
+// (zero fields take the defaults).
+func DialNodeTimeouts(baseURL string, to NodeTimeouts) NodeConn {
+	return &httpNode{baseURL: baseURL, client: &http.Client{}, timeouts: to}
 }
 
 // DialNodeClient is DialNode with a caller-supplied HTTP client (tests pin
-// timeouts; deployments pin transports).
+// transports; deployments pin proxies). Per-operation deadlines still
+// apply on top; a non-zero hc.Timeout caps every call — including the
+// rotation prepare — so deployments should leave it zero and use
+// DialNodeTimeouts instead.
 func DialNodeClient(baseURL string, hc *http.Client) NodeConn {
 	return &httpNode{baseURL: baseURL, client: hc}
+}
+
+// deadlineErr is the typed refusal for an expired per-operation deadline:
+// retryable-unavailable, so the serving layer reports a backend that is up
+// but too slow exactly like one that is down — the caller may retry, the
+// mutation (keyed by idem) cannot double-apply.
+func deadlineErr(path string, d time.Duration) error {
+	return &platform.Error{
+		Code:      platform.CodeUnavailable,
+		Message:   fmt.Sprintf("cluster: %s exceeded its %s deadline", path, d),
+		Retryable: true,
+	}
 }
 
 // post sends one /v2 request and decodes the response envelope. An error
@@ -536,19 +803,41 @@ func DialNodeClient(baseURL string, hc *http.Client) NodeConn {
 // handling does not depend on the transport. Failures of the transport
 // itself — connection refused, truncated reads, undecodable responses —
 // wrap errTransport: the coordinator retries those (with the same
-// idempotency key), never application refusals.
+// idempotency key), never application refusals. An expired deadline is
+// NOT a transport failure: it surfaces as a typed retryable-unavailable
+// error immediately, because blindly re-running a call that just consumed
+// its full time budget doubles the stall without changing the outcome.
 func (h *httpNode) post(path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("cluster: encode %s: %w", path, err)
 	}
-	resp, err := h.client.Post(h.baseURL+path, "application/json", bytes.NewReader(body))
+	return h.postBody(path, bytes.NewReader(body), out, h.timeouts.op())
+}
+
+// postBody is post with a caller-supplied body stream and deadline — the
+// rotation prepare streams its body and runs under the prepare deadline.
+func (h *httpNode) postBody(path string, body io.Reader, out any, d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.baseURL+path, body)
 	if err != nil {
+		return fmt.Errorf("cluster: build %s request: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		if ctx.Err() == context.DeadlineExceeded {
+			return deadlineErr(path, d)
+		}
 		return fmt.Errorf("%w: POST %s: %v", errTransport, path, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
+		if ctx.Err() == context.DeadlineExceeded {
+			return deadlineErr(path, d)
+		}
 		return fmt.Errorf("%w: read %s: %v", errTransport, path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
@@ -692,10 +981,66 @@ func (h *httpNode) Consume(code hst.Code, id int, epoch int64, idem string) erro
 }
 
 func (h *httpNode) Prepare(epoch int64, tree *hst.Tree, shards int, inserts []engine.EpochInsert, idem string) error {
+	i := 0
+	return h.PrepareSeq(epoch, tree, shards, func() (engine.EpochInsert, bool, error) {
+		if i >= len(inserts) {
+			return engine.EpochInsert{}, false, nil
+		}
+		in := inserts[i]
+		i++
+		return in, true, nil
+	}, idem)
+}
+
+// PrepareSeq streams the prepare body: the idem and scalar fields first
+// (so the node can replay-check before any work), the tree, then the
+// inserts encoded one at a time through an io.Pipe — the partition is
+// never materialized as wire structs or an encoded document on this side.
+// Runs under the prepare deadline, not the op deadline.
+func (h *httpNode) PrepareSeq(epoch int64, tree *hst.Tree, shards int, next func() (engine.EpochInsert, bool, error), idem string) error {
+	treeJSON, err := json.Marshal(tree)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s tree: %w", PathNodePrepare, err)
+	}
+	idemJSON, err := json.Marshal(idem)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s idem: %w", PathNodePrepare, err)
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		bw := bufio.NewWriterSize(pw, 1<<16)
+		fmt.Fprintf(bw, `{"idem":%s,"epoch":%d,"shards":%d,"tree":%s,"inserts":[`,
+			idemJSON, epoch, shards, treeJSON)
+		comma := false
+		for {
+			in, ok, err := next()
+			if err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			if !ok {
+				break
+			}
+			if comma {
+				bw.WriteByte(',')
+			}
+			comma = true
+			b, err := json.Marshal(WireInsert{Code: []byte(in.Code), ID: in.ID, Cap: in.Cap})
+			if err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			if _, err := bw.Write(b); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		bw.WriteString("]}")
+		pw.CloseWithError(bw.Flush())
+	}()
 	var resp nodeAck
-	if err := h.post(PathNodePrepare, PrepareRequest{
-		Epoch: epoch, Tree: tree, Shards: shards, Inserts: toWireInserts(inserts), Idem: idem,
-	}, &resp); err != nil {
+	if err := h.postBody(PathNodePrepare, pr, &resp, h.timeouts.prepare()); err != nil {
+		pr.Close() // stop the encoder goroutine if it is still writing
 		return err
 	}
 	return envErr(resp.Err)
@@ -717,4 +1062,8 @@ func (h *httpNode) Abort(epoch int64, idem string) error {
 	return envErr(resp.Err)
 }
 
-var _ NodeConn = (*httpNode)(nil)
+var (
+	_ NodeConn    = (*httpNode)(nil)
+	_ seqPreparer = (*httpNode)(nil)
+	_ seqPreparer = (*Node)(nil)
+)

@@ -23,7 +23,6 @@
 package cluster
 
 import (
-	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/hst"
 	"github.com/pombm/pombm/internal/platform"
 )
@@ -195,12 +194,17 @@ type WireInsert struct {
 // PrepareRequest stages this node's partition of the next epoch: phase one
 // of the distributed rotation. The node builds and validates the staged
 // state off to the side while the old epoch keeps serving.
+//
+// Field order is part of the wire contract: the node decodes prepare
+// bodies incrementally, so Idem must come first (replay check before any
+// work) and Inserts must stay last (the scalar fields and the tree land
+// before the population streams).
 type PrepareRequest struct {
-	Epoch   int64        `json:"epoch"`
-	Tree    *hst.Tree    `json:"tree"`
-	Shards  int          `json:"shards,omitempty"`
-	Inserts []WireInsert `json:"inserts"`
 	Idem    string       `json:"idem,omitempty"`
+	Epoch   int64        `json:"epoch"`
+	Shards  int          `json:"shards,omitempty"`
+	Tree    *hst.Tree    `json:"tree"`
+	Inserts []WireInsert `json:"inserts"`
 }
 
 // CommitRequest publishes the staged epoch: phase two. A commit for an
@@ -249,22 +253,6 @@ func fromWireCands(in [][]WireCandidate) [][]hst.Candidate {
 			cs[j] = hst.Candidate{ID: w.ID, Code: hst.Code(w.Code), Level: w.Level, Cap: w.Cap}
 		}
 		out[i] = cs
-	}
-	return out
-}
-
-func toWireInserts(in []engine.EpochInsert) []WireInsert {
-	out := make([]WireInsert, len(in))
-	for i, e := range in {
-		out[i] = WireInsert{Code: []byte(e.Code), ID: e.ID, Cap: e.Cap}
-	}
-	return out
-}
-
-func fromWireInserts(in []WireInsert) []engine.EpochInsert {
-	out := make([]engine.EpochInsert, len(in))
-	for i, w := range in {
-		out[i] = engine.EpochInsert{Code: hst.Code(w.Code), ID: w.ID, Cap: w.Cap}
 	}
 	return out
 }

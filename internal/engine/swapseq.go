@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// SwapEpochSeq is SwapEpoch fed by a re-iterable insert sequence instead of
+// a materialized slice, for populations too large to hold twice. seq must
+// yield the same inserts every time it is invoked (the platform's rotation
+// path derives them deterministically from the rotation plan; a snapshot
+// restore replays its worker list).
+//
+// The memory contract is the point: SwapEpoch builds the full next-epoch
+// population beside the live one, doubling peak memory exactly when a
+// deployment is largest. SwapEpochSeq instead validates every insert in a
+// first pass while the old epoch keeps serving, then freezes serving under
+// every old shard lock, releases the old epoch's trie arenas, and builds
+// the new population in their place — peak extra memory is one shard's
+// build-in-progress, not a second copy of the population (the soak lane
+// reports the measured ratio). The trade is a serving pause for the length
+// of the build; callers that need the old epoch serving throughout (the
+// cluster's two-phase prepare) keep using SwapEpoch/PrepareSwap.
+//
+// Failures every materialized swap can report — stale epoch, nil tree,
+// malformed codes, out-of-range ids or capacities — are caught in the
+// validation pass and returned with the old epoch untouched. A second-pass
+// insert failure is only reachable through arena exhaustion
+// (hst.ErrIndexFull) after the old population is already torn down, so it
+// panics rather than serving a half-built epoch.
+//
+// Readers racing the swap (Len, Occupancy, Walk — monitoring surfaces
+// documented as needing quiesced writers) that loaded the old state before
+// the freeze may observe it empty afterwards; mutators re-check the state
+// pointer under their shard lock and retry on the new epoch, exactly as
+// with SwapEpoch.
+func (e *Engine) SwapEpochSeq(epoch int64, tree *hst.Tree, shards int, seq func(yield func(EpochInsert) bool)) error {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	if tree == nil {
+		return errors.New("engine: nil tree")
+	}
+	old := e.state.Load()
+	if epoch <= old.epoch {
+		return fmt.Errorf("engine: swap to epoch %d, already serving %d", epoch, old.epoch)
+	}
+	if shards <= 0 {
+		shards = len(old.shards)
+	}
+	var verr error
+	seq(func(in EpochInsert) bool {
+		verr = checkEpochInsert(tree, in, e.effCap(in.Cap))
+		return verr == nil
+	})
+	if verr != nil {
+		return verr
+	}
+	// Freeze the old epoch and return its arenas to the allocator before
+	// the new population grows: each old shard keeps a well-formed (empty)
+	// index so a stale monitoring read stays safe, while the slabs behind
+	// it become garbage.
+	for i := range old.shards {
+		old.shards[i].mu.Lock()
+	}
+	// The old arenas' entry counts size the new ones: across a rotation
+	// the population is the same workers re-obfuscated, so per-shard sizes
+	// are stationary and the old shard's counts (plus slack for drift) let
+	// the build fill each new slab in one allocation instead of climbing
+	// the append doubling ladder, whose dead half-size slabs would
+	// themselves peak at a population's worth of garbage. A changed shard
+	// count redistributes the population, so only the per-shard average
+	// remains as a hint.
+	type arenaHint struct{ nodes, kids, items int }
+	hints := make([]arenaHint, len(old.shards))
+	var total arenaHint
+	for i := range old.shards {
+		n, k, it := old.shards[i].index.ArenaLens()
+		hints[i] = arenaHint{n, k, it}
+		total.nodes += n
+		total.kids += k
+		total.items += it
+	}
+	for i := range old.shards {
+		old.shards[i].index = hst.NewLeafIndexDegree(old.depth, old.degree)
+	}
+	// Collect the released arenas before the build starts. Without this the
+	// pacer is free to let the old population sit as garbage while the new
+	// one allocates beside it — exactly the doubled peak this path exists
+	// to avoid. The mark phase scans live objects only, which no longer
+	// includes the old population, so the collection is cheap relative to
+	// the build it precedes.
+	runtime.GC()
+	st := newEpochState(epoch, tree, shards)
+	slack := func(n int) int { return n + n/8 }
+	for i := range st.shards {
+		h := arenaHint{total.nodes / len(st.shards), total.kids / len(st.shards), total.items / len(st.shards)}
+		if len(st.shards) == len(old.shards) {
+			h = hints[i]
+		}
+		st.shards[i].index.Reserve(slack(h.nodes), slack(h.kids), slack(h.items))
+	}
+	seq(func(in EpochInsert) bool {
+		if err := st.shardOf(in.Code).index.InsertCap(in.Code, in.ID, e.effCap(in.Cap)); err != nil {
+			panic(fmt.Sprintf("engine: swap epoch %d insert %d failed after validation: %v", epoch, in.ID, err))
+		}
+		return true
+	})
+	e.state.Store(st)
+	for i := range old.shards {
+		old.shards[i].mu.Unlock()
+	}
+	return nil
+}
+
+// checkEpochInsert pre-validates one next-epoch insert against everything
+// the trie's InsertCap would refuse, so a streaming swap can fail before
+// tearing anything down.
+func checkEpochInsert(tree *hst.Tree, in EpochInsert, capacity int) error {
+	if err := tree.CheckCode(in.Code); err != nil {
+		return fmt.Errorf("engine: swap insert %d: %w", in.ID, err)
+	}
+	if in.ID < 0 || in.ID > math.MaxInt32 {
+		return fmt.Errorf("engine: swap insert %d: id outside int32 range", in.ID)
+	}
+	if capacity > math.MaxInt32 {
+		return fmt.Errorf("engine: swap insert %d: capacity %d outside int32 range", in.ID, capacity)
+	}
+	return nil
+}
+
+// PrepareSwapSeq is PrepareSwap fed by a pull iterator instead of a
+// materialized slice: next returns the next insert, ok=false at the end of
+// the stream, or an error (a node handler decoding inserts straight off the
+// wire propagates its decode error here). The staged state is built
+// incrementally while the old epoch keeps serving — a prepare must remain
+// abortable, so unlike SwapEpochSeq it cannot cannibalize the serving
+// arenas, but it never needs the inserts materialized either: the
+// coordinator streams a multi-gigabyte prepare body and the node indexes it
+// entry by entry. Any failure discards the partial state and leaves the
+// serving epoch untouched.
+func (e *Engine) PrepareSwapSeq(epoch int64, tree *hst.Tree, shards int, next func() (EpochInsert, bool, error)) (*PreparedSwap, error) {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	if tree == nil {
+		return nil, errors.New("engine: nil tree")
+	}
+	old := e.state.Load()
+	if epoch <= old.epoch {
+		return nil, fmt.Errorf("engine: swap to epoch %d, already serving %d", epoch, old.epoch)
+	}
+	if shards <= 0 {
+		shards = len(old.shards)
+	}
+	st := newEpochState(epoch, tree, shards)
+	for {
+		in, ok, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return &PreparedSwap{st: st}, nil
+		}
+		if err := tree.CheckCode(in.Code); err != nil {
+			return nil, fmt.Errorf("engine: swap insert %d: %w", in.ID, err)
+		}
+		if err := st.shardOf(in.Code).index.InsertCap(in.Code, in.ID, e.effCap(in.Cap)); err != nil {
+			return nil, fmt.Errorf("engine: swap insert %d: %w", in.ID, err)
+		}
+	}
+}
+
+// ArenaBytes returns the bytes the serving epoch's trie arenas currently
+// reserve across all shards — the engine's structural contribution to a
+// bytes-per-worker accounting (slot tables, scratch, and allocator overhead
+// excluded). Taken shard by shard under each shard lock; like every
+// monitoring surface it is exact only with writers quiesced.
+func (e *Engine) ArenaBytes() int64 {
+	st := e.state.Load()
+	var b int64
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		b += s.index.ArenaBytes()
+		s.mu.Unlock()
+	}
+	return b
+}

@@ -117,6 +117,9 @@ func FuzzEpochRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// The streaming encoder/decoder must agree with the materialized
+		// codec byte for byte on every fuzzed population.
+		assertStreamIdentity(t, eng, snap1, blob1)
 		parsed1, err := ParseState(blob1)
 		if err != nil {
 			t.Fatal(err)
@@ -181,6 +184,7 @@ func FuzzEpochRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		assertStreamIdentity(t, eng, snap2, blob2)
 		parsed2, err := ParseState(blob2)
 		if err != nil {
 			t.Fatal(err)

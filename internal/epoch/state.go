@@ -1,6 +1,7 @@
 package epoch
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -80,35 +81,33 @@ func (s *State) Engine(shards int, opts ...engine.Option) (*engine.Engine, error
 		return eng, nil
 	}
 	// Later epochs restore through the same swap path a live rotation
-	// takes, stamping the engine with the snapshot's epoch id.
-	inserts := make([]engine.EpochInsert, len(s.Workers))
-	for i, w := range s.Workers {
-		inserts[i] = engine.EpochInsert{Code: hst.Code(w.Code), ID: w.ID, Cap: capOf(w)}
-	}
-	if err := eng.SwapEpoch(s.Epoch, s.Tree, shards, inserts); err != nil {
+	// takes, stamping the engine with the snapshot's epoch id. The
+	// population is streamed out of the snapshot's worker list instead of
+	// being copied into a second []EpochInsert: at 10M workers the copy is
+	// the difference between restoring in 1× and 2× the population's
+	// memory.
+	err = eng.SwapEpochSeq(s.Epoch, s.Tree, shards, func(yield func(engine.EpochInsert) bool) {
+		for _, w := range s.Workers {
+			if !yield(engine.EpochInsert{Code: hst.Code(w.Code), ID: w.ID, Cap: capOf(w)}) {
+				return
+			}
+		}
+	})
+	if err != nil {
 		return nil, fmt.Errorf("epoch: restore: %w", err)
 	}
 	return eng, nil
 }
 
-// JSON emits the canonical snapshot document.
+// JSON emits the canonical snapshot document. Large deployments prefer
+// WriteTo, which produces the identical bytes without materializing them.
 func (s *State) JSON() ([]byte, error) {
 	return json.Marshal(s)
 }
 
-// ParseState reconstructs a snapshot from its JSON form.
+// ParseState reconstructs a snapshot from its JSON form. It is ReadState
+// over an in-memory blob: entries decode one at a time, so the only full
+// copy of the document is the caller's.
 func ParseState(blob []byte) (*State, error) {
-	var s State
-	if err := json.Unmarshal(blob, &s); err != nil {
-		return nil, fmt.Errorf("epoch: parse state: %w", err)
-	}
-	if s.Tree == nil {
-		return nil, fmt.Errorf("epoch: state has no tree")
-	}
-	for _, w := range s.Workers {
-		if err := s.Tree.CheckCode(hst.Code(w.Code)); err != nil {
-			return nil, fmt.Errorf("epoch: state worker %d: %w", w.ID, err)
-		}
-	}
-	return &s, nil
+	return ReadState(bytes.NewReader(blob))
 }

@@ -1,9 +1,11 @@
 package hst
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 )
 
 // LeafIndex is a trie over leaf codes supporting O(D) insertion, removal,
@@ -22,8 +24,8 @@ import (
 // the slab instead of chasing heap pointers. Children are resolved through
 // dense per-node blocks of the child arena (one int32 slot per digit,
 // available when the tree degree is known and ≤ denseDegreeLimit) or, for
-// larger or unknown degrees, through digit-tagged sibling lists threaded
-// inside the node slab itself. Leaf items sit in a third slab as
+// larger or unknown degrees, through digit-tagged sibling lists carried in
+// per-node side slabs (digits, sibs). Leaf items sit in a third slab as
 // singly-linked slots. Nodes, child blocks, and item slots freed when a
 // subtree empties go on freelists and are reused by later inserts, and the
 // root-to-leaf path scratch is owned by the index, so in steady state
@@ -49,9 +51,27 @@ type LeafIndex struct {
 	kids  []int32    // dense child arena: blocks of degree slots, nilIdx = absent
 	items []itemSlot // leaf item arena
 
-	freeNode  int32   // head of the freed-node list (linked through flatNode.sib)
+	// digits and sibs are per-node side slabs grown in lockstep with nodes:
+	// packing a one-byte digit (or a link only sparse layouts use) into
+	// flatNode itself would pad every node back up, so at million-worker
+	// scale they live outside. digits[ni] is ni's child digit under its
+	// parent; sibs[ni] is ni's next sibling, allocated only for sparse
+	// (degree-0) indexes — dense indexes resolve children through kids
+	// blocks and never link siblings.
+	digits []uint8
+	sibs   []int32
+
+	// capExtra pools the capacity metadata for the rare multi-unit items:
+	// slot → remaining units, present only while the item holds > 1. The
+	// common capacity-1 population (every greedy deployment) pays zero
+	// bytes and a nil-map check per pop instead of 4 bytes per item slot.
+	capExtra map[int32]int32
+
+	freeNode  int32   // head of the freed-node list (linked through flatNode.kids)
 	freeItem  int32   // head of the freed-item list (linked through itemSlot.next)
 	freeBlock []int32 // freed dense child-block offsets
+	freeNodes int     // length of the freed-node list
+	freeItems int     // length of the freed-item list
 
 	path []int32 // reusable root-to-leaf descent scratch
 	cbuf []byte  // reusable candidate-code scratch (cap depth, so collect never grows it)
@@ -65,22 +85,24 @@ type LeafIndex struct {
 	insertGen uint64
 }
 
-// flatNode is one trie position in the arena. 28 bytes; a realistic shard
-// of the index fits in L2.
+// flatNode is one trie position in the arena. 20 bytes (pinned by test):
+// the child digit lives in the digits side slab and sparse sibling links in
+// sibs, so a 10M-worker shard stays within the int32 arena range with room
+// to spare and a realistic shard fits in L2.
 type flatNode struct {
 	count  int32 // live items in this subtree (≥ 1 for every allocated non-root node)
 	minID  int32 // smallest live item id in this subtree (noItem32 when none)
-	kids   int32 // dense: child-block offset into LeafIndex.kids; sparse: first child node
-	sib    int32 // sparse: next sibling node; freed nodes: freelist link
-	items  int32 // head of this leaf's item-slot list
+	kids   int32 // dense: child-block offset into LeafIndex.kids; sparse: first child node; freed: freelist link
+	items  int32 // head of this leaf's item-slot list (nilIdx on freed nodes, so stale refs probe empty)
 	parent int32 // parent node (nilIdx for the root), for ref-based commits
-	digit  uint8 // child digit under the parent (unused for the root)
 }
 
+// itemSlot is one leaf item. 8 bytes: the remaining-capacity counter for the
+// rare multi-unit item is pooled in LeafIndex.capExtra instead of burning a
+// third of every slot on a field that is 1 almost everywhere.
 type itemSlot struct {
 	id   int32
 	next int32
-	cap  int32 // remaining capacity units
 }
 
 const (
@@ -92,6 +114,40 @@ const (
 	// arena space on mostly-absent digits).
 	denseDegreeLimit = 32
 )
+
+// ErrIndexFull reports that an insert would grow an arena slab past the
+// index's int32 addressing range. Every arena length→int32 conversion is
+// guarded by a preflight against this limit, so the index refuses loudly at
+// the ceiling instead of silently wrapping node references negative. The
+// check is conservative — an insert whose path partially exists may be
+// refused one insert early — and removals keep working at the ceiling, so
+// a caller can shed load and continue.
+var ErrIndexFull = errors.New("hst: index arena full")
+
+// maxArenaLen is the per-slab entry ceiling the ErrIndexFull preflight
+// enforces: int32 indexes address at most MaxInt32 entries. A variable so
+// overflow regression tests can lower it to something reachable.
+var maxArenaLen = int64(math.MaxInt32)
+
+// roomFor errs when inserting a full root-to-leaf path plus one item could
+// grow any arena past maxArenaLen. Worst case an insert allocates depth
+// fresh nodes, depth dense child blocks (degree slots each), and one item
+// slot; freelisted entries are reused before the slabs grow, so they count
+// against the demand.
+func (x *LeafIndex) roomFor() error {
+	if need := int64(x.depth - x.freeNodes); need > 0 && int64(len(x.nodes))+need > maxArenaLen {
+		return fmt.Errorf("%w: %d nodes + %d would exceed %d", ErrIndexFull, len(x.nodes), need, maxArenaLen)
+	}
+	if x.degree > 0 {
+		if blocks := int64(x.depth - len(x.freeBlock)); blocks > 0 && int64(len(x.kids))+blocks*int64(x.degree) > maxArenaLen {
+			return fmt.Errorf("%w: %d child slots + %d would exceed %d", ErrIndexFull, len(x.kids), blocks*int64(x.degree), maxArenaLen)
+		}
+	}
+	if x.freeItems == 0 && int64(len(x.items))+1 > maxArenaLen {
+		return fmt.Errorf("%w: %d item slots + 1 would exceed %d", ErrIndexFull, len(x.items), maxArenaLen)
+	}
+	return nil
+}
 
 // NewLeafIndex returns an empty index for codes of the given depth. The
 // tree degree is unknown, so children use the sparse representation; when
@@ -112,14 +168,73 @@ func NewLeafIndexDegree(depth, degree int) *LeafIndex {
 		depth:  depth,
 		degree: degree,
 		nodes:  make([]flatNode, 1, 64),
+		digits: make([]uint8, 1, 64),
 		path:   make([]int32, 0, depth+1),
 		cbuf:   make([]byte, 0, depth),
 
 		freeNode: nilIdx,
 		freeItem: nilIdx,
 	}
-	x.nodes[0] = flatNode{minID: noItem32, kids: nilIdx, sib: nilIdx, items: nilIdx, parent: nilIdx}
+	if degree == 0 {
+		x.sibs = make([]int32, 1, 64)
+		x.sibs[0] = nilIdx
+	}
+	x.nodes[0] = flatNode{minID: noItem32, kids: nilIdx, items: nilIdx, parent: nilIdx}
 	return x
+}
+
+// ArenaBytes returns the bytes the index's arena slabs currently reserve
+// (capacities, not lengths, since grown capacity stays resident), plus an
+// estimate for the pooled capacity map. It is the index's contribution to
+// a bytes-per-worker accounting; per-operation scratch is excluded.
+func (x *LeafIndex) ArenaBytes() int64 {
+	b := int64(cap(x.nodes)) * int64(unsafe.Sizeof(flatNode{}))
+	b += int64(cap(x.digits))
+	b += int64(cap(x.sibs)) * 4
+	b += int64(cap(x.kids)) * 4
+	b += int64(cap(x.items)) * int64(unsafe.Sizeof(itemSlot{}))
+	b += int64(cap(x.freeBlock)) * 4
+	b += int64(len(x.capExtra)) * 12 // ≈ key+value+bucket overhead per pooled entry
+	return b
+}
+
+// ArenaLens reports the current entry counts of the three arena slabs
+// (freelisted entries included) — the sizing hint a same-population bulk
+// load passes to Reserve.
+func (x *LeafIndex) ArenaLens() (nodes, kids, items int) {
+	return len(x.nodes), len(x.kids), len(x.items)
+}
+
+// Reserve pre-grows the arena slabs to capacity for at least the given
+// entry counts, so a bulk load of known size (an epoch swap replaying its
+// population) allocates each slab once instead of climbing the append
+// doubling ladder — at ten million workers that ladder's dead half-size
+// slabs are themselves a population's worth of transient garbage. Counts
+// at or below current capacity do nothing; counts above the int32 arena
+// ceiling are clamped to it (inserts past the ceiling still refuse with
+// ErrIndexFull). Reserve never shrinks and cannot fail.
+func (x *LeafIndex) Reserve(nodes, kids, items int) {
+	clamp := func(n int) int {
+		if int64(n) > maxArenaLen {
+			return int(maxArenaLen)
+		}
+		return n
+	}
+	if n := clamp(nodes); n > cap(x.nodes) {
+		x.nodes = append(make([]flatNode, 0, n), x.nodes...)
+		x.digits = append(make([]uint8, 0, n), x.digits...)
+		if x.degree == 0 {
+			x.sibs = append(make([]int32, 0, n), x.sibs...)
+		}
+	}
+	if x.degree > 0 {
+		if n := clamp(kids); n > cap(x.kids) {
+			x.kids = append(make([]int32, 0, n), x.kids...)
+		}
+	}
+	if n := clamp(items); n > cap(x.items) {
+		x.items = append(make([]itemSlot, 0, n), x.items...)
+	}
 }
 
 // Len returns the number of items currently indexed.
@@ -162,6 +277,12 @@ func (x *LeafIndex) InsertCap(code Code, id, capacity int) error {
 				return fmt.Errorf("hst: digit %d at position %d exceeds index degree %d", code[j], j, x.degree)
 			}
 		}
+	}
+	// Arena overflow is checked up front for the same reason: counts are
+	// bumped while descending, so running out of arena mid-path would leave
+	// them corrupt.
+	if err := x.roomFor(); err != nil {
+		return err
 	}
 	id32 := int32(id)
 	ni := int32(0)
@@ -211,8 +332,8 @@ func (x *LeafIndex) child(ni int32, digit byte) int32 {
 		}
 		return x.kids[n.kids+int32(digit)]
 	}
-	for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
-		if x.nodes[ci].digit == digit {
+	for ci := n.kids; ci != nilIdx; ci = x.sibs[ci] {
+		if x.digits[ci] == digit {
 			return ci
 		}
 	}
@@ -231,24 +352,34 @@ func (x *LeafIndex) addChild(ni int32, digit byte) int32 {
 		}
 		x.kids[blk+int32(digit)] = ci
 	} else {
-		x.nodes[ci].sib = x.nodes[ni].kids
+		x.sibs[ci] = x.nodes[ni].kids
 		x.nodes[ni].kids = ci
 	}
 	return ci
 }
 
-// allocNode takes a node off the freelist or grows the arena. Callers must
-// not hold *flatNode pointers across the call: growth may move the slab.
+// allocNode takes a node off the freelist or grows the arena (the InsertCap
+// preflight guarantees room). Callers must not hold *flatNode pointers
+// across the call: growth may move the slab.
 func (x *LeafIndex) allocNode(digit byte) int32 {
 	var ni int32
 	if x.freeNode != nilIdx {
 		ni = x.freeNode
-		x.freeNode = x.nodes[ni].sib
+		x.freeNode = x.nodes[ni].kids
+		x.freeNodes--
 	} else {
 		ni = int32(len(x.nodes))
 		x.nodes = append(x.nodes, flatNode{})
+		x.digits = append(x.digits, 0)
+		if x.degree == 0 {
+			x.sibs = append(x.sibs, 0)
+		}
 	}
-	x.nodes[ni] = flatNode{minID: noItem32, kids: nilIdx, sib: nilIdx, items: nilIdx, digit: digit}
+	x.nodes[ni] = flatNode{minID: noItem32, kids: nilIdx, items: nilIdx}
+	x.digits[ni] = digit
+	if x.degree == 0 {
+		x.sibs[ni] = nilIdx
+	}
 	return ni
 }
 
@@ -273,12 +404,43 @@ func (x *LeafIndex) allocItem(id, capacity int32) int32 {
 	if x.freeItem != nilIdx {
 		si = x.freeItem
 		x.freeItem = x.items[si].next
+		x.freeItems--
 	} else {
 		si = int32(len(x.items))
 		x.items = append(x.items, itemSlot{})
 	}
-	x.items[si] = itemSlot{id: id, next: nilIdx, cap: capacity}
+	x.items[si] = itemSlot{id: id, next: nilIdx}
+	x.setItemCap(si, capacity)
 	return si
+}
+
+// itemCap resolves an item slot's remaining capacity: 1 unless the slot has
+// a pooled multi-unit entry. The nil-map fast path keeps capacity-1
+// populations — every greedy deployment — free of map traffic on pops.
+func (x *LeafIndex) itemCap(si int32) int32 {
+	if x.capExtra == nil {
+		return 1
+	}
+	if c, ok := x.capExtra[si]; ok {
+		return c
+	}
+	return 1
+}
+
+// setItemCap records an item slot's remaining capacity in the pooled map,
+// keeping the map minimal: entries exist only while capacity exceeds 1, so
+// a slot returned to the freelist can never leak units to its next tenant.
+func (x *LeafIndex) setItemCap(si, c int32) {
+	if c <= 1 {
+		if x.capExtra != nil {
+			delete(x.capExtra, si)
+		}
+		return
+	}
+	if x.capExtra == nil {
+		x.capExtra = make(map[int32]int32)
+	}
+	x.capExtra[si] = c
 }
 
 // freeNodeAt returns an empty node (count 0, no items, no live children) to
@@ -288,25 +450,28 @@ func (x *LeafIndex) freeNodeAt(ni int32) {
 	if x.degree > 0 && n.kids != nilIdx {
 		x.freeBlock = append(x.freeBlock, n.kids)
 	}
-	n.kids = nilIdx
+	// The freelist threads through kids, never items: a stale CandidateRef
+	// may still probe a freed node (RefUnits, ConsumeRef), and walking items
+	// there must read an empty list, not a freelist link.
+	n.kids = x.freeNode
 	n.items = nilIdx
-	n.sib = x.freeNode
 	x.freeNode = ni
+	x.freeNodes++
 }
 
 // unlinkChild detaches child ci from parent pi.
 func (x *LeafIndex) unlinkChild(pi, ci int32) {
 	if x.degree > 0 {
-		x.kids[x.nodes[pi].kids+int32(x.nodes[ci].digit)] = nilIdx
+		x.kids[x.nodes[pi].kids+int32(x.digits[ci])] = nilIdx
 		return
 	}
 	prev := nilIdx
-	for cur := x.nodes[pi].kids; cur != nilIdx; cur = x.nodes[cur].sib {
+	for cur := x.nodes[pi].kids; cur != nilIdx; cur = x.sibs[cur] {
 		if cur == ci {
 			if prev == nilIdx {
-				x.nodes[pi].kids = x.nodes[ci].sib
+				x.nodes[pi].kids = x.sibs[ci]
 			} else {
-				x.nodes[prev].sib = x.nodes[ci].sib
+				x.sibs[prev] = x.sibs[ci]
 			}
 			return
 		}
@@ -362,9 +527,11 @@ func (x *LeafIndex) removeItem(ni, id int32) (capacity int32, ok bool) {
 			} else {
 				x.items[prev].next = x.items[si].next
 			}
-			capacity = x.items[si].cap
+			capacity = x.itemCap(si)
+			x.setItemCap(si, 1) // drop any pooled entry before the slot is reused
 			x.items[si].next = x.freeItem
 			x.freeItem = si
+			x.freeItems++
 			return capacity, true
 		}
 		prev = si
@@ -378,8 +545,8 @@ func (x *LeafIndex) removeItem(ni, id int32) (capacity int32, ok bool) {
 func (x *LeafIndex) consumeItem(ni, id int32) (removed, ok bool) {
 	for si := x.nodes[ni].items; si != nilIdx; si = x.items[si].next {
 		if x.items[si].id == id {
-			if x.items[si].cap > 1 {
-				x.items[si].cap--
+			if c := x.itemCap(si); c > 1 {
+				x.setItemCap(si, c-1)
 				x.units--
 				return false, true
 			}
@@ -407,7 +574,7 @@ func (x *LeafIndex) AddCap(code Code, id, delta int) bool {
 	}
 	for si := x.nodes[ni].items; si != nilIdx; si = x.items[si].next {
 		if x.items[si].id == int32(id) {
-			x.items[si].cap += int32(delta)
+			x.setItemCap(si, x.itemCap(si)+int32(delta))
 			x.units += delta
 			return true
 		}
@@ -487,7 +654,7 @@ func (x *LeafIndex) recomputeMin(ni int32) int32 {
 			}
 		}
 	} else {
-		for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
+		for ci := n.kids; ci != nilIdx; ci = x.sibs[ci] {
 			if x.nodes[ci].minID < min {
 				min = x.nodes[ci].minID
 			}
@@ -619,7 +786,7 @@ func (x *LeafIndex) PopNearestWithinCode(code Code, maxLevel int, dst []byte) (i
 	target := x.nodes[ni].minID
 	for depthAt := j; depthAt < x.depth; depthAt++ {
 		ni = x.childWithMin(ni, target)
-		dst[depthAt] = x.nodes[ni].digit
+		dst[depthAt] = x.digits[ni]
 		path = append(path, ni)
 	}
 	removed, _ := x.consumeItem(ni, target)
@@ -672,7 +839,7 @@ func (x *LeafIndex) childWithMin(ni, target int32) int32 {
 			}
 		}
 	} else {
-		for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
+		for ci := n.kids; ci != nilIdx; ci = x.sibs[ci] {
 			if x.nodes[ci].minID == target {
 				return ci
 			}
@@ -699,7 +866,7 @@ func (x *LeafIndex) WalkCap(fn func(code Code, id, capacity int)) {
 func (x *LeafIndex) walk(ni int32, prefix []byte, fn func(code Code, id, capacity int)) {
 	n := x.nodes[ni]
 	for si := n.items; si != nilIdx; si = x.items[si].next {
-		fn(Code(prefix), int(x.items[si].id), int(x.items[si].cap))
+		fn(Code(prefix), int(x.items[si].id), int(x.itemCap(si)))
 	}
 	if x.degree > 0 {
 		if n.kids == nilIdx {
@@ -711,8 +878,8 @@ func (x *LeafIndex) walk(ni int32, prefix []byte, fn func(code Code, id, capacit
 			}
 		}
 	} else {
-		for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
-			x.walk(ci, append(prefix, x.nodes[ci].digit), fn)
+		for ci := n.kids; ci != nilIdx; ci = x.sibs[ci] {
+			x.walk(ci, append(prefix, x.digits[ci]), fn)
 		}
 	}
 }
@@ -823,7 +990,7 @@ func (x *LeafIndex) collectK(ni, except int32, buf []byte, lvl, need, start int,
 	}
 	n := x.nodes[ni]
 	for si := n.items; si != nilIdx; si = x.items[si].next {
-		out = x.offerK(out, start, need, x.items[si].id, x.items[si].cap, buf, lvl)
+		out = x.offerK(out, start, need, x.items[si].id, x.itemCap(si), buf, lvl)
 	}
 	if x.degree > 0 {
 		if n.kids == nilIdx {
@@ -835,8 +1002,8 @@ func (x *LeafIndex) collectK(ni, except int32, buf []byte, lvl, need, start int,
 			}
 		}
 	} else {
-		for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
-			out = x.collectK(ci, except, append(buf, x.nodes[ci].digit), lvl, need, start, out)
+		for ci := n.kids; ci != nilIdx; ci = x.sibs[ci] {
+			out = x.collectK(ci, except, append(buf, x.digits[ci]), lvl, need, start, out)
 		}
 	}
 	return out
@@ -901,7 +1068,7 @@ func (x *LeafIndex) collect(ni, except int32, buf []byte, lvl int, out []Candida
 				ID:    int(x.items[si].id),
 				Code:  leaf,
 				Level: lvl,
-				Cap:   int(x.items[si].cap),
+				Cap:   int(x.itemCap(si)),
 			})
 		}
 	}
@@ -915,8 +1082,8 @@ func (x *LeafIndex) collect(ni, except int32, buf []byte, lvl int, out []Candida
 			}
 		}
 	} else {
-		for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
-			out = x.collect(ci, except, append(buf, x.nodes[ci].digit), lvl, out)
+		for ci := n.kids; ci != nilIdx; ci = x.sibs[ci] {
+			out = x.collect(ci, except, append(buf, x.digits[ci]), lvl, out)
 		}
 	}
 	return out

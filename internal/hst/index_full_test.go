@@ -1,0 +1,243 @@
+package hst
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"unsafe"
+)
+
+// The arena structs are the per-worker memory bill at 10M-worker scale:
+// any field added back (or padding reintroduced) is a deliberate decision,
+// not an accident. flatNode packs five int32s (digit and sparse sibling
+// links live in side slabs); itemSlot packs two (capacity is pooled in
+// capExtra).
+func TestArenaStructSizes(t *testing.T) {
+	if got := unsafe.Sizeof(flatNode{}); got != 20 {
+		t.Errorf("flatNode is %d bytes, want 20", got)
+	}
+	if got := unsafe.Sizeof(itemSlot{}); got != 8 {
+		t.Errorf("itemSlot is %d bytes, want 8", got)
+	}
+}
+
+// withArenaCap lowers the arena ceiling so overflow is reachable in a test.
+func withArenaCap(t *testing.T, n int64) {
+	t.Helper()
+	old := maxArenaLen
+	maxArenaLen = n
+	t.Cleanup(func() { maxArenaLen = old })
+}
+
+// A dense index hits the child-slot arena first (every fresh path burns
+// depth×degree kid slots). The refusal must be typed, must not corrupt the
+// population already indexed, and freed slots must make room again.
+func TestInsertFullDenseKidsArena(t *testing.T) {
+	withArenaCap(t, 20)
+	x := NewLeafIndexDegree(4, 4)
+	a := Code([]byte{0, 0, 0, 0})
+	if err := x.Insert(a, 1); err != nil {
+		t.Fatalf("first insert: %v", err)
+	}
+	b := Code([]byte{1, 1, 1, 1})
+	err := x.Insert(b, 2)
+	if !errors.Is(err, ErrIndexFull) {
+		t.Fatalf("insert at ceiling: got %v, want ErrIndexFull", err)
+	}
+	// The refused insert must have mutated nothing.
+	if x.Len() != 1 || x.Units() != 1 {
+		t.Fatalf("after refusal: Len=%d Units=%d, want 1/1", x.Len(), x.Units())
+	}
+	if id, lvl, ok := x.Nearest(a); !ok || id != 1 || lvl != 0 {
+		t.Fatalf("worker 1 damaged by refused insert: id=%d lvl=%d ok=%v", id, lvl, ok)
+	}
+	if got := x.CountPrefix(Code([]byte{1})); got != 0 {
+		t.Fatalf("refused branch counts %d items, want 0", got)
+	}
+	// Removal at the ceiling still works and its freed nodes/blocks make
+	// the next insert fit without growing any slab.
+	if !x.Remove(a, 1) {
+		t.Fatal("remove at ceiling failed")
+	}
+	if err := x.Insert(b, 2); err != nil {
+		t.Fatalf("insert after freeing: %v", err)
+	}
+	if id, _, ok := x.Nearest(b); !ok || id != 2 {
+		t.Fatalf("worker 2 not indexed after freelist reuse: id=%d ok=%v", id, ok)
+	}
+}
+
+// A sparse (unknown-degree) index hits the node arena first.
+func TestInsertFullSparseNodeArena(t *testing.T) {
+	withArenaCap(t, 5)
+	x := NewLeafIndex(4)
+	if err := x.Insert(Code([]byte{0, 0, 0, 0}), 1); err != nil {
+		t.Fatalf("first insert: %v", err)
+	}
+	err := x.Insert(Code([]byte{1, 1, 1, 1}), 2)
+	if !errors.Is(err, ErrIndexFull) {
+		t.Fatalf("insert at ceiling: got %v, want ErrIndexFull", err)
+	}
+	if x.Len() != 1 {
+		t.Fatalf("after refusal: Len=%d, want 1", x.Len())
+	}
+}
+
+// A depth-0 index allocates no path nodes, so the item-slot arena is the
+// binding ceiling.
+func TestInsertFullItemArena(t *testing.T) {
+	withArenaCap(t, 2)
+	x := NewLeafIndex(0)
+	for id := 0; id < 2; id++ {
+		if err := x.Insert(Code(""), id); err != nil {
+			t.Fatalf("insert %d: %v", id, err)
+		}
+	}
+	err := x.Insert(Code(""), 2)
+	if !errors.Is(err, ErrIndexFull) {
+		t.Fatalf("insert at ceiling: got %v, want ErrIndexFull", err)
+	}
+	if !x.Remove(Code(""), 0) {
+		t.Fatal("remove at ceiling failed")
+	}
+	if err := x.Insert(Code(""), 2); err != nil {
+		t.Fatalf("insert after freeing a slot: %v", err)
+	}
+}
+
+// The default ceiling is the full int32 range: normal populations must
+// never see a refusal.
+func TestArenaCapDefaultIsInt32Range(t *testing.T) {
+	if maxArenaLen != int64(math.MaxInt32) {
+		t.Fatalf("maxArenaLen = %d, want MaxInt32", maxArenaLen)
+	}
+}
+
+// Capacity metadata is pooled: capacity-1 populations allocate no map, a
+// multi-unit item's entry is dropped the moment it decays to one unit, and
+// a freed slot can never leak units to the slot's next tenant.
+func TestCapacityPooling(t *testing.T) {
+	x := NewLeafIndexDegree(3, 2)
+	leaf := Code([]byte{1, 0, 1})
+	if err := x.Insert(leaf, 7); err != nil {
+		t.Fatal(err)
+	}
+	if x.capExtra != nil {
+		t.Fatalf("capacity-1 insert allocated the capacity pool: %v", x.capExtra)
+	}
+	if err := x.InsertCap(Code([]byte{0, 1, 0}), 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(x.capExtra) != 1 {
+		t.Fatalf("multi-unit item pooled %d entries, want 1", len(x.capExtra))
+	}
+	// Two pops decay 3 → 1: the pooled entry must be gone while the item
+	// still serves its last unit.
+	for i := 0; i < 2; i++ {
+		if !x.Consume(Code([]byte{0, 1, 0}), 8) {
+			t.Fatalf("consume %d failed", i)
+		}
+	}
+	if len(x.capExtra) != 0 {
+		t.Fatalf("decayed item still pooled: %v", x.capExtra)
+	}
+	if x.Units() != 2 || x.Len() != 2 {
+		t.Fatalf("Units=%d Len=%d, want 2/2", x.Units(), x.Len())
+	}
+	// Withdraw a multi-unit item and reuse its slot: the tenant must not
+	// inherit units.
+	if !x.AddCap(Code([]byte{0, 1, 0}), 8, 4) {
+		t.Fatal("addcap failed")
+	}
+	if units, ok := x.RemoveUnits(Code([]byte{0, 1, 0}), 8); !ok || units != 5 {
+		t.Fatalf("removed units=%d ok=%v, want 5/true", units, ok)
+	}
+	if len(x.capExtra) != 0 {
+		t.Fatalf("withdrawn item still pooled: %v", x.capExtra)
+	}
+	if err := x.Insert(Code([]byte{0, 1, 1}), 9); err != nil { // reuses the freed slot
+		t.Fatal(err)
+	}
+	if x.Units() != 2 {
+		t.Fatalf("slot reuse leaked capacity: Units=%d, want 2", x.Units())
+	}
+}
+
+// ArenaBytes accounts the slabs the index actually reserves; it must grow
+// with the population and shrink back when a fresh index replaces it (the
+// figure the soak lane divides by the worker count).
+func TestArenaBytes(t *testing.T) {
+	x := NewLeafIndexDegree(6, 4)
+	empty := x.ArenaBytes()
+	if empty <= 0 {
+		t.Fatalf("empty ArenaBytes = %d", empty)
+	}
+	for id := 0; id < 1000; id++ {
+		code := make([]byte, 6)
+		for j := range code {
+			code[j] = byte((id >> (2 * j)) & 3)
+		}
+		if err := x.Insert(Code(code), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if full := x.ArenaBytes(); full <= empty {
+		t.Fatalf("ArenaBytes did not grow: %d -> %d", empty, full)
+	}
+}
+
+// Reserve sized from a loaded index's ArenaLens must let an identical bulk
+// load fill the slabs without a single reallocation — the epoch swap's
+// defence against append-ladder garbage — while answering exactly like an
+// unreserved build.
+func TestReservePreventsRegrowth(t *testing.T) {
+	codeAt := func(id int) Code {
+		code := make([]byte, 6)
+		for j := range code {
+			code[j] = byte((id >> (2 * j)) & 3)
+		}
+		return Code(code)
+	}
+	a := NewLeafIndexDegree(6, 4)
+	for id := 0; id < 1000; id++ {
+		if err := a.Insert(codeAt(id), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes, kids, items := a.ArenaLens()
+	if nodes <= 1 || kids == 0 || items != 1000 {
+		t.Fatalf("ArenaLens = %d/%d/%d, want populated slabs and 1000 items", nodes, kids, items)
+	}
+	b := NewLeafIndexDegree(6, 4)
+	b.Reserve(nodes, kids, items)
+	reserved := b.ArenaBytes()
+	for id := 0; id < 1000; id++ {
+		if err := b.Insert(codeAt(id), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.ArenaBytes(); got != reserved {
+		t.Fatalf("reserved slabs regrew during the load: %d -> %d bytes", reserved, got)
+	}
+	for _, id := range []int{0, 1, 499, 999} {
+		gotID, gotLvl, gotOK := b.Nearest(codeAt(id))
+		wantID, wantLvl, wantOK := a.Nearest(codeAt(id))
+		if gotID != wantID || gotLvl != wantLvl || gotOK != wantOK {
+			t.Fatalf("probe %d: reserved index answers (%d,%d,%v), unreserved (%d,%d,%v)",
+				id, gotID, gotLvl, gotOK, wantID, wantLvl, wantOK)
+		}
+	}
+	// Reserving past the arena ceiling clamps instead of pre-allocating an
+	// un-indexable slab; reserving below current capacity does nothing.
+	withArenaCap(t, 64)
+	c := NewLeafIndexDegree(2, 2)
+	c.Reserve(1<<20, 1<<20, 1<<20)
+	if got := c.ArenaBytes(); got > 64*(20+1+4+8)+64 {
+		t.Fatalf("clamped Reserve still allocated %d bytes", got)
+	}
+	before := b.ArenaBytes()
+	b.Reserve(1, 1, 1)
+	if got := b.ArenaBytes(); got != before {
+		t.Fatalf("no-op Reserve changed ArenaBytes: %d -> %d", before, got)
+	}
+}

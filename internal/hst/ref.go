@@ -113,7 +113,7 @@ func (x *LeafIndex) RefUnits(ref CandidateRef) (units int, ok bool) {
 	}
 	for si := x.nodes[ni].items; si != nilIdx; si = x.items[si].next {
 		if x.items[si].id == ref.ID {
-			return int(x.items[si].cap), true
+			return int(x.itemCap(si)), true
 		}
 	}
 	return 0, false
@@ -146,7 +146,7 @@ func (x *LeafIndex) collectKRef(ni, except int32, lvl, need, start int, out []Ca
 	}
 	n := x.nodes[ni]
 	for si := n.items; si != nilIdx; si = x.items[si].next {
-		out = offerKRef(out, start, need, x.items[si].id, ni, x.items[si].cap, lvl)
+		out = offerKRef(out, start, need, x.items[si].id, ni, x.itemCap(si), lvl)
 	}
 	// Gather the live children once into stack buffers sorted by
 	// (minID, index); denseDegreeLimit bounds the dense fan-out, and the
@@ -180,7 +180,7 @@ func (x *LeafIndex) collectKRef(ni, except int32, lvl, need, start int, out []Ca
 	// arrive in.
 	for ci := n.kids; ci != nilIdx; {
 		m := 0
-		for ; ci != nilIdx && m < denseDegreeLimit; ci = x.nodes[ci].sib {
+		for ; ci != nilIdx && m < denseDegreeLimit; ci = x.sibs[ci] {
 			if ci != except {
 				cbuf[m], mbuf[m] = ci, x.nodes[ci].minID
 				m++
@@ -220,7 +220,7 @@ func (x *LeafIndex) collectAllRef(ni, except int32, lvl, need, start int, out []
 	}
 	n := x.nodes[ni]
 	for si := n.items; si != nilIdx; si = x.items[si].next {
-		out = offerKRef(out, start, need, x.items[si].id, ni, x.items[si].cap, lvl)
+		out = offerKRef(out, start, need, x.items[si].id, ni, x.itemCap(si), lvl)
 	}
 	if x.degree > 0 {
 		if n.kids == nilIdx {
@@ -232,7 +232,7 @@ func (x *LeafIndex) collectAllRef(ni, except int32, lvl, need, start int, out []
 			}
 		}
 	} else {
-		for ci := n.kids; ci != nilIdx; ci = x.nodes[ci].sib {
+		for ci := n.kids; ci != nilIdx; ci = x.sibs[ci] {
 			out = x.collectAllRef(ci, except, lvl, need, start, out)
 		}
 	}

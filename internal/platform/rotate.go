@@ -89,22 +89,49 @@ func (s *Server) Rotate(req RotateRequest) RotateResponse {
 	// swap must leave the old epoch fully intact. A capacitated worker
 	// carries its remaining units (capacity − active) into the new epoch;
 	// its outstanding tasks keep running and release against the new slot.
+	//
+	// A core that can take the population as a replayable sequence gets it
+	// that way: the inserts derive deterministically from the plan and the
+	// slot tables (both frozen under mu here), so handing the engine a
+	// generator instead of a []EpochInsert lets it rotate a 10M-worker
+	// population without materializing a second copy beside the live one.
+	// Cores without the seam (a cluster coordinator, whose two-phase
+	// prepare must partition the inserts across nodes anyway) keep the
+	// materialized path.
 	base := len(s.workerIDs)
-	inserts := make([]engine.EpochInsert, 0, len(plan.Outcomes))
-	for i := range plan.Outcomes {
-		if !plan.Outcomes[i].Parked {
+	populate := func(yield func(engine.EpochInsert) bool) {
+		n := 0
+		for i := range plan.Outcomes {
+			if plan.Outcomes[i].Parked {
+				continue
+			}
 			old := s.byID[plan.Outcomes[i].Worker]
-			inserts = append(inserts, engine.EpochInsert{
+			in := engine.EpochInsert{
 				Code: plan.Outcomes[i].Code,
-				ID:   base + len(inserts),
+				ID:   base + n,
 				Cap:  s.capacity[old] - s.active[old],
-			})
+			}
+			n++
+			if !yield(in) {
+				return
+			}
 		}
 	}
-	if err := s.eng.SwapEpoch(plan.Epoch, plan.Tree, 0, inserts); err != nil {
+	var swapErr error
+	if sw, ok := s.eng.(seqSwapper); ok {
+		swapErr = sw.SwapEpochSeq(plan.Epoch, plan.Tree, 0, populate)
+	} else {
+		inserts := make([]engine.EpochInsert, 0, len(plan.Outcomes))
+		populate(func(in engine.EpochInsert) bool {
+			inserts = append(inserts, in)
+			return true
+		})
+		swapErr = s.eng.SwapEpoch(plan.Epoch, plan.Tree, 0, inserts)
+	}
+	if swapErr != nil {
 		// A cluster core aborts the distributed prepare on every node before
 		// reporting failure, so the old epoch keeps serving intact.
-		return RotateResponse{OK: false, Reason: err.Error(), Err: AsError(err, s.epoch)}
+		return RotateResponse{OK: false, Reason: swapErr.Error(), Err: AsError(swapErr, s.epoch)}
 	}
 
 	// The swap is live: record the new slots and close out the old epoch's

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/geo"
 	"github.com/pombm/pombm/internal/hst"
 	"github.com/pombm/pombm/internal/rng"
@@ -332,5 +333,78 @@ func TestRotateOverHTTP(t *testing.T) {
 	task := client.Submit(TaskRequest{TaskID: "t", Code: []byte(o.Obfuscate(geo.Pt(3, 3))), Epoch: 2})
 	if !task.Assigned || task.Epoch != 2 {
 		t.Fatalf("post-rotation task: %+v", task)
+	}
+}
+
+// materializedCore hides the engine's SwapEpochSeq behind a plain Core so
+// Rotate takes the materialized fallback path — the seam a cluster
+// coordinator core sits behind.
+type materializedCore struct{ Core }
+
+// TestRotateSeqAndMaterializedPathsAgree pins the two commit paths in
+// Rotate against each other: an engine core (which offers SwapEpochSeq)
+// and the same engine hidden behind a bare Core must rotate to identical
+// serving states.
+func TestRotateSeqAndMaterializedPathsAgree(t *testing.T) {
+	grid, err := geo.NewGrid(workload.SyntheticRegion, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(wrap bool) *Server {
+		tree, err := hst.Build(grid.Points(), rng.New(42).Derive("server-hst"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := engine.New(tree, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var core Core = eng
+		if wrap {
+			core = materializedCore{eng}
+		} else if _, ok := core.(seqSwapper); !ok {
+			t.Fatal("engine.Engine must satisfy seqSwapper — the seq rotate path would silently never run")
+		}
+		s, err := NewServer(workload.SyntheticRegion, 8, 8, 0.6, 42, WithCore(core))
+		if err != nil {
+			t.Fatal(err)
+		}
+		registerN(t, s, 25)
+		return s
+	}
+	if _, ok := interface{}(materializedCore{}).(seqSwapper); ok {
+		t.Fatal("materializedCore must not satisfy seqSwapper")
+	}
+
+	seq, mat := build(false), build(true)
+	rSeq := seq.RotateNow(PrepareRotateRequest{Seed: 9}, nil, rotReporter(rng.New(5)))
+	rMat := mat.RotateNow(PrepareRotateRequest{Seed: 9}, nil, rotReporter(rng.New(5)))
+	if !rSeq.OK || !rMat.OK {
+		t.Fatalf("rotations failed: seq=%+v mat=%+v", rSeq, rMat)
+	}
+	if rSeq.Epoch != rMat.Epoch || rSeq.Rotated != rMat.Rotated ||
+		len(rSeq.Parked) != len(rMat.Parked) || len(rSeq.Dropped) != len(rMat.Dropped) {
+		t.Fatalf("rotation responses diverge:\nseq %+v\nmat %+v", rSeq, rMat)
+	}
+
+	// Drain both populations with an identical probe tape: every answer
+	// must match, worker for worker.
+	oSeq, err := NewObfuscator(seq.Publication(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(77)
+	for i := 0; ; i++ {
+		p := geo.Pt(src.Uniform(0, 200), src.Uniform(0, 200))
+		// Obfuscation is randomized: draw the code once, probe both with it.
+		code := []byte(oSeq.Obfuscate(p))
+		a := seq.Submit(TaskRequest{TaskID: fmt.Sprintf("s%d", i), Code: code, Epoch: rSeq.Epoch})
+		b := mat.Submit(TaskRequest{TaskID: fmt.Sprintf("m%d", i), Code: code, Epoch: rMat.Epoch})
+		if a.Assigned != b.Assigned || a.WorkerID != b.WorkerID {
+			t.Fatalf("probe %d diverges: seq %+v, mat %+v", i, a, b)
+		}
+		if !a.Assigned {
+			break
+		}
 	}
 }

@@ -61,6 +61,14 @@ type assignErrer interface {
 	AssignErr(code hst.Code) (id, lcaLevel int, ok bool, err error)
 }
 
+// seqSwapper is an optional Core extension: a core that can consume the
+// next epoch's population as a replayable sequence instead of a
+// materialized slice. engine.Engine implements it; Rotate prefers it so a
+// large rotation peaks at ~1× the population's memory instead of 2×.
+type seqSwapper interface {
+	SwapEpochSeq(epoch int64, tree *hst.Tree, shards int, seq func(yield func(engine.EpochInsert) bool)) error
+}
+
 // coreAssign runs an assignment through AssignErr when the core offers it.
 func coreAssign(c Core, code hst.Code) (id, lcaLevel int, ok bool, err error) {
 	if ae, has := c.(assignErrer); has {
