@@ -76,7 +76,14 @@ func main() {
 		engTasks   = flag.Int("tasks", 8192, "enginebench: tasks assigned per run")
 		engShards  = flag.Int("shards", 0, "engine shard count for -enginebench and -instance -engine runs (0 = engine default)")
 		engGors    = flag.String("goroutines", "1,4,8", "enginebench: comma-separated goroutine counts")
-		engJSON    = flag.String("json", "BENCH_engine.json", "enginebench: write machine-readable results to this file ('' disables)")
+		engJSON    = flag.String("json", "BENCH_engine.json", "enginebench/servebench: write machine-readable results to this file ('' disables; servebench merges into an existing snapshot)")
+
+		// Serving benchmark lane (see serve.go): loopback HTTP throughput of
+		// the single-server and coordinator request paths.
+		srvBench   = flag.Bool("servebench", false, "run the loopback HTTP serving benchmark and exit")
+		srvClients = flag.String("clients", "1,4,8", "servebench: comma-separated concurrent client counts")
+		srvNodes   = flag.Int("nodes", 3, "servebench: backend node count for the cluster-submit rows")
+		history    = flag.String("history", "", "append the -json snapshot (with git SHA + timestamp) to this append-only history file after the run")
 
 		// Scale soak lane (see soak.go): million-worker populations, churn,
 		// snapshot round trips, and rotation peak-memory accounting.
@@ -106,6 +113,18 @@ func main() {
 
 	if *engBench {
 		if err := runEngineBench(*grid, *engWorkers, *engTasks, *engShards, *repeat, *engGors, *seed, *engJSON); err != nil {
+			fatal(err)
+		}
+		if *history != "" {
+			if err := appendBenchHistory(*history, *engJSON); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	if *srvBench {
+		if err := runServeBench(*grid, *engWorkers, *engTasks, *engShards, *repeat, *srvClients, *seed, *srvNodes, *engJSON, *history); err != nil {
 			fatal(err)
 		}
 		return

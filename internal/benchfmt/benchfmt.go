@@ -4,6 +4,13 @@
 // silently-zero JSON fields on one side.
 package benchfmt
 
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
 // Record is one benchmark measurement.
 type Record struct {
 	Benchmark   string  `json:"benchmark"` // e.g. "engine/goroutines=4"
@@ -34,6 +41,61 @@ type Report struct {
 	Tasks      int      `json:"tasks"`
 	Repeat     int      `json:"repeat"`
 	Results    []Record `json:"results"`
+}
+
+// HistoryEntry is one point of the append-only bench trajectory: a full
+// snapshot stamped with the revision and wall time it was produced at. The
+// nightly lane appends one line per run to bench/history.jsonl (the
+// github-action-benchmark data.js shape, one JSON object per line), so the
+// perf trajectory across commits is a file, not an artifact diff. Drift
+// detection and the rendered dashboard over this history are future work.
+type HistoryEntry struct {
+	GitSHA   string  `json:"git_sha"`
+	UnixTime int64   `json:"unix_time"`
+	Report   *Report `json:"report"`
+}
+
+// AppendHistory appends the entry as one JSON line to the history file,
+// creating the file (and its directory) when missing. It never rewrites
+// existing lines: the history is append-only by contract.
+func AppendHistory(path string, e HistoryEntry) error {
+	blob, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(blob, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadHistory parses a history file back into its entries.
+func ReadHistory(path string) ([]HistoryEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []HistoryEntry
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var e HistoryEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("%s: entry %d: %w", path, len(out), err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 // Find returns the named benchmark's record.

@@ -48,6 +48,12 @@ type Config struct {
 	// Tree, when non-nil, is published instead of deriving one from the
 	// grid and seed (the simulator injects its own).
 	Tree *hst.Tree
+
+	// NoCoalesce disables the coordinator's op coalescer: every routed
+	// operation ships on its own single-op endpoint, exactly the pre-ops
+	// wire behaviour. The answers are identical either way — this is a
+	// diagnostic/differential knob, not a semantic one.
+	NoCoalesce bool
 }
 
 // Coordinator is the cluster's serving tier: one platform.Server (the
@@ -85,7 +91,7 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	core, err := newFanCore(cfg.Nodes, tree, cfg.Shards, pol, cfg.Policy, cfg.DefaultCapacity)
+	core, err := newFanCore(cfg.Nodes, tree, cfg.Shards, pol, cfg.Policy, cfg.DefaultCapacity, cfg.NoCoalesce)
 	if err != nil {
 		return nil, err
 	}

@@ -146,7 +146,7 @@ func TestScatterGatherBatchOptimalIdentity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			core, err := newFanCore(tc.nodes, tree, 0, pol, "batch-optimal:k=4", 1)
+			core, err := newFanCore(tc.nodes, tree, 0, pol, "batch-optimal:k=4", 1, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -168,7 +168,7 @@ func TestGreedyFanoutIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	core, err := newFanCore(localNodes(3), tree, 0, pol, "greedy", 1)
+	core, err := newFanCore(localNodes(3), tree, 0, pol, "greedy", 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestDistributedSwapIdentity(t *testing.T) {
 	next := buildTree(t, 8)
 	pol, _ := engine.PolicyByName("greedy")
 	nodes := httpNodes(t, 3)
-	core, err := newFanCore(nodes, tree, 0, pol, "greedy", 1)
+	core, err := newFanCore(nodes, tree, 0, pol, "greedy", 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestPrepareFailureAbortsClusterWide(t *testing.T) {
 	pol, _ := engine.PolicyByName("greedy")
 	bad := &failPrepareNode{NodeConn: LocalNode(NewNode())}
 	nodes := []NodeConn{LocalNode(NewNode()), bad, LocalNode(NewNode())}
-	core, err := newFanCore(nodes, tree, 0, pol, "greedy", 1)
+	core, err := newFanCore(nodes, tree, 0, pol, "greedy", 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

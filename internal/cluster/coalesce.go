@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/pombm/pombm/internal/engine"
+	"github.com/pombm/pombm/internal/hst"
+)
+
+// opsConn is the optional NodeConn extension the coordinator's coalescer
+// rides on: a connection that can carry N single-worker operations in one
+// round trip. httpNode implements it; LocalNode does not (an in-process
+// call has no round trip to amortize).
+type opsConn interface {
+	Ops(ops []OpRequest) ([]json.RawMessage, error)
+}
+
+// maxOpsPerEnvelope bounds one flush so a burst cannot build an
+// arbitrarily large request body (and a lost envelope retries a bounded
+// amount of work).
+const maxOpsPerEnvelope = 128
+
+// batchedOp is one caller's slot in a pending envelope.
+type batchedOp struct {
+	op   OpRequest
+	done chan struct{}
+	raw  json.RawMessage
+	err  error
+}
+
+// batcher coalesces concurrent single-worker operations bound for one node
+// into /v2/node/ops envelopes. Callers enqueue their op and block;
+// whichever enqueue finds no flusher running starts one, and the flusher
+// drains the queue in envelope-sized batches until it is empty, then
+// exits. A sequential caller stream degenerates to singleton envelopes —
+// one op per round trip, the same wire cost as the single-op endpoints —
+// so coalescing only ever removes round trips, never adds latency waiting
+// for company.
+//
+// Coalescing is a legal serialization: the ops in one envelope are
+// concurrent with each other (each caller is blocked in its own request),
+// so they have no defined order, and the node applies the envelope's ops
+// in sequence. Order between non-concurrent ops is preserved — an op
+// enqueued after another completed necessarily lands in a later envelope.
+type batcher struct {
+	conn opsConn
+
+	mu      sync.Mutex
+	pending []*batchedOp
+	active  bool
+}
+
+// do ships one op through the coalescer and blocks until its envelope
+// lands. An envelope-level failure (transport, refused envelope) is
+// returned to every op it carried; per-op refusals come back as the op's
+// own raw result.
+func (b *batcher) do(op OpRequest) (json.RawMessage, error) {
+	bo := &batchedOp{op: op, done: make(chan struct{})}
+	b.mu.Lock()
+	b.pending = append(b.pending, bo)
+	spawn := !b.active
+	b.active = true
+	b.mu.Unlock()
+	if spawn {
+		go b.flush()
+	}
+	<-bo.done
+	return bo.raw, bo.err
+}
+
+func (b *batcher) flush() {
+	// Yield once before the first drain: the op that spawned this flusher
+	// is rarely alone — its sibling request handlers are runnable right
+	// now, and letting them enqueue first turns a singleton envelope into a
+	// full one. Steady state needs no such nudge (the previous envelope's
+	// round trip is the accumulation window); for a sequential caller the
+	// cost is one scheduler pass.
+	runtime.Gosched()
+	for {
+		b.mu.Lock()
+		batch := b.pending
+		if len(batch) == 0 {
+			b.active = false
+			b.mu.Unlock()
+			return
+		}
+		if len(batch) > maxOpsPerEnvelope {
+			rest := batch[maxOpsPerEnvelope:]
+			batch = batch[:maxOpsPerEnvelope:maxOpsPerEnvelope]
+			b.pending = append(make([]*batchedOp, 0, len(rest)), rest...)
+		} else {
+			b.pending = nil
+		}
+		b.mu.Unlock()
+
+		ops := make([]OpRequest, len(batch))
+		for i, bo := range batch {
+			ops[i] = bo.op
+		}
+		results, err := b.conn.Ops(ops)
+		for i, bo := range batch {
+			if err != nil {
+				// The caller retries with the same idem; any sub-op the node
+				// did apply before the envelope was lost replays from its
+				// cache instead of double-applying.
+				bo.err = err
+			} else {
+				bo.raw = results[i]
+			}
+			close(bo.done)
+		}
+	}
+}
+
+// decodeOpResult decodes one raw sub-result into the op's response shape.
+// An undecodable result is a transport failure (the retry taxonomy the
+// call sites already handle), never an application refusal.
+func decodeOpResult(raw json.RawMessage, kind string, out any) error {
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("%w: decode %s result: %v", errTransport, kind, err)
+	}
+	return nil
+}
+
+// The op* dispatchers below are the coalescing-aware twins of the NodeConn
+// methods: through the node's batcher when it has one, directly otherwise
+// (in-process conns, coalescing disabled). Each mirrors the corresponding
+// httpNode wrapper exactly — same response shape, same envErr taxonomy —
+// which is what keeps the coalesced and per-op paths byte-identical on the
+// wire and value-identical here.
+
+func (c *fanCore) opInsert(nd int, code hst.Code, id, capacity int, epoch int64, idem string) error {
+	b := c.batchers[nd]
+	if b == nil {
+		return c.nodes[nd].Insert(code, id, capacity, epoch, idem)
+	}
+	raw, err := b.do(OpRequest{Kind: OpInsert, Idem: idem, Code: []byte(code), ID: id, Capacity: capacity, Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	var resp nodeAck
+	if err := decodeOpResult(raw, OpInsert, &resp); err != nil {
+		return err
+	}
+	return envErr(resp.Err)
+}
+
+func (c *fanCore) opAddCapacity(nd int, code hst.Code, id int, epoch int64, idem string) error {
+	b := c.batchers[nd]
+	if b == nil {
+		return c.nodes[nd].AddCapacity(code, id, epoch, idem)
+	}
+	raw, err := b.do(OpRequest{Kind: OpAddCapacity, Idem: idem, Code: []byte(code), ID: id, Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	var resp nodeAck
+	if err := decodeOpResult(raw, OpAddCapacity, &resp); err != nil {
+		return err
+	}
+	return envErr(resp.Err)
+}
+
+func (c *fanCore) opRemove(nd int, code hst.Code, id int, idem string) (int, bool, error) {
+	b := c.batchers[nd]
+	if b == nil {
+		return c.nodes[nd].Remove(code, id, idem)
+	}
+	raw, err := b.do(OpRequest{Kind: OpRemove, Idem: idem, Code: []byte(code), ID: id})
+	if err != nil {
+		return 0, false, err
+	}
+	var resp RemoveResponse
+	if err := decodeOpResult(raw, OpRemove, &resp); err != nil {
+		return 0, false, err
+	}
+	return resp.Units, resp.Found, envErr(resp.Err)
+}
+
+func (c *fanCore) opAssignSubtree(nd int, code hst.Code, epoch int64, idem string) (int, int, bool, error) {
+	b := c.batchers[nd]
+	if b == nil {
+		return c.nodes[nd].AssignSubtree(code, epoch, idem)
+	}
+	raw, err := b.do(OpRequest{Kind: OpAssignSubtree, Idem: idem, Code: []byte(code), Epoch: epoch})
+	if err != nil {
+		return engine.None, 0, false, err
+	}
+	var resp AssignResponse
+	if err := decodeOpResult(raw, OpAssignSubtree, &resp); err != nil {
+		return engine.None, 0, false, err
+	}
+	if err := envErr(resp.Err); err != nil {
+		return engine.None, 0, false, err
+	}
+	return resp.ID, resp.Level, resp.Found, nil
+}
+
+func (c *fanCore) opConsume(nd int, code hst.Code, id int, epoch int64, idem string) error {
+	b := c.batchers[nd]
+	if b == nil {
+		return c.nodes[nd].Consume(code, id, epoch, idem)
+	}
+	raw, err := b.do(OpRequest{Kind: OpConsume, Idem: idem, Code: []byte(code), ID: id, Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	var resp nodeAck
+	if err := decodeOpResult(raw, OpConsume, &resp); err != nil {
+		return err
+	}
+	return envErr(resp.Err)
+}

@@ -34,6 +34,11 @@ type fanCore struct {
 	defaultCap int
 	shardsCfg  int // requested shard count, passed to every node
 
+	// batchers[i] coalesces concurrent routed ops bound for nodes[i] into
+	// /v2/node/ops envelopes; nil when the conn cannot carry envelopes
+	// (in-process) or coalescing is disabled.
+	batchers []*batcher
+
 	state atomic.Pointer[coreState]
 	opMu  sync.RWMutex
 
@@ -64,8 +69,9 @@ type coreState struct {
 var errTransport = errors.New("cluster: node transport failed")
 
 // newFanCore builds the core and initialises every node with the shared
-// configuration.
-func newFanCore(nodes []NodeConn, tree *hst.Tree, shards int, policy engine.Policy, policySpec string, defaultCap int) (*fanCore, error) {
+// configuration. Unless noCoalesce is set, every connection that can carry
+// op envelopes gets a coalescing batcher.
+func newFanCore(nodes []NodeConn, tree *hst.Tree, shards int, policy engine.Policy, policySpec string, defaultCap int, noCoalesce bool) (*fanCore, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("cluster: no nodes")
 	}
@@ -78,9 +84,17 @@ func newFanCore(nodes []NodeConn, tree *hst.Tree, shards int, policy engine.Poli
 		policySpec: policySpec,
 		defaultCap: defaultCap,
 		shardsCfg:  shards,
+		batchers:   make([]*batcher, len(nodes)),
 		solver:     flow.NewBipartite(),
 		warm:       map[int]float64{},
 		warmEpoch:  engine.FirstEpoch,
+	}
+	if !noCoalesce {
+		for i, n := range nodes {
+			if oc, ok := n.(opsConn); ok {
+				c.batchers[i] = &batcher{conn: oc}
+			}
+		}
 	}
 	c.state.Store(&coreState{tree: tree, layout: engine.LayoutFor(tree, shards), epoch: engine.FirstEpoch})
 	for i, n := range nodes {
@@ -134,15 +148,32 @@ func (c *fanCore) Policy() engine.Policy { return c.policy }
 func (c *fanCore) DefaultCapacity() int  { return c.defaultCap }
 func (c *fanCore) Windows() int64        { return c.windows.Load() }
 
+// statusAll polls every node concurrently — a status sweep is N
+// independent reads, so its latency should be the slowest node's, not the
+// sum. Unreachable nodes yield a zero StatusResponse with ok false.
+func (c *fanCore) statusAll(epoch int64) []StatusResponse {
+	out := make([]StatusResponse, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, nd := range c.nodes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s, err := nd.Status(epoch); err == nil {
+				out[i] = s
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
 // Len sums the available workers across reachable nodes.
 func (c *fanCore) Len() int {
 	c.opMu.RLock()
 	defer c.opMu.RUnlock()
 	n := 0
-	for _, nd := range c.nodes {
-		if s, err := nd.Status(0); err == nil {
-			n += s.Len
-		}
+	for _, s := range c.statusAll(0) {
+		n += s.Len
 	}
 	return n
 }
@@ -152,10 +183,8 @@ func (c *fanCore) CapacityUnits() int {
 	c.opMu.RLock()
 	defer c.opMu.RUnlock()
 	n := 0
-	for _, nd := range c.nodes {
-		if s, err := nd.Status(0); err == nil {
-			n += s.Units
-		}
+	for _, s := range c.statusAll(0) {
+		n += s.Units
 	}
 	return n
 }
@@ -178,9 +207,9 @@ func (c *fanCore) InsertCapEpoch(code hst.Code, id, capacity int, epoch int64) e
 	}
 	nd := c.routeIdx(st, code)
 	idem := c.nextIdem("ins")
-	err := c.nodes[nd].Insert(code, id, capacity, epoch, idem)
+	err := c.opInsert(nd, code, id, capacity, epoch, idem)
 	if isTransport(err) {
-		err = c.nodes[nd].Insert(code, id, capacity, epoch, idem)
+		err = c.opInsert(nd, code, id, capacity, epoch, idem)
 		if isTransport(err) {
 			return unavailable(nd, err)
 		}
@@ -197,9 +226,9 @@ func (c *fanCore) AddCapacityEpoch(code hst.Code, id int, epoch int64) error {
 	}
 	nd := c.routeIdx(st, code)
 	idem := c.nextIdem("addcap")
-	err := c.nodes[nd].AddCapacity(code, id, epoch, idem)
+	err := c.opAddCapacity(nd, code, id, epoch, idem)
 	if isTransport(err) {
-		err = c.nodes[nd].AddCapacity(code, id, epoch, idem)
+		err = c.opAddCapacity(nd, code, id, epoch, idem)
 		if isTransport(err) {
 			return unavailable(nd, err)
 		}
@@ -221,9 +250,9 @@ func (c *fanCore) RemoveUnits(code hst.Code, id int) (int, bool) {
 	}
 	nd := c.routeIdx(st, code)
 	idem := c.nextIdem("rm")
-	units, found, err := c.nodes[nd].Remove(code, id, idem)
+	units, found, err := c.opRemove(nd, code, id, idem)
 	if isTransport(err) {
-		units, found, err = c.nodes[nd].Remove(code, id, idem)
+		units, found, err = c.opRemove(nd, code, id, idem)
 	}
 	if err != nil {
 		return 0, false
@@ -277,9 +306,9 @@ func (c *fanCore) assignRouted(st *coreState, code hst.Code) (int, int, bool, er
 	}
 	nd := c.routeIdx(st, code)
 	idem := c.nextIdem("as")
-	id, lvl, found, err := c.nodes[nd].AssignSubtree(code, st.epoch, idem)
+	id, lvl, found, err := c.opAssignSubtree(nd, code, st.epoch, idem)
 	if isTransport(err) {
-		id, lvl, found, err = c.nodes[nd].AssignSubtree(code, st.epoch, idem)
+		id, lvl, found, err = c.opAssignSubtree(nd, code, st.epoch, idem)
 		if isTransport(err) {
 			return engine.None, 0, false, unavailable(nd, err)
 		}
@@ -293,22 +322,39 @@ func (c *fanCore) assignRouted(st *coreState, code hst.Code) (int, int, bool, er
 // opMu exclusively, so no coordinator-driven mutation can slip between
 // the election and the pop.
 func (c *fanCore) assignRoot(st *coreState) (int, int, bool, error) {
-	best, bestID := -1, int(^uint(0)>>1)
+	// Poll all nodes concurrently: the election needs every answer anyway,
+	// so the round's latency is the slowest node's, not the sum.
+	type minPoll struct {
+		id    int
+		found bool
+		err   error
+	}
+	polls := make([]minPoll, len(c.nodes))
+	var wg sync.WaitGroup
 	for nd := range c.nodes {
-		id, found, err := c.nodes[nd].MinID(st.epoch)
-		if isTransport(err) {
-			id, found, err = c.nodes[nd].MinID(st.epoch)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id, found, err := c.nodes[nd].MinID(st.epoch)
 			if isTransport(err) {
-				// A dead node may hold the true minimum; electing around it
-				// would silently change the answer.
-				return engine.None, 0, false, unavailable(nd, err)
+				id, found, err = c.nodes[nd].MinID(st.epoch)
 			}
+			polls[nd] = minPoll{id: id, found: found, err: err}
+		}()
+	}
+	wg.Wait()
+	best, bestID := -1, int(^uint(0)>>1)
+	for nd, p := range polls {
+		if isTransport(p.err) {
+			// A dead node may hold the true minimum; electing around it
+			// would silently change the answer.
+			return engine.None, 0, false, unavailable(nd, p.err)
 		}
-		if err != nil {
-			return engine.None, 0, false, err
+		if p.err != nil {
+			return engine.None, 0, false, p.err
 		}
-		if found && id < bestID {
-			best, bestID = nd, id
+		if p.found && p.id < bestID {
+			best, bestID = nd, p.id
 		}
 	}
 	if best < 0 {
@@ -420,20 +466,29 @@ func (c *fanCore) solveWindowOnce(st *coreState, codes []hst.Code, valid []int, 
 		nodeTis[nd] = append(nodeTis[nd], ti)
 	}
 	mines := make([]*engine.WindowMine, N)
+	mineErrs := make([]error, N)
+	var wg sync.WaitGroup
+	for nd := 0; nd < N; nd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wm, err := c.nodes[nd].Mine(nodeCodes[nd], k, st.epoch)
+			if isTransport(err) {
+				wm, err = c.nodes[nd].Mine(nodeCodes[nd], k, st.epoch)
+			}
+			mines[nd], mineErrs[nd] = wm, err
+		}()
+	}
+	wg.Wait()
 	pool := 0
 	for nd := 0; nd < N; nd++ {
-		wm, err := c.nodes[nd].Mine(nodeCodes[nd], k, st.epoch)
-		if isTransport(err) {
-			wm, err = c.nodes[nd].Mine(nodeCodes[nd], k, st.epoch)
-		}
-		if err != nil {
+		if mineErrs[nd] != nil {
 			// A window cannot be solved around a missing node: its pool
 			// (and its tasks' own regions) would silently vanish from the
 			// matching. Answer the whole window unmatched instead.
 			return true
 		}
-		mines[nd] = wm
-		pool += wm.Pool
+		pool += mines[nd].Pool
 	}
 	if pool == 0 {
 		return true
@@ -546,49 +601,81 @@ func (c *fanCore) solveWindowOnce(st *coreState, codes []hst.Code, valid []int, 
 	}
 	sol.Run()
 
-	// Commit matched units at their owning nodes, in task order. A
-	// conflict (worker no longer at its mined leaf) rolls back this pass's
-	// consumptions and re-mines.
-	type undoRec struct {
+	// Commit matched units at their owning nodes. The commits of one
+	// window are independent decrements (each targets the matched worker at
+	// its mined leaf), so they run concurrently — the coalescer folds the
+	// ones sharing a node into /v2/node/ops envelopes, collapsing a
+	// window's commit phase to one round trip per involved node. Any
+	// conflict (worker no longer at its mined leaf) rolls back every
+	// commit that landed and re-mines.
+	type commitRec struct {
 		code hst.Code
 		id   int
 		nd   int
+		ti   int // index into valid
+		arc  int
+		err  error
 	}
-	var committed []undoRec
-	rollback := func() {
-		for j := len(committed) - 1; j >= 0; j-- {
-			u := committed[j]
-			idem := c.nextIdem("undo")
-			err := c.nodes[u.nd].AddCapacity(u.code, u.id, st.epoch, idem)
-			if isTransport(err) {
-				err = c.nodes[u.nd].AddCapacity(u.code, u.id, st.epoch, idem)
-			}
-			if err != nil {
-				panic(fmt.Sprintf("cluster: window rollback lost unit (worker %d): %v", u.id, err))
-			}
-		}
-	}
-	for ti, i := range valid {
+	var commits []commitRec
+	for ti := range valid {
 		a := sol.MatchedArc(ti)
 		if a < 0 {
 			continue
 		}
 		cw := workers[sol.MatchedWorker(ti)]
-		nd := c.ownerIdx(st, st.layout.ShardIdx(cw.code))
-		idem := c.nextIdem("consume")
-		err := c.nodes[nd].Consume(cw.code, cw.id, st.epoch, idem)
-		if isTransport(err) {
-			err = c.nodes[nd].Consume(cw.code, cw.id, st.epoch, idem)
-		}
-		if err != nil {
-			rollback()
-			for _, v := range valid {
-				ids[v], lvls[v] = engine.None, 0
+		commits = append(commits, commitRec{
+			code: cw.code, id: cw.id,
+			nd: c.ownerIdx(st, st.layout.ShardIdx(cw.code)),
+			ti: ti, arc: a,
+		})
+	}
+	var cwg sync.WaitGroup
+	for j := range commits {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			u := &commits[j]
+			idem := c.nextIdem("consume")
+			err := c.opConsume(u.nd, u.code, u.id, st.epoch, idem)
+			if isTransport(err) {
+				err = c.opConsume(u.nd, u.code, u.id, st.epoch, idem)
 			}
-			return false
+			u.err = err
+		}()
+	}
+	cwg.Wait()
+	failed := false
+	for j := range commits {
+		if commits[j].err != nil {
+			failed = true
+			break
 		}
-		committed = append(committed, undoRec{code: cw.code, id: cw.id, nd: nd})
-		ids[i], lvls[i] = cw.id, arcLvl[a]
+	}
+	if failed {
+		// Roll back the commits that did land; a lost unit here is
+		// unrecoverable, exactly as a failed single-process window commit.
+		for j := len(commits) - 1; j >= 0; j-- {
+			u := &commits[j]
+			if u.err != nil {
+				continue
+			}
+			idem := c.nextIdem("undo")
+			err := c.opAddCapacity(u.nd, u.code, u.id, st.epoch, idem)
+			if isTransport(err) {
+				err = c.opAddCapacity(u.nd, u.code, u.id, st.epoch, idem)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("cluster: window rollback lost unit (worker %d): %v", u.id, err))
+			}
+		}
+		for _, v := range valid {
+			ids[v], lvls[v] = engine.None, 0
+		}
+		return false
+	}
+	for j := range commits {
+		u := &commits[j]
+		ids[valid[u.ti]], lvls[valid[u.ti]] = u.id, arcLvl[u.arc]
 	}
 
 	// Bank the closing potentials for every column — matched or not — so
@@ -628,16 +715,18 @@ func (c *fanCore) SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []e
 	// Partition lazily: a streaming connection (seqPreparer) pulls its
 	// partition straight off the inserts slice, so the coordinator never
 	// holds a second copy of the population. Only a legacy NodeConn forces
-	// the materialized partitions.
+	// the materialized partitions. Prepares run concurrently, so the lazy
+	// build is guarded by a Once.
 	var parts [][]engine.EpochInsert
+	var partsOnce sync.Once
 	partsFor := func(nd int) []engine.EpochInsert {
-		if parts == nil {
+		partsOnce.Do(func() {
 			parts = make([][]engine.EpochInsert, N)
 			for _, in := range inserts {
 				d := newLayout.GroupOf(in.Code) % N
 				parts[d] = append(parts[d], in)
 			}
-		}
+		})
 		return parts[nd]
 	}
 	// prepareNode runs one node's phase-one call; replayable, so a
@@ -676,36 +765,59 @@ func (c *fanCore) SwapEpoch(epoch int64, tree *hst.Tree, shards int, inserts []e
 			}
 		}
 	}
+	// Prepares run concurrently: each node stages an independent partition,
+	// so the phase's wall clock is the largest partition's staging time,
+	// not the population's.
+	prepErrs := make([]error, N)
+	var pwg sync.WaitGroup
 	for nd := 0; nd < N; nd++ {
-		idem := c.nextIdem("prepare")
-		err := prepareNode(nd, idem)
-		if isTransport(err) {
-			err = prepareNode(nd, idem)
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			idem := c.nextIdem("prepare")
+			err := prepareNode(nd, idem)
 			if isTransport(err) {
-				err = unavailable(nd, err)
+				err = prepareNode(nd, idem)
+				if isTransport(err) {
+					err = unavailable(nd, err)
+				}
 			}
-		}
-		if err != nil {
+			prepErrs[nd] = err
+			prepared[nd] = err == nil
+		}()
+	}
+	pwg.Wait()
+	for nd := 0; nd < N; nd++ {
+		if prepErrs[nd] != nil {
 			abortAll()
-			return fmt.Errorf("cluster: prepare epoch %d on node %d: %w", epoch, nd, err)
+			return fmt.Errorf("cluster: prepare epoch %d on node %d: %w", epoch, nd, prepErrs[nd])
 		}
-		prepared[nd] = true
 	}
 
-	// Phase two: commit everywhere. Commits are idempotent (a node already
-	// serving the epoch acks), so transport retries are safe.
+	// Phase two: commit everywhere, concurrently. Commits are idempotent (a
+	// node already serving the epoch acks), so transport retries are safe.
+	commitErrs := make([]error, N)
+	var cwg sync.WaitGroup
 	for nd := 0; nd < N; nd++ {
-		idem := c.nextIdem("commit")
-		var err error
-		for try := 0; try < 3; try++ {
-			if err = c.nodes[nd].Commit(epoch, idem); !isTransport(err) {
-				break
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			idem := c.nextIdem("commit")
+			var err error
+			for try := 0; try < 3; try++ {
+				if err = c.nodes[nd].Commit(epoch, idem); !isTransport(err) {
+					break
+				}
 			}
-		}
-		if err != nil {
+			commitErrs[nd] = err
+		}()
+	}
+	cwg.Wait()
+	for nd := 0; nd < N; nd++ {
+		if commitErrs[nd] != nil {
 			// Some nodes now serve the new epoch and this one cannot:
 			// there is no consistent epoch to retreat to.
-			panic(fmt.Sprintf("cluster: commit epoch %d on node %d failed after prepare: %v", epoch, nd, err))
+			panic(fmt.Sprintf("cluster: commit epoch %d on node %d failed after prepare: %v", epoch, nd, commitErrs[nd]))
 		}
 	}
 	c.state.Store(&coreState{tree: tree, layout: newLayout, epoch: epoch})

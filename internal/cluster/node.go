@@ -9,12 +9,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/pombm/pombm/internal/engine"
 	"github.com/pombm/pombm/internal/hst"
 	"github.com/pombm/pombm/internal/platform"
+	"github.com/pombm/pombm/internal/wire"
 )
 
 // NodeConn is the coordinator's handle to one backend: the engine surface
@@ -342,11 +344,14 @@ func NodeHandler(n *Node) http.Handler {
 	cache := newReplayCache()
 	mux := http.NewServeMux()
 
-	// handle wires one POST endpoint: decode, optionally replay, execute,
-	// record. fn returns the response value to encode; responses are
-	// recorded under the request's idempotency key only when the mutation
-	// was actually applied (fn ran).
-	handle := func(path string, fn func(body []byte) (any, string)) {
+	// handlePost wires one POST endpoint: decode, optionally replay,
+	// execute, record. fn returns the response value to encode; responses
+	// are recorded under the request's idempotency key only when the
+	// mutation was actually applied (fn ran). peekIdem gates the
+	// whole-request replay probe — endpoints whose body carries no
+	// top-level idem (the ops envelope: replay is per sub-op) skip it,
+	// saving a full parse of the largest bodies on the hot path.
+	handlePost := func(path string, peekIdem bool, fn func(body []byte) (any, string)) {
 		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 			if r.Method != http.MethodPost {
 				w.Header().Set("Allow", http.MethodPost)
@@ -356,39 +361,52 @@ func NodeHandler(n *Node) http.Handler {
 				})
 				return
 			}
-			body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
-			if err != nil {
+			cb := wire.Get()
+			defer wire.Put(cb)
+			if err := cb.ReadAll(r.Body, 64<<20); err != nil {
 				writeNodeJSON(w, http.StatusBadRequest, &platform.Error{
 					Code: platform.CodeBadRequest, Message: "cluster: read body: " + err.Error(),
 				})
 				return
 			}
-			// Peek the idempotency key before decoding the full request so
-			// replays skip the work entirely.
-			var keyed struct {
-				Idem string `json:"idem"`
-			}
-			_ = json.Unmarshal(body, &keyed)
-			if cached, ok := cache.get(keyed.Idem); ok {
-				w.Header().Set("Content-Type", "application/json")
-				w.Write(cached)
-				return
+			body := cb.Bytes()
+			if peekIdem {
+				// Peek the idempotency key before decoding the full request
+				// so replays skip the work entirely.
+				var keyed struct {
+					Idem string `json:"idem"`
+				}
+				_ = json.Unmarshal(body, &keyed)
+				if cached, ok := cache.get(keyed.Idem); ok {
+					h := w.Header()
+					h.Set("Content-Type", "application/json")
+					h.Set("Content-Length", strconv.Itoa(len(cached)))
+					w.Write(cached)
+					return
+				}
 			}
 			resp, idem := fn(body)
-			out, err := json.Marshal(resp)
-			if err != nil {
+			// The request bytes are decoded into owned structs by now;
+			// reuse the pooled scratch for the response. The replay cache
+			// must outlive it, so it gets a copy.
+			cb.Reset()
+			if err := cb.Encode(resp); err != nil {
 				writeNodeJSON(w, http.StatusInternalServerError, &platform.Error{
 					Code: platform.CodeInternal, Message: err.Error(),
 				})
 				return
 			}
-			cache.put(idem, out)
-			w.Header().Set("Content-Type", "application/json")
-			w.Write(out)
+			if idem != "" {
+				cache.put(idem, cb.Clone())
+			}
+			h := w.Header()
+			h.Set("Content-Type", "application/json")
+			h.Set("Content-Length", strconv.Itoa(cb.Len()))
+			w.Write(cb.Bytes())
 		})
 	}
 
-	handle(PathNodeInit, func(body []byte) (any, string) {
+	handlePost(PathNodeInit, true, func(body []byte) (any, string) {
 		var req InitRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nodeAck{Err: badBody(err)}, ""
@@ -398,7 +416,7 @@ func NodeHandler(n *Node) http.Handler {
 		}
 		return nodeAck{OK: true}, req.Idem
 	})
-	handle(PathNodeStatus, func(body []byte) (any, string) {
+	handlePost(PathNodeStatus, true, func(body []byte) (any, string) {
 		var req StatusRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return StatusResponse{Err: badBody(err)}, ""
@@ -409,7 +427,7 @@ func NodeHandler(n *Node) http.Handler {
 		}
 		return resp, ""
 	})
-	handle(PathNodeInsert, func(body []byte) (any, string) {
+	handlePost(PathNodeInsert, true, func(body []byte) (any, string) {
 		var req InsertRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nodeAck{Err: badBody(err)}, ""
@@ -419,7 +437,7 @@ func NodeHandler(n *Node) http.Handler {
 		}
 		return nodeAck{OK: true}, req.Idem
 	})
-	handle(PathNodeAddCapacity, func(body []byte) (any, string) {
+	handlePost(PathNodeAddCapacity, true, func(body []byte) (any, string) {
 		var req AddCapacityRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nodeAck{Err: badBody(err)}, ""
@@ -429,7 +447,7 @@ func NodeHandler(n *Node) http.Handler {
 		}
 		return nodeAck{OK: true}, req.Idem
 	})
-	handle(PathNodeRemove, func(body []byte) (any, string) {
+	handlePost(PathNodeRemove, true, func(body []byte) (any, string) {
 		var req RemoveRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return RemoveResponse{Err: badBody(err)}, ""
@@ -440,7 +458,7 @@ func NodeHandler(n *Node) http.Handler {
 		}
 		return RemoveResponse{OK: true, Units: units, Found: found}, req.Idem
 	})
-	handle(PathNodeAssignSubtree, func(body []byte) (any, string) {
+	handlePost(PathNodeAssignSubtree, true, func(body []byte) (any, string) {
 		var req AssignSubtreeRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return AssignResponse{Err: badBody(err)}, ""
@@ -451,7 +469,7 @@ func NodeHandler(n *Node) http.Handler {
 		}
 		return AssignResponse{OK: true, ID: id, Level: lvl, Found: found}, req.Idem
 	})
-	handle(PathNodeMinID, func(body []byte) (any, string) {
+	handlePost(PathNodeMinID, true, func(body []byte) (any, string) {
 		var req MinIDRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return MinIDResponse{Err: badBody(err)}, ""
@@ -462,7 +480,7 @@ func NodeHandler(n *Node) http.Handler {
 		}
 		return MinIDResponse{OK: true, ID: id, Found: found}, ""
 	})
-	handle(PathNodePopMin, func(body []byte) (any, string) {
+	handlePost(PathNodePopMin, true, func(body []byte) (any, string) {
 		var req PopMinRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return AssignResponse{Err: badBody(err)}, ""
@@ -473,7 +491,7 @@ func NodeHandler(n *Node) http.Handler {
 		}
 		return AssignResponse{OK: true, ID: id, Level: lvl, Found: found}, req.Idem
 	})
-	handle(PathNodeMine, func(body []byte) (any, string) {
+	handlePost(PathNodeMine, true, func(body []byte) (any, string) {
 		var req MineRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return MineResponse{Err: badBody(err)}, ""
@@ -491,7 +509,7 @@ func NodeHandler(n *Node) http.Handler {
 			Own: toWireCands(wm.Own), Pads: toWireCands(wm.Pads),
 		}, ""
 	})
-	handle(PathNodeConsume, func(body []byte) (any, string) {
+	handlePost(PathNodeConsume, true, func(body []byte) (any, string) {
 		var req ConsumeRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nodeAck{Err: badBody(err)}, ""
@@ -501,12 +519,51 @@ func NodeHandler(n *Node) http.Handler {
 		}
 		return nodeAck{OK: true}, req.Idem
 	})
+	handlePost(PathNodeOps, false, func(body []byte) (any, string) {
+		var req OpsRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return OpsResponse{Err: badBody(err)}, ""
+		}
+		// The success envelope is assembled by hand: every sub-result is
+		// already compact JSON (json.Marshal output, cached verbatim), so
+		// splicing them between literal framing produces exactly the bytes
+		// OpsResponse would encode to — without reflecting over the struct
+		// or re-compacting each result. Envelope-level refusals still go
+		// through the normal encoder.
+		env := make([]byte, 0, 32+len(body))
+		env = append(env, `{"ok":true,"results":[`...)
+		for i, op := range req.Ops {
+			if i > 0 {
+				env = append(env, ',')
+			}
+			// Sub-ops share the replay cache with the single-op endpoints:
+			// a duplicated envelope (or the same op re-sent individually)
+			// replays the recorded bytes instead of re-applying.
+			if cached, ok := cache.get(op.Idem); ok {
+				env = append(env, cached...)
+				continue
+			}
+			resp, idem := execOp(n, op)
+			out, err := json.Marshal(resp)
+			if err != nil {
+				return OpsResponse{Err: &platform.Error{
+					Code: platform.CodeInternal, Message: err.Error(),
+				}}, ""
+			}
+			cache.put(idem, out)
+			env = append(env, out...)
+		}
+		env = append(env, `]}`...)
+		// The envelope itself carries no idem — the sub-ops are the replay
+		// unit — so it is never cached as a whole.
+		return json.RawMessage(env), ""
+	})
 	// Prepare gets a dedicated streaming handler: its body scales with the
 	// population partition, so buffering it through the generic path would
 	// hold the whole partition in memory beside the staged arenas (and the
 	// generic 64MB body cap would refuse large rotations outright).
 	mux.HandleFunc(PathNodePrepare, prepareHandler(n, cache))
-	handle(PathNodeCommit, func(body []byte) (any, string) {
+	handlePost(PathNodeCommit, true, func(body []byte) (any, string) {
 		var req CommitRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nodeAck{Err: badBody(err)}, ""
@@ -516,7 +573,7 @@ func NodeHandler(n *Node) http.Handler {
 		}
 		return nodeAck{OK: true}, req.Idem
 	})
-	handle(PathNodeAbort, func(body []byte) (any, string) {
+	handlePost(PathNodeAbort, true, func(body []byte) (any, string) {
 		var req AbortRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nodeAck{Err: badBody(err)}, ""
@@ -527,6 +584,46 @@ func NodeHandler(n *Node) http.Handler {
 		return nodeAck{OK: true}, req.Idem
 	})
 	return mux
+}
+
+// execOp runs one envelope sub-operation, mirroring the matching single-op
+// handler exactly: same response shape, same error taxonomy, and the same
+// convention that an error returns idem "" so failures are never cached.
+func execOp(n *Node, op OpRequest) (any, string) {
+	switch op.Kind {
+	case OpInsert:
+		if err := n.Insert(hst.Code(op.Code), op.ID, op.Capacity, op.Epoch, op.Idem); err != nil {
+			return nodeAck{Err: nodeError(err, op.Epoch)}, ""
+		}
+		return nodeAck{OK: true}, op.Idem
+	case OpAddCapacity:
+		if err := n.AddCapacity(hst.Code(op.Code), op.ID, op.Epoch, op.Idem); err != nil {
+			return nodeAck{Err: nodeError(err, op.Epoch)}, ""
+		}
+		return nodeAck{OK: true}, op.Idem
+	case OpRemove:
+		units, found, err := n.Remove(hst.Code(op.Code), op.ID, op.Idem)
+		if err != nil {
+			return RemoveResponse{Err: nodeError(err, 0)}, ""
+		}
+		return RemoveResponse{OK: true, Units: units, Found: found}, op.Idem
+	case OpAssignSubtree:
+		id, lvl, found, err := n.AssignSubtree(hst.Code(op.Code), op.Epoch, op.Idem)
+		if err != nil {
+			return AssignResponse{Err: nodeError(err, op.Epoch)}, ""
+		}
+		return AssignResponse{OK: true, ID: id, Level: lvl, Found: found}, op.Idem
+	case OpConsume:
+		if err := n.Consume(hst.Code(op.Code), op.ID, op.Epoch, op.Idem); err != nil {
+			return nodeAck{Err: nodeError(err, op.Epoch)}, ""
+		}
+		return nodeAck{OK: true}, op.Idem
+	default:
+		return nodeAck{Err: &platform.Error{
+			Code:    platform.CodeBadRequest,
+			Message: fmt.Sprintf("cluster: unknown op kind %q", op.Kind),
+		}}, ""
+	}
 }
 
 // prepareHandler decodes a prepare body incrementally and feeds the
@@ -713,9 +810,18 @@ func badBody(err error) *platform.Error {
 }
 
 func writeNodeJSON(w http.ResponseWriter, status int, e *platform.Error) {
-	w.Header().Set("Content-Type", "application/json")
+	cb := wire.Get()
+	defer wire.Put(cb)
+	if err := cb.Encode(e); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(cb.Len()))
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(e)
+	w.Write(cb.Bytes())
 }
 
 // httpNode is a NodeConn over the /v2 wire protocol.
@@ -770,10 +876,16 @@ func DialNode(baseURL string) NodeConn {
 	return DialNodeTimeouts(baseURL, NodeTimeouts{})
 }
 
+// nodeClient is the process-wide client for coordinator→node traffic: one
+// tuned connection pool (keep-alives, generous per-host idle conns) shared
+// by every dialed node, so a coordinator fanning out to N backends reuses
+// warm connections instead of re-dialing under load.
+var nodeClient = &http.Client{Transport: platform.NewTransport()}
+
 // DialNodeTimeouts is DialNode with explicit per-operation deadlines
 // (zero fields take the defaults).
 func DialNodeTimeouts(baseURL string, to NodeTimeouts) NodeConn {
-	return &httpNode{baseURL: baseURL, client: &http.Client{}, timeouts: to}
+	return &httpNode{baseURL: baseURL, client: nodeClient, timeouts: to}
 }
 
 // DialNodeClient is DialNode with a caller-supplied HTTP client (tests pin
@@ -808,11 +920,12 @@ func deadlineErr(path string, d time.Duration) error {
 // error immediately, because blindly re-running a call that just consumed
 // its full time budget doubles the stall without changing the outcome.
 func (h *httpNode) post(path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
+	cb := wire.Get()
+	defer wire.Put(cb)
+	if err := cb.Encode(in); err != nil {
 		return fmt.Errorf("cluster: encode %s: %w", path, err)
 	}
-	return h.postBody(path, bytes.NewReader(body), out, h.timeouts.op())
+	return h.postBody(path, cb.Reader(), out, h.timeouts.op())
 }
 
 // postBody is post with a caller-supplied body stream and deadline — the
@@ -825,6 +938,9 @@ func (h *httpNode) postBody(path string, body io.Reader, out any, d time.Duratio
 		return fmt.Errorf("cluster: build %s request: %w", path, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The body may be pooled codec scratch; it must not be re-read after
+	// this call returns.
+	req.GetBody = nil
 	resp, err := h.client.Do(req)
 	if err != nil {
 		if ctx.Err() == context.DeadlineExceeded {
@@ -833,8 +949,11 @@ func (h *httpNode) postBody(path string, body io.Reader, out any, d time.Duratio
 		return fmt.Errorf("%w: POST %s: %v", errTransport, path, err)
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
+	rb := wire.Get()
+	defer wire.Put(rb)
+	// ReadAll drains the body past the cap, so the keep-alive connection
+	// returns to the pool clean.
+	if err := rb.ReadAll(resp.Body, 64<<20); err != nil {
 		if ctx.Err() == context.DeadlineExceeded {
 			return deadlineErr(path, d)
 		}
@@ -842,12 +961,13 @@ func (h *httpNode) postBody(path string, body io.Reader, out any, d time.Duratio
 	}
 	if resp.StatusCode != http.StatusOK {
 		var we platform.Error
-		if json.Unmarshal(bytes.TrimSpace(raw), &we) == nil && we.Code != "" {
+		raw := bytes.TrimSpace(rb.Bytes())
+		if json.Unmarshal(raw, &we) == nil && we.Code != "" {
 			return &we
 		}
-		return fmt.Errorf("%w: %s returned %s: %s", errTransport, path, resp.Status, bytes.TrimSpace(raw))
+		return fmt.Errorf("%w: %s returned %s: %s", errTransport, path, resp.Status, raw)
 	}
-	if err := json.Unmarshal(raw, out); err != nil {
+	if err := rb.Unmarshal(out); err != nil {
 		return fmt.Errorf("%w: decode %s: %v", errTransport, path, err)
 	}
 	return nil
@@ -978,6 +1098,25 @@ func (h *httpNode) Consume(code hst.Code, id int, epoch int64, idem string) erro
 		return err
 	}
 	return envErr(resp.Err)
+}
+
+// Ops ships one coalesced envelope and returns the raw per-op results in
+// order. Envelope-level failures (transport, refused envelope, a result
+// count that does not match) surface as errors; per-op outcomes stay raw
+// for the caller to decode against the op's own response shape.
+func (h *httpNode) Ops(ops []OpRequest) ([]json.RawMessage, error) {
+	var resp OpsResponse
+	if err := h.post(PathNodeOps, OpsRequest{Ops: ops}, &resp); err != nil {
+		return nil, err
+	}
+	if err := envErr(resp.Err); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(ops) {
+		return nil, fmt.Errorf("%w: %s answered %d results for %d ops",
+			errTransport, PathNodeOps, len(resp.Results), len(ops))
+	}
+	return resp.Results, nil
 }
 
 func (h *httpNode) Prepare(epoch int64, tree *hst.Tree, shards int, inserts []engine.EpochInsert, idem string) error {

@@ -23,6 +23,8 @@
 package cluster
 
 import (
+	"encoding/json"
+
 	"github.com/pombm/pombm/internal/hst"
 	"github.com/pombm/pombm/internal/platform"
 )
@@ -44,7 +46,53 @@ const (
 	PathNodePrepare       = "/v2/node/rotate/prepare"
 	PathNodeCommit        = "/v2/node/rotate/commit"
 	PathNodeAbort         = "/v2/node/rotate/abort"
+	PathNodeOps           = "/v2/node/ops"
 )
+
+// Op kinds carried by the /v2/node/ops envelope. Each is one of the
+// single-worker routed operations; anything whose answer spans nodes
+// (min-id, mine, the rotation verbs) stays on its own endpoint.
+const (
+	OpInsert        = "insert"
+	OpAddCapacity   = "add-capacity"
+	OpRemove        = "remove"
+	OpAssignSubtree = "assign-subtree"
+	OpConsume       = "consume"
+)
+
+// OpRequest is one sub-operation of an ops envelope: the union of the
+// single-op request shapes, discriminated by Kind, with its own
+// idempotency key. Replay semantics are per-op and shared with the
+// single-op endpoints — the node caches each sub-result under its own key,
+// so a duplicated envelope (or the same op re-sent individually) replays
+// byte-for-byte.
+type OpRequest struct {
+	Kind     string `json:"kind"`
+	Idem     string `json:"idem,omitempty"`
+	Code     []byte `json:"code,omitempty"`
+	ID       int    `json:"id,omitempty"`
+	Capacity int    `json:"capacity,omitempty"`
+	Epoch    int64  `json:"epoch,omitempty"`
+}
+
+// OpsRequest carries N independent single-worker operations in one round
+// trip — the coordinator's coalescer batches concurrent ops routed to the
+// same node into one envelope. The envelope itself has no idempotency key:
+// the sub-ops are the replay unit, and a retried envelope regroups however
+// the retry timing falls.
+type OpsRequest struct {
+	Ops []OpRequest `json:"ops"`
+}
+
+// OpsResponse answers an envelope with one raw sub-response per op, in
+// order. Results stay raw JSON end to end so a replayed sub-op is
+// byte-identical to its first answer regardless of which envelope (or
+// single-op request) carries it.
+type OpsResponse struct {
+	OK      bool              `json:"ok"`
+	Err     *platform.Error   `json:"error,omitempty"`
+	Results []json.RawMessage `json:"results"`
+}
 
 // InitRequest (re)builds a node's engine: the shared tree, the shared
 // shard count, and the shared policy spec and default capacity. Every node

@@ -5,14 +5,24 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"mime"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/pombm/pombm/internal/geo"
 	"github.com/pombm/pombm/internal/hst"
+	"github.com/pombm/pombm/internal/wire"
+)
+
+// Wire-path body bounds: requests are small control messages, responses can
+// carry a publication or a batch result.
+const (
+	maxRequestBytes  = 1 << 20
+	maxResponseBytes = 64 << 20
 )
 
 // HTTP endpoint paths.
@@ -139,11 +149,36 @@ type Client struct {
 	pub   *Publication
 }
 
+// NewTransport returns an http.Transport tuned for the serving path:
+// keep-alives on, enough idle connections per host that a fan-in of
+// concurrent clients (or a coordinator's fan-out to one node) never churns
+// through fresh TCP handshakes, and bounded dial/TLS timeouts so a dead
+// peer fails fast instead of hanging a request slot.
+func NewTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          512,
+		MaxIdleConnsPerHost:   64,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+}
+
+// servingClient is the process-wide default HTTP client: one shared
+// connection pool, so many Clients against the same server reuse the same
+// keep-alive connections instead of each growing their own.
+var servingClient = &http.Client{Transport: NewTransport()}
+
 // NewClient returns a client for a server base URL (e.g.
 // "http://localhost:8080"). It fetches and caches the publication eagerly
 // so construction fails fast on connectivity problems.
 func NewClient(baseURL string) (*Client, error) {
-	c := &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+	c := &Client{BaseURL: baseURL, HTTP: servingClient}
 	var wire wirePublication
 	if err := c.get(PathPublication, &wire); err != nil {
 		return nil, err
@@ -310,11 +345,21 @@ func (c *Client) get(path string, out any) error {
 }
 
 func (c *Client) post(path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
+	cb := wire.Get()
+	defer wire.Put(cb)
+	if err := cb.Encode(in); err != nil {
 		return fmt.Errorf("platform: encode %s: %w", path, err)
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, cb.Reader())
+	if err != nil {
+		return fmt.Errorf("platform: POST %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// The request bytes are pooled scratch that is reclaimed when this call
+	// returns; nothing (redirect replay, transparent retry) may re-read them
+	// later.
+	req.GetBody = nil
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return fmt.Errorf("platform: POST %s: %w", path, err)
 	}
@@ -323,37 +368,67 @@ func (c *Client) post(path string, in, out any) error {
 }
 
 func decodeResponse(path string, resp *http.Response, out any) error {
+	cb := wire.Get()
+	defer wire.Put(cb)
+	// Read the body to EOF into pooled scratch before decoding: a
+	// json.Decoder stops at the end of the value and leaves the trailing
+	// newline unread, which defeats net/http keep-alive reuse.
+	if err := cb.ReadAll(resp.Body, maxResponseBytes); err != nil {
+		return fmt.Errorf("platform: read %s: %w", path, err)
+	}
+	body := bytes.TrimSpace(cb.Bytes())
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		if len(body) > 4<<10 {
+			body = body[:4<<10]
+		}
 		// Error statuses carry a structured Error body; surface it typed so
 		// callers can errors.Is against the sentinels. Non-JSON bodies (a
 		// proxy's error page) fall back to a plain error.
 		var we Error
-		if json.Unmarshal(bytes.TrimSpace(msg), &we) == nil && we.Code != "" {
+		if json.Unmarshal(body, &we) == nil && we.Code != "" {
 			return &we
 		}
-		return fmt.Errorf("platform: %s returned %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		return fmt.Errorf("platform: %s returned %s: %s", path, resp.Status, body)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+	if err := cb.Unmarshal(out); err != nil {
 		return fmt.Errorf("platform: decode %s: %w", path, err)
 	}
 	return nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	cb := wire.Get()
+	defer wire.Put(cb)
+	// Encode into pooled scratch first: a failure surfaces as a clean 500
+	// instead of a half-written 200, and the explicit Content-Length lets
+	// the client see the body end without a chunked trailer.
+	if err := cb.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(cb.Len()))
+	w.Write(cb.Bytes())
 }
 
 // writeError answers with an HTTP error status whose body is the structured
 // Error as JSON — the transport-level half of the error taxonomy (refusals
 // with well-formed requests ride inside 200 response envelopes instead).
 func writeError(w http.ResponseWriter, status int, e *Error) {
-	w.Header().Set("Content-Type", "application/json")
+	cb := wire.Get()
+	defer wire.Put(cb)
+	// Same encode-first discipline as writeJSON: an Error that will not
+	// encode degrades to a plain-text 500 rather than a silently empty body.
+	if err := cb.Encode(e); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(cb.Len()))
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(e)
+	w.Write(cb.Bytes())
 }
 
 // requireGet guards a read-only endpoint: non-GET methods are answered with
@@ -374,7 +449,10 @@ func requireGet(w http.ResponseWriter, r *http.Request) bool {
 // pre-taxonomy clients — an absent Content-Type; anything else is refused.
 func checkContentType(r *http.Request) *Error {
 	ct := r.Header.Get("Content-Type")
-	if ct == "" {
+	if ct == "" || ct == "application/json" {
+		// Fast path for the exact type every client in this repo sends:
+		// mime.ParseMediaType allocates its parameter map even for a bare
+		// type, which is measurable at serving rates.
 		return nil
 	}
 	mt, _, err := mime.ParseMediaType(ct)
@@ -400,7 +478,11 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 		writeError(w, http.StatusUnsupportedMediaType, e)
 		return false
 	}
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(v); err != nil {
+	cb := wire.Get()
+	defer wire.Put(cb)
+	// DecodeAll drains the body even past the size cap, so a keep-alive
+	// connection is left clean for the next request on it.
+	if err := cb.DecodeAll(r.Body, maxRequestBytes, v); err != nil {
 		writeError(w, http.StatusBadRequest, badRequestError("platform: bad request: "+err.Error()))
 		return false
 	}

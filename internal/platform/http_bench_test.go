@@ -1,0 +1,39 @@
+package platform
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+)
+
+// BenchmarkLoopbackSubmit measures one full client->server Submit round
+// trip over loopback HTTP — the per-op serving cost the servebench lane
+// reports as serve-submit.
+func BenchmarkLoopbackSubmit(b *testing.B) {
+	s := newTestServer(b)
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+	client, err := NewClient(ts.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := NewObfuscator(client.Publication(), 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(17)
+	for i := 0; i < 4096; i++ {
+		w := Worker{ID: fmt.Sprintf("w%d", i), Loc: geo.Pt(src.Uniform(0, 200), src.Uniform(0, 200))}
+		if err := w.Register(s, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	code := []byte(o.Obfuscate(geo.Pt(100, 100)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client.Submit(TaskRequest{TaskID: "t", Code: code})
+	}
+}

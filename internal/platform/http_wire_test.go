@@ -1,0 +1,188 @@
+package platform
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"sync"
+	"testing"
+
+	"github.com/pombm/pombm/internal/geo"
+	"github.com/pombm/pombm/internal/rng"
+	"github.com/pombm/pombm/internal/wire"
+)
+
+// traceTransport counts connection handouts via httptrace so tests can
+// assert keep-alive reuse instead of inferring it from timing.
+type traceTransport struct {
+	rt http.RoundTripper
+
+	mu     sync.Mutex
+	total  int
+	reused int
+}
+
+func (t *traceTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	trace := &httptrace.ClientTrace{
+		GotConn: func(ci httptrace.GotConnInfo) {
+			t.mu.Lock()
+			t.total++
+			if ci.Reused {
+				t.reused++
+			}
+			t.mu.Unlock()
+		},
+	}
+	return t.rt.RoundTrip(req.WithContext(httptrace.WithClientTrace(req.Context(), trace)))
+}
+
+func (t *traceTransport) counts() (total, reused int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total, t.reused
+}
+
+// TestConnectionReuse pins the keep-alive contract of the serving path:
+// after the first request warms a connection, every subsequent sequential
+// request must ride the same one. This regressed before because the client
+// decoded responses with json.Decoder, which leaves the encoder's trailing
+// newline unread — net/http then refuses to reuse the connection and every
+// op pays a fresh TCP handshake.
+func TestConnectionReuse(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	client, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap in a private traced transport so this test observes its own
+	// connection pool, not the process-wide shared one.
+	tt := &traceTransport{rt: NewTransport()}
+	client.HTTP = &http.Client{Transport: tt}
+
+	o, err := NewObfuscator(client.Publication(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(17)
+	for i := 0; i < 8; i++ {
+		w := Worker{ID: fmt.Sprintf("w%d", i), Loc: geo.Pt(src.Uniform(0, 200), src.Uniform(0, 200))}
+		if err := w.Register(client, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		task := Task{ID: fmt.Sprintf("t%d", i), Loc: geo.Pt(src.Uniform(0, 200), src.Uniform(0, 200))}
+		if _, _, err := task.Submit(client, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Stats(); err != nil {
+		t.Fatal(err)
+	}
+
+	total, reused := tt.counts()
+	if total < 17 {
+		t.Fatalf("traced %d requests, expected at least 17", total)
+	}
+	if reused < total-1 {
+		t.Errorf("connection reused on %d of %d requests, want all but the first", reused, total)
+	}
+}
+
+// TestErrorResponsesKeepConnectionAlive extends the reuse pin to the error
+// path: a structured-error response (unknown worker) must also be drained
+// so the connection survives for the next request.
+func TestErrorResponsesKeepConnectionAlive(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	client, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := &traceTransport{rt: NewTransport()}
+	client.HTTP = &http.Client{Transport: tt}
+
+	for i := 0; i < 6; i++ {
+		if resp := client.Withdraw(WithdrawRequest{WorkerID: "nobody"}); resp.OK {
+			t.Fatal("withdraw of unknown worker succeeded")
+		}
+	}
+	total, reused := tt.counts()
+	if total != 6 {
+		t.Fatalf("traced %d requests, want 6", total)
+	}
+	if reused < total-1 {
+		t.Errorf("error responses broke keep-alive: reused %d of %d", reused, total)
+	}
+}
+
+// nopResponseWriter is the cheapest possible sink for alloc pins: header
+// reused across runs, writes discarded.
+type nopResponseWriter struct{ h http.Header }
+
+func (w nopResponseWriter) Header() http.Header         { return w.h }
+func (w nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w nopResponseWriter) WriteHeader(int)             {}
+
+// nopBody adapts a reusable bytes.Reader into an io.ReadCloser so the
+// decode pin can replay the same request body without allocating one.
+type nopBody struct{ *bytes.Reader }
+
+func (nopBody) Close() error { return nil }
+
+// TestServingCodecAllocs pins the steady-state allocation budget of the
+// pooled wire codecs at ≤ 2 allocs/op. The two allowed allocations are
+// inherent, not scratch: the Content-Length header value on encode, and
+// the decoded TaskID string + Code slice on decode. Scratch buffers,
+// encoders, and readers must all come from the pool.
+func TestServingCodecAllocs(t *testing.T) {
+	resp := &TaskResponse{Assigned: true, WorkerID: "w-12345", Epoch: 3}
+	w := nopResponseWriter{h: http.Header{}}
+	encN := testing.AllocsPerRun(200, func() {
+		writeJSON(w, resp)
+	})
+	t.Logf("writeJSON(TaskResponse): %.2f allocs/op", encN)
+	if encN > 2 {
+		t.Errorf("writeJSON allocates %.2f/op, budget is 2", encN)
+	}
+
+	payload := []byte(`{"task_id":"t-9999","code":"AAECAwQFBgc=","epoch":4}` + "\n")
+	rd := &bytes.Reader{}
+	req := &http.Request{
+		Method: http.MethodPost,
+		Header: http.Header{"Content-Type": []string{"application/json"}},
+		Body:   nopBody{rd},
+	}
+	var task TaskRequest
+	decN := testing.AllocsPerRun(200, func() {
+		rd.Reset(payload)
+		if !readJSON(w, req, &task) {
+			t.Fatal("readJSON failed")
+		}
+	})
+	t.Logf("readJSON(TaskRequest): %.2f allocs/op", decN)
+	if decN > 2 {
+		t.Errorf("readJSON allocates %.2f/op, budget is 2", decN)
+	}
+
+	treq := &TaskRequest{TaskID: "t-1", Code: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	postN := testing.AllocsPerRun(200, func() {
+		cb := wire.Get()
+		if err := cb.Encode(treq); err != nil {
+			t.Fatal(err)
+		}
+		_ = cb.Reader()
+		wire.Put(cb)
+	})
+	t.Logf("client post encode(TaskRequest): %.2f allocs/op", postN)
+	if postN > 2 {
+		t.Errorf("client post encode allocates %.2f/op, budget is 2", postN)
+	}
+}
